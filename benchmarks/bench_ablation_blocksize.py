@@ -1,0 +1,71 @@
+"""Ablation — partitioned-encoding block size BS (paper Section II).
+
+BS trades error-location granularity and checksum magnitude against
+overhead: smaller blocks mean more checksum rows/columns (more encode and
+check work, more storage) but finer location and smaller checksum-row
+magnitudes (tighter y, hence tighter bounds).  This bench sweeps BS and
+reports bound tightness, detection rate and modelled overhead.
+"""
+
+import numpy as np
+
+from repro.analysis.tables import format_sci, render_table
+from repro.experiments.bound_quality import measure_bound_quality
+from repro.faults.campaign import CampaignConfig, FaultCampaign
+from repro.gpusim.device import K20C
+from repro.perfmodel.schemes import aabft_timing
+from repro.workloads import SUITE_UNIT
+
+from conftest import BOUND_SAMPLES, FULL, INJECTIONS_PER_CELL
+
+BLOCK_SIZES = (16, 32, 64, 128)
+N = 512 if FULL else 256
+
+
+class TestBlockSizeAblation:
+    def test_bounds_and_detection_vs_block_size(self, benchmark, record_table):
+        def run():
+            out = []
+            for bs in BLOCK_SIZES:
+                rng = np.random.default_rng(7)
+                quality = measure_bound_quality(
+                    SUITE_UNIT, N, rng, block_size=bs, num_samples=BOUND_SAMPLES
+                )
+                campaign = FaultCampaign(
+                    CampaignConfig(
+                        n=N,
+                        suite=SUITE_UNIT,
+                        num_injections=INJECTIONS_PER_CELL,
+                        block_size=bs,
+                        seed=17,
+                    )
+                ).run()
+                out.append((bs, quality, campaign))
+            return out
+
+        results = benchmark.pedantic(run, rounds=1, iterations=1)
+        body = []
+        for bs, quality, campaign in results:
+            overhead = aabft_timing(N, block_size=bs).seconds(K20C)
+            body.append(
+                [
+                    bs,
+                    format_sci(quality.avg_aabft_bound),
+                    f"{quality.aabft_tightness:.0f}x",
+                    f"{100 * campaign.detection_rate('aabft'):.1f}%",
+                    "yes" if campaign.false_positive_free["aabft"] else "NO",
+                    f"{overhead * 1e3:.2f}",
+                ]
+            )
+        record_table(
+            render_table(
+                ["BS", "avg bound", "tightness", "detection", "FP-free", "model ms"],
+                body,
+                title=f"Ablation: block size (n={N}, U(-1,1))",
+            )
+        )
+        # Smaller blocks -> smaller checksum magnitudes -> tighter bounds.
+        bounds = [q.avg_aabft_bound for _, q, _ in results]
+        assert bounds[0] < bounds[-1]
+        # No configuration may produce false positives.
+        assert all(c.false_positive_free["aabft"] for _, _, c in results)

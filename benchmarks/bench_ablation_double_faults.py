@@ -1,0 +1,66 @@
+"""Ablation — double faults per multiplication (beyond the paper's model).
+
+ABFT's single-error model guarantees detection *and* location for one
+fault; with two faults detection usually still works (four checksum
+comparisons are perturbed) but location can become ambiguous and, in the
+aliasing corner case, two deltas in the same comparison can partially
+cancel.  This bench measures those rates.
+"""
+
+from repro.analysis.tables import render_table
+from repro.faults.campaign import CampaignConfig, FaultCampaign
+from repro.workloads import SUITE_UNIT
+
+from conftest import FULL, INJECTIONS_PER_CELL
+
+N = 512 if FULL else 256
+
+
+class TestDoubleFaults:
+    def test_double_fault_detection(self, benchmark, record_table):
+        def run():
+            campaign = FaultCampaign(
+                CampaignConfig(
+                    n=N,
+                    suite=SUITE_UNIT,
+                    num_injections=1,
+                    block_size=64,
+                    seed=71,
+                )
+            )
+            campaign.prepare()
+            pairs = campaign.run_pairs(INJECTIONS_PER_CELL)
+            return pairs
+
+        pairs = benchmark.pedantic(run, rounds=1, iterations=1)
+        critical = [p for p in pairs if p.any_critical]
+        detected = sum(1 for p in critical if p.detected["aabft"])
+        same_block = sum(1 for p in pairs if p.same_block)
+        both_critical = [
+            p for p in pairs if p.first.is_critical and p.second.is_critical
+        ]
+        detected_both = sum(1 for p in both_critical if p.detected["aabft"])
+
+        record_table(
+            render_table(
+                ["metric", "value"],
+                [
+                    ["pairs injected", len(pairs)],
+                    ["pairs with >=1 critical fault", len(critical)],
+                    ["  ... detected (A-ABFT)", f"{detected} ({100*detected/max(len(critical),1):.1f}%)"],
+                    ["pairs with 2 critical faults", len(both_critical)],
+                    ["  ... detected (A-ABFT)", f"{detected_both}"],
+                    ["pairs landing in one block (ambiguous location)", same_block],
+                ],
+                title=f"Double faults per multiplication (n={N}, U(-1,1))",
+            )
+        )
+        # Two faults give the check more chances: the detection rate over
+        # >=1-critical pairs must not fall below the single-fault regime.
+        if critical:
+            assert detected / len(critical) > 0.75
+        # Pairs where both faults are critical are detected essentially
+        # always (cancellation across distinct comparisons is impossible;
+        # within one comparison it requires near-equal opposite deltas).
+        if both_critical:
+            assert detected_both / len(both_critical) > 0.9

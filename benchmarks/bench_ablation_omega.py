@@ -1,0 +1,70 @@
+"""Ablation — the confidence scale omega (paper Section VI-B).
+
+The paper evaluates with the conservative 3-sigma setting and remarks that
+1-sigma / 2-sigma bounds "are typically within the same order of magnitude".
+This bench verifies that and measures the detection-rate / false-positive
+trade-off across omega.
+"""
+
+from repro.analysis.tables import render_table
+from repro.faults.campaign import CampaignConfig, FaultCampaign
+from repro.workloads import SUITE_UNIT
+
+from conftest import FULL, INJECTIONS_PER_CELL
+
+OMEGAS = (1.0, 2.0, 3.0, 5.0)
+N = 512 if FULL else 256
+
+
+class TestOmegaAblation:
+    def test_detection_vs_omega(self, benchmark, record_table):
+        def run():
+            out = []
+            for omega in OMEGAS:
+                config = CampaignConfig(
+                    n=N,
+                    suite=SUITE_UNIT,
+                    num_injections=INJECTIONS_PER_CELL,
+                    block_size=64,
+                    omega=omega,
+                    seed=31,
+                )
+                out.append((omega, FaultCampaign(config).run()))
+            return out
+
+        results = benchmark.pedantic(run, rounds=1, iterations=1)
+        body = []
+        for omega, result in results:
+            body.append(
+                [
+                    f"{omega:.0f}",
+                    "yes" if result.false_positive_free["aabft"] else "NO",
+                    f"{100 * result.detection_rate('aabft'):.1f}%",
+                    result.num_critical(),
+                ]
+            )
+        record_table(
+            render_table(
+                ["omega", "FP-free", "A-ABFT detection", "#critical"],
+                body,
+                title=f"Ablation: omega sweep (n={N}, U(-1,1))",
+            )
+        )
+        # 3-sigma is the paper's setting: fault-free runs must pass there.
+        by_omega = dict(results)
+        assert by_omega[3.0].false_positive_free["aabft"]
+        assert by_omega[5.0].false_positive_free["aabft"]
+
+    def test_bounds_within_one_order_across_omega(self, benchmark):
+        """Section VI-B: sigma..3-sigma bounds stay within one order."""
+        from repro.bounds.base import BoundContext
+        from repro.bounds.probabilistic import ProbabilisticBound
+
+        def run():
+            ctx = BoundContext(n=N, m=64, upper_bound=10.0)
+            return {
+                w: ProbabilisticBound(omega=w).epsilon(ctx) for w in (1.0, 2.0, 3.0)
+            }
+
+        eps = benchmark(run)
+        assert eps[3.0] / eps[1.0] < 10.0

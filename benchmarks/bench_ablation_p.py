@@ -1,0 +1,62 @@
+"""Ablation — the number p of tracked largest absolute values (Sec. IV-E).
+
+The paper: "The quality of the error bound can be improved by increasing
+the number p of considered largest absolute values.  However, this also
+increases the computational overhead."  This bench sweeps p and reports
+both effects: bound tightness (vs. the exact rounding error) and the
+modelled preprocessing overhead.
+"""
+
+import numpy as np
+
+from repro.analysis.tables import format_sci, render_table
+from repro.experiments.bound_quality import measure_bound_quality
+from repro.perfmodel.schemes import aabft_timing
+from repro.gpusim.device import K20C
+from repro.workloads import SUITE_UNIT
+
+from conftest import BOUND_SAMPLES, FULL
+
+P_VALUES = (1, 2, 4, 8, 16)
+N = 1024 if FULL else 512
+
+
+class TestPAblation:
+    def test_bound_quality_vs_p(self, benchmark, record_table):
+        def run():
+            rows = []
+            for p in P_VALUES:
+                rng = np.random.default_rng(99)  # same workload per p
+                rows.append(
+                    (p, measure_bound_quality(
+                        SUITE_UNIT, N, rng, p=p, num_samples=BOUND_SAMPLES
+                    ))
+                )
+            return rows
+
+        rows = benchmark.pedantic(run, rounds=1, iterations=1)
+        body = []
+        for p, row in rows:
+            overhead = aabft_timing(N, p=p).seconds(K20C)
+            body.append(
+                [
+                    p,
+                    format_sci(row.avg_rounding_error),
+                    format_sci(row.avg_aabft_bound),
+                    f"{row.aabft_tightness:.0f}x",
+                    f"{overhead * 1e3:.2f}",
+                ]
+            )
+        record_table(
+            render_table(
+                ["p", "avg rnd err", "avg A-ABFT", "tightness", "model ms"],
+                body,
+                title=f"Ablation: bound quality vs p (n={N}, U(-1,1))",
+            )
+        )
+        # Larger p never loosens the bound (three-case rule monotonicity)...
+        bounds = [row.avg_aabft_bound for _, row in rows]
+        assert all(b2 <= b1 * 1.001 for b1, b2 in zip(bounds, bounds[1:]))
+        # ...and the modelled preprocessing cost grows with p.
+        costs = [aabft_timing(N, p=p).seconds(K20C) for p in P_VALUES]
+        assert costs[-1] > costs[0]

@@ -1,0 +1,70 @@
+"""Ablation — single vs. double precision (binary32 vs binary64).
+
+GPUs of the paper's era had 2-8x higher single-precision throughput; the
+A-ABFT model is parametric in the significand width ``t``, so the whole
+scheme runs in float32 with ``t = 24``.  This bench compares the two
+precisions: bound magnitudes scale by ~2^(53-24), the relative tightness
+(bound / actual error) stays in the same regime, and fault-free runs pass
+in both.
+"""
+
+import numpy as np
+
+from repro.abft.multiply import aabft_matmul
+from repro.analysis.tables import format_sci, render_table
+from repro.exact.compensated import exact_dot_errors
+
+from conftest import FULL
+
+N = 512 if FULL else 256
+
+
+def _measure(dtype):
+    rng = np.random.default_rng(19)
+    a = rng.uniform(-1.0, 1.0, (N, N)).astype(dtype)
+    b = rng.uniform(-1.0, 1.0, (N, N)).astype(dtype)
+    result = aabft_matmul(a, b, block_size=64)
+    assert not result.detected
+
+    # Measured rounding errors of a sample of checksum elements.
+    layout = result.row_layout
+    a64 = a.astype(np.float64)
+    b64 = b.astype(np.float64)
+    cs_row = layout.checksum_index(0)
+    lhs = np.broadcast_to(a64[: layout.block_size].sum(axis=0), (32, N)).copy()
+    rhs = b64[:, :32].T.copy()
+    computed = result.c_fc[cs_row, :32].astype(np.float64)
+    errors = np.abs(exact_dot_errors(lhs, rhs, computed))
+    eps = np.array([result.provider.column_epsilon(0, j) for j in range(32)])
+    return float(errors.mean()), float(eps.mean())
+
+
+class TestPrecisionAblation:
+    def test_float32_vs_float64(self, benchmark, record_table):
+        def run():
+            return {"float64": _measure(np.float64), "float32": _measure(np.float32)}
+
+        measured = benchmark.pedantic(run, rounds=1, iterations=1)
+        body = [
+            [
+                name,
+                format_sci(err),
+                format_sci(eps),
+                f"{eps / err:.0f}x",
+            ]
+            for name, (err, eps) in measured.items()
+        ]
+        record_table(
+            render_table(
+                ["precision", "avg rnd err", "avg A-ABFT bound", "tightness"],
+                body,
+                title=f"Ablation: precision (n={N}, U(-1,1))",
+            )
+        )
+        err64, eps64 = measured["float64"]
+        err32, eps32 = measured["float32"]
+        # Bounds scale with 2^-t: ~2^29 between the formats.
+        assert 1e7 < eps32 / eps64 < 1e10
+        # Actual errors scale similarly; relative tightness stays in the
+        # same regime (the model is precision-consistent).
+        assert 0.02 < (eps32 / err32) / (eps64 / err64) < 50.0

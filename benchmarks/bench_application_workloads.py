@@ -1,0 +1,56 @@
+"""Validation — realistic scientific operators (beyond the paper's inputs).
+
+The paper evaluates on synthetic input classes; a downstream user feeds the
+scheme PDE stencils, graph Laplacians and covariance matrices.  This bench
+runs the full protect/detect cycle on those operators: zero false
+positives, and critical-fault detection comparable to the synthetic suites.
+"""
+
+from repro.analysis.tables import render_table
+from repro.faults.campaign import CampaignConfig, FaultCampaign
+from repro.workloads.applications import APPLICATION_SUITES
+
+from conftest import FULL, INJECTIONS_PER_CELL
+
+N = 512 if FULL else 256
+
+
+class TestApplicationWorkloads:
+    def test_detection_on_realistic_operators(self, benchmark, record_table):
+        def run():
+            out = []
+            for suite in APPLICATION_SUITES:
+                config = CampaignConfig(
+                    n=N,
+                    suite=suite,
+                    num_injections=INJECTIONS_PER_CELL,
+                    block_size=64,
+                    seed=61,
+                )
+                out.append((suite, FaultCampaign(config).run()))
+            return out
+
+        results = benchmark.pedantic(run, rounds=1, iterations=1)
+        body = []
+        for suite, result in results:
+            body.append(
+                [
+                    suite.name,
+                    "yes" if result.false_positive_free["aabft"] else "NO",
+                    result.num_critical(),
+                    f"{100 * result.detection_rate('aabft'):.1f}%",
+                    f"{100 * result.detection_rate('sea'):.1f}%",
+                ]
+            )
+        record_table(
+            render_table(
+                ["workload", "FP-free", "#critical", "A-ABFT", "SEA-ABFT"],
+                body,
+                title=f"Application operators (n={N}, single-bit mantissa flips)",
+            )
+        )
+        for suite, result in results:
+            assert result.false_positive_free["aabft"], suite.name
+            assert result.false_positive_free["sea"], suite.name
+            if result.num_critical() > 10:
+                assert result.detection_rate("aabft") > 0.6, suite.name

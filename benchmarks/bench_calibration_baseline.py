@@ -1,0 +1,84 @@
+"""Baseline — calibration-run bounds and their fragility (paper Sec. III).
+
+The oldest tolerance-determination approach learns a constant from repeated
+fault-free runs.  The paper dismisses it as non-autonomous and fragile;
+this bench measures that fragility head to head with A-ABFT: the learned
+constant is applied (a) where it was calibrated, (b) after a distribution
+shift, (c) after a size shift — while A-ABFT re-derives its tolerance from
+the actual inputs every time.
+"""
+
+import numpy as np
+
+from repro.abft.checking import check_partitioned
+from repro.abft.encoding import (
+    encode_partitioned_columns,
+    encode_partitioned_rows,
+)
+from repro.abft.multiply import aabft_matmul
+from repro.abft.providers import ConstantEpsilonProvider
+from repro.analysis.tables import render_table
+from repro.bounds.calibrated import calibrate
+from repro.workloads import SUITE_HUNDRED, SUITE_UNIT
+
+from conftest import FULL
+
+N = 512 if FULL else 256
+
+
+def _false_positives(bound_value, suite, n, rng):
+    pair = suite.generate(n, rng)
+    a_cc, rows = encode_partitioned_columns(pair.a, 64)
+    b_rc, cols = encode_partitioned_rows(pair.b, 64)
+    report = check_partitioned(
+        a_cc @ b_rc, rows, cols, ConstantEpsilonProvider(bound_value)
+    )
+    return report.num_failed, report.num_checks
+
+
+class TestCalibrationBaseline:
+    def test_fragility_matrix(self, benchmark, record_table):
+        def run():
+            rng = np.random.default_rng(41)
+            bound = calibrate(SUITE_UNIT, N, rng, runs=5)
+            cells = []
+            for label, suite, n in (
+                ("calibrated setting", SUITE_UNIT, N),
+                ("distribution shift (x100)", SUITE_HUNDRED, N),
+                ("size shift (16x)", SUITE_UNIT, 16 * N),
+            ):
+                failed, total = _false_positives(bound.value, suite, n, rng)
+                aabft = aabft_matmul(
+                    suite.generate(n, rng).a,
+                    suite.generate(n, rng).b,
+                    block_size=64,
+                )
+                cells.append((label, failed, total, aabft.detected))
+            return bound, cells
+
+        bound, cells = benchmark.pedantic(run, rounds=1, iterations=1)
+        body = [
+            [
+                label,
+                f"{failed}/{total}",
+                "yes" if failed == 0 else "NO",
+                "yes" if not aabft_flagged else "NO",
+            ]
+            for label, failed, total, aabft_flagged in cells
+        ]
+        record_table(
+            render_table(
+                ["setting", "calibrated-bound FPs", "calibrated OK", "A-ABFT OK"],
+                body,
+                title=(
+                    f"Calibration baseline fragility "
+                    f"(learned on U(-1,1) at n={N}: eps={bound.value:.2e})"
+                ),
+            )
+        )
+        by_label = {label: failed for label, failed, _, _ in cells}
+        assert by_label["calibrated setting"] == 0
+        assert by_label["distribution shift (x100)"] > 50
+        assert by_label["size shift (16x)"] > 0  # paper: "dependent on the problem size"
+        # A-ABFT stays clean in every setting.
+        assert all(not flagged for _, _, _, flagged in cells)

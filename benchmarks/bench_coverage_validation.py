@@ -1,0 +1,33 @@
+"""Validation — empirical coverage of the confidence intervals.
+
+Not a paper table, but the quantitative backing for two of its claims: the
+3-sigma setting produces no false positives (coverage must be 100 %), and
+the partial-sum variance model is conservative (the measured worst
+error/sigma ratio shows the actual slack on every input class).
+"""
+
+import numpy as np
+
+from repro.experiments.coverage import measure_coverage, render_coverage
+from repro.workloads import SUITE_DYNAMIC_K2, SUITE_HUNDRED, SUITE_UNIT
+
+from conftest import BOUND_SAMPLES, BOUND_SIZES
+
+
+class TestCoverageValidation:
+    def test_interval_coverage(self, benchmark, record_table):
+        def run():
+            rng = np.random.default_rng(2014)
+            rows = []
+            for suite in (SUITE_UNIT, SUITE_HUNDRED, SUITE_DYNAMIC_K2):
+                for n in BOUND_SIZES:
+                    rows.append(
+                        measure_coverage(suite, n, rng, num_samples=BOUND_SAMPLES)
+                    )
+            return rows
+
+        rows = benchmark.pedantic(run, rounds=1, iterations=1)
+        record_table(render_coverage(rows))
+        for row in rows:
+            assert row.covered_at(3.0) == 1.0
+            assert row.effective_omega < 1.0

@@ -1,0 +1,66 @@
+"""Figure 4 — percentage of detected errors per operation.
+
+Regenerates the paper's detection experiment: single-bit mantissa flips
+into the three floating-point operations of the matmul kernel, over the
+three input classes and a size sweep; A-ABFT vs. SEA-ABFT per cell.  Also
+runs the sign/exponent campaign (paper: 100% detected) and checks the
+qualitative claims of Section VI-C.
+"""
+
+import numpy as np
+
+from repro.experiments.figure4 import render_figure4, run_figure4
+from repro.faults.campaign import CampaignConfig, FaultCampaign
+from repro.workloads import DETECTION_SUITES, SUITE_UNIT
+
+from conftest import DETECT_SIZES, INJECTIONS_PER_CELL
+
+DETECT_SUITES = DETECTION_SUITES
+
+
+class TestFigure4:
+    def test_regenerate_figure4(self, benchmark, record_table):
+        def run():
+            return run_figure4(
+                suites=DETECT_SUITES,
+                sizes=DETECT_SIZES,
+                injections_per_cell=INJECTIONS_PER_CELL,
+                seed=2014,
+            )
+
+        cells = benchmark.pedantic(run, rounds=1, iterations=1)
+        record_table(render_figure4(cells))
+
+        # Qualitative claims of Section VI-C:
+        # (1) A-ABFT >= SEA in aggregate per suite;
+        for suite in DETECT_SUITES:
+            mine = [c for c in cells if c.suite == suite.name and c.num_critical]
+            aabft = np.average(
+                [c.rate_aabft for c in mine], weights=[c.num_critical for c in mine]
+            )
+            sea = np.average(
+                [c.rate_sea for c in mine], weights=[c.num_critical for c in mine]
+            )
+            assert aabft >= sea - 0.02, (suite.name, aabft, sea)
+            # (2) "well over 90%" territory for A-ABFT in aggregate.
+            assert aabft > 0.8, (suite.name, aabft)
+
+    def test_sign_and_exponent_flips_fully_detected(self, benchmark, record_table):
+        """Paper: 'A-ABFT, as well as SEA-ABFT detected all faults that have
+        been injected into the sign bit or the exponent.'"""
+
+        def run():
+            config = CampaignConfig(
+                n=DETECT_SIZES[0],
+                suite=SUITE_UNIT,
+                num_injections=INJECTIONS_PER_CELL,
+                block_size=64,
+                fields=("sign", "exponent"),
+                seed=77,
+            )
+            return FaultCampaign(config).run()
+
+        result = benchmark.pedantic(run, rounds=1, iterations=1)
+        record_table(result.summary())
+        assert result.detection_rate("aabft") == 1.0
+        assert result.detection_rate("sea") == 1.0

@@ -1,0 +1,68 @@
+"""Micro-benchmarks of the library's hot components.
+
+Not a paper table — these track the host-side cost of the pieces the
+experiments lean on (encoding, top-p determination, checking, exact
+reference arithmetic, sequential replay) so performance regressions in the
+reproduction itself are visible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.abft.encoding import encode_partitioned_columns
+from repro.abft.multiply import aabft_matmul
+from repro.bounds.upper_bound import top_p_of_rows
+from repro.exact.compensated import exact_dot_float
+from repro.exact.fraction_ops import exact_dot
+from repro.kernels.matmul import sequential_inner_product
+
+from conftest import FULL
+
+N = 1024 if FULL else 512
+
+
+@pytest.fixture(scope="module")
+def operands():
+    rng = np.random.default_rng(5)
+    return rng.uniform(-1, 1, (N, N)), rng.uniform(-1, 1, (N, N))
+
+
+class TestMicro:
+    def test_partitioned_encoding(self, benchmark, operands):
+        a, _ = operands
+        out, layout = benchmark(encode_partitioned_columns, a, 64)
+        assert out.shape == (layout.encoded_rows, N)
+
+    def test_top_p_determination(self, benchmark, operands):
+        a, _ = operands
+        a_cc, _ = encode_partitioned_columns(a, 64)
+        tops = benchmark(top_p_of_rows, a_cc, 2)
+        assert len(tops) == a_cc.shape[0]
+
+    def test_protected_matmul_host(self, benchmark, operands):
+        a, b = operands
+        result = benchmark.pedantic(
+            aabft_matmul, args=(a, b), kwargs={"block_size": 64}, rounds=2
+        )
+        assert not result.detected
+
+    def test_exact_dot_compensated(self, benchmark, operands):
+        a, b = operands
+        value = benchmark(exact_dot_float, a[0], b[:, 0])
+        assert np.isfinite(value)
+
+    def test_exact_dot_fraction_oracle(self, benchmark, operands):
+        a, b = operands
+        # The oracle is O(100x) slower; keep the vector short.
+        value = benchmark(exact_dot, a[0, :64], b[:64, 0])
+        assert value is not None
+
+    def test_sequential_replay(self, benchmark, operands):
+        a, b = operands
+        value = benchmark(sequential_inner_product, a[0], b[:, 0])
+        assert np.isfinite(value)
+
+    def test_unprotected_reference(self, benchmark, operands):
+        a, b = operands
+        c = benchmark(np.matmul, a, b)
+        assert c.shape == (N, N)

@@ -1,0 +1,78 @@
+"""Extension — online (panel-wise) ABFT: detection latency vs. overhead.
+
+The online variant checks after every inner-dimension panel instead of once
+at the end: detection latency drops from "the whole multiplication" to one
+panel, at the cost of repeated checking work.  This bench sweeps the panel
+count and reports both sides of the trade.
+"""
+
+import numpy as np
+
+from repro.abft.online import online_abft_matmul
+from repro.analysis.tables import render_table
+
+from conftest import FULL
+
+N = 1024 if FULL else 512
+PANEL_COUNTS = (1, 2, 4, 8)
+
+
+class TestOnlineAbft:
+    def test_latency_vs_panels(self, benchmark, record_table):
+        rng = np.random.default_rng(29)
+        a = rng.uniform(-1.0, 1.0, (N, N))
+        b = rng.uniform(-1.0, 1.0, (N, N))
+        strike_panel_fraction = 0.55  # strike just past the midpoint
+
+        def run():
+            out = []
+            for panels in PANEL_COUNTS:
+                strike_at = min(int(strike_panel_fraction * panels), panels - 1)
+
+                def hook(panel, c_fc, strike_at=strike_at):
+                    if panel == strike_at:
+                        c_fc[3, 7] += 1e-2
+
+                result = online_abft_matmul(
+                    a, b, block_size=64, num_panels=panels, corrupt_hook=hook
+                )
+                out.append((panels, strike_at, result))
+            return out
+
+        results = benchmark.pedantic(run, rounds=1, iterations=1)
+        body = []
+        for panels, strike_at, result in results:
+            latency = result.events[result.detection_panel].processed_inner
+            body.append(
+                [
+                    panels,
+                    strike_at,
+                    result.detection_panel,
+                    f"{latency}/{N}",
+                    len(result.events),  # checks performed
+                    "yes" if np.allclose(result.c, a @ b, rtol=1e-10) else "NO",
+                ]
+            )
+        record_table(
+            render_table(
+                [
+                    "panels",
+                    "struck at",
+                    "detected at",
+                    "inner work at detection",
+                    "checks",
+                    "healed",
+                ],
+                body,
+                title=f"Online ABFT: detection latency vs panel count (n={N})",
+            )
+        )
+        for panels, strike_at, result in results:
+            assert result.detection_panel == strike_at
+            assert np.allclose(result.c, a @ b, rtol=1e-10)
+        # More panels -> strictly less inner-dimension work at detection
+        # for the same (fractional) strike point.
+        latencies = [
+            r.events[r.detection_panel].processed_inner for _, _, r in results
+        ]
+        assert latencies[-1] < latencies[0]

@@ -1,0 +1,40 @@
+"""Table II — bound quality for inputs U(-1, 1).
+
+Regenerates the paper's Table II: average exact rounding error of the
+checksum elements vs. the average A-ABFT and SEA-ABFT tolerances, for the
+uniform unit input class.  Published values are printed alongside.
+"""
+
+import numpy as np
+
+from repro.experiments.bound_quality import measure_bound_quality, render_bound_table
+from repro.experiments.paper_data import TABLE2_UNIT
+from repro.workloads import SUITE_UNIT
+
+from conftest import BOUND_SAMPLES, BOUND_SIZES
+
+
+class TestTable2:
+    def test_regenerate_table2(self, benchmark, record_table):
+        rng = np.random.default_rng(2014)
+
+        def run():
+            return [
+                measure_bound_quality(
+                    SUITE_UNIT, n, rng, num_samples=BOUND_SAMPLES
+                )
+                for n in BOUND_SIZES
+            ]
+
+        rows = benchmark.pedantic(run, rounds=1, iterations=1)
+        record_table(
+            render_bound_table(rows, TABLE2_UNIT, "Table II — inputs U(-1, 1)")
+        )
+        for row in rows:
+            # The defining orderings of the table.
+            assert row.avg_rounding_error < row.avg_aabft_bound < row.avg_sea_bound
+            # Within half an order of magnitude of the published values.
+            paper = TABLE2_UNIT.get(row.n)
+            if paper:
+                assert 0.2 < row.avg_aabft_bound / paper[1] < 5.0
+                assert 0.2 < row.avg_sea_bound / paper[2] < 5.0

@@ -1,0 +1,39 @@
+"""Table III — bound quality for inputs U(-100, 100).
+
+Same measurement as Table II on the scaled input class; every quantity
+shifts by ~1e4 (products scale with 100^2), which the assertions check.
+"""
+
+import numpy as np
+
+from repro.experiments.bound_quality import measure_bound_quality, render_bound_table
+from repro.experiments.paper_data import TABLE3_HUNDRED
+from repro.workloads import SUITE_HUNDRED
+
+from conftest import BOUND_SAMPLES, BOUND_SIZES
+
+
+class TestTable3:
+    def test_regenerate_table3(self, benchmark, record_table):
+        rng = np.random.default_rng(2015)
+
+        def run():
+            return [
+                measure_bound_quality(
+                    SUITE_HUNDRED, n, rng, num_samples=BOUND_SAMPLES
+                )
+                for n in BOUND_SIZES
+            ]
+
+        rows = benchmark.pedantic(run, rounds=1, iterations=1)
+        record_table(
+            render_bound_table(
+                rows, TABLE3_HUNDRED, "Table III — inputs U(-100, 100)"
+            )
+        )
+        for row in rows:
+            assert row.avg_rounding_error < row.avg_aabft_bound < row.avg_sea_bound
+            paper = TABLE3_HUNDRED.get(row.n)
+            if paper:
+                assert 0.2 < row.avg_aabft_bound / paper[1] < 5.0
+                assert 0.2 < row.avg_sea_bound / paper[2] < 5.0

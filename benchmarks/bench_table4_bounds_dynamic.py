@@ -1,0 +1,44 @@
+"""Table IV — bound quality for high value-range-dynamic inputs (Eq. 47).
+
+The Eq. 47 generator (alpha = 0, kappa = 2, Gaussian factors — see
+DESIGN.md on the interpretation) produces matrices whose element magnitudes
+grow with sqrt(n); both the rounding errors and the bounds grow one power
+of n faster than in Table II, which the assertions check.
+"""
+
+import numpy as np
+
+from repro.experiments.bound_quality import measure_bound_quality, render_bound_table
+from repro.experiments.paper_data import TABLE4_DYNAMIC
+from repro.workloads import SUITE_DYNAMIC_K2
+
+from conftest import BOUND_SAMPLES, BOUND_SIZES
+
+
+class TestTable4:
+    def test_regenerate_table4(self, benchmark, record_table):
+        rng = np.random.default_rng(2016)
+
+        def run():
+            return [
+                measure_bound_quality(
+                    SUITE_DYNAMIC_K2, n, rng, num_samples=BOUND_SAMPLES
+                )
+                for n in BOUND_SIZES
+            ]
+
+        rows = benchmark.pedantic(run, rounds=1, iterations=1)
+        record_table(
+            render_bound_table(
+                rows, TABLE4_DYNAMIC, "Table IV — Eq. 47 (alpha=0, kappa=2)"
+            )
+        )
+        for row in rows:
+            assert row.avg_rounding_error < row.avg_aabft_bound < row.avg_sea_bound
+            paper = TABLE4_DYNAMIC.get(row.n)
+            if paper:
+                assert 0.1 < row.avg_aabft_bound / paper[1] < 10.0
+        if len(rows) >= 2 and rows[1].n == 2 * rows[0].n:
+            # Faster-than-Table-II growth: ~4x per size doubling.
+            growth = rows[1].avg_rounding_error / rows[0].avg_rounding_error
+            assert growth > 2.5

@@ -1,0 +1,39 @@
+"""Shared configuration for the benchmark harness.
+
+Every paper table/figure has one benchmark module.  The default sizes keep
+a full ``pytest benchmarks/ --benchmark-only`` run in the minutes range on
+a laptop; set ``AABFT_FULL=1`` to sweep the paper's complete 512..8192 grid
+(hours: exact arithmetic + functional simulation on a CPU).
+
+Each benchmark prints the regenerated table rows (run with ``-s`` to see
+them inline) and stores them in ``benchmark.extra_info["table"]`` so they
+are preserved in ``--benchmark-json`` output.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+FULL = os.environ.get("AABFT_FULL", "0") not in ("", "0", "false", "no")
+
+#: Sizes for bound-quality and detection sweeps.
+BOUND_SIZES = (512, 1024, 2048, 3072, 4096, 5120, 6144, 7168, 8192) if FULL else (
+    512,
+    1024,
+)
+DETECT_SIZES = (512, 1024, 2048, 4096, 8192) if FULL else (256, 512)
+BOUND_SAMPLES = 128 if FULL else 48
+INJECTIONS_PER_CELL = 300 if FULL else 90
+
+
+@pytest.fixture
+def record_table(benchmark):
+    """Attach a rendered table to the benchmark record and echo it."""
+
+    def _record(text: str) -> None:
+        benchmark.extra_info["table"] = text
+        print("\n" + text)
+
+    return _record

@@ -1,0 +1,91 @@
+"""ABFT-protected Jacobi solver — dependable scientific computing.
+
+The paper's motivation is large-scale scientific computing on GPUs where
+silent data corruption must not reach the final result.  This example runs
+a Jacobi iteration for a 2-D Poisson problem whose matrix-vector products
+are protected by A-ABFT, injects a fault mid-solve, and shows the solver
+detecting and correcting it instead of silently converging to a wrong
+answer.
+
+Usage::
+
+    python examples/iterative_solver.py
+"""
+
+import numpy as np
+
+from repro import aabft_matmul, correct_single_error
+from repro.abft.checking import check_partitioned
+
+
+def poisson_matrix(grid: int) -> np.ndarray:
+    """Dense 2-D Poisson (5-point stencil) matrix on a grid x grid mesh."""
+    n = grid * grid
+    m = np.zeros((n, n))
+    for i in range(grid):
+        for j in range(grid):
+            k = i * grid + j
+            m[k, k] = 4.0
+            for di, dj in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+                ni, nj = i + di, j + dj
+                if 0 <= ni < grid and 0 <= nj < grid:
+                    m[k, ni * grid + nj] = -1.0
+    return m
+
+
+def protected_matvec(iteration_matrix, x, corrupt=False):
+    """One protected product R @ x, optionally with a simulated strike."""
+    result = aabft_matmul(iteration_matrix, x, block_size=32)
+    if corrupt:
+        # Simulate a silent data corruption in the result of this product.
+        c_fc = result.c_fc.copy()
+        c_fc[3, 0] += 10.0
+        report = check_partitioned(
+            c_fc, result.row_layout, result.col_layout, result.provider
+        )
+        assert report.error_detected, "corruption slipped through!"
+        fix = correct_single_error(
+            c_fc, report, result.row_layout, result.col_layout, result.provider
+        )
+        print(
+            f"    [ABFT] detected corruption at {fix.position}, "
+            f"magnitude {fix.magnitude:+.2e}; corrected and continuing"
+        )
+        data = fix.corrected[
+            np.ix_(
+                result.row_layout.all_data_indices(),
+                result.col_layout.all_data_indices(),
+            )
+        ]
+        return np.ascontiguousarray(data[: x.shape[0], :1])
+    return result.c
+
+
+def main() -> None:
+    grid = 8
+    a = poisson_matrix(grid)
+    n = a.shape[0]
+    rng = np.random.default_rng(3)
+    b = rng.uniform(-1.0, 1.0, (n, 1))
+
+    # Jacobi: x_{k+1} = D^-1 (b - (A - D) x_k) = R x_k + c.
+    d_inv = 1.0 / np.diag(a)
+    r = -(a - np.diag(np.diag(a))) * d_inv[:, None]
+    c = (b.ravel() * d_inv)[:, None]
+
+    x = np.zeros((n, 1))
+    exact = np.linalg.solve(a, b)
+    print(f"Jacobi on {grid}x{grid} Poisson ({n} unknowns), ABFT-protected:")
+    for it in range(1, 301):
+        strike = it == 40  # silent corruption mid-solve
+        x = protected_matvec(r, x, corrupt=strike) + c
+        if it % 60 == 0 or strike:
+            err = float(np.linalg.norm(x - exact) / np.linalg.norm(exact))
+            print(f"  iter {it:3d}: relative error {err:.3e}")
+    final = float(np.linalg.norm(x - exact) / np.linalg.norm(exact))
+    print(f"converged with relative error {final:.3e} despite the strike")
+    assert final < 1e-6
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Regenerate the paper's Table I performance comparison.
+
+Prints the modelled GFLOPS of fixed-bound ABFT, A-ABFT, SEA-ABFT and TMR
+over the paper's matrix sizes next to the published values, then
+cross-validates the analytic model against the functional simulator's
+kernel counters at a small size.
+
+Usage::
+
+    python examples/performance_table.py
+"""
+
+import numpy as np
+
+from repro import AABFTPipeline, GpuSimulator
+from repro.experiments import overhead_summary, render_table1, run_table1
+from repro.perfmodel import aabft_timing
+
+
+def main() -> None:
+    rows = run_table1()
+    print(render_table1(rows))
+    print()
+    print(overhead_summary(rows))
+
+    # Cross-validation: the analytic model's matmul flop count must equal
+    # what the functional simulator actually executes.
+    n = 256
+    rng = np.random.default_rng(1)
+    sim = GpuSimulator()
+    pipeline = AABFTPipeline(sim, block_size=64, p=2)
+    pipeline.run(rng.uniform(-1, 1, (n, n)), rng.uniform(-1, 1, (n, n)))
+    simulated = {r.kernel_name: r.stats.flops for r in sim.profiler.records}
+    modelled = {c.name: c.flops for c in aabft_timing(n).costs}
+    print("\ncross-validation (analytic model vs functional simulator, n=256):")
+    print(f"  matmul flops   model={modelled['matmul']:.3e} "
+          f"sim={simulated['matmul_block']:.3e}")
+    assert modelled["matmul"] == simulated["matmul_block"]
+    print("  matmul operation counts agree exactly")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,126 @@
+"""A-ABFT: Autonomous Algorithm-Based Fault Tolerance for matrix
+multiplications on GPUs — a from-scratch Python reproduction of
+Braun, Halder & Wunderlich, DSN 2014 (doi:10.1109/DSN.2014.48).
+
+Quick start::
+
+    import numpy as np
+    from repro import aabft_matmul
+
+    rng = np.random.default_rng(7)
+    a = rng.uniform(-1, 1, (512, 512))
+    b = rng.uniform(-1, 1, (512, 512))
+    result = aabft_matmul(a, b)          # autonomous error bounds
+    assert not result.detected           # fault-free: no false positives
+    c = result.c                         # the protected product
+
+Package map (see DESIGN.md for the full inventory):
+
+- :mod:`repro.abft` — encoding/checking/correction + high-level API
+- :mod:`repro.bounds` — A-ABFT probabilistic bounds, SEA, fixed, analytical
+- :mod:`repro.fp` / :mod:`repro.exact` — floating-point substrate + exact
+  (GMP-substitute) reference arithmetic
+- :mod:`repro.gpusim` / :mod:`repro.kernels` — functional GPU simulator and
+  the paper's kernels (Algorithms 1-3)
+- :mod:`repro.faults` — bit-flip fault injection campaigns
+- :mod:`repro.workloads` — the paper's input-matrix distributions
+- :mod:`repro.perfmodel` / :mod:`repro.experiments` — Table I timing model
+  and the per-table/figure experiment drivers
+"""
+
+from .abft import (
+    AABFTPipeline,
+    AbftResult,
+    CheckReport,
+    ErrorClass,
+    ErrorClassifier,
+    PipelineResult,
+    aabft_matmul,
+    correct_single_error,
+    fixed_abft_matmul,
+    online_abft_matmul,
+    protected_lu,
+    protected_qr,
+    protected_solve,
+    sea_abft_matmul,
+    weighted_abft_matmul,
+)
+from .bounds import (
+    AnalyticalBound,
+    BoundContext,
+    BoundScheme,
+    ErrorMap,
+    FixedBound,
+    ProbabilisticBound,
+    SEABound,
+    rounding_error_map,
+)
+from .errors import (
+    BoundSchemeError,
+    ChecksumMismatchError,
+    ConfigurationError,
+    CorrectionError,
+    DeviceError,
+    EncodingError,
+    FaultSpecError,
+    KernelLaunchError,
+    ReproError,
+    ShapeError,
+)
+from .faults import (
+    CampaignConfig,
+    CampaignResult,
+    FaultCampaign,
+    FaultInjector,
+    FaultSite,
+    FaultSpec,
+)
+from .gpusim import K20C, DeviceSpec, GpuSimulator
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "AABFTPipeline",
+    "AbftResult",
+    "AnalyticalBound",
+    "BoundContext",
+    "BoundScheme",
+    "BoundSchemeError",
+    "CampaignConfig",
+    "CampaignResult",
+    "CheckReport",
+    "ChecksumMismatchError",
+    "ConfigurationError",
+    "CorrectionError",
+    "DeviceError",
+    "DeviceSpec",
+    "EncodingError",
+    "ErrorClass",
+    "ErrorClassifier",
+    "FaultCampaign",
+    "FaultInjector",
+    "FaultSite",
+    "FaultSpec",
+    "FaultSpecError",
+    "FixedBound",
+    "GpuSimulator",
+    "K20C",
+    "KernelLaunchError",
+    "PipelineResult",
+    "ProbabilisticBound",
+    "ReproError",
+    "SEABound",
+    "ShapeError",
+    "ErrorMap",
+    "aabft_matmul",
+    "correct_single_error",
+    "fixed_abft_matmul",
+    "online_abft_matmul",
+    "protected_lu",
+    "protected_qr",
+    "protected_solve",
+    "rounding_error_map",
+    "sea_abft_matmul",
+    "weighted_abft_matmul",
+    "__version__",
+]

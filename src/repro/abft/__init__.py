@@ -1,0 +1,117 @@
+"""ABFT core: checksum encoding, checking, correction, classification, and
+the high-level protected multiplication API."""
+
+from .checking import (
+    CheckFinding,
+    CheckReport,
+    EpsilonProvider,
+    build_report,
+    check_partitioned,
+    column_discrepancies,
+    row_discrepancies,
+)
+from .classify import Classification, ErrorClass, ErrorClassifier
+from .correction import CorrectionResult, correct_single_error
+from .encoding import (
+    PartitionedLayout,
+    encode_column_checksums,
+    encode_full,
+    encode_partitioned_columns,
+    encode_partitioned_rows,
+    encode_row_checksums,
+    pad_to_block_multiple,
+)
+from .multiply import (
+    DEFAULT_BLOCK_SIZE,
+    DEFAULT_P,
+    AbftResult,
+    aabft_matmul,
+    fixed_abft_matmul,
+    sea_abft_matmul,
+)
+from .lu import LuReport, ProtectedLuResult, SingularPivotError, plain_lu, protected_lu
+from .online import OnlineAbftResult, PanelEvent, online_abft_matmul
+from .pipeline import AABFTPipeline, PipelineResult
+from .qr import ProtectedQrResult, QrReport, plain_qr, protected_qr
+from .solve import ProtectedSolveResult, SolveReport, protected_solve
+from .providers import (
+    AABFTEpsilonProvider,
+    ConstantEpsilonProvider,
+    SEAEpsilonProvider,
+)
+from .weighted_partitioned import (
+    BlockWeightedFinding,
+    PartitionedWeightedChecker,
+    PartitionedWeightedLayout,
+    PartitionedWeightedResult,
+    encode_partitioned_weighted_columns,
+    partitioned_weighted_matmul,
+)
+from .weighted import (
+    WeightedAbftResult,
+    WeightedChecker,
+    WeightedCheckOutcome,
+    encode_weighted_columns,
+    linear_weights,
+    weighted_abft_matmul,
+)
+
+__all__ = [
+    "AABFTEpsilonProvider",
+    "AABFTPipeline",
+    "AbftResult",
+    "CheckFinding",
+    "CheckReport",
+    "Classification",
+    "ConstantEpsilonProvider",
+    "CorrectionResult",
+    "DEFAULT_BLOCK_SIZE",
+    "DEFAULT_P",
+    "EpsilonProvider",
+    "ErrorClass",
+    "ErrorClassifier",
+    "LuReport",
+    "OnlineAbftResult",
+    "PanelEvent",
+    "ProtectedLuResult",
+    "ProtectedQrResult",
+    "ProtectedSolveResult",
+    "SolveReport",
+    "QrReport",
+    "SingularPivotError",
+    "BlockWeightedFinding",
+    "PartitionedWeightedChecker",
+    "PartitionedWeightedLayout",
+    "PartitionedWeightedResult",
+    "WeightedAbftResult",
+    "WeightedChecker",
+    "WeightedCheckOutcome",
+    "PartitionedLayout",
+    "PipelineResult",
+    "SEAEpsilonProvider",
+    "aabft_matmul",
+    "build_report",
+    "check_partitioned",
+    "column_discrepancies",
+    "correct_single_error",
+    "encode_column_checksums",
+    "encode_full",
+    "encode_partitioned_columns",
+    "encode_partitioned_rows",
+    "encode_row_checksums",
+    "fixed_abft_matmul",
+    "pad_to_block_multiple",
+    "online_abft_matmul",
+    "plain_lu",
+    "plain_qr",
+    "protected_qr",
+    "protected_solve",
+    "protected_lu",
+    "row_discrepancies",
+    "sea_abft_matmul",
+    "encode_partitioned_weighted_columns",
+    "encode_weighted_columns",
+    "partitioned_weighted_matmul",
+    "linear_weights",
+    "weighted_abft_matmul",
+]

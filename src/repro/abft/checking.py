@@ -1,0 +1,252 @@
+"""Checksum verification for partitioned full-checksum result matrices.
+
+After the multiplication ``C_fc = A_cc @ B_rc`` every ``(BS+1) x (BS+1)``
+result block carries a checksum row and column that "went through" the
+multiplication.  Checking (paper Eq. 4-6, Algorithm 2) recomputes reference
+checksums from the result data and compares::
+
+    |c*_ref - c_original| < epsilon
+
+with a per-comparison tolerance from an error-bound scheme.  Mismatching
+column and row checks intersect at the erroneous element (error location).
+
+All coordinates in this module are *encoded* coordinates of ``C_fc`` (the
+product of the encoded operands); :class:`~repro.abft.encoding.PartitionedLayout`
+maps them back to data coordinates.
+"""
+
+from __future__ import annotations
+
+import math
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+import numpy as np
+
+from ..errors import ShapeError
+from .encoding import PartitionedLayout
+
+__all__ = [
+    "EpsilonProvider",
+    "CheckFinding",
+    "CheckReport",
+    "column_discrepancies",
+    "row_discrepancies",
+    "check_partitioned",
+    "build_report",
+]
+
+
+class EpsilonProvider(Protocol):
+    """Supplies the tolerance for each checksum comparison.
+
+    Implementations adapt the bound schemes of :mod:`repro.bounds` to the
+    per-block/per-vector context of the partitioned check (see
+    :mod:`repro.abft.providers`).
+    """
+
+    def column_epsilon(self, block_row: int, encoded_col: int) -> float:
+        """Tolerance for the column check of ``encoded_col`` in ``block_row``."""
+        ...
+
+    def row_epsilon(self, encoded_row: int, block_col: int) -> float:
+        """Tolerance for the row check of ``encoded_row`` in ``block_col``."""
+        ...
+
+
+@dataclass(frozen=True)
+class CheckFinding:
+    """One failed checksum comparison."""
+
+    axis: str  # "column" or "row"
+    block_row: int
+    block_col: int
+    encoded_row: int  # for axis="row": the checked row; else the checksum row
+    encoded_col: int  # for axis="column": the checked column; else the checksum col
+    discrepancy: float
+    epsilon: float
+
+
+@dataclass
+class CheckReport:
+    """Outcome of checking one full-checksum result matrix.
+
+    Attributes
+    ----------
+    findings:
+        Every failed comparison.
+    num_checks:
+        Total comparisons performed (columns + rows).
+    located_errors:
+        Encoded ``(row, col)`` positions where a failing row check and a
+        failing column check intersect within the same block — the ABFT
+        error-location rule.
+    column_disc / row_disc:
+        Dense discrepancy arrays (useful for analysis), shapes
+        ``(num_row_blocks, encoded_cols)`` and ``(encoded_rows,
+        num_col_blocks)``.
+    """
+
+    findings: list[CheckFinding] = field(default_factory=list)
+    num_checks: int = 0
+    located_errors: list[tuple[int, int]] = field(default_factory=list)
+    column_disc: np.ndarray | None = None
+    row_disc: np.ndarray | None = None
+
+    @property
+    def error_detected(self) -> bool:
+        """Whether any comparison failed."""
+        return bool(self.findings)
+
+    @property
+    def num_failed(self) -> int:
+        return len(self.findings)
+
+    def findings_by_axis(self, axis: str) -> list[CheckFinding]:
+        return [f for f in self.findings if f.axis == axis]
+
+
+def column_discrepancies(
+    c_fc: np.ndarray, row_layout: PartitionedLayout
+) -> np.ndarray:
+    """|reference - original| for every (block-row, encoded column) pair.
+
+    ``reference`` is the sum of the block's data rows; ``original`` the
+    checksum row that went through the multiplication (Eq. 4).
+    """
+    c_fc = np.asarray(c_fc, dtype=np.float64)
+    if c_fc.shape[0] != row_layout.encoded_rows:
+        raise ShapeError(
+            f"result has {c_fc.shape[0]} rows, layout expects "
+            f"{row_layout.encoded_rows}"
+        )
+    out = np.empty((row_layout.num_blocks, c_fc.shape[1]))
+    for blk in range(row_layout.num_blocks):
+        data = c_fc[row_layout.data_indices(blk), :]
+        original = c_fc[row_layout.checksum_index(blk), :]
+        out[blk, :] = np.abs(data.sum(axis=0) - original)
+    return out
+
+
+def row_discrepancies(c_fc: np.ndarray, col_layout: PartitionedLayout) -> np.ndarray:
+    """|reference - original| for every (encoded row, block-column) pair."""
+    return column_discrepancies(np.asarray(c_fc, dtype=np.float64).T, col_layout).T
+
+
+def check_partitioned(
+    c_fc: np.ndarray,
+    row_layout: PartitionedLayout,
+    col_layout: PartitionedLayout,
+    epsilons: EpsilonProvider,
+) -> CheckReport:
+    """Full check of a partitioned full-checksum result matrix.
+
+    Performs every column and row comparison with tolerances from
+    ``epsilons``, collects failures, and intersects them per block to locate
+    erroneous elements.
+    """
+    c_fc = np.asarray(c_fc, dtype=np.float64)
+    if c_fc.shape != (row_layout.encoded_rows, col_layout.encoded_rows):
+        raise ShapeError(
+            f"result shape {c_fc.shape} does not match layouts "
+            f"({row_layout.encoded_rows} x {col_layout.encoded_rows})"
+        )
+    col_disc = column_discrepancies(c_fc, row_layout)
+    row_disc = row_discrepancies(c_fc, col_layout)
+
+    col_eps = np.empty_like(col_disc)
+    for blk_row in range(row_layout.num_blocks):
+        for col in range(col_layout.encoded_rows):
+            col_eps[blk_row, col] = epsilons.column_epsilon(blk_row, col)
+    row_eps = np.empty_like(row_disc)
+    for blk_col in range(col_layout.num_blocks):
+        for row in range(row_layout.encoded_rows):
+            row_eps[row, blk_col] = epsilons.row_epsilon(row, blk_col)
+
+    return build_report(col_disc, col_eps, row_disc, row_eps, row_layout, col_layout)
+
+
+def build_report(
+    col_disc: np.ndarray,
+    col_eps: np.ndarray,
+    row_disc: np.ndarray,
+    row_eps: np.ndarray,
+    row_layout: PartitionedLayout,
+    col_layout: PartitionedLayout,
+) -> CheckReport:
+    """Assemble a :class:`CheckReport` from dense discrepancy/tolerance arrays.
+
+    Used both by the host-side checker and by the GPU pipeline, whose
+    checking kernel writes exactly these arrays to device buffers.
+    A comparison fails when the discrepancy exceeds its tolerance *or* is
+    non-finite (a NaN result must never pass the check silently).
+    """
+    report = CheckReport(column_disc=col_disc, row_disc=row_disc)
+    report.num_checks = col_disc.size + row_disc.size
+
+    stride_cols = col_layout.stride
+    stride_rows = row_layout.stride
+
+    # Column checks: one per (block-row, encoded column).
+    for blk_row in range(row_layout.num_blocks):
+        cs_row = row_layout.checksum_index(blk_row)
+        for col in range(col_layout.encoded_rows):
+            disc = float(col_disc[blk_row, col])
+            eps = float(col_eps[blk_row, col])
+            if disc > eps or not math.isfinite(disc):
+                report.findings.append(
+                    CheckFinding(
+                        axis="column",
+                        block_row=blk_row,
+                        block_col=col // stride_cols,
+                        encoded_row=cs_row,
+                        encoded_col=col,
+                        discrepancy=disc,
+                        epsilon=eps,
+                    )
+                )
+
+    # Row checks: one per (encoded row, block-column).
+    for blk_col in range(col_layout.num_blocks):
+        cs_col = col_layout.checksum_index(blk_col)
+        for row in range(row_layout.encoded_rows):
+            disc = float(row_disc[row, blk_col])
+            eps = float(row_eps[row, blk_col])
+            if disc > eps or not math.isfinite(disc):
+                report.findings.append(
+                    CheckFinding(
+                        axis="row",
+                        block_row=row // stride_rows,
+                        block_col=blk_col,
+                        encoded_row=row,
+                        encoded_col=cs_col,
+                        discrepancy=disc,
+                        epsilon=eps,
+                    )
+                )
+
+    report.located_errors = _locate(report, row_layout, col_layout)
+    return report
+
+
+def _locate(
+    report: CheckReport,
+    row_layout: PartitionedLayout,
+    col_layout: PartitionedLayout,
+) -> list[tuple[int, int]]:
+    """Intersect failing row/column checks block-by-block (error location)."""
+    cols_by_block: dict[tuple[int, int], list[int]] = {}
+    rows_by_block: dict[tuple[int, int], list[int]] = {}
+    for f in report.findings:
+        key = (f.block_row, f.block_col)
+        if f.axis == "column":
+            cols_by_block.setdefault(key, []).append(f.encoded_col)
+        else:
+            rows_by_block.setdefault(key, []).append(f.encoded_row)
+    located: list[tuple[int, int]] = []
+    for key in sorted(set(cols_by_block) & set(rows_by_block)):
+        for row in sorted(rows_by_block[key]):
+            for col in sorted(cols_by_block[key]):
+                located.append((row, col))
+    return located

@@ -1,0 +1,104 @@
+"""Runtime error classification (paper Section VI-C).
+
+A-ABFT distinguishes three classes of value errors:
+
+1. **inevitable rounding errors** — in the magnitude of the expectation
+   value of the rounding error; not counted as errors at all;
+2. **tolerable compute errors** — within the ``omega * sigma`` confidence
+   band of the probabilistic rounding-error model; they differ from the
+   correct result but insignificantly;
+3. **intolerable critical compute errors** — larger than the confidence
+   band; these must be detected (and corrected).
+
+The fault-injection evaluation uses this classification as its ground-truth
+baseline: an injected fault only counts against the detection rate if the
+error it induced in the affected element is *critical* under the model of
+that element's own rounding error.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..bounds.probabilistic import (
+    inner_product_mean_bound,
+    inner_product_sigma_bound,
+)
+from ..fp.constants import BINARY64, FloatFormat
+
+__all__ = ["ErrorClass", "ErrorClassifier", "Classification"]
+
+
+class ErrorClass(enum.Enum):
+    """The three error classes of Section VI-C."""
+
+    ROUNDING = "rounding"
+    TOLERABLE = "tolerable"
+    CRITICAL = "critical"
+
+
+@dataclass(frozen=True)
+class Classification:
+    """Outcome of classifying one induced element error."""
+
+    error_class: ErrorClass
+    magnitude: float
+    expectation: float
+    sigma: float
+    omega: float
+
+    @property
+    def is_critical(self) -> bool:
+        return self.error_class is ErrorClass.CRITICAL
+
+
+@dataclass
+class ErrorClassifier:
+    """Classifies induced element errors against the probabilistic model.
+
+    Parameters
+    ----------
+    omega:
+        Confidence scale of the critical threshold (paper: ``3 sigma``).
+    fma:
+        Whether the accumulation pipeline fuses multiply-add.
+    fmt:
+        Floating-point format of the computation.
+    """
+
+    omega: float = 3.0
+    fma: bool = False
+    fmt: FloatFormat = BINARY64
+
+    def classify(self, induced_error: float, n: int, y: float) -> Classification:
+        """Classify the absolute ``induced_error`` of one result element.
+
+        Parameters
+        ----------
+        induced_error:
+            Signed or absolute difference between the faulty and fault-free
+            value of the affected element.
+        n:
+            Inner-product length of the element.
+        y:
+            Upper bound on the element's intermediate products (its own
+            three-case ``y``, not the checksum's).
+        """
+        t = self.fmt.t
+        ev = inner_product_mean_bound(n, y, t, self.fma)
+        sigma = inner_product_sigma_bound(n, y, t, self.fma)
+        magnitude = abs(induced_error)
+        if magnitude <= abs(ev):
+            cls = ErrorClass.ROUNDING
+        elif magnitude <= self.omega * sigma:
+            cls = ErrorClass.TOLERABLE
+        else:
+            cls = ErrorClass.CRITICAL
+        return Classification(
+            error_class=cls,
+            magnitude=magnitude,
+            expectation=ev,
+            sigma=sigma,
+            omega=self.omega,
+        )

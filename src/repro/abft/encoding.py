@@ -1,0 +1,224 @@
+"""Checksum encoding for ABFT matrix multiplication (paper Section II).
+
+Two encodings are provided:
+
+* **Full encoding** (Huang/Abraham): one checksum row appended to ``A``
+  (column checksums, Eq. 1) and one checksum column appended to ``B`` (row
+  checksums, Eq. 2).  Their product is a full-checksum matrix (Eq. 3).
+
+* **Partitioned encoding** (Rexford/Jha, used by A-ABFT): ``A`` and ``B``
+  are subdivided into ``BS x BS`` sub-matrices; every block-row of ``A``
+  gets a checksum row and every block-column of ``B`` a checksum column.
+  The encoded matrices interleave data and checksums, so a single ordinary
+  matrix multiplication of the encoded operands yields all full-checksum
+  result blocks at once — exactly what the block-based GPU kernels compute.
+
+Layout of the partitioned encoding (``BS = 2`` shown)::
+
+    A (4 x n)            A_cc (6 x n)
+    a a a a              a a a a   <- block-row 0 data
+    a a a a              a a a a
+    b b b b              s s s s   <- checksums of block-row 0
+    b b b b              b b b b   <- block-row 1 data
+                         b b b b
+                         s s s s   <- checksums of block-row 1
+
+Helper predicates/indices make it easy to address data vs. checksum rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import EncodingError, ShapeError
+
+__all__ = [
+    "encode_column_checksums",
+    "encode_row_checksums",
+    "encode_full",
+    "PartitionedLayout",
+    "encode_partitioned_columns",
+    "encode_partitioned_rows",
+    "pad_to_block_multiple",
+]
+
+
+def encode_column_checksums(a: np.ndarray) -> np.ndarray:
+    """Append the column-checksum row (Eq. 1): returns ``(m+1) x n``."""
+    a = np.asarray(a)
+    if a.ndim != 2:
+        raise ShapeError(f"expected a 2-D matrix, got shape {a.shape}")
+    return np.vstack([a, a.sum(axis=0, keepdims=True)])
+
+
+def encode_row_checksums(b: np.ndarray) -> np.ndarray:
+    """Append the row-checksum column (Eq. 2): returns ``n x (q+1)``."""
+    b = np.asarray(b)
+    if b.ndim != 2:
+        raise ShapeError(f"expected a 2-D matrix, got shape {b.shape}")
+    return np.hstack([b, b.sum(axis=1, keepdims=True)])
+
+
+def encode_full(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Encode an operand pair with the unpartitioned Huang/Abraham scheme."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape[1] != b.shape[0]:
+        raise ShapeError(
+            f"inner dimensions disagree: A is {a.shape}, B is {b.shape}"
+        )
+    return encode_column_checksums(a), encode_row_checksums(b)
+
+
+@dataclass(frozen=True)
+class PartitionedLayout:
+    """Index arithmetic for the interleaved partitioned encoding.
+
+    Parameters
+    ----------
+    data_rows:
+        Number of data rows of the *un-encoded* matrix along the encoded
+        axis (``m`` for ``A``'s rows, ``q`` for ``B``'s columns).
+    block_size:
+        The encoding block size ``BS``.
+    """
+
+    data_rows: int
+    block_size: int
+
+    def __post_init__(self) -> None:
+        if self.block_size < 1:
+            raise EncodingError(f"block size must be >= 1, got {self.block_size}")
+        if self.data_rows < 1:
+            raise EncodingError(f"need at least one data row, got {self.data_rows}")
+        if self.data_rows % self.block_size != 0:
+            raise EncodingError(
+                f"{self.data_rows} data rows not divisible by block size "
+                f"{self.block_size}; pad first (see pad_to_block_multiple)"
+            )
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of ``BS``-row blocks along the encoded axis."""
+        return self.data_rows // self.block_size
+
+    @property
+    def encoded_rows(self) -> int:
+        """Total rows of the encoded matrix: ``data_rows + num_blocks``."""
+        return self.data_rows + self.num_blocks
+
+    @property
+    def stride(self) -> int:
+        """Rows per encoded block: ``BS`` data rows + 1 checksum row."""
+        return self.block_size + 1
+
+    def checksum_index(self, block: int) -> int:
+        """Encoded index of the checksum row of ``block``."""
+        if not 0 <= block < self.num_blocks:
+            raise IndexError(f"block {block} out of range 0..{self.num_blocks - 1}")
+        return block * self.stride + self.block_size
+
+    def data_indices(self, block: int) -> np.ndarray:
+        """Encoded indices of the data rows of ``block``."""
+        if not 0 <= block < self.num_blocks:
+            raise IndexError(f"block {block} out of range 0..{self.num_blocks - 1}")
+        start = block * self.stride
+        return np.arange(start, start + self.block_size)
+
+    def all_checksum_indices(self) -> np.ndarray:
+        """Encoded indices of every checksum row."""
+        return np.arange(self.num_blocks) * self.stride + self.block_size
+
+    def all_data_indices(self) -> np.ndarray:
+        """Encoded indices of every data row, in original order."""
+        mask = np.ones(self.encoded_rows, dtype=bool)
+        mask[self.all_checksum_indices()] = False
+        return np.flatnonzero(mask)
+
+    def is_checksum_index(self, encoded_index: int) -> bool:
+        """Whether an encoded row index addresses a checksum row."""
+        if not 0 <= encoded_index < self.encoded_rows:
+            raise IndexError(
+                f"encoded index {encoded_index} out of range 0..{self.encoded_rows - 1}"
+            )
+        return encoded_index % self.stride == self.block_size
+
+    def to_data_index(self, encoded_index: int) -> int:
+        """Original (un-encoded) row index of an encoded data row."""
+        if self.is_checksum_index(encoded_index):
+            raise EncodingError(
+                f"encoded index {encoded_index} is a checksum row"
+            )
+        block, offset = divmod(encoded_index, self.stride)
+        return block * self.block_size + offset
+
+    def to_encoded_index(self, data_index: int) -> int:
+        """Encoded row index of an original data row."""
+        if not 0 <= data_index < self.data_rows:
+            raise IndexError(
+                f"data index {data_index} out of range 0..{self.data_rows - 1}"
+            )
+        block, offset = divmod(data_index, self.block_size)
+        return block * self.stride + offset
+
+
+def encode_partitioned_columns(
+    a: np.ndarray, block_size: int
+) -> tuple[np.ndarray, PartitionedLayout]:
+    """Partitioned column-checksum encoding of ``A`` (checksum rows).
+
+    Every ``BS``-row block is followed by the column sums of that block.
+    """
+    a = np.asarray(a)
+    if a.ndim != 2:
+        raise ShapeError(f"expected a 2-D matrix, got shape {a.shape}")
+    layout = PartitionedLayout(data_rows=a.shape[0], block_size=block_size)
+    out = np.empty((layout.encoded_rows, a.shape[1]), dtype=a.dtype)
+    for blk in range(layout.num_blocks):
+        rows = slice(blk * block_size, (blk + 1) * block_size)
+        out[layout.data_indices(blk), :] = a[rows, :]
+        out[layout.checksum_index(blk), :] = a[rows, :].sum(axis=0)
+    return out, layout
+
+
+def encode_partitioned_rows(
+    b: np.ndarray, block_size: int
+) -> tuple[np.ndarray, PartitionedLayout]:
+    """Partitioned row-checksum encoding of ``B`` (checksum columns).
+
+    Every ``BS``-column block is followed by the row sums of that block.
+    The returned layout indexes the encoded *columns*.
+    """
+    b = np.asarray(b)
+    if b.ndim != 2:
+        raise ShapeError(f"expected a 2-D matrix, got shape {b.shape}")
+    encoded_t, layout = encode_partitioned_columns(b.T, block_size)
+    return np.ascontiguousarray(encoded_t.T), layout
+
+
+def pad_to_block_multiple(
+    matrix: np.ndarray, block_size: int, axis: int | tuple[int, ...] = (0, 1)
+) -> tuple[np.ndarray, tuple[int, int]]:
+    """Zero-pad ``matrix`` so the chosen axes are multiples of ``block_size``.
+
+    Returns the padded matrix and the ``(rows_added, cols_added)`` amounts so
+    callers can strip the padding from results.  Zero padding is exact for
+    checksum arithmetic: padded rows/columns contribute nothing.
+    """
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2:
+        raise ShapeError(f"expected a 2-D matrix, got shape {matrix.shape}")
+    axes = (axis,) if isinstance(axis, int) else tuple(axis)
+    pad_rows = pad_cols = 0
+    if 0 in axes:
+        pad_rows = (-matrix.shape[0]) % block_size
+    if 1 in axes:
+        pad_cols = (-matrix.shape[1]) % block_size
+    if pad_rows == 0 and pad_cols == 0:
+        return matrix, (0, 0)
+    return (
+        np.pad(matrix, ((0, pad_rows), (0, pad_cols)), mode="constant"),
+        (pad_rows, pad_cols),
+    )

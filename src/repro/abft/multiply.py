@@ -1,0 +1,258 @@
+"""High-level ABFT matrix multiplication — the library's main entry points.
+
+These functions run the complete scheme on the host (pure numpy): encode,
+multiply, determine bounds, check, optionally locate/correct.  They are the
+API a downstream user calls; the GPU-simulated pipeline in
+:mod:`repro.abft.pipeline` executes the same mathematics kernel-by-kernel for
+the performance and fault-injection experiments.
+
+Example
+-------
+>>> import numpy as np
+>>> from repro.abft import aabft_matmul
+>>> rng = np.random.default_rng(0)
+>>> a = rng.uniform(-1, 1, (256, 256)); b = rng.uniform(-1, 1, (256, 256))
+>>> result = aabft_matmul(a, b, block_size=64, p=2)
+>>> result.report.error_detected
+False
+>>> np.allclose(result.c, a @ b)
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..bounds.fixed import FixedBound
+from ..bounds.probabilistic import ProbabilisticBound
+from ..bounds.sea import SEABound
+from ..fp.constants import format_for_dtype
+from ..bounds.upper_bound import top_p_of_columns, top_p_of_rows
+from ..errors import ShapeError
+from .checking import CheckReport, EpsilonProvider, check_partitioned
+from .encoding import (
+    PartitionedLayout,
+    encode_partitioned_columns,
+    encode_partitioned_rows,
+    pad_to_block_multiple,
+)
+from .providers import (
+    AABFTEpsilonProvider,
+    ConstantEpsilonProvider,
+    SEAEpsilonProvider,
+)
+
+__all__ = [
+    "AbftResult",
+    "aabft_matmul",
+    "sea_abft_matmul",
+    "fixed_abft_matmul",
+    "DEFAULT_BLOCK_SIZE",
+    "DEFAULT_P",
+]
+
+#: Encoding block size matching the paper's kernel configuration.
+DEFAULT_BLOCK_SIZE = 64
+#: Number of tracked largest absolute values (paper Section VI-B: p = 2).
+DEFAULT_P = 2
+
+
+@dataclass
+class AbftResult:
+    """Everything an ABFT-protected multiplication produced.
+
+    Attributes
+    ----------
+    c:
+        The data result matrix (checksums and padding stripped) — what an
+        unprotected ``a @ b`` would have returned.
+    c_fc:
+        The raw full-checksum result (encoded coordinates).
+    report:
+        The checksum check report.
+    row_layout / col_layout:
+        Layouts of the encoded result (for error location / correction).
+    provider:
+        The epsilon provider used for the check (reusable for re-checks and
+        correction verification).
+    """
+
+    c: np.ndarray
+    c_fc: np.ndarray
+    report: CheckReport
+    row_layout: PartitionedLayout
+    col_layout: PartitionedLayout
+    provider: EpsilonProvider
+
+    @property
+    def detected(self) -> bool:
+        """Whether the check flagged any comparison."""
+        return self.report.error_detected
+
+
+def _prepare(
+    a: np.ndarray, b: np.ndarray, block_size: int
+) -> tuple[np.ndarray, np.ndarray, tuple[int, int], tuple[int, int]]:
+    a = np.asarray(a)
+    b = np.asarray(b)
+    # Compute in the caller's precision (binary32 or binary64); anything
+    # else is promoted to binary64.
+    if a.dtype != np.float32 or b.dtype != np.float32:
+        a = a.astype(np.float64, copy=False)
+        b = b.astype(np.float64, copy=False)
+    if a.ndim != 2 or b.ndim != 2:
+        raise ShapeError("operands must be 2-D matrices")
+    if a.shape[1] != b.shape[0]:
+        raise ShapeError(
+            f"inner dimensions disagree: A is {a.shape}, B is {b.shape}"
+        )
+    a_pad, a_added = pad_to_block_multiple(a, block_size, axis=0)
+    b_pad, b_added = pad_to_block_multiple(b, block_size, axis=1)
+    return a_pad, b_pad, a_added, b_added
+
+
+def _extract_data(
+    c_fc: np.ndarray,
+    row_layout: PartitionedLayout,
+    col_layout: PartitionedLayout,
+    rows_added: int,
+    cols_added: int,
+) -> np.ndarray:
+    data = c_fc[np.ix_(row_layout.all_data_indices(), col_layout.all_data_indices())]
+    rows = data.shape[0] - rows_added
+    cols = data.shape[1] - cols_added
+    return np.ascontiguousarray(data[:rows, :cols])
+
+
+def aabft_matmul(
+    a: np.ndarray,
+    b: np.ndarray,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    p: int = DEFAULT_P,
+    omega: float = 3.0,
+    fma: bool = False,
+    epsilon_floor: float = 0.0,
+) -> AbftResult:
+    """ABFT matmul with autonomous probabilistic error bounds (A-ABFT).
+
+    Parameters
+    ----------
+    a, b:
+        Operand matrices, ``(m, n)`` and ``(n, q)``; dimensions need not be
+        block multiples (zero padding is applied and stripped transparently).
+        When both operands are float32 the whole scheme runs in binary32
+        (GPU single precision) with bounds for ``t = 24``; otherwise
+        binary64.
+    block_size:
+        Partitioned-encoding block size ``BS``.
+    p:
+        Number of largest absolute values tracked per vector (Section IV-E).
+    omega:
+        Confidence scale of the bound (paper default: 3).
+    fma:
+        Model a fused-multiply-add pipeline (Section IV-D).
+    epsilon_floor:
+        Absolute tolerance floor for inputs whose checksum vectors cancel
+        to (near) zero — e.g. mean-centred data or graph Laplacians.  The
+        paper's model scales the tolerance with the checksum magnitude, so
+        exact cancellation drives it to zero while the reference summation
+        still carries rounding noise, causing false positives.  A floor of
+        ``n * 2**-t * max|C|`` restores zero false positives; the default 0
+        is paper-faithful.  See docs/THEORY.md.
+    """
+    a_pad, b_pad, (rows_added, _), (_, cols_added) = _prepare(a, b, block_size)
+    a_cc, row_layout = encode_partitioned_columns(a_pad, block_size)
+    b_rc, col_layout = encode_partitioned_rows(b_pad, block_size)
+
+    # Runtime top-p determination over the encoded operands (the encoding
+    # kernel tracks checksum magnitudes too — Algorithm 1's localSums).
+    row_tops = top_p_of_rows(a_cc, p)
+    col_tops = top_p_of_columns(b_rc, p)
+
+    c_fc = a_cc @ b_rc
+    provider = AABFTEpsilonProvider(
+        scheme=ProbabilisticBound(
+            omega=omega, fma=fma, fmt=format_for_dtype(c_fc.dtype)
+        ),
+        row_tops=row_tops,
+        col_tops=col_tops,
+        row_layout=row_layout,
+        col_layout=col_layout,
+        inner_dim=a_pad.shape[1],
+        epsilon_floor=epsilon_floor,
+    )
+    report = check_partitioned(c_fc, row_layout, col_layout, provider)
+    c = _extract_data(c_fc, row_layout, col_layout, rows_added, cols_added)
+    return AbftResult(
+        c=c,
+        c_fc=c_fc,
+        report=report,
+        row_layout=row_layout,
+        col_layout=col_layout,
+        provider=provider,
+    )
+
+
+def sea_abft_matmul(
+    a: np.ndarray,
+    b: np.ndarray,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+) -> AbftResult:
+    """ABFT matmul with simplified-error-analysis bounds (SEA-ABFT baseline)."""
+    a_pad, b_pad, (rows_added, _), (_, cols_added) = _prepare(a, b, block_size)
+    a_cc, row_layout = encode_partitioned_columns(a_pad, block_size)
+    b_rc, col_layout = encode_partitioned_rows(b_pad, block_size)
+
+    a_row_norms = np.linalg.norm(a_cc, axis=1)
+    b_col_norms = np.linalg.norm(b_rc, axis=0)
+
+    c_fc = a_cc @ b_rc
+    provider = SEAEpsilonProvider(
+        scheme=SEABound(fmt=format_for_dtype(c_fc.dtype)),
+        a_row_norms=a_row_norms,
+        b_col_norms=b_col_norms,
+        row_layout=row_layout,
+        col_layout=col_layout,
+        inner_dim=a_pad.shape[1],
+    )
+    report = check_partitioned(c_fc, row_layout, col_layout, provider)
+    c = _extract_data(c_fc, row_layout, col_layout, rows_added, cols_added)
+    return AbftResult(
+        c=c,
+        c_fc=c_fc,
+        report=report,
+        row_layout=row_layout,
+        col_layout=col_layout,
+        provider=provider,
+    )
+
+
+def fixed_abft_matmul(
+    a: np.ndarray,
+    b: np.ndarray,
+    epsilon: float,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+) -> AbftResult:
+    """ABFT matmul with a manually chosen absolute tolerance (baseline).
+
+    ``epsilon`` must be supplied by the user — the scheme the paper's
+    Table I lists as "ABFT", fast but not autonomous.
+    """
+    FixedBound(epsilon)  # validate the tolerance eagerly
+    a_pad, b_pad, (rows_added, _), (_, cols_added) = _prepare(a, b, block_size)
+    a_cc, row_layout = encode_partitioned_columns(a_pad, block_size)
+    b_rc, col_layout = encode_partitioned_rows(b_pad, block_size)
+    c_fc = a_cc @ b_rc
+    provider = ConstantEpsilonProvider(epsilon)
+    report = check_partitioned(c_fc, row_layout, col_layout, provider)
+    c = _extract_data(c_fc, row_layout, col_layout, rows_added, cols_added)
+    return AbftResult(
+        c=c,
+        c_fc=c_fc,
+        report=report,
+        row_layout=row_layout,
+        col_layout=col_layout,
+        provider=provider,
+    )

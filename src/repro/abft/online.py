@@ -1,0 +1,199 @@
+"""Online ABFT: panel-wise checking with early detection and recovery.
+
+The paper's related work (Ding et al., "Matrix Multiplication on GPUs with
+On-Line Fault Tolerance") checks *during* the multiplication instead of
+once at the end, bounding both detection latency and the amount of work a
+recovery must redo.  This module provides that execution style on top of
+the A-ABFT machinery:
+
+* the inner dimension is split into panels; the full-checksum result
+  accumulates one panel product at a time (checksum consistency is linear,
+  so it holds for every partial sum);
+* after each panel the accumulated result is checked with probabilistic
+  bounds for the *processed* inner length (plus the inter-panel
+  accumulation steps);
+* on a mismatch, the implicated result blocks are recomputed from the
+  inputs over the processed panels and re-checked — a corrupted partial
+  product is healed without redoing the whole multiplication.
+
+The bounds stay autonomous: the same top-p data serves every panel check
+(the full-row ``y`` dominates every prefix's ``y``, so prefix checks are
+sound, merely a whisker conservative).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..bounds.probabilistic import ProbabilisticBound
+from ..bounds.upper_bound import top_p_of_columns, top_p_of_rows
+from ..errors import CorrectionError, ShapeError
+from .checking import CheckReport, check_partitioned
+from .encoding import (
+    PartitionedLayout,
+    encode_partitioned_columns,
+    encode_partitioned_rows,
+)
+from .providers import AABFTEpsilonProvider
+
+__all__ = ["PanelEvent", "OnlineAbftResult", "online_abft_matmul"]
+
+
+@dataclass(frozen=True)
+class PanelEvent:
+    """What happened after accumulating one panel."""
+
+    panel: int
+    processed_inner: int
+    detected: bool
+    recovered_blocks: tuple[tuple[int, int], ...] = ()
+
+
+@dataclass
+class OnlineAbftResult:
+    """Outcome of an online protected multiplication."""
+
+    c_fc: np.ndarray
+    row_layout: PartitionedLayout
+    col_layout: PartitionedLayout
+    events: list[PanelEvent] = field(default_factory=list)
+    final_report: CheckReport | None = None
+
+    @property
+    def c(self) -> np.ndarray:
+        rows = self.row_layout.all_data_indices()
+        cols = self.col_layout.all_data_indices()
+        return np.ascontiguousarray(self.c_fc[np.ix_(rows, cols)])
+
+    @property
+    def any_detected(self) -> bool:
+        return any(e.detected for e in self.events)
+
+    @property
+    def detection_panel(self) -> int | None:
+        """First panel whose check flagged — the detection latency."""
+        for e in self.events:
+            if e.detected:
+                return e.panel
+        return None
+
+    @property
+    def recovered(self) -> bool:
+        return any(e.recovered_blocks for e in self.events)
+
+
+def online_abft_matmul(
+    a: np.ndarray,
+    b: np.ndarray,
+    block_size: int = 64,
+    num_panels: int = 4,
+    p: int = 2,
+    omega: float = 3.0,
+    corrupt_hook=None,
+    max_recoveries: int = 2,
+) -> OnlineAbftResult:
+    """Panel-wise protected multiplication with in-flight recovery.
+
+    Parameters
+    ----------
+    a, b:
+        Operands; dimensions must be multiples of ``block_size`` (mirrors
+        the raw-kernel contract of :class:`~repro.abft.pipeline.AABFTPipeline`).
+    num_panels:
+        How many inner-dimension panels to accumulate/check.
+    corrupt_hook:
+        Optional ``(panel_index, c_fc) -> None`` invoked after each panel's
+        accumulation with the live result — the fault-injection surface.
+    max_recoveries:
+        Recomputation attempts per panel before declaring the fault
+        persistent (:class:`~repro.errors.CorrectionError`).
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ShapeError(f"incompatible operands: {a.shape} x {b.shape}")
+    if a.shape[0] % block_size or b.shape[1] % block_size:
+        raise ShapeError(
+            f"operand dimensions must be multiples of block size {block_size}"
+        )
+    n = a.shape[1]
+    if not 1 <= num_panels <= n:
+        raise ValueError(f"num_panels must be in 1..{n}, got {num_panels}")
+
+    a_cc, row_layout = encode_partitioned_columns(a, block_size)
+    b_rc, col_layout = encode_partitioned_rows(b, block_size)
+    row_tops = top_p_of_rows(a_cc, min(p, n))
+    col_tops = top_p_of_columns(b_rc, min(p, n))
+
+    bounds = np.linspace(0, n, num_panels + 1).astype(int)
+    c_fc = np.zeros((row_layout.encoded_rows, col_layout.encoded_rows))
+
+    result = OnlineAbftResult(
+        c_fc=c_fc, row_layout=row_layout, col_layout=col_layout
+    )
+
+    for panel in range(num_panels):
+        lo, hi = bounds[panel], bounds[panel + 1]
+        c_fc += a_cc[:, lo:hi] @ b_rc[lo:hi, :]
+        if corrupt_hook is not None:
+            corrupt_hook(panel, c_fc)
+
+        provider = AABFTEpsilonProvider(
+            scheme=ProbabilisticBound(omega=omega),
+            row_tops=row_tops,
+            col_tops=col_tops,
+            row_layout=row_layout,
+            col_layout=col_layout,
+            # Processed inner length plus the inter-panel accumulations.
+            inner_dim=int(hi) + panel,
+        )
+        report = check_partitioned(c_fc, row_layout, col_layout, provider)
+        recovered: list[tuple[int, int]] = []
+        attempts = 0
+        while report.error_detected:
+            if attempts >= max_recoveries:
+                raise CorrectionError(
+                    f"panel {panel}: fault persists after "
+                    f"{max_recoveries} recomputations"
+                )
+            attempts += 1
+            blocks = _implicated_blocks(report)
+            for blk_row, blk_col in blocks:
+                _recompute_block(
+                    c_fc, a_cc, b_rc, row_layout, col_layout, blk_row, blk_col, hi
+                )
+                recovered.append((blk_row, blk_col))
+            report = check_partitioned(c_fc, row_layout, col_layout, provider)
+        result.events.append(
+            PanelEvent(
+                panel=panel,
+                processed_inner=int(hi),
+                detected=attempts > 0,
+                recovered_blocks=tuple(recovered),
+            )
+        )
+        result.final_report = report
+    return result
+
+
+def _implicated_blocks(report: CheckReport) -> set[tuple[int, int]]:
+    """Result blocks touched by any failing comparison."""
+    return {(f.block_row, f.block_col) for f in report.findings}
+
+
+def _recompute_block(
+    c_fc: np.ndarray,
+    a_cc: np.ndarray,
+    b_rc: np.ndarray,
+    row_layout: PartitionedLayout,
+    col_layout: PartitionedLayout,
+    blk_row: int,
+    blk_col: int,
+    processed: int,
+) -> None:
+    """Redo one result block's contribution over the processed prefix."""
+    rows = slice(blk_row * row_layout.stride, (blk_row + 1) * row_layout.stride)
+    cols = slice(blk_col * col_layout.stride, (blk_col + 1) * col_layout.stride)
+    c_fc[rows, cols] = a_cc[rows, :processed] @ b_rc[:processed, cols]

@@ -1,0 +1,372 @@
+"""The complete A-ABFT pipeline on the simulated GPU (paper Section V).
+
+Orchestrates the algorithmic steps exactly as the paper schedules them:
+
+1. encoding kernels for ``A`` and ``B`` (checksums + per-block top-p);
+2. the matrix-multiplication kernel (with optional fault injection), with
+3. the top-p reduction kernels submitted to a *concurrent* stream (the paper
+   overlaps the reduction with the multiplication);
+4. the checking kernel (bound determination + reference checksums +
+   comparison).
+
+The pipeline supports three bound schemes — ``"aabft"`` (autonomous),
+``"sea"`` (norm kernels instead of top-p machinery) and ``"fixed"`` — which
+is what the Table I performance comparison sweeps over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..bounds.probabilistic import ProbabilisticBound
+from ..bounds.sea import SEABound
+from ..bounds.upper_bound import TopP
+from ..errors import ConfigurationError, ShapeError
+from ..faults.injector import FaultInjector
+from ..gpusim.simulator import GpuSimulator
+from ..kernels.check import CheckKernel
+from ..kernels.correct import CorrectionKernel
+from ..kernels.encode import EncodeColumnChecksumsKernel, EncodeRowChecksumsKernel
+from ..kernels.matmul import BlockMatmulKernel
+from ..kernels.matmul_tiled import RegisterTiledMatmulKernel
+from ..kernels.norms import ColumnNormKernel, RowNormKernel
+from ..kernels.reduce import TopPReduceKernel
+from .checking import CheckReport, build_report
+from .encoding import PartitionedLayout
+from .providers import (
+    AABFTEpsilonProvider,
+    ConstantEpsilonProvider,
+    SEAEpsilonProvider,
+)
+
+__all__ = ["PipelineResult", "AABFTPipeline"]
+
+
+def _tile_divisor(stride: int, preferred_max: int = 8) -> int:
+    """Largest register-tile dimension <= preferred_max dividing ``stride``.
+
+    Partitioned blocks have odd strides (``BS + 1``); register tiles must
+    divide them (e.g. stride 65 -> 5, stride 33 -> 3).
+    """
+    for candidate in range(min(preferred_max, stride), 0, -1):
+        if stride % candidate == 0:
+            return candidate
+    return 1
+
+
+@dataclass
+class PipelineResult:
+    """Output of one simulated protected multiplication."""
+
+    c_fc: np.ndarray
+    report: CheckReport
+    row_layout: PartitionedLayout
+    col_layout: PartitionedLayout
+    provider: object
+    #: Modelled wall-clock seconds of the protected operation (streams
+    #: overlapped as on the real device).
+    modelled_seconds: float
+    #: Result blocks the device-side correction kernel patched
+    #: (``auto_correct=True`` runs only).
+    corrected_blocks: tuple[tuple[int, int], ...] = ()
+
+    @property
+    def c(self) -> np.ndarray:
+        """The data result (checksums stripped)."""
+        rows = self.row_layout.all_data_indices()
+        cols = self.col_layout.all_data_indices()
+        return np.ascontiguousarray(self.c_fc[np.ix_(rows, cols)])
+
+    @property
+    def detected(self) -> bool:
+        return self.report.error_detected
+
+
+class AABFTPipeline:
+    """Runs protected multiplications kernel-by-kernel on a simulator.
+
+    Parameters
+    ----------
+    sim:
+        The GPU simulator instance (device choice, profiling).
+    block_size:
+        Partitioned-encoding block size ``BS``.
+    p:
+        Tracked largest-absolute-value count (A-ABFT scheme only).
+    omega:
+        Confidence scale of the probabilistic bound.
+    scheme:
+        ``"aabft"``, ``"sea"`` or ``"fixed"``.
+    fixed_epsilon:
+        The manual tolerance when ``scheme="fixed"``.
+    matmul_kernel:
+        ``"block"`` (fast path, default) or ``"tiled"`` (the
+        structure-faithful register-tiled Algorithm 3 kernel; slower).
+    """
+
+    def __init__(
+        self,
+        sim: GpuSimulator,
+        block_size: int = 64,
+        p: int = 2,
+        omega: float = 3.0,
+        scheme: str = "aabft",
+        fixed_epsilon: float | None = None,
+        fma: bool = False,
+        matmul_kernel: str = "block",
+    ) -> None:
+        if scheme not in ("aabft", "sea", "fixed"):
+            raise ConfigurationError(
+                f"unknown scheme {scheme!r}; expected aabft/sea/fixed"
+            )
+        if scheme == "fixed" and fixed_epsilon is None:
+            raise ConfigurationError("scheme='fixed' requires fixed_epsilon")
+        if matmul_kernel not in ("block", "tiled"):
+            raise ConfigurationError(
+                f"unknown matmul_kernel {matmul_kernel!r}; expected block/tiled"
+            )
+        self.sim = sim
+        self.block_size = block_size
+        self.p = p
+        self.omega = omega
+        self.scheme = scheme
+        self.fixed_epsilon = fixed_epsilon
+        self.fma = fma
+        self.matmul_kernel = matmul_kernel
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        injector: FaultInjector | None = None,
+        auto_correct: bool = False,
+    ) -> PipelineResult:
+        """Protected multiplication of ``a @ b`` with checking.
+
+        Operand dimensions must be multiples of the block size (the
+        host-side API in :mod:`repro.abft.multiply` pads transparently; the
+        pipeline mirrors the raw kernels, which require padded inputs).
+
+        With ``auto_correct`` the device-side correction kernel patches
+        uniquely located single errors (Algorithm 2's "start correction"
+        path) and the check re-runs; the returned report reflects the
+        corrected state.
+        """
+        a = np.asarray(a, dtype=np.float64)
+        b = np.asarray(b, dtype=np.float64)
+        bs = self.block_size
+        if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+            raise ShapeError(f"incompatible operands: {a.shape} x {b.shape}")
+        if a.shape[0] % bs or a.shape[1] % bs or b.shape[1] % bs:
+            raise ShapeError(
+                f"operand dimensions {a.shape} x {b.shape} must be multiples "
+                f"of the block size {bs} (pad first)"
+            )
+        sim = self.sim
+        row_layout = PartitionedLayout(data_rows=a.shape[0], block_size=bs)
+        col_layout = PartitionedLayout(data_rows=b.shape[1], block_size=bs)
+        n = a.shape[1]
+        inner_blocks = n // bs
+
+        d_a = sim.upload(a)
+        d_b = sim.upload(b)
+        d_a_cc = sim.alloc((row_layout.encoded_rows, n))
+        d_b_rc = sim.alloc((n, col_layout.encoded_rows))
+
+        provider, upload_seconds = self._encode_and_prepare(
+            d_a, d_b, d_a_cc, d_b_rc, row_layout, col_layout, n, inner_blocks
+        )
+
+        # Matrix multiplication (stream "compute"), overlapped with the
+        # top-p reduction which _encode_and_prepare put on stream "reduce".
+        d_c = sim.alloc((row_layout.encoded_rows, col_layout.encoded_rows))
+        if self.matmul_kernel == "tiled":
+            matmul = RegisterTiledMatmulKernel(
+                d_a_cc,
+                d_b_rc,
+                d_c,
+                bm=row_layout.stride,
+                bn=col_layout.stride,
+                bk=8,
+                rx=_tile_divisor(row_layout.stride),
+                ry=_tile_divisor(col_layout.stride),
+                injector=injector,
+            )
+        else:
+            matmul = BlockMatmulKernel(
+                d_a_cc,
+                d_b_rc,
+                d_c,
+                tile_rows=row_layout.stride,
+                tile_cols=col_layout.stride,
+                injector=injector,
+            )
+        if injector is not None:
+            config = matmul.launch_config()
+            injector.resolve(
+                sim.scheduler.assign(config),
+                (row_layout.stride, col_layout.stride),
+            )
+        sim.launch(matmul, stream="compute")
+
+        # Checking kernel (Algorithm 2).
+        d_col_disc = sim.alloc((row_layout.num_blocks, col_layout.encoded_rows))
+        d_col_eps = sim.alloc((row_layout.num_blocks, col_layout.encoded_rows))
+        d_row_disc = sim.alloc((row_layout.encoded_rows, col_layout.num_blocks))
+        d_row_eps = sim.alloc((row_layout.encoded_rows, col_layout.num_blocks))
+        check = CheckKernel(
+            d_c,
+            row_layout,
+            col_layout,
+            provider,
+            d_col_disc,
+            d_col_eps,
+            d_row_disc,
+            d_row_eps,
+        )
+        sim.launch(check, stream="compute")
+
+        report = build_report(
+            sim.download(d_col_disc),
+            sim.download(d_col_eps),
+            sim.download(d_row_disc),
+            sim.download(d_row_eps),
+            row_layout,
+            col_layout,
+        )
+
+        corrected_blocks: tuple[tuple[int, int], ...] = ()
+        if auto_correct and report.located_errors:
+            d_status = sim.alloc((row_layout.num_blocks, col_layout.num_blocks))
+            sim.launch(
+                CorrectionKernel(
+                    d_c, report.located_errors, row_layout, col_layout, d_status
+                ),
+                stream="compute",
+            )
+            status = sim.download(d_status)
+            corrected_blocks = tuple(
+                (int(i), int(j)) for i, j in np.argwhere(status == 1.0)
+            )
+            sim.launch(check, stream="compute")
+            report = build_report(
+                sim.download(d_col_disc),
+                sim.download(d_col_eps),
+                sim.download(d_row_disc),
+                sim.download(d_row_eps),
+                row_layout,
+                col_layout,
+            )
+
+        modelled = sim.concurrent_wall_seconds("compute", "reduce") + upload_seconds
+        return PipelineResult(
+            c_fc=sim.download(d_c),
+            report=report,
+            row_layout=row_layout,
+            col_layout=col_layout,
+            provider=provider,
+            modelled_seconds=modelled,
+            corrected_blocks=corrected_blocks,
+        )
+
+    # ------------------------------------------------------------------
+    def _encode_and_prepare(
+        self,
+        d_a,
+        d_b,
+        d_a_cc,
+        d_b_rc,
+        row_layout: PartitionedLayout,
+        col_layout: PartitionedLayout,
+        n: int,
+        inner_blocks: int,
+    ):
+        """Run the scheme-specific preprocessing kernels; build the provider."""
+        sim = self.sim
+        if self.scheme == "aabft":
+            d_av = sim.alloc((row_layout.encoded_rows, inner_blocks, self.p))
+            d_ai = sim.alloc((row_layout.encoded_rows, inner_blocks, self.p))
+            d_bv = sim.alloc((col_layout.encoded_rows, inner_blocks, self.p))
+            d_bi = sim.alloc((col_layout.encoded_rows, inner_blocks, self.p))
+            sim.launch(
+                EncodeColumnChecksumsKernel(
+                    d_a, d_a_cc, d_av, d_ai, row_layout, self.p
+                ),
+                stream="compute",
+            )
+            sim.launch(
+                EncodeRowChecksumsKernel(d_b, d_b_rc, d_bv, d_bi, col_layout, self.p),
+                stream="compute",
+            )
+            d_rav = sim.alloc((row_layout.encoded_rows, self.p))
+            d_rai = sim.alloc((row_layout.encoded_rows, self.p))
+            d_rbv = sim.alloc((col_layout.encoded_rows, self.p))
+            d_rbi = sim.alloc((col_layout.encoded_rows, self.p))
+            # The reductions overlap the matmul on the real device: put
+            # them on their own stream.
+            sim.launch(TopPReduceKernel(d_av, d_ai, d_rav, d_rai), stream="reduce")
+            sim.launch(TopPReduceKernel(d_bv, d_bi, d_rbv, d_rbi), stream="reduce")
+            row_tops = [
+                TopP(values=v, indices=i.astype(np.int64))
+                for v, i in zip(sim.download(d_rav), sim.download(d_rai))
+            ]
+            col_tops = [
+                TopP(values=v, indices=i.astype(np.int64))
+                for v, i in zip(sim.download(d_rbv), sim.download(d_rbi))
+            ]
+            provider = AABFTEpsilonProvider(
+                scheme=ProbabilisticBound(omega=self.omega, fma=self.fma),
+                row_tops=row_tops,
+                col_tops=col_tops,
+                row_layout=row_layout,
+                col_layout=col_layout,
+                inner_dim=n,
+            )
+            return provider, 0.0
+
+        if self.scheme == "sea":
+            self._encode_plain(d_a, d_b, d_a_cc, d_b_rc, row_layout, col_layout)
+            d_an = sim.alloc((row_layout.encoded_rows,))
+            d_bn = sim.alloc((col_layout.encoded_rows,))
+            sim.launch(RowNormKernel(d_a_cc, d_an), stream="compute")
+            sim.launch(ColumnNormKernel(d_b_rc, d_bn), stream="compute")
+            provider = SEAEpsilonProvider(
+                scheme=SEABound(),
+                a_row_norms=sim.download(d_an),
+                b_col_norms=sim.download(d_bn),
+                row_layout=row_layout,
+                col_layout=col_layout,
+                inner_dim=n,
+            )
+            return provider, 0.0
+
+        # fixed
+        self._encode_plain(d_a, d_b, d_a_cc, d_b_rc, row_layout, col_layout)
+        return ConstantEpsilonProvider(float(self.fixed_epsilon)), 0.0
+
+    def _encode_plain(
+        self, d_a, d_b, d_a_cc, d_b_rc, row_layout, col_layout
+    ) -> None:
+        """Checksum encoding without top-p tracking (SEA / fixed schemes).
+
+        Reuses the encoding kernels with ``p = 1`` into throwaway candidate
+        buffers; the extra max-search work is negligible and the timing
+        model only sees the streaming adds either way.
+        """
+        sim = self.sim
+        inner_blocks = d_a.shape[1] // row_layout.block_size
+        d_av = sim.alloc((row_layout.encoded_rows, inner_blocks, 1))
+        d_ai = sim.alloc((row_layout.encoded_rows, inner_blocks, 1))
+        d_bv = sim.alloc((col_layout.encoded_rows, inner_blocks, 1))
+        d_bi = sim.alloc((col_layout.encoded_rows, inner_blocks, 1))
+        sim.launch(
+            EncodeColumnChecksumsKernel(d_a, d_a_cc, d_av, d_ai, row_layout, 1),
+            stream="compute",
+        )
+        sim.launch(
+            EncodeRowChecksumsKernel(d_b, d_b_rc, d_bv, d_bi, col_layout, 1),
+            stream="compute",
+        )

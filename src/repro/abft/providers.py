@@ -1,0 +1,190 @@
+"""Epsilon providers: adapting bound schemes to the partitioned check.
+
+A bound scheme (:mod:`repro.bounds`) is a pure function of a per-comparison
+context; a provider owns the *preprocessed runtime data* — top-p sets for
+A-ABFT, vector norms for SEA — and builds that context for every comparison
+the checker performs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..bounds.base import BoundContext, BoundScheme
+from ..bounds.upper_bound import TopP, determine_upper_bound
+from .encoding import PartitionedLayout
+
+__all__ = [
+    "ConstantEpsilonProvider",
+    "AABFTEpsilonProvider",
+    "SEAEpsilonProvider",
+]
+
+
+@dataclass
+class ConstantEpsilonProvider:
+    """Same tolerance for every comparison (manual fixed-bound ABFT)."""
+
+    epsilon_value: float
+
+    def column_epsilon(self, block_row: int, encoded_col: int) -> float:
+        return self.epsilon_value
+
+    def row_epsilon(self, encoded_row: int, block_col: int) -> float:
+        return self.epsilon_value
+
+
+class AABFTEpsilonProvider:
+    """Autonomous tolerances from runtime top-p data (the A-ABFT scheme).
+
+    Parameters
+    ----------
+    scheme:
+        The probabilistic bound scheme (or any scheme consuming
+        ``upper_bound``).
+    row_tops:
+        Top-p of every *encoded* row of ``A_cc`` (data and checksum rows).
+    col_tops:
+        Top-p of every *encoded* column of ``B_rc``.
+    row_layout / col_layout:
+        Partitioned layouts of the encoded operands.
+    inner_dim:
+        Length ``n`` of the inner products (the shared dimension of the
+        multiplication).
+    epsilon_floor:
+        Absolute lower bound on every tolerance.  The paper's model bounds
+        the rounding of the checksum *that went through the multiplication*;
+        when a checksum vector cancels to exactly zero (structured inputs
+        such as full-encoding graph Laplacians, whose column sums vanish),
+        its ``y`` — and hence the modelled tolerance — is zero, while the
+        *reference* summation still carries rounding noise.  A small floor
+        (e.g. ``n * eps_M * max|C|``) absorbs that; the default 0 is
+        paper-faithful.
+    """
+
+    def __init__(
+        self,
+        scheme: BoundScheme,
+        row_tops: list[TopP],
+        col_tops: list[TopP],
+        row_layout: PartitionedLayout,
+        col_layout: PartitionedLayout,
+        inner_dim: int,
+        epsilon_floor: float = 0.0,
+    ) -> None:
+        if len(row_tops) != row_layout.encoded_rows:
+            raise ValueError(
+                f"expected {row_layout.encoded_rows} row top-p sets, "
+                f"got {len(row_tops)}"
+            )
+        if len(col_tops) != col_layout.encoded_rows:
+            raise ValueError(
+                f"expected {col_layout.encoded_rows} column top-p sets, "
+                f"got {len(col_tops)}"
+            )
+        if epsilon_floor < 0.0:
+            raise ValueError(f"epsilon_floor must be >= 0, got {epsilon_floor}")
+        self.scheme = scheme
+        self.row_tops = row_tops
+        self.col_tops = col_tops
+        self.row_layout = row_layout
+        self.col_layout = col_layout
+        self.inner_dim = inner_dim
+        self.epsilon_floor = epsilon_floor
+
+    def _epsilon(self, row_top: TopP, col_top: TopP) -> float:
+        y = determine_upper_bound(row_top, col_top)
+        ctx = BoundContext(
+            n=self.inner_dim,
+            m=self.row_layout.block_size,
+            upper_bound=y,
+        )
+        return max(self.scheme.epsilon(ctx), self.epsilon_floor)
+
+    def column_epsilon(self, block_row: int, encoded_col: int) -> float:
+        cs_row = self.row_layout.checksum_index(block_row)
+        return self._epsilon(self.row_tops[cs_row], self.col_tops[encoded_col])
+
+    def row_epsilon(self, encoded_row: int, block_col: int) -> float:
+        cs_col = self.col_layout.checksum_index(block_col)
+        return self._epsilon(self.row_tops[encoded_row], self.col_tops[cs_col])
+
+    def upper_bound(self, encoded_row: int, encoded_col: int) -> float:
+        """The runtime ``y`` for an arbitrary result element (diagnostics)."""
+        return determine_upper_bound(
+            self.row_tops[encoded_row], self.col_tops[encoded_col]
+        )
+
+
+class SEAEpsilonProvider:
+    """Tolerances from the simplified error analysis (SEA-ABFT baseline).
+
+    Owns the Euclidean norms of all encoded rows of ``A_cc`` and columns of
+    ``B_rc`` (what the paper's norm kernels compute) and feeds the per-block
+    norm groups into :class:`~repro.bounds.sea.SEABound`.
+    """
+
+    def __init__(
+        self,
+        scheme: BoundScheme,
+        a_row_norms: np.ndarray,
+        b_col_norms: np.ndarray,
+        row_layout: PartitionedLayout,
+        col_layout: PartitionedLayout,
+        inner_dim: int,
+    ) -> None:
+        a_row_norms = np.asarray(a_row_norms, dtype=np.float64).ravel()
+        b_col_norms = np.asarray(b_col_norms, dtype=np.float64).ravel()
+        if a_row_norms.size != row_layout.encoded_rows:
+            raise ValueError(
+                f"expected {row_layout.encoded_rows} row norms, got {a_row_norms.size}"
+            )
+        if b_col_norms.size != col_layout.encoded_rows:
+            raise ValueError(
+                f"expected {col_layout.encoded_rows} column norms, "
+                f"got {b_col_norms.size}"
+            )
+        self.scheme = scheme
+        self.a_row_norms = a_row_norms
+        self.b_col_norms = b_col_norms
+        self.row_layout = row_layout
+        self.col_layout = col_layout
+        self.inner_dim = inner_dim
+
+    def _group_norms(self, block_row: int) -> np.ndarray:
+        """Norms of block ``block_row``'s data rows plus its checksum row."""
+        idx = np.concatenate(
+            [
+                self.row_layout.data_indices(block_row),
+                [self.row_layout.checksum_index(block_row)],
+            ]
+        )
+        return self.a_row_norms[idx]
+
+    def column_epsilon(self, block_row: int, encoded_col: int) -> float:
+        ctx = BoundContext(
+            n=self.inner_dim,
+            m=self.row_layout.block_size,
+            a_norms=self._group_norms(block_row),
+            b_norm=float(self.b_col_norms[encoded_col]),
+        )
+        return self.scheme.epsilon(ctx)
+
+    def row_epsilon(self, encoded_row: int, block_col: int) -> float:
+        # The row check is the column check of the transposed problem: the
+        # roles of A-rows and B-columns swap.
+        idx = np.concatenate(
+            [
+                self.col_layout.data_indices(block_col),
+                [self.col_layout.checksum_index(block_col)],
+            ]
+        )
+        ctx = BoundContext(
+            n=self.inner_dim,
+            m=self.col_layout.block_size,
+            a_norms=self.b_col_norms[idx],
+            b_norm=float(self.a_row_norms[encoded_row]),
+        )
+        return self.scheme.epsilon(ctx)

@@ -1,0 +1,270 @@
+"""Weighted-checksum ABFT (Jou/Abraham) with autonomous A-ABFT bounds.
+
+The paper's reference [11] (Jou & Abraham, "Fault-Tolerant Matrix Operations
+on Multiple Processor Systems using Weighted Checksums") augments the plain
+column checksum ``sum_i a_{i,j}`` with a *weighted* checksum
+``sum_i w_i * a_{i,j}``.  A single error of magnitude ``delta`` in row ``i``
+then shifts the plain discrepancy by ``delta`` and the weighted one by
+``w_i * delta`` — the ratio reveals the row index, so errors can be located
+and corrected from column-side encoding alone (no row checksums, no second
+pass over ``B``).
+
+This module combines that classical scheme with the paper's autonomous
+bound determination: both checksum rows are ordinary rows of the encoded
+operand, so the top-p/three-case machinery (Section IV-E) and the
+probabilistic confidence interval (Section IV) supply their tolerances with
+no extra theory.  The row-location ratio test carries its own integer-
+closeness tolerance.
+
+Weights are ``w_i = i + 1`` (linear weights; exact in binary floating point
+for all practical row counts, so the weighted encoding itself adds no
+unusual rounding behaviour).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..bounds.base import BoundContext, BoundScheme
+from ..bounds.probabilistic import ProbabilisticBound
+from ..bounds.upper_bound import determine_upper_bound, top_p_of_columns, top_p_of_rows
+from ..errors import CorrectionError, ShapeError
+
+__all__ = [
+    "linear_weights",
+    "encode_weighted_columns",
+    "WeightedCheckOutcome",
+    "WeightedAbftResult",
+    "WeightedChecker",
+    "weighted_abft_matmul",
+]
+
+
+def linear_weights(m: int) -> np.ndarray:
+    """The weight vector ``w_i = i + 1`` for ``m`` data rows."""
+    if m < 1:
+        raise ValueError(f"need at least one row, got {m}")
+    return np.arange(1.0, m + 1.0)
+
+
+def encode_weighted_columns(a: np.ndarray, weights: np.ndarray | None = None):
+    """Append plain and weighted column-checksum rows to ``A``.
+
+    Returns the ``(m+2) x n`` encoded matrix and the weight vector.  Row
+    ``m`` is the plain checksum, row ``m+1`` the weighted one.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    if a.ndim != 2:
+        raise ShapeError(f"expected a 2-D matrix, got shape {a.shape}")
+    m = a.shape[0]
+    w = linear_weights(m) if weights is None else np.asarray(weights, dtype=np.float64)
+    if w.shape != (m,):
+        raise ShapeError(f"weights must have shape ({m},), got {w.shape}")
+    return np.vstack([a, a.sum(axis=0), w @ a]), w
+
+
+@dataclass(frozen=True)
+class WeightedCheckOutcome:
+    """One flagged column of the weighted-checksum product."""
+
+    column: int
+    plain_discrepancy: float
+    weighted_discrepancy: float
+    plain_epsilon: float
+    weighted_epsilon: float
+    located_row: int | None  # data-row index, when the ratio test succeeds
+
+
+@dataclass
+class WeightedAbftResult:
+    """Outcome of a weighted-checksum protected multiplication."""
+
+    c: np.ndarray
+    c_wc: np.ndarray
+    weights: np.ndarray
+    outcomes: list[WeightedCheckOutcome]
+
+    @property
+    def detected(self) -> bool:
+        return bool(self.outcomes)
+
+    @property
+    def flagged_columns(self) -> list[WeightedCheckOutcome]:
+        return self.outcomes
+
+    def correct(self) -> np.ndarray:
+        """Correct a single located error and return the fixed data matrix.
+
+        Raises
+        ------
+        CorrectionError
+            If no error is flagged, several columns are flagged, or the
+            ratio test could not resolve the row (e.g. multiple errors in
+            one column).
+        """
+        if not self.outcomes:
+            raise CorrectionError("no flagged columns to correct")
+        if len(self.outcomes) > 1:
+            raise CorrectionError(
+                f"{len(self.outcomes)} columns flagged; weighted single-error "
+                "correction handles exactly one"
+            )
+        outcome = self.outcomes[0]
+        if outcome.located_row is None:
+            raise CorrectionError(
+                f"column {outcome.column}: the weighted/plain discrepancy "
+                "ratio does not match any single row — not a correctable "
+                "single error"
+            )
+        fixed = self.c.copy()
+        fixed[outcome.located_row, outcome.column] -= outcome.plain_discrepancy
+        return fixed
+
+
+class WeightedChecker:
+    """Checks weighted-checksum products of one prepared operand pair.
+
+    Owns the runtime-determined bound data (top-p of the encoded rows of
+    ``A`` and the columns of ``B``), so a corrupted product can be rechecked
+    without re-deriving anything — the campaign/correction workflow.
+
+    Parameters
+    ----------
+    a_wc:
+        The weighted-encoded left operand (``(m+2) x n``).
+    weights:
+        The weight vector used in the encoding.
+    b:
+        The right operand.
+    scheme:
+        Bound scheme consuming ``BoundContext.upper_bound``; the
+        probabilistic A-ABFT scheme by default.
+    p:
+        Tracked largest-absolute-value count.
+    ratio_slack:
+        Acceptance distance of the row-location ratio from an integer.
+    """
+
+    def __init__(
+        self,
+        a_wc: np.ndarray,
+        weights: np.ndarray,
+        b: np.ndarray,
+        scheme: BoundScheme | None = None,
+        p: int = 2,
+        ratio_slack: float = 0.25,
+    ) -> None:
+        a_wc = np.asarray(a_wc, dtype=np.float64)
+        b = np.asarray(b, dtype=np.float64)
+        if a_wc.shape[1] != b.shape[0]:
+            raise ShapeError(
+                f"inner dimensions disagree: {a_wc.shape} x {b.shape}"
+            )
+        if not 0.0 < ratio_slack < 0.5:
+            raise ValueError("ratio_slack must be in (0, 0.5)")
+        self.m = a_wc.shape[0] - 2
+        self.n = a_wc.shape[1]
+        self.weights = np.asarray(weights, dtype=np.float64)
+        self.scheme = scheme or ProbabilisticBound()
+        self.ratio_slack = ratio_slack
+        self._row_tops = top_p_of_rows(a_wc, min(p, self.n))
+        self._col_tops = top_p_of_columns(b, min(p, b.shape[0]))
+
+    def column_epsilons(self, j: int) -> tuple[float, float]:
+        """(plain, weighted) tolerances for result column ``j``."""
+        plain = self.scheme.epsilon(
+            BoundContext(
+                n=self.n,
+                m=self.m,
+                upper_bound=determine_upper_bound(
+                    self._row_tops[self.m], self._col_tops[j]
+                ),
+            )
+        )
+        weighted = self.scheme.epsilon(
+            BoundContext(
+                n=self.n,
+                m=self.m,
+                upper_bound=determine_upper_bound(
+                    self._row_tops[self.m + 1], self._col_tops[j]
+                ),
+            )
+        )
+        return plain, weighted
+
+    def check(self, c_wc: np.ndarray) -> WeightedAbftResult:
+        """Check a (possibly corrupted) weighted-checksum product."""
+        c_wc = np.asarray(c_wc, dtype=np.float64)
+        m = self.m
+        if c_wc.shape[0] != m + 2:
+            raise ShapeError(
+                f"product must have {m + 2} rows, got {c_wc.shape[0]}"
+            )
+        data = c_wc[:m, :]
+        ref_plain = data.sum(axis=0)
+        ref_weighted = self.weights @ data
+
+        outcomes: list[WeightedCheckOutcome] = []
+        for j in range(c_wc.shape[1]):
+            eps_plain, eps_weighted = self.column_epsilons(j)
+            d_plain = float(ref_plain[j] - c_wc[m, j])
+            d_weighted = float(ref_weighted[j] - c_wc[m + 1, j])
+
+            plain_hit = abs(d_plain) > eps_plain or not np.isfinite(d_plain)
+            weighted_hit = (
+                abs(d_weighted) > eps_weighted or not np.isfinite(d_weighted)
+            )
+            if not (plain_hit or weighted_hit):
+                continue
+            located: int | None = None
+            if (
+                plain_hit
+                and np.isfinite(d_plain)
+                and np.isfinite(d_weighted)
+                and d_plain != 0.0
+            ):
+                ratio = d_weighted / d_plain
+                candidate = int(round(ratio))
+                if 1 <= candidate <= m and abs(ratio - candidate) < self.ratio_slack:
+                    located = candidate - 1
+            outcomes.append(
+                WeightedCheckOutcome(
+                    column=j,
+                    plain_discrepancy=d_plain,
+                    weighted_discrepancy=d_weighted,
+                    plain_epsilon=eps_plain,
+                    weighted_epsilon=eps_weighted,
+                    located_row=located,
+                )
+            )
+        return WeightedAbftResult(
+            c=np.ascontiguousarray(data),
+            c_wc=c_wc,
+            weights=self.weights,
+            outcomes=outcomes,
+        )
+
+
+def weighted_abft_matmul(
+    a: np.ndarray,
+    b: np.ndarray,
+    p: int = 2,
+    omega: float = 3.0,
+    fma: bool = False,
+) -> tuple[WeightedAbftResult, WeightedChecker]:
+    """Protected multiplication with plain + weighted column checksums.
+
+    Returns the check result and the reusable checker (for rechecking a
+    corrupted product or verifying a correction).
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ShapeError(f"incompatible operands: {a.shape} x {b.shape}")
+    a_wc, w = encode_weighted_columns(a)
+    checker = WeightedChecker(
+        a_wc, w, b, scheme=ProbabilisticBound(omega=omega, fma=fma), p=p
+    )
+    return checker.check(a_wc @ b), checker

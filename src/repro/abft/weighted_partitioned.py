@@ -1,0 +1,266 @@
+"""Partitioned weighted checksums: block-granular location, column-side only.
+
+Combines the two encodings this library implements:
+
+* the paper's **partitioned** layout (Section II) — per-``BS``-row-block
+  checksums, matching GPU thread-block granularity;
+* **weighted** checksums (Jou/Abraham) — a second, weighted checksum row
+  whose discrepancy ratio reveals the erroneous row.
+
+Every block-row of ``A`` carries *two* extra rows (plain + weighted block
+checksums), so each result block can locate a single error to an exact
+``(row, column)`` position from column-side encoding alone — no row
+checksums on ``B``, no transposed pass — with the weights running only
+``1..BS`` (numerically gentler than global weights ``1..m``).  All
+tolerances come from the same autonomous machinery: the two checksum rows
+per block are ordinary tracked rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..bounds.base import BoundContext, BoundScheme
+from ..bounds.probabilistic import ProbabilisticBound
+from ..bounds.upper_bound import determine_upper_bound, top_p_of_columns, top_p_of_rows
+from ..errors import CorrectionError, EncodingError, ShapeError
+from .weighted import linear_weights
+
+__all__ = [
+    "PartitionedWeightedLayout",
+    "encode_partitioned_weighted_columns",
+    "PartitionedWeightedChecker",
+    "BlockWeightedFinding",
+    "PartitionedWeightedResult",
+    "partitioned_weighted_matmul",
+]
+
+
+@dataclass(frozen=True)
+class PartitionedWeightedLayout:
+    """Index arithmetic for the [BS data | plain cs | weighted cs] layout."""
+
+    data_rows: int
+    block_size: int
+
+    def __post_init__(self) -> None:
+        if self.block_size < 1:
+            raise EncodingError(f"block size must be >= 1, got {self.block_size}")
+        if self.data_rows < 1 or self.data_rows % self.block_size:
+            raise EncodingError(
+                f"{self.data_rows} data rows not divisible by block size "
+                f"{self.block_size}"
+            )
+
+    @property
+    def num_blocks(self) -> int:
+        return self.data_rows // self.block_size
+
+    @property
+    def stride(self) -> int:
+        return self.block_size + 2
+
+    @property
+    def encoded_rows(self) -> int:
+        return self.num_blocks * self.stride
+
+    def data_indices(self, block: int) -> np.ndarray:
+        self._check(block)
+        start = block * self.stride
+        return np.arange(start, start + self.block_size)
+
+    def plain_index(self, block: int) -> int:
+        self._check(block)
+        return block * self.stride + self.block_size
+
+    def weighted_index(self, block: int) -> int:
+        self._check(block)
+        return block * self.stride + self.block_size + 1
+
+    def all_data_indices(self) -> np.ndarray:
+        return np.concatenate(
+            [self.data_indices(b) for b in range(self.num_blocks)]
+        )
+
+    def _check(self, block: int) -> None:
+        if not 0 <= block < self.num_blocks:
+            raise IndexError(f"block {block} out of range 0..{self.num_blocks - 1}")
+
+
+def encode_partitioned_weighted_columns(a: np.ndarray, block_size: int):
+    """Encode ``A`` with per-block plain and weighted column-checksum rows."""
+    a = np.asarray(a, dtype=np.float64)
+    if a.ndim != 2:
+        raise ShapeError(f"expected a 2-D matrix, got shape {a.shape}")
+    layout = PartitionedWeightedLayout(data_rows=a.shape[0], block_size=block_size)
+    w = linear_weights(block_size)
+    out = np.empty((layout.encoded_rows, a.shape[1]))
+    for blk in range(layout.num_blocks):
+        rows = slice(blk * block_size, (blk + 1) * block_size)
+        out[layout.data_indices(blk), :] = a[rows, :]
+        out[layout.plain_index(blk), :] = a[rows, :].sum(axis=0)
+        out[layout.weighted_index(blk), :] = w @ a[rows, :]
+    return out, layout
+
+
+@dataclass(frozen=True)
+class BlockWeightedFinding:
+    """One flagged (block-row, column) comparison with its located element."""
+
+    block_row: int
+    column: int
+    plain_discrepancy: float
+    weighted_discrepancy: float
+    plain_epsilon: float
+    weighted_epsilon: float
+    located_row: int | None  # *global* data-row index when the ratio resolves
+
+
+@dataclass
+class PartitionedWeightedResult:
+    """Outcome of a partitioned weighted-checksum multiplication."""
+
+    c: np.ndarray
+    c_wc: np.ndarray
+    layout: PartitionedWeightedLayout
+    findings: list[BlockWeightedFinding]
+
+    @property
+    def detected(self) -> bool:
+        return bool(self.findings)
+
+    def correct(self) -> np.ndarray:
+        """Correct one located single error; returns the fixed data matrix."""
+        if not self.findings:
+            raise CorrectionError("no findings to correct")
+        if len(self.findings) > 1:
+            raise CorrectionError(
+                f"{len(self.findings)} comparisons flagged; single-error "
+                "correction requires exactly one"
+            )
+        f = self.findings[0]
+        if f.located_row is None:
+            raise CorrectionError(
+                f"block {f.block_row}, column {f.column}: ratio does not "
+                "resolve a single row"
+            )
+        fixed = self.c.copy()
+        fixed[f.located_row, f.column] -= f.plain_discrepancy
+        return fixed
+
+
+class PartitionedWeightedChecker:
+    """Checks products of one prepared (A_wc, B) pair, block by block."""
+
+    def __init__(
+        self,
+        a_wc: np.ndarray,
+        layout: PartitionedWeightedLayout,
+        b: np.ndarray,
+        scheme: BoundScheme | None = None,
+        p: int = 2,
+        ratio_slack: float = 0.25,
+    ) -> None:
+        a_wc = np.asarray(a_wc, dtype=np.float64)
+        b = np.asarray(b, dtype=np.float64)
+        if a_wc.shape != (layout.encoded_rows, b.shape[0]):
+            raise ShapeError(
+                f"encoded operand {a_wc.shape} does not match layout/inner dim"
+            )
+        self.layout = layout
+        self.weights = linear_weights(layout.block_size)
+        self.scheme = scheme or ProbabilisticBound()
+        self.ratio_slack = ratio_slack
+        self.n = a_wc.shape[1]
+        self._row_tops = top_p_of_rows(a_wc, min(p, self.n))
+        self._col_tops = top_p_of_columns(b, min(p, b.shape[0]))
+
+    def _epsilon(self, encoded_row: int, col: int) -> float:
+        return self.scheme.epsilon(
+            BoundContext(
+                n=self.n,
+                m=self.layout.block_size,
+                upper_bound=determine_upper_bound(
+                    self._row_tops[encoded_row], self._col_tops[col]
+                ),
+            )
+        )
+
+    def check(self, c_wc: np.ndarray) -> PartitionedWeightedResult:
+        """Check a (possibly corrupted) product of the prepared operands."""
+        c_wc = np.asarray(c_wc, dtype=np.float64)
+        layout = self.layout
+        if c_wc.shape[0] != layout.encoded_rows:
+            raise ShapeError(
+                f"product must have {layout.encoded_rows} rows, got {c_wc.shape[0]}"
+            )
+        findings: list[BlockWeightedFinding] = []
+        for blk in range(layout.num_blocks):
+            data = c_wc[layout.data_indices(blk), :]
+            d_plain = data.sum(axis=0) - c_wc[layout.plain_index(blk), :]
+            d_weighted = self.weights @ data - c_wc[layout.weighted_index(blk), :]
+            for j in range(c_wc.shape[1]):
+                eps_p = self._epsilon(layout.plain_index(blk), j)
+                eps_w = self._epsilon(layout.weighted_index(blk), j)
+                p_hit = abs(d_plain[j]) > eps_p or not np.isfinite(d_plain[j])
+                w_hit = abs(d_weighted[j]) > eps_w or not np.isfinite(d_weighted[j])
+                if not (p_hit or w_hit):
+                    continue
+                located: int | None = None
+                if (
+                    p_hit
+                    and np.isfinite(d_plain[j])
+                    and np.isfinite(d_weighted[j])
+                    and d_plain[j] != 0.0
+                ):
+                    ratio = d_weighted[j] / d_plain[j]
+                    cand = int(round(ratio))
+                    if (
+                        1 <= cand <= layout.block_size
+                        and abs(ratio - cand) < self.ratio_slack
+                    ):
+                        located = blk * layout.block_size + (cand - 1)
+                findings.append(
+                    BlockWeightedFinding(
+                        block_row=blk,
+                        column=j,
+                        plain_discrepancy=float(d_plain[j]),
+                        weighted_discrepancy=float(d_weighted[j]),
+                        plain_epsilon=eps_p,
+                        weighted_epsilon=eps_w,
+                        located_row=located,
+                    )
+                )
+        data_rows = layout.all_data_indices()
+        return PartitionedWeightedResult(
+            c=np.ascontiguousarray(c_wc[data_rows, :]),
+            c_wc=c_wc,
+            layout=layout,
+            findings=findings,
+        )
+
+
+def partitioned_weighted_matmul(
+    a: np.ndarray,
+    b: np.ndarray,
+    block_size: int = 64,
+    p: int = 2,
+    omega: float = 3.0,
+) -> tuple[PartitionedWeightedResult, PartitionedWeightedChecker]:
+    """Protected multiplication with per-block plain + weighted checksums.
+
+    Returns the check result and the reusable checker.  Errors are located
+    to exact positions from column-side encoding alone, with block-local
+    weights (``1..BS``).
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ShapeError(f"incompatible operands: {a.shape} x {b.shape}")
+    a_wc, layout = encode_partitioned_weighted_columns(a, block_size)
+    checker = PartitionedWeightedChecker(
+        a_wc, layout, b, scheme=ProbabilisticBound(omega=omega), p=p
+    )
+    return checker.check(a_wc @ b), checker

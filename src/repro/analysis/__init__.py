@@ -1,0 +1,35 @@
+"""Metrics, statistics and table rendering for experiment reports."""
+
+from .io import (
+    campaign_to_dict,
+    dicts_to_rows,
+    load_results,
+    rows_to_dicts,
+    save_results,
+)
+from .metrics import (
+    DetectionMetrics,
+    bound_tightness_ratio,
+    confusion_counts,
+    detection_metrics,
+)
+from .stats import bootstrap_ci, geometric_mean, mean_abs, order_of_magnitude_gap
+from .tables import format_sci, render_table
+
+__all__ = [
+    "DetectionMetrics",
+    "bootstrap_ci",
+    "campaign_to_dict",
+    "dicts_to_rows",
+    "bound_tightness_ratio",
+    "confusion_counts",
+    "detection_metrics",
+    "format_sci",
+    "geometric_mean",
+    "load_results",
+    "mean_abs",
+    "order_of_magnitude_gap",
+    "render_table",
+    "rows_to_dicts",
+    "save_results",
+]

@@ -1,0 +1,153 @@
+"""Persistence of experiment results (JSON round trips).
+
+Long campaigns and full-size sweeps are expensive; this module serialises
+their outputs so analyses can be re-run, compared across machines, and
+archived next to EXPERIMENTS.md without re-measuring.  Formats are plain
+JSON with a ``kind``/``version`` envelope, so files remain inspectable and
+diff-able.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from ..faults.campaign import CampaignResult
+from ..faults.model import FaultSite
+
+__all__ = [
+    "save_results",
+    "load_results",
+    "campaign_to_dict",
+    "rows_to_dicts",
+    "dicts_to_rows",
+]
+
+_FORMAT_VERSION = 1
+
+
+def _row_kinds() -> dict[str, type]:
+    # Imported lazily: repro.experiments renders its tables through
+    # repro.analysis, so a module-level import here would be circular.
+    from ..experiments.bound_quality import BoundQualityRow
+    from ..experiments.coverage import CoverageRow
+    from ..experiments.figure4 import Figure4Cell
+    from ..experiments.table1 import Table1Row
+
+    return {
+        "table1": Table1Row,
+        "bound_quality": BoundQualityRow,
+        "figure4": Figure4Cell,
+        "coverage": CoverageRow,
+    }
+
+
+def rows_to_dicts(kind: str, rows: list) -> list[dict[str, Any]]:
+    """Serialise a list of experiment-row dataclasses."""
+    kinds = _row_kinds()
+    if kind not in kinds:
+        raise ValueError(f"unknown row kind {kind!r}; expected {sorted(kinds)}")
+    out = []
+    for row in rows:
+        record = dict(vars(row))
+        # Enum members and dict-with-float-keys need explicit encoding.
+        if kind == "figure4":
+            record["site"] = row.site.value
+        if kind == "coverage":
+            record["coverage"] = {str(k): v for k, v in row.coverage.items()}
+        out.append(record)
+    return out
+
+
+def dicts_to_rows(kind: str, records: list[dict[str, Any]]) -> list:
+    """Reconstruct experiment-row dataclasses from serialised form."""
+    kinds = _row_kinds()
+    if kind not in kinds:
+        raise ValueError(f"unknown row kind {kind!r}; expected {sorted(kinds)}")
+    cls = kinds[kind]
+    rows = []
+    for record in records:
+        record = dict(record)
+        if kind == "figure4":
+            record["site"] = FaultSite(record["site"])
+        if kind == "coverage":
+            record["coverage"] = {
+                float(k): v for k, v in record["coverage"].items()
+            }
+        rows.append(cls(**record))
+    return rows
+
+
+def campaign_to_dict(result: CampaignResult) -> dict[str, Any]:
+    """Flatten a campaign result (records keep their decision-relevant
+    fields; full FaultSpec provenance is preserved textually)."""
+    return {
+        "config": {
+            "n": result.config.n,
+            "suite": result.config.suite.name,
+            "num_injections": result.config.num_injections,
+            "block_size": result.config.block_size,
+            "p": result.config.p,
+            "omega": result.config.omega,
+            "fields": list(result.config.fields),
+            "num_flips": result.config.num_flips,
+            "fault_model": result.config.fault_model,
+            "schemes": list(result.config.schemes),
+            "seed": result.config.seed,
+        },
+        "false_positive_free": result.false_positive_free,
+        "records": [
+            {
+                "site": r.spec.site.value,
+                "spec": r.spec.describe(),
+                "encoded_row": r.encoded_row,
+                "encoded_col": r.encoded_col,
+                "delta": r.delta,
+                "critical": r.is_critical,
+                "detected": r.detected,
+            }
+            for r in result.records
+        ],
+        "rates": {
+            scheme: result.detection_rate(scheme)
+            for scheme in result.config.schemes
+        },
+    }
+
+
+def save_results(path: str | Path, kind: str, payload: Any) -> Path:
+    """Write one result set to ``path`` with the format envelope.
+
+    ``payload`` is a list of rows (for row kinds) or a
+    :class:`~repro.faults.campaign.CampaignResult` (kind ``"campaign"``).
+    """
+    path = Path(path)
+    if kind == "campaign":
+        body = campaign_to_dict(payload)
+    else:
+        body = rows_to_dicts(kind, payload)
+    envelope = {"kind": kind, "version": _FORMAT_VERSION, "data": body}
+    path.write_text(json.dumps(envelope, indent=2, allow_nan=True))
+    return path
+
+
+def load_results(path: str | Path) -> tuple[str, Any]:
+    """Read a result file back; returns ``(kind, payload)``.
+
+    Row kinds reconstruct their dataclasses; campaigns return the plain
+    dictionary (the original workload matrices are not stored, so the full
+    object cannot be rebuilt — by design).
+    """
+    path = Path(path)
+    envelope = json.loads(path.read_text())
+    kind = envelope.get("kind")
+    version = envelope.get("version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"{path}: unsupported format version {version!r} "
+            f"(expected {_FORMAT_VERSION})"
+        )
+    if kind == "campaign":
+        return kind, envelope["data"]
+    return kind, dicts_to_rows(kind, envelope["data"])

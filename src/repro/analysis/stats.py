@@ -1,0 +1,58 @@
+"""Small statistics helpers shared by experiments and tests."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["geometric_mean", "mean_abs", "order_of_magnitude_gap", "bootstrap_ci"]
+
+
+def geometric_mean(values: np.ndarray) -> float:
+    """Geometric mean of strictly positive values."""
+    arr = np.asarray(values, dtype=np.float64).ravel()
+    if arr.size == 0:
+        raise ValueError("geometric mean of an empty array")
+    if np.any(arr <= 0.0):
+        raise ValueError("geometric mean requires strictly positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def mean_abs(values: np.ndarray) -> float:
+    """Mean of absolute values (the paper's AVG columns)."""
+    arr = np.asarray(values, dtype=np.float64).ravel()
+    if arr.size == 0:
+        raise ValueError("mean of an empty array")
+    return float(np.mean(np.abs(arr)))
+
+
+def order_of_magnitude_gap(a: float, b: float) -> float:
+    """``log10(a / b)`` — how many decades ``a`` exceeds ``b`` by."""
+    if a <= 0.0 or b <= 0.0:
+        raise ValueError("both values must be positive")
+    return math.log10(a / b)
+
+
+def bootstrap_ci(
+    values: np.ndarray,
+    rng: np.random.Generator,
+    statistic=np.mean,
+    num_resamples: int = 1000,
+    confidence: float = 0.95,
+) -> tuple[float, float]:
+    """Percentile bootstrap confidence interval for ``statistic(values)``."""
+    arr = np.asarray(values, dtype=np.float64).ravel()
+    if arr.size == 0:
+        raise ValueError("bootstrap of an empty array")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    stats = np.empty(num_resamples)
+    for i in range(num_resamples):
+        sample = arr[rng.integers(arr.size, size=arr.size)]
+        stats[i] = statistic(sample)
+    alpha = (1.0 - confidence) / 2.0
+    return (
+        float(np.quantile(stats, alpha)),
+        float(np.quantile(stats, 1.0 - alpha)),
+    )

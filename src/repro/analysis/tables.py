@@ -1,0 +1,49 @@
+"""Plain-text table rendering for experiment reports.
+
+Every experiment driver renders its results through :func:`render_table`, so
+the benchmark output looks like the paper's tables and diffs cleanly across
+runs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["render_table", "format_sci"]
+
+
+def format_sci(value: float, digits: int = 2) -> str:
+    """Format like the paper's tables: ``1.68e-11`` style."""
+    if value != value:  # NaN
+        return "n/a"
+    return f"{value:.{digits}e}"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+    min_width: int = 10,
+) -> str:
+    """Render an aligned monospace table.
+
+    Cells are stringified with ``str``; floats should be pre-formatted by the
+    caller (e.g. with :func:`format_sci`).
+    """
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [max(min_width, len(h)) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

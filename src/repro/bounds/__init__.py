@@ -1,0 +1,65 @@
+"""Error-bound schemes for ABFT checksum comparison.
+
+The paper's contribution (:class:`ProbabilisticBound`, autonomous at
+runtime), its baselines (:class:`SEABound`, :class:`FixedBound`) and the
+classic worst-case :class:`AnalyticalBound`, all behind the common
+:class:`BoundScheme` interface.
+"""
+
+from .analytical import AnalyticalBound, dot_product_bound, gamma_factor
+from .base import BoundContext, BoundScheme
+from .calibrated import CalibratedBound, calibrate
+from .errormap import ErrorMap, rounding_error_map, upper_bound_grid
+from .fixed import FixedBound, RelativeFixedBound
+from .probabilistic import (
+    ProbabilisticBound,
+    confidence_interval,
+    inner_product_mean_bound,
+    inner_product_sigma_bound,
+    inner_product_variance_bound,
+    mantissa_error_moments,
+    prod_mean_bound,
+    prod_variance_bound,
+    sum_sigma_bound,
+    sum_variance_bound,
+)
+from .sea import SEABound, sea_epsilon
+from .upper_bound import (
+    TopP,
+    determine_upper_bound,
+    exact_upper_bound,
+    top_p_of_columns,
+    top_p_of_rows,
+)
+
+__all__ = [
+    "AnalyticalBound",
+    "BoundContext",
+    "BoundScheme",
+    "CalibratedBound",
+    "calibrate",
+    "ErrorMap",
+    "FixedBound",
+    "ProbabilisticBound",
+    "RelativeFixedBound",
+    "SEABound",
+    "TopP",
+    "confidence_interval",
+    "determine_upper_bound",
+    "dot_product_bound",
+    "exact_upper_bound",
+    "gamma_factor",
+    "inner_product_mean_bound",
+    "inner_product_sigma_bound",
+    "inner_product_variance_bound",
+    "mantissa_error_moments",
+    "prod_mean_bound",
+    "prod_variance_bound",
+    "rounding_error_map",
+    "sea_epsilon",
+    "sum_sigma_bound",
+    "sum_variance_bound",
+    "top_p_of_columns",
+    "top_p_of_rows",
+    "upper_bound_grid",
+]

@@ -1,0 +1,84 @@
+"""Classic deterministic (worst-case) rounding-error bounds.
+
+Section III of the paper discusses "the evaluation of classic analytical
+error estimations" (Higham; Golub/Van Loan) as an alternative source of
+tolerances and dismisses them as "in most cases very pessimistic".  We
+implement the standard forward bound so that claim can be checked
+quantitatively (see the bound-quality ablation benchmark):
+
+For a dot product of length ``n`` computed in precision ``u = 2**-t``
+(Higham, *Accuracy and Stability of Numerical Algorithms*, Section 3.1):
+
+    |fl(x^T y) - x^T y| <= gamma_n * |x|^T |y|,
+    gamma_n = n*u / (1 - n*u)
+
+Applied to an ABFT checksum comparison, both the checksum element and the
+reference recomputation contribute, so the tolerance doubles conservatively.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import BoundSchemeError
+from ..fp.constants import BINARY64, FloatFormat
+from .base import BoundContext, BoundScheme
+
+__all__ = ["gamma_factor", "dot_product_bound", "AnalyticalBound"]
+
+
+def gamma_factor(n: int, t: int) -> float:
+    """Higham's ``gamma_n = n*u / (1 - n*u)`` with ``u = 2**-t``.
+
+    Raises
+    ------
+    ValueError
+        If ``n*u >= 1`` (the bound is vacuous there).
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    u = math.ldexp(1.0, -t)
+    nu = n * u
+    if nu >= 1.0:
+        raise ValueError(f"gamma_n undefined: n*u = {nu} >= 1")
+    return nu / (1.0 - nu)
+
+
+def dot_product_bound(abs_inner_product: float, n: int, t: int) -> float:
+    """Worst-case forward error of a length-``n`` dot product.
+
+    ``abs_inner_product`` is ``|x|^T |y|`` (the inner product of absolute
+    values), the natural condition measure of the bound.
+    """
+    if abs_inner_product < 0.0:
+        raise ValueError("|x|^T|y| must be non-negative")
+    return gamma_factor(n, t) * abs_inner_product
+
+
+@dataclass
+class AnalyticalBound(BoundScheme):
+    """Deterministic Higham-style tolerance for checksum comparisons.
+
+    Uses ``ctx.n`` and ``ctx.upper_bound`` (as the per-term product bound,
+    so ``|x|^T|y| <= n * y``); doubled to cover the reference-recomputation
+    side as well.  Deliberately pessimistic — it exists as the quantitative
+    backdrop for the paper's claim that analytical bounds are too loose.
+    """
+
+    fmt: FloatFormat = BINARY64
+    name: str = "analytical"
+
+    def epsilon(self, ctx: BoundContext) -> float:
+        if ctx.upper_bound is None:
+            raise BoundSchemeError(
+                "AnalyticalBound requires BoundContext.upper_bound as the "
+                "per-term product magnitude bound"
+            )
+        abs_ip = ctx.n * float(np.abs(ctx.upper_bound))
+        return 2.0 * dot_product_bound(abs_ip, ctx.n, self.fmt.t)
+
+    def describe(self) -> str:
+        return f"deterministic gamma_n worst-case bound (t={self.fmt.t})"

@@ -1,0 +1,71 @@
+"""Common interface for error-bound schemes.
+
+An ABFT check compares the absolute discrepancy between an original checksum
+element (that went through the multiplication) and a freshly computed
+reference checksum against a tolerance ``epsilon`` (paper Eq. 6).  The
+library's bound schemes — fixed/manual, SEA, and the A-ABFT probabilistic
+scheme — all implement :class:`BoundScheme`, so the checking code and the
+experiments are generic over the scheme.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BoundContext", "BoundScheme"]
+
+
+@dataclass(frozen=True)
+class BoundContext:
+    """Everything a bound scheme may consult for one checksum comparison.
+
+    Not every scheme uses every field; each documents what it reads.
+
+    Attributes
+    ----------
+    n:
+        Length of the inner products forming the checked elements (the inner
+        dimension of the multiplication).
+    m:
+        Number of data elements folded into one checksum (the block size of
+        the partitioned encoding, or the full row/column count for
+        unpartitioned ABFT).
+    upper_bound:
+        The runtime-determined bound ``y`` on the magnitude of any
+        intermediate product contributing to the checked element
+        (Section IV-E).  ``None`` for schemes that do not use it.
+    a_norms:
+        Euclidean norms of the relevant row vectors of ``A`` (data rows
+        first, checksum row last) — consumed by the SEA scheme.
+    b_norm:
+        Euclidean norm of the relevant column vector of ``B`` — SEA scheme.
+    """
+
+    n: int
+    m: int
+    upper_bound: float | None = None
+    a_norms: np.ndarray | None = None
+    b_norm: float | None = None
+
+
+class BoundScheme(abc.ABC):
+    """Produces the tolerance ``epsilon`` for a checksum comparison."""
+
+    #: Identifier used in reports and experiment tables.
+    name: str = "bound"
+
+    @abc.abstractmethod
+    def epsilon(self, ctx: BoundContext) -> float:
+        """Tolerance for one checksum comparison described by ``ctx``.
+
+        Must be non-negative and finite; raising
+        :class:`~repro.errors.BoundSchemeError` is the correct response to a
+        context missing required fields.
+        """
+
+    def describe(self) -> str:
+        """One-line human-readable description (scheme + parameters)."""
+        return self.name

@@ -1,0 +1,126 @@
+"""Calibration-run bounds — the related-work baseline A-ABFT replaces.
+
+Section III of the paper describes the oldest approach to the tolerance
+problem (Banerjee et al.; Balasubramanian): "the experimental evaluation of
+error bounds ... by performing multiple calibration runs of the target
+operation on similar data sets.  An initial error bound is set and increased
+after each operation until no more false-positives are detected."  The paper
+dismisses it: besides the calibration cost, "the determined error bounds are
+dependent on the problem size and very likely to fail if slightest changes
+happen to the characteristic of the input data".
+
+This module implements that baseline honestly — calibrate on sample inputs,
+apply the learned constant everywhere — so the criticism can be measured:
+``benchmarks/bench_calibration_baseline.py`` shows the learned bound turning
+into mass false positives or missed errors the moment the input
+distribution or the matrix size moves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..abft.checking import column_discrepancies, row_discrepancies
+from ..abft.encoding import encode_partitioned_columns, encode_partitioned_rows
+from ..errors import BoundSchemeError
+from ..workloads.suites import WorkloadSuite
+from .base import BoundContext, BoundScheme
+
+__all__ = ["CalibratedBound", "calibrate"]
+
+
+@dataclass
+class CalibratedBound(BoundScheme):
+    """A constant tolerance learned from calibration runs.
+
+    Attributes
+    ----------
+    value:
+        The learned tolerance (max observed fault-free discrepancy times
+        the safety factor).
+    calibrated_n:
+        Matrix dimension of the calibration runs — the learned constant is
+        only meaningful there, which is the point.
+    calibrated_suite:
+        Name of the input distribution calibrated on.
+    safety:
+        Multiplier applied to the worst observed discrepancy.
+    """
+
+    value: float
+    calibrated_n: int
+    calibrated_suite: str
+    safety: float
+    name: str = "abft-calibrated"
+
+    def __post_init__(self) -> None:
+        if not np.isfinite(self.value) or self.value <= 0.0:
+            raise BoundSchemeError(
+                f"calibrated bound must be positive and finite, got {self.value}"
+            )
+
+    def epsilon(self, ctx: BoundContext) -> float:
+        return self.value
+
+    def describe(self) -> str:
+        return (
+            f"calibrated bound (eps={self.value:.3e}, learned on "
+            f"{self.calibrated_suite} at n={self.calibrated_n}, "
+            f"safety={self.safety:g})"
+        )
+
+
+def calibrate(
+    suite: WorkloadSuite,
+    n: int,
+    rng: np.random.Generator,
+    runs: int = 5,
+    block_size: int = 64,
+    safety: float = 2.0,
+) -> CalibratedBound:
+    """Learn a tolerance from fault-free calibration multiplications.
+
+    Runs ``runs`` multiplications on fresh inputs from ``suite``, records
+    the largest checksum discrepancy any comparison produced, and returns
+    that worst case scaled by ``safety`` — the classical procedure.
+
+    Parameters
+    ----------
+    suite:
+        The input distribution calibrated against ("similar data sets").
+    n:
+        Matrix dimension of the calibration runs.
+    runs:
+        Number of fault-free multiplications (the calibration overhead the
+        paper criticises scales linearly here).
+    safety:
+        Headroom multiplier above the worst observed discrepancy.
+    """
+    if runs < 1:
+        raise ValueError("at least one calibration run is required")
+    if safety < 1.0:
+        raise ValueError("safety factor below 1 would flag the calibration data")
+    worst = 0.0
+    for _ in range(runs):
+        pair = suite.generate(n, rng)
+        a_cc, rows = encode_partitioned_columns(pair.a, block_size)
+        b_rc, cols = encode_partitioned_rows(pair.b, block_size)
+        c_fc = a_cc @ b_rc
+        worst = max(
+            worst,
+            float(column_discrepancies(c_fc, rows).max()),
+            float(row_discrepancies(c_fc, cols).max()),
+        )
+    if worst == 0.0:
+        raise BoundSchemeError(
+            "calibration observed zero discrepancies (exact-arithmetic "
+            "inputs?); the learned bound would flag everything"
+        )
+    return CalibratedBound(
+        value=safety * worst,
+        calibrated_n=n,
+        calibrated_suite=suite.name,
+        safety=safety,
+    )

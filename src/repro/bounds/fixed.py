@@ -1,0 +1,74 @@
+"""Manually set (fixed) error bounds — the paper's non-autonomous baseline.
+
+The "standard ABFT scheme for matrix multiplications on GPUs, whose error
+bounds have to be set manually by the user" (Section VI-A).  It has the
+lowest runtime overhead but requires the user to know the input
+characteristics; a bound chosen too tight causes false positives, too loose
+causes false negatives — the failure mode A-ABFT removes.
+
+Two variants are provided:
+
+* :class:`FixedBound` — one absolute tolerance for every comparison;
+* :class:`RelativeFixedBound` — tolerance relative to the checksum magnitude,
+  a common practitioner heuristic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import BoundSchemeError
+from .base import BoundContext, BoundScheme
+
+__all__ = ["FixedBound", "RelativeFixedBound"]
+
+
+@dataclass
+class FixedBound(BoundScheme):
+    """A single user-chosen absolute tolerance."""
+
+    value: float
+    name: str = "abft-fixed"
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.value) or self.value < 0.0:
+            raise BoundSchemeError(
+                f"fixed bound must be finite and non-negative, got {self.value}"
+            )
+
+    def epsilon(self, ctx: BoundContext) -> float:
+        return self.value
+
+    def describe(self) -> str:
+        return f"manually fixed bound (epsilon={self.value:.3e})"
+
+
+@dataclass
+class RelativeFixedBound(BoundScheme):
+    """Tolerance proportional to a user-supplied magnitude estimate.
+
+    ``epsilon = rel_tol * scale * n`` — the practitioner's rule of thumb of
+    budgeting ``rel_tol`` per accumulated term.  ``scale`` plays the role of
+    the expected checksum magnitude and must be supplied by the user, which
+    is exactly the non-autonomy A-ABFT eliminates.
+    """
+
+    rel_tol: float
+    scale: float
+    name: str = "abft-relative"
+
+    def __post_init__(self) -> None:
+        if self.rel_tol <= 0.0 or not math.isfinite(self.rel_tol):
+            raise BoundSchemeError(f"rel_tol must be positive, got {self.rel_tol}")
+        if self.scale <= 0.0 or not math.isfinite(self.scale):
+            raise BoundSchemeError(f"scale must be positive, got {self.scale}")
+
+    def epsilon(self, ctx: BoundContext) -> float:
+        return self.rel_tol * self.scale * ctx.n
+
+    def describe(self) -> str:
+        return (
+            f"relative fixed bound (rel_tol={self.rel_tol:.3e}, "
+            f"scale={self.scale:.3e})"
+        )

@@ -1,0 +1,115 @@
+"""Runtime determination of the upper bound ``y`` (paper Section IV-E).
+
+The probabilistic model needs, for every checked element ``c_{i,j}``, an
+upper bound ``y >= |a_{i,k} * b_{k,j}|`` on every intermediate product.  The
+autonomous scheme pre-computes, during encoding, the ``p`` elements with the
+largest absolute values (and their indices) of every row of ``A`` and every
+column of ``B``.  At check time ``y`` is the **maximum of three cases**:
+
+1. shared indices ``S = A_idx ∩ B_idx ≠ ∅``: candidate ``max_{s∈S} |a_s b_s|``
+   — two large values actually meet;
+2. the largest ``|a|`` pairs with some element outside ``B``'s top-p, which
+   is at most ``min_{s∈B_idx} |b_s|``: candidate ``max|a| * min_top|b|``;
+3. symmetrically ``max|b| * min_top|a|``.
+
+Cases 2 and 3 are always valid bounds for products whose index is missing
+from one of the top-p sets, so the overall ``y`` is the maximum of all
+candidates.  Larger ``p`` tightens cases 2/3 (the ``min`` shrinks) at higher
+pre-processing cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["TopP", "top_p_of_rows", "top_p_of_columns", "determine_upper_bound", "exact_upper_bound"]
+
+
+@dataclass(frozen=True)
+class TopP:
+    """The ``p`` largest absolute values (descending) and their indices
+    for one vector.
+
+    ``values[0]`` is the global maximum of the vector's absolute values;
+    ``values[-1]`` is the ``p``-th largest (the ``min`` of cases 2/3).
+    """
+
+    values: np.ndarray
+    indices: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.values.shape != self.indices.shape:
+            raise ValueError("values and indices must have matching shapes")
+        if self.values.ndim != 1 or self.values.size == 0:
+            raise ValueError("TopP requires a non-empty 1-D value array")
+
+    @property
+    def p(self) -> int:
+        return int(self.values.size)
+
+    @property
+    def max(self) -> float:
+        return float(self.values[0])
+
+    @property
+    def min(self) -> float:
+        return float(self.values[-1])
+
+
+def _top_p_along(matrix: np.ndarray, p: int, axis: int) -> list[TopP]:
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValueError(f"expected a 2-D matrix, got shape {matrix.shape}")
+    length = matrix.shape[axis]
+    if not 1 <= p <= length:
+        raise ValueError(f"p must be in 1..{length}, got {p}")
+    absolute = np.abs(matrix)
+    # argpartition gives the top-p set; a final sort orders it descending.
+    part = np.argpartition(absolute, length - p, axis=axis)
+    if axis == 1:
+        idx = part[:, length - p :]
+        vals = np.take_along_axis(absolute, idx, axis=1)
+        order = np.argsort(-vals, axis=1)
+        idx = np.take_along_axis(idx, order, axis=1)
+        vals = np.take_along_axis(vals, order, axis=1)
+        return [TopP(values=vals[i], indices=idx[i]) for i in range(matrix.shape[0])]
+    idx = part[length - p :, :]
+    vals = np.take_along_axis(absolute, idx, axis=0)
+    order = np.argsort(-vals, axis=0)
+    idx = np.take_along_axis(idx, order, axis=0)
+    vals = np.take_along_axis(vals, order, axis=0)
+    return [TopP(values=vals[:, j], indices=idx[:, j]) for j in range(matrix.shape[1])]
+
+
+def top_p_of_rows(matrix: np.ndarray, p: int) -> list[TopP]:
+    """Top-p absolute values of every row (for the rows of ``A``)."""
+    return _top_p_along(matrix, p, axis=1)
+
+
+def top_p_of_columns(matrix: np.ndarray, p: int) -> list[TopP]:
+    """Top-p absolute values of every column (for the columns of ``B``)."""
+    return _top_p_along(matrix, p, axis=0)
+
+
+def determine_upper_bound(row_top: TopP, col_top: TopP) -> float:
+    """The three-case maximum ``y`` for one (row of A, column of B) pair."""
+    # Cases 2 and 3 are valid bounds regardless of the intersection.
+    candidates = [row_top.max * col_top.min, col_top.max * row_top.min]
+    # Case 1: indices present in both top-p sets pair their actual values.
+    shared, a_pos, b_pos = np.intersect1d(
+        row_top.indices, col_top.indices, return_indices=True
+    )
+    if shared.size:
+        candidates.append(float(np.max(row_top.values[a_pos] * col_top.values[b_pos])))
+    return max(candidates)
+
+
+def exact_upper_bound(a_row: np.ndarray, b_col: np.ndarray) -> float:
+    """Ground truth ``max_k |a_k * b_k|`` for validating the three-case rule."""
+    a_row = np.asarray(a_row, dtype=np.float64).ravel()
+    b_col = np.asarray(b_col, dtype=np.float64).ravel()
+    if a_row.shape != b_col.shape:
+        raise ValueError("vectors must have equal length")
+    return float(np.max(np.abs(a_row * b_col)))

@@ -1,0 +1,206 @@
+"""Command-line interface: ``aabft <command>``.
+
+Commands
+--------
+``aabft table1``          — modelled Table I (performance comparison)
+``aabft bounds``          — Tables II-IV (bound quality vs. exact errors)
+``aabft detect``          — Figure 4 (fault-injection detection rates)
+``aabft coverage``        — confidence-interval coverage validation
+``aabft all``             — everything, at quick or full scale
+``aabft demo``            — a protected multiplication with a live fault
+
+The ``--full`` flag switches to the paper's complete 512..8192 sweeps
+(slow: exact arithmetic and functional simulation on a CPU).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="aabft",
+        description=(
+            "A-ABFT (DSN'14) reproduction: autonomous ABFT matrix "
+            "multiplication experiments"
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=2014, help="global RNG seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="modelled performance table (Table I)")
+
+    bounds = sub.add_parser("bounds", help="bound-quality tables (Tables II-IV)")
+    bounds.add_argument("--full", action="store_true", help="paper-size sweep")
+    bounds.add_argument("--samples", type=int, default=64)
+
+    detect = sub.add_parser("detect", help="detection experiment (Figure 4)")
+    detect.add_argument("--full", action="store_true", help="paper-size sweep")
+    detect.add_argument("--injections", type=int, default=120, help="per cell")
+    detect.add_argument(
+        "--flips", type=int, default=1, help="bits flipped per fault (1/3/5)"
+    )
+    detect.add_argument(
+        "--field",
+        choices=("mantissa", "exponent", "sign"),
+        default="mantissa",
+    )
+
+    cov = sub.add_parser(
+        "coverage", help="confidence-interval coverage validation"
+    )
+    cov.add_argument("--full", action="store_true", help="paper-size sweep")
+    cov.add_argument("--samples", type=int, default=64)
+
+    allcmd = sub.add_parser("all", help="regenerate every table and figure")
+    allcmd.add_argument("--full", action="store_true", help="paper-size sweeps")
+
+    demo = sub.add_parser("demo", help="protected multiplication with a live fault")
+    demo.add_argument("--n", type=int, default=256)
+    return parser
+
+
+def _cmd_table1() -> int:
+    from .experiments import overhead_summary, render_table1, run_table1
+
+    rows = run_table1()
+    print(render_table1(rows))
+    print(overhead_summary(rows))
+    return 0
+
+
+def _cmd_bounds(args: argparse.Namespace) -> int:
+    from .experiments import (
+        TABLE2_UNIT,
+        TABLE3_HUNDRED,
+        TABLE4_DYNAMIC,
+        measure_bound_quality,
+        render_bound_table,
+    )
+    from .workloads import SUITE_DYNAMIC_K2, SUITE_HUNDRED, SUITE_UNIT
+
+    sizes = (512, 1024, 2048, 3072, 4096, 5120, 6144, 7168, 8192) if args.full else (
+        512,
+        1024,
+    )
+    rng = np.random.default_rng(args.seed)
+    for suite, paper, label in (
+        (SUITE_UNIT, TABLE2_UNIT, "Table II — inputs U(-1, 1)"),
+        (SUITE_HUNDRED, TABLE3_HUNDRED, "Table III — inputs U(-100, 100)"),
+        (SUITE_DYNAMIC_K2, TABLE4_DYNAMIC, "Table IV — Eq. 47 (alpha=0, kappa=2)"),
+    ):
+        rows = [
+            measure_bound_quality(suite, n, rng, num_samples=args.samples)
+            for n in sizes
+        ]
+        print(render_bound_table(rows, paper, title=label))
+        print()
+    return 0
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    from .experiments import render_figure4, run_figure4
+    from .workloads import DETECTION_SUITES
+
+    sizes = (512, 1024, 2048, 4096, 8192) if args.full else (512, 1024)
+    cells = run_figure4(
+        suites=DETECTION_SUITES,
+        sizes=sizes,
+        injections_per_cell=args.injections,
+        fields=(args.field,),
+        num_flips=args.flips,
+        seed=args.seed,
+    )
+    print(render_figure4(cells))
+    return 0
+
+
+def _cmd_coverage(args: argparse.Namespace) -> int:
+    from .experiments import measure_coverage, render_coverage
+    from .workloads import PAPER_SUITES
+
+    sizes = (512, 1024, 2048, 4096, 8192) if args.full else (512, 1024)
+    rng = np.random.default_rng(args.seed)
+    rows = [
+        measure_coverage(suite, n, rng, num_samples=args.samples)
+        for suite in PAPER_SUITES
+        for n in sizes
+    ]
+    print(render_coverage(rows))
+    return 0
+
+
+def _cmd_all(args: argparse.Namespace) -> int:
+    from .experiments import FULL, QUICK, run_all
+
+    print(run_all(FULL if args.full else QUICK, seed=args.seed))
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from .abft.pipeline import AABFTPipeline
+    from .faults.injector import FaultInjector
+    from .faults.model import FaultSite, FaultSpec
+    from .gpusim.simulator import GpuSimulator
+
+    rng = np.random.default_rng(args.seed)
+    n = args.n - args.n % 64 or 64
+    a = rng.uniform(-1.0, 1.0, (n, n))
+    b = rng.uniform(-1.0, 1.0, (n, n))
+
+    sim = GpuSimulator()
+    pipeline = AABFTPipeline(sim, block_size=64, p=2)
+
+    clean = pipeline.run(a, b)
+    print(f"fault-free run: detected={clean.detected} (expect False)")
+
+    num_blocks = (n // 64) ** 2
+    from .fp.errorvec import ErrorVector
+
+    bit = int(rng.integers(44, 52))  # a high mantissa bit: visibly critical
+    spec = FaultSpec(
+        sm_id=int(rng.integers(min(sim.device.num_sms, num_blocks))),
+        site=FaultSite.INNER_ADD,
+        module_row=3,
+        module_col=5,
+        error_vector=ErrorVector(mask=1 << bit, field="mantissa", bit_indices=(bit,)),
+        k_injection=int(rng.integers(n)),
+    )
+    injector = FaultInjector(spec, rng)
+    faulty = pipeline.run(a, b, injector=injector)
+    print(f"injected: {spec.describe()}")
+    print(
+        f"faulty run: detected={faulty.detected}, "
+        f"failed checks={faulty.report.num_failed}, "
+        f"located={faulty.report.located_errors}"
+    )
+    print(sim.profiler.summary())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point (``aabft`` console script)."""
+    args = build_parser().parse_args(argv)
+    if args.command == "table1":
+        return _cmd_table1()
+    if args.command == "bounds":
+        return _cmd_bounds(args)
+    if args.command == "detect":
+        return _cmd_detect(args)
+    if args.command == "coverage":
+        return _cmd_coverage(args)
+    if args.command == "all":
+        return _cmd_all(args)
+    if args.command == "demo":
+        return _cmd_demo(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

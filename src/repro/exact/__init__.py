@@ -1,0 +1,41 @@
+"""Exact reference arithmetic (the paper's GMP substitute).
+
+Two independent exact paths — rational arithmetic and error-free
+transformations — provide exactly rounded inner products and exact rounding
+errors for the bound-quality experiments.
+"""
+
+from .compensated import (
+    compensated_dot,
+    exact_dot_errors,
+    exact_dot_float,
+    fast_two_sum,
+    split,
+    two_prod,
+    two_sum,
+)
+from .fraction_ops import (
+    exact_dot,
+    exact_matmul_element,
+    exact_rounding_error,
+    exact_sum,
+    round_fraction_to_float,
+)
+from .reference import ExactReference, RoundingErrorSample
+
+__all__ = [
+    "ExactReference",
+    "RoundingErrorSample",
+    "compensated_dot",
+    "exact_dot",
+    "exact_dot_errors",
+    "exact_dot_float",
+    "exact_matmul_element",
+    "exact_rounding_error",
+    "exact_sum",
+    "fast_two_sum",
+    "round_fraction_to_float",
+    "split",
+    "two_prod",
+    "two_sum",
+]

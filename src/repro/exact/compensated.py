@@ -1,0 +1,169 @@
+"""Error-free transformations: the fast exact-reference engine.
+
+The bound-quality experiments (paper Tables II-IV) need the *exact* rounding
+error of millions of inner products.  Rational arithmetic
+(:mod:`repro.exact.fraction_ops`) is exact but slow; this module provides the
+classical error-free transformations (Knuth's two_sum, Dekker's split /
+two_prod) that represent each floating-point product ``a*b`` exactly as an
+unevaluated sum ``hi + lo`` of two floats.  Feeding all ``hi`` and ``lo``
+terms to :func:`math.fsum` — which returns the correctly rounded sum of its
+inputs — then yields the exactly rounded value of the inner product, i.e.
+the same float GMP would produce at sufficient precision.
+
+References: T. J. Dekker, "A floating-point technique for extending the
+available precision", Numer. Math. 18 (1971); Ogita/Rump/Oishi, "Accurate sum
+and dot product", SISC 26 (2005).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "two_sum",
+    "fast_two_sum",
+    "split",
+    "two_prod",
+    "exact_dot_float",
+    "exact_dot_errors",
+    "compensated_dot",
+]
+
+# Dekker's splitting constant for binary64: 2**ceil(53/2) + 1.
+_SPLITTER = float((1 << 27) + 1)
+
+
+def two_sum(a: float, b: float) -> tuple[float, float]:
+    """Knuth's branch-free error-free addition.
+
+    Returns ``(s, e)`` with ``s = fl(a + b)`` and ``a + b = s + e`` exactly.
+    """
+    s = a + b
+    bb = s - a
+    e = (a - (s - bb)) + (b - bb)
+    return s, e
+
+
+def fast_two_sum(a: float, b: float) -> tuple[float, float]:
+    """Dekker's error-free addition, valid when ``|a| >= |b|``.
+
+    Returns ``(s, e)`` with ``a + b = s + e`` exactly.
+    """
+    s = a + b
+    e = b - (s - a)
+    return s, e
+
+
+def split(a: float) -> tuple[float, float]:
+    """Dekker split of ``a`` into ``hi + lo`` with 26/27-bit halves."""
+    c = _SPLITTER * a
+    hi = c - (c - a)
+    lo = a - hi
+    return hi, lo
+
+
+def two_prod(a: float, b: float) -> tuple[float, float]:
+    """Error-free multiplication without FMA.
+
+    Returns ``(p, e)`` with ``p = fl(a * b)`` and ``a * b = p + e`` exactly
+    (barring overflow in the splitting, which the library's workloads never
+    approach).
+    """
+    p = a * b
+    a_hi, a_lo = split(a)
+    b_hi, b_lo = split(b)
+    e = ((a_hi * b_hi - p) + a_hi * b_lo + a_lo * b_hi) + a_lo * b_lo
+    return p, e
+
+
+def exact_dot_float(a: Sequence[float], b: Sequence[float]) -> float:
+    """Exactly rounded value of the inner product ``a . b``.
+
+    Each product is expanded error-free into ``hi + lo``; ``math.fsum`` then
+    produces the correctly rounded sum of the exact term list.  The result is
+    the float nearest to the mathematically exact inner product.
+    """
+    a_arr = np.asarray(a, dtype=np.float64).ravel()
+    b_arr = np.asarray(b, dtype=np.float64).ravel()
+    if a_arr.shape != b_arr.shape:
+        raise ValueError(
+            f"dot operands must have equal length, got {a_arr.size} and {b_arr.size}"
+        )
+    # Vectorised two_prod over the whole vector pair.
+    p = a_arr * b_arr
+    c = _SPLITTER * a_arr
+    a_hi = c - (c - a_arr)
+    a_lo = a_arr - a_hi
+    c = _SPLITTER * b_arr
+    b_hi = c - (c - b_arr)
+    b_lo = b_arr - b_hi
+    e = ((a_hi * b_hi - p) + a_hi * b_lo + a_lo * b_hi) + a_lo * b_lo
+    terms = np.concatenate((p, e))
+    return math.fsum(terms.tolist())
+
+
+def exact_dot_errors(
+    a: np.ndarray, b: np.ndarray, computed: np.ndarray
+) -> np.ndarray:
+    """Exact rounding errors of a batch of computed inner products.
+
+    Parameters
+    ----------
+    a:
+        2-D array whose rows are the left vectors, shape ``(k, n)``.
+    b:
+        2-D array whose rows are the right vectors, shape ``(k, n)``.
+    computed:
+        The floating-point results whose errors are measured, shape ``(k,)``.
+
+    Returns
+    -------
+    Array of signed errors ``computed[i] - exact(a[i] . b[i])``.  Each error
+    is itself far below 2**-some-bits of the result magnitude, so the final
+    float conversion loses nothing of interest.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    computed = np.asarray(computed, dtype=np.float64).ravel()
+    if a.shape != b.shape or a.shape[0] != computed.size:
+        raise ValueError("shape mismatch between vector batches and results")
+    out = np.empty(computed.size, dtype=np.float64)
+    for i in range(computed.size):
+        # fsum of (products-expansion + (-computed)) gives the exact
+        # difference, correctly rounded once at the end.
+        p = a[i] * b[i]
+        c = _SPLITTER * a[i]
+        a_hi = c - (c - a[i])
+        a_lo = a[i] - a_hi
+        c = _SPLITTER * b[i]
+        b_hi = c - (c - b[i])
+        b_lo = b[i] - b_hi
+        e = ((a_hi * b_hi - p) + a_hi * b_lo + a_lo * b_hi) + a_lo * b_lo
+        terms = p.tolist()
+        terms.extend(e.tolist())
+        terms.append(-float(computed[i]))
+        out[i] = -math.fsum(terms)
+    return out
+
+
+def compensated_dot(a: Sequence[float], b: Sequence[float]) -> float:
+    """Dot2 (Ogita/Rump/Oishi): compensated dot product in working precision.
+
+    Twice-working-precision accuracy at O(n) cost; used as an intermediate
+    accuracy level in tests (between plain ``np.dot`` and the exact path).
+    """
+    a_arr = np.asarray(a, dtype=np.float64).ravel()
+    b_arr = np.asarray(b, dtype=np.float64).ravel()
+    if a_arr.shape != b_arr.shape:
+        raise ValueError("dot operands must have equal length")
+    if a_arr.size == 0:
+        return 0.0
+    s, comp = two_prod(float(a_arr[0]), float(b_arr[0]))
+    for k in range(1, a_arr.size):
+        p, pi = two_prod(float(a_arr[k]), float(b_arr[k]))
+        s, sigma = two_sum(s, p)
+        comp += pi + sigma
+    return s + comp

@@ -1,0 +1,80 @@
+"""Exact arithmetic over binary floats via :class:`fractions.Fraction`.
+
+Every finite IEEE-754 binary float is a dyadic rational, so sums and products
+of floats are *exactly* representable as :class:`~fractions.Fraction` values.
+This is the slow-but-obviously-correct oracle the paper's GMP reference
+computation is substituted with (see DESIGN.md): given the same inputs it
+produces the mathematically exact result, from which the exact rounding error
+of the GPU-computed value follows by subtraction.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "exact_sum",
+    "exact_dot",
+    "exact_matmul_element",
+    "round_fraction_to_float",
+    "exact_rounding_error",
+]
+
+
+def _as_fraction(x) -> Fraction:
+    value = float(x)
+    if not np.isfinite(value):
+        raise ValueError(f"cannot represent non-finite value {value!r} exactly")
+    return Fraction(value)
+
+
+def exact_sum(values: Iterable[float]) -> Fraction:
+    """Exact sum of a sequence of floats as a Fraction."""
+    total = Fraction(0)
+    for v in values:
+        total += _as_fraction(v)
+    return total
+
+
+def exact_dot(a: Sequence[float], b: Sequence[float]) -> Fraction:
+    """Exact inner product ``sum_k a[k] * b[k]`` as a Fraction."""
+    a_arr = np.asarray(a, dtype=np.float64).ravel()
+    b_arr = np.asarray(b, dtype=np.float64).ravel()
+    if a_arr.shape != b_arr.shape:
+        raise ValueError(
+            f"dot operands must have equal length, got {a_arr.size} and {b_arr.size}"
+        )
+    total = Fraction(0)
+    for x, y in zip(a_arr.tolist(), b_arr.tolist()):
+        if x == 0.0 or y == 0.0:
+            continue
+        total += Fraction(x) * Fraction(y)
+    return total
+
+
+def exact_matmul_element(a_row: Sequence[float], b_col: Sequence[float]) -> Fraction:
+    """Exact value of one element of a matrix product (alias of exact_dot)."""
+    return exact_dot(a_row, b_col)
+
+
+def round_fraction_to_float(value: Fraction) -> float:
+    """Round an exact Fraction to the nearest binary64 (ties to even).
+
+    Python's ``Fraction.__float__`` implements correct rounding, which is
+    exactly what we need to compare against IEEE round-to-nearest results.
+    """
+    return float(value)
+
+
+def exact_rounding_error(computed: float, exact: Fraction) -> float:
+    """Exact signed rounding error ``computed - exact``, returned as float.
+
+    The difference is formed exactly in rational arithmetic and only the
+    final (tiny) result is converted to float — the conversion itself is
+    correctly rounded and the error magnitudes of interest are far above the
+    underflow threshold, so no precision is lost where it matters.
+    """
+    return float(Fraction(float(computed)) - exact)

@@ -1,0 +1,42 @@
+"""Experiment drivers: one module per table/figure of the paper's evaluation."""
+
+from .bound_quality import BoundQualityRow, measure_bound_quality, render_bound_table
+from .coverage import CoverageRow, measure_coverage, render_coverage
+from .figure4 import Figure4Cell, render_figure4, run_figure4
+from .paper_data import (
+    AABFT_PEAK_FRACTION,
+    TABLE1_GFLOPS,
+    TABLE2_UNIT,
+    TABLE3_HUNDRED,
+    TABLE4_DYNAMIC,
+    UNPROTECTED_PEAK_GFLOPS,
+)
+from .runner import FULL, QUICK, ExperimentScale, full_runs_requested, run_all
+from .table1 import Table1Row, overhead_summary, render_table1, run_table1
+
+__all__ = [
+    "AABFT_PEAK_FRACTION",
+    "BoundQualityRow",
+    "CoverageRow",
+    "ExperimentScale",
+    "FULL",
+    "Figure4Cell",
+    "QUICK",
+    "TABLE1_GFLOPS",
+    "TABLE2_UNIT",
+    "TABLE3_HUNDRED",
+    "TABLE4_DYNAMIC",
+    "Table1Row",
+    "UNPROTECTED_PEAK_GFLOPS",
+    "full_runs_requested",
+    "measure_bound_quality",
+    "measure_coverage",
+    "overhead_summary",
+    "render_bound_table",
+    "render_coverage",
+    "render_figure4",
+    "render_table1",
+    "run_all",
+    "run_figure4",
+    "run_table1",
+]

@@ -1,0 +1,115 @@
+"""Experiment driver for Figure 4 — detected errors per operation.
+
+Reproduces the paper's detection experiment: single-bit flips into the
+mantissa of the inner-loop multiplication, the inner-loop addition and the
+final-sum addition, over the three input classes and a sweep of matrix
+dimensions.  For every cell the fraction of *critical* injected errors
+detected by A-ABFT and by SEA-ABFT is reported (the Figure 4 bars).
+
+The paper's qualitative findings this reproduction checks:
+
+* A-ABFT detects "well over 90 %" in many configurations;
+* A-ABFT beats SEA-ABFT across every combination;
+* A-ABFT's rate does not degrade with matrix size, SEA-ABFT's does;
+* sign/exponent flips are detected 100 % by both (separate campaign mode).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.tables import render_table
+from ..faults.campaign import CampaignConfig, FaultCampaign
+from ..faults.model import FaultSite
+from ..faults.sampling import ALL_SITES
+from ..workloads.suites import WorkloadSuite
+
+__all__ = ["Figure4Cell", "run_figure4", "render_figure4"]
+
+
+@dataclass(frozen=True)
+class Figure4Cell:
+    """Detection rates of one (suite, n, operation) combination."""
+
+    suite: str
+    n: int
+    site: FaultSite
+    num_critical: int
+    rate_aabft: float
+    rate_sea: float
+
+
+def run_figure4(
+    suites: tuple[WorkloadSuite, ...],
+    sizes: tuple[int, ...],
+    injections_per_cell: int = 120,
+    block_size: int = 64,
+    p: int = 2,
+    omega: float = 3.0,
+    fields: tuple[str, ...] = ("mantissa",),
+    num_flips: int = 1,
+    seed: int = 0,
+) -> list[Figure4Cell]:
+    """Run the detection campaign grid and collect per-operation rates.
+
+    One campaign (one workload, ``3 * injections_per_cell`` faults spread
+    over the three operations) is run per (suite, n); the per-site rates are
+    extracted from its records.
+    """
+    cells: list[Figure4Cell] = []
+    for suite in suites:
+        for size_index, n in enumerate(sizes):
+            config = CampaignConfig(
+                n=n,
+                suite=suite,
+                num_injections=injections_per_cell * len(ALL_SITES),
+                block_size=block_size,
+                p=p,
+                omega=omega,
+                sites=ALL_SITES,
+                fields=fields,
+                num_flips=num_flips,
+                schemes=("aabft", "sea"),
+                seed=seed + 1000 * size_index + hash(suite.name) % 997,
+            )
+            result = FaultCampaign(config).run()
+            for site in ALL_SITES:
+                cells.append(
+                    Figure4Cell(
+                        suite=suite.name,
+                        n=n,
+                        site=site,
+                        num_critical=result.num_critical(site),
+                        rate_aabft=result.detection_rate("aabft", site),
+                        rate_sea=result.detection_rate("sea", site),
+                    )
+                )
+    return cells
+
+
+def render_figure4(cells: list[Figure4Cell]) -> str:
+    """Render the detection grid as a table (the Figure 4 bar values)."""
+    headers = ["suite", "n", "operation", "#critical", "A-ABFT", "SEA-ABFT"]
+    body = []
+    for c in cells:
+        body.append(
+            [
+                c.suite,
+                c.n,
+                c.site.value,
+                c.num_critical,
+                _pct(c.rate_aabft),
+                _pct(c.rate_sea),
+            ]
+        )
+    return render_table(
+        headers,
+        body,
+        title="Figure 4 — % of critical errors detected (single-bit mantissa flips)",
+    )
+
+
+def _pct(rate: float) -> str:
+    if rate != rate:  # NaN: no critical errors in the cell
+        return "n/a"
+    return f"{100.0 * rate:.1f}%"

@@ -1,0 +1,75 @@
+"""Published numbers from the paper, for side-by-side comparison.
+
+Transcribed from Braun/Halder/Wunderlich, DSN'14 — Tables I-IV.  Figure 4 is
+a bar chart without printed values; its reproduction is checked against the
+paper's *qualitative* statements (A-ABFT "well over 90 %", consistently above
+SEA-ABFT, size-independent) instead.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TABLE1_GFLOPS",
+    "TABLE2_UNIT",
+    "TABLE3_HUNDRED",
+    "TABLE4_DYNAMIC",
+    "UNPROTECTED_PEAK_GFLOPS",
+    "AABFT_PEAK_FRACTION",
+]
+
+#: Table I — GFLOPS per scheme: n -> (ABFT, A-ABFT, SEA-ABFT, TMR).
+TABLE1_GFLOPS: dict[int, tuple[float, float, float, float]] = {
+    512: (382.30, 279.19, 307.75, 185.56),
+    1024: (659.02, 514.17, 499.53, 322.22),
+    2048: (807.91, 706.85, 635.67, 335.65),
+    3072: (872.93, 772.64, 657.28, 339.33),
+    4096: (894.14, 829.10, 686.39, 345.26),
+    5120: (924.38, 848.43, 690.51, 344.95),
+    6144: (926.61, 874.59, 703.91, 346.76),
+    7168: (944.50, 885.23, 705.51, 347.68),
+    8192: (942.61, 903.44, 712.75, 348.09),
+}
+
+#: Table II — inputs U(-1, 1): n -> (avg rnd error, avg A-ABFT, avg SEA).
+TABLE2_UNIT: dict[int, tuple[float, float, float]] = {
+    512: (2.25e-14, 1.68e-11, 8.58e-10),
+    1024: (4.53e-14, 4.88e-11, 3.30e-9),
+    2048: (9.09e-14, 1.46e-10, 1.29e-8),
+    3072: (1.35e-13, 2.77e-10, 2.88e-8),
+    4096: (1.81e-13, 4.27e-10, 5.09e-8),
+    5120: (2.25e-13, 6.21e-10, 7.95e-8),
+    6144: (2.71e-13, 8.15e-10, 1.14e-7),
+    7168: (3.17e-13, 1.06e-9, 1.56e-7),
+    8192: (3.62e-13, 1.28e-9, 2.03e-7),
+}
+
+#: Table III — inputs U(-100, 100).
+TABLE3_HUNDRED: dict[int, tuple[float, float, float]] = {
+    512: (2.22e-10, 1.61e-7, 8.65e-6),
+    1024: (4.55e-10, 4.92e-7, 3.30e-5),
+    2048: (9.07e-10, 1.48e-6, 1.29e-4),
+    3072: (1.36e-9, 2.81e-6, 2.88e-4),
+    4096: (1.81e-9, 4.27e-6, 5.10e-4),
+    5120: (2.26e-9, 6.10e-6, 7.93e-4),
+    6144: (2.71e-9, 8.15e-6, 1.14e-3),
+    7168: (3.16e-9, 1.04e-5, 1.55e-3),
+    8192: (3.62e-9, 1.29e-5, 2.03e-3),
+}
+
+#: Table IV — high-dynamic inputs (Eq. 47, alpha = 0, kappa = 2).
+TABLE4_DYNAMIC: dict[int, tuple[float, float, float]] = {
+    512: (6.19e-11, 7.99e-8, 1.34e-6),
+    1024: (2.44e-10, 5.12e-7, 1.02e-5),
+    2048: (9.72e-10, 3.22e-6, 7.96e-5),
+    3072: (2.20e-9, 9.51e-6, 2.69e-4),
+    4096: (3.89e-9, 2.02e-5, 6.31e-4),
+    5120: (6.04e-9, 3.61e-5, 1.22e-3),
+    6144: (8.77e-9, 5.88e-5, 2.28e-3),
+    7168: (1.20e-8, 8.82e-5, 4.08e-3),
+    8192: (1.54e-8, 1.24e-4, 8.04e-3),
+}
+
+#: Section VI-A: unprotected matmul peak on the K20c.
+UNPROTECTED_PEAK_GFLOPS = 1048.4
+#: Section VI-A: A-ABFT reaches 86.2 % of the unprotected peak at n = 8192.
+AABFT_PEAK_FRACTION = 0.862

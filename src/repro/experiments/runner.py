@@ -1,0 +1,94 @@
+"""Run-everything entry point used by the ``aabft`` CLI and CI scripts.
+
+Regenerates every table and figure of the paper's evaluation at the
+configured scale.  The default "quick" scale keeps total runtime in the
+minutes range on a laptop; ``full=True`` (or ``AABFT_FULL=1`` in the
+benchmark harness) sweeps the paper's complete 512..8192 grid.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..workloads.suites import (
+    DETECTION_SUITES,
+    PAPER_MATRIX_SIZES,
+    SUITE_DYNAMIC_K2,
+    SUITE_HUNDRED,
+    SUITE_UNIT,
+)
+from .bound_quality import measure_bound_quality, render_bound_table
+from .figure4 import render_figure4, run_figure4
+from .paper_data import TABLE2_UNIT, TABLE3_HUNDRED, TABLE4_DYNAMIC
+from .table1 import overhead_summary, render_table1, run_table1
+
+__all__ = ["ExperimentScale", "QUICK", "FULL", "run_all", "full_runs_requested"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Sweep sizes and sample counts for one experiment campaign."""
+
+    name: str
+    bound_sizes: tuple[int, ...]
+    detection_sizes: tuple[int, ...]
+    bound_samples: int = 64
+    injections_per_cell: int = 120
+
+
+QUICK = ExperimentScale(
+    name="quick",
+    bound_sizes=(512, 1024),
+    detection_sizes=(512, 1024),
+)
+
+FULL = ExperimentScale(
+    name="full",
+    bound_sizes=PAPER_MATRIX_SIZES,
+    detection_sizes=PAPER_MATRIX_SIZES,
+    bound_samples=128,
+    injections_per_cell=300,
+)
+
+
+def full_runs_requested() -> bool:
+    """Whether the environment opts into the paper's full-size sweeps."""
+    return os.environ.get("AABFT_FULL", "0") not in ("", "0", "false", "no")
+
+
+def run_all(scale: ExperimentScale = QUICK, seed: int = 2014) -> str:
+    """Regenerate every table/figure; returns the combined report text."""
+    out = io.StringIO()
+    rng = np.random.default_rng(seed)
+
+    rows = run_table1()
+    out.write(render_table1(rows))
+    out.write("\n" + overhead_summary(rows) + "\n\n")
+
+    for suite, paper, label in (
+        (SUITE_UNIT, TABLE2_UNIT, "Table II — inputs U(-1, 1)"),
+        (SUITE_HUNDRED, TABLE3_HUNDRED, "Table III — inputs U(-100, 100)"),
+        (SUITE_DYNAMIC_K2, TABLE4_DYNAMIC, "Table IV — Eq. 47, alpha=0, kappa=2"),
+    ):
+        measured = [
+            measure_bound_quality(
+                suite, n, rng, num_samples=scale.bound_samples
+            )
+            for n in scale.bound_sizes
+        ]
+        out.write(render_bound_table(measured, paper, title=label))
+        out.write("\n\n")
+
+    cells = run_figure4(
+        suites=DETECTION_SUITES,
+        sizes=scale.detection_sizes,
+        injections_per_cell=scale.injections_per_cell,
+        seed=seed,
+    )
+    out.write(render_figure4(cells))
+    out.write("\n")
+    return out.getvalue()

@@ -1,0 +1,26 @@
+"""Fault injection: specifications, runtime injector, sampling, campaigns."""
+
+from .campaign import (
+    CampaignConfig,
+    CampaignResult,
+    FaultCampaign,
+    InjectionRecord,
+    PairInjectionRecord,
+)
+from .injector import FaultActivation, FaultInjector
+from .model import FaultSite, FaultSpec
+from .sampling import ALL_SITES, FaultSampler
+
+__all__ = [
+    "ALL_SITES",
+    "CampaignConfig",
+    "CampaignResult",
+    "FaultActivation",
+    "FaultCampaign",
+    "FaultInjector",
+    "FaultSampler",
+    "FaultSite",
+    "FaultSpec",
+    "InjectionRecord",
+    "PairInjectionRecord",
+]

@@ -1,0 +1,133 @@
+"""Runtime fault injection into the simulated matmul kernel.
+
+The :class:`FaultInjector` is handed to the instrumented matrix-
+multiplication kernel (:mod:`repro.kernels.matmul`).  At launch time it
+resolves the targeted SM to one of the thread blocks scheduled there (the
+paper "randomly selects a streaming multiprocessor" — the block choice on
+that SM is likewise random) and during execution answers the kernel's
+hook queries: *does a fault strike this (block, element, k, site)?*
+
+The injector also records exactly where the strike landed (activation
+record), which the campaign uses for ground-truth classification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import FaultSpecError
+from ..gpusim.scheduler import BlockAssignment
+from .model import FaultSite, FaultSpec
+
+__all__ = ["FaultActivation", "FaultInjector"]
+
+
+@dataclass
+class FaultActivation:
+    """Where a planned fault actually landed."""
+
+    spec: FaultSpec
+    linear_block_index: int
+    element_row: int  # row offset within the result block
+    element_col: int  # column offset within the result block
+    fired: bool = False
+    original_value: float = 0.0
+    faulty_value: float = 0.0
+
+
+class FaultInjector:
+    """Resolves a :class:`FaultSpec` against a launch and applies the flips.
+
+    Parameters
+    ----------
+    spec:
+        The planned fault.
+    rng:
+        Randomness for the block choice on the targeted SM.
+    """
+
+    def __init__(self, spec: FaultSpec, rng: np.random.Generator) -> None:
+        self.spec = spec
+        self._rng = rng
+        self.activation: FaultActivation | None = None
+
+    # ------------------------------------------------------------------
+    # Launch-time resolution
+    # ------------------------------------------------------------------
+    def resolve(
+        self, assignments: list[BlockAssignment], block_shape: tuple[int, int]
+    ) -> FaultActivation:
+        """Pick the concrete target block/element for this launch.
+
+        Parameters
+        ----------
+        assignments:
+            The launch's block-to-SM schedule.
+        block_shape:
+            ``(rows, cols)`` of one result block, bounding the module
+            offsets.
+        """
+        candidates = [a for a in assignments if a.sm_id == self.spec.sm_id]
+        if not candidates:
+            raise FaultSpecError(
+                f"no thread blocks scheduled on SM {self.spec.sm_id} "
+                f"for this launch ({len(assignments)} blocks total)"
+            )
+        choice = candidates[int(self._rng.integers(len(candidates)))]
+        rows, cols = block_shape
+        self.activation = FaultActivation(
+            spec=self.spec,
+            linear_block_index=choice.linear_index,
+            element_row=self.spec.module_row % rows,
+            element_col=self.spec.module_col % cols,
+        )
+        return self.activation
+
+    def resolve_direct(
+        self, element_row: int = 0, element_col: int = 0
+    ) -> FaultActivation:
+        """Arm the injector without a launch schedule.
+
+        Used when replaying a single element's sequential accumulation
+        outside a kernel (tests, standalone analysis); the block index is a
+        sentinel since no block targeting takes place.
+        """
+        self.activation = FaultActivation(
+            spec=self.spec,
+            linear_block_index=-1,
+            element_row=element_row,
+            element_col=element_col,
+        )
+        return self.activation
+
+    # ------------------------------------------------------------------
+    # Kernel-side hooks
+    # ------------------------------------------------------------------
+    def targets_block(self, linear_block_index: int) -> bool:
+        """Whether this launch's strike lands in the given block."""
+        return (
+            self.activation is not None
+            and self.activation.linear_block_index == linear_block_index
+        )
+
+    def strikes(self, site: FaultSite, k: int | None = None) -> bool:
+        """Whether the strike hits ``site`` at inner-loop step ``k``.
+
+        ``k`` is ignored for the merge addition (it happens once).
+        """
+        if self.activation is None or self.spec.site is not site:
+            return False
+        if site is FaultSite.MERGE_ADD:
+            return True
+        return k == self.spec.k_injection
+
+    def apply(self, value: float) -> float:
+        """XOR the error vector into ``value`` and record the activation."""
+        faulty = float(self.spec.error_vector.apply(value))
+        if self.activation is not None:
+            self.activation.fired = True
+            self.activation.original_value = float(value)
+            self.activation.faulty_value = faulty
+        return faulty

@@ -1,0 +1,91 @@
+"""Fault specifications for the instrumented matmul kernel (Algorithm 3).
+
+The paper's fault-injection routine passes these parameters to the GPU
+kernel (Section VI-C):
+
+* the **processor-ID** of the targeted streaming multiprocessor;
+* the **fault type** — whether an addition or multiplication is hit; the
+  kernel performs additions at two points (inner-loop accumulation and the
+  final merge) and multiplications in the inner loop only;
+* the **module-ID** selecting which of the ``RX x RY`` adders/multipliers
+  (i.e. which element of the thread's register tile) is affected;
+* the **error vector** as an XOR bit mask;
+* **kInjection**, the point in time (inner-loop iteration) of the strike.
+
+:class:`FaultSpec` captures exactly those parameters; the injector resolves
+the SM id to a concrete thread block at launch time.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import FaultSpecError
+from ..fp.errorvec import ErrorVector
+
+__all__ = ["FaultSite", "FaultSpec"]
+
+
+class FaultSite(enum.Enum):
+    """Which floating-point operation of Algorithm 3 is struck."""
+
+    #: Multiplication inside the inner loop (``rA * rB``).
+    INNER_MUL = "inner_mul"
+    #: Accumulation addition inside the inner loop (``accum += ...``).
+    INNER_ADD = "inner_add"
+    #: Final addition when the accumulators are merged into ``C``.
+    MERGE_ADD = "merge_add"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault injection.
+
+    Attributes
+    ----------
+    sm_id:
+        Targeted streaming multiprocessor (the injector picks one of the
+        thread blocks scheduled there).
+    site:
+        The struck operation (:class:`FaultSite`).
+    module_row / module_col:
+        Which element of the thread's register tile is affected — in the
+        simulator's block-granular model this selects the element offset
+        within the ``BS x BS`` result block.
+    error_vector:
+        The XOR mask applied to the operation's output.
+    k_injection:
+        Inner-loop iteration (0-based index into the inner dimension) at
+        which the strike occurs.  Ignored for :attr:`FaultSite.MERGE_ADD`,
+        which happens once at the end.
+    """
+
+    sm_id: int
+    site: FaultSite
+    module_row: int
+    module_col: int
+    error_vector: ErrorVector
+    k_injection: int = 0
+
+    def __post_init__(self) -> None:
+        if self.sm_id < 0:
+            raise FaultSpecError(f"sm_id must be non-negative, got {self.sm_id}")
+        if self.module_row < 0 or self.module_col < 0:
+            raise FaultSpecError(
+                f"module offsets must be non-negative, got "
+                f"({self.module_row}, {self.module_col})"
+            )
+        if self.k_injection < 0:
+            raise FaultSpecError(
+                f"k_injection must be non-negative, got {self.k_injection}"
+            )
+
+    def describe(self) -> str:
+        """One-line description for campaign logs."""
+        return (
+            f"{self.site.value} on SM{self.sm_id} "
+            f"module ({self.module_row},{self.module_col}) "
+            f"k={self.k_injection} "
+            f"flips {self.error_vector.field}{list(self.error_vector.bit_indices)}"
+        )

@@ -1,0 +1,101 @@
+"""Random fault-specification sampling for injection campaigns.
+
+Mirrors the paper's campaign setup (Section VI-C): the routine "randomly
+selects a streaming multiprocessor and one of the floating-point operations",
+the bit position "is chosen randomly" within the targeted field, and
+``kInjection`` determines the point in time of the strike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..fp.constants import BINARY64, FloatFormat
+from ..fp.errorvec import random_vector_for_field
+from ..fp.stuckat import stuck_at_vector
+from .model import FaultSite, FaultSpec
+
+__all__ = ["FaultSampler", "ALL_SITES"]
+
+ALL_SITES: tuple[FaultSite, ...] = (
+    FaultSite.INNER_MUL,
+    FaultSite.INNER_ADD,
+    FaultSite.MERGE_ADD,
+)
+
+
+@dataclass
+class FaultSampler:
+    """Draws random :class:`FaultSpec` instances for a campaign.
+
+    Parameters
+    ----------
+    num_sms:
+        SM count of the target device (the SM id is uniform over these).
+    inner_dim:
+        Inner-product length ``n`` — ``kInjection`` is uniform over it.
+    block_rows / block_cols:
+        Result-block dimensions bounding the module offsets.
+    sites:
+        Candidate operations; one is drawn uniformly per fault.
+    fields:
+        Candidate float fields (``"mantissa"``, ``"exponent"``, ``"sign"``).
+    num_flips:
+        Bits flipped per fault (1 = single-bit; 3/5 = the paper's
+        multi-bit neighbourhood experiments).
+    fault_model:
+        ``"flip"`` (the paper's transient XOR model, default),
+        ``"stuck0"`` or ``"stuck1"`` (permanent stuck-at faults; see
+        :mod:`repro.fp.stuckat`).
+    """
+
+    num_sms: int
+    inner_dim: int
+    block_rows: int
+    block_cols: int
+    sites: tuple[FaultSite, ...] = ALL_SITES
+    fields: tuple[str, ...] = ("mantissa",)
+    num_flips: int = 1
+    fault_model: str = "flip"
+    fmt: FloatFormat = field(default_factory=lambda: BINARY64)
+
+    def __post_init__(self) -> None:
+        if self.fault_model not in ("flip", "stuck0", "stuck1"):
+            raise ValueError(
+                f"fault_model must be flip/stuck0/stuck1, got {self.fault_model!r}"
+            )
+        if self.num_sms < 1:
+            raise ValueError("num_sms must be >= 1")
+        if self.inner_dim < 1:
+            raise ValueError("inner_dim must be >= 1")
+        if not self.sites:
+            raise ValueError("at least one fault site is required")
+        if not self.fields:
+            raise ValueError("at least one float field is required")
+
+    def sample(self, rng: np.random.Generator) -> FaultSpec:
+        """Draw one fault specification."""
+        site = self.sites[int(rng.integers(len(self.sites)))]
+        fld = self.fields[int(rng.integers(len(self.fields)))]
+        if self.fault_model == "flip":
+            vector = random_vector_for_field(fld, self.num_flips, rng, self.fmt)
+        else:
+            vector = stuck_at_vector(
+                fld, int(self.fault_model[-1]), rng, self.num_flips, self.fmt
+            )
+        return FaultSpec(
+            sm_id=int(rng.integers(self.num_sms)),
+            site=site,
+            module_row=int(rng.integers(self.block_rows)),
+            module_col=int(rng.integers(self.block_cols)),
+            error_vector=vector,
+            k_injection=int(rng.integers(self.inner_dim)),
+        )
+
+    def sample_many(self, count: int, rng: np.random.Generator) -> list[FaultSpec]:
+        """Draw ``count`` independent fault specifications."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return [self.sample(rng) for _ in range(count)]

@@ -1,0 +1,178 @@
+"""Bit-level manipulation of IEEE-754 floating-point values.
+
+The fault-injection infrastructure of the paper (Section VI-C, Algorithm 3)
+injects faults into floating-point operations by XOR-ing the binary
+representation of an operand or result with an *error vector*::
+
+    dataVec  = 01111...01011000
+  ⊕ errorVec = 01000...00000001
+    result   = 00111...01011001
+
+This module provides the float <-> raw-bits conversions and single-bit
+queries that the error-vector machinery in :mod:`repro.fp.errorvec` builds
+on.  All functions accept scalars and numpy arrays alike.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from .constants import BINARY64, FloatFormat, format_for_dtype
+
+__all__ = [
+    "float_to_bits",
+    "bits_to_float",
+    "xor_bits",
+    "flip_bit",
+    "flip_bits",
+    "get_bit",
+    "sign_bit",
+    "exponent_field",
+    "mantissa_field",
+    "compose_float",
+    "bit_field_of_index",
+]
+
+
+def float_to_bits(value, fmt: FloatFormat | None = None):
+    """Reinterpret floating-point ``value`` as its raw unsigned integer bits.
+
+    Parameters
+    ----------
+    value:
+        A Python float, numpy floating scalar, or numpy array.
+    fmt:
+        Floating-point format; inferred from the dtype when ``value`` is a
+        numpy array/scalar, defaults to binary64 for Python floats.
+
+    Returns
+    -------
+    numpy unsigned integer scalar or array of the same shape.
+    """
+    arr = np.asarray(value)
+    if fmt is None:
+        fmt = format_for_dtype(arr.dtype) if arr.dtype.kind == "f" else BINARY64
+    arr = arr.astype(fmt.dtype, copy=False)
+    out = arr.view(fmt.uint_dtype)
+    return out if out.ndim else out[()]
+
+
+def bits_to_float(bits, fmt: FloatFormat = BINARY64):
+    """Reinterpret raw unsigned integer ``bits`` as a floating-point value."""
+    arr = np.asarray(bits, dtype=fmt.uint_dtype)
+    out = arr.view(fmt.dtype)
+    return out if out.ndim else out[()]
+
+
+def xor_bits(value, error_vector: int, fmt: FloatFormat | None = None):
+    """Apply the paper's fault model: ``value XOR error_vector`` bitwise.
+
+    ``error_vector`` is an integer bit mask; set bits are flipped in the
+    binary representation of ``value``.  Returns a value of the same
+    floating-point dtype (and shape) as the input.
+    """
+    arr = np.asarray(value)
+    if fmt is None:
+        fmt = format_for_dtype(arr.dtype) if arr.dtype.kind == "f" else BINARY64
+    bits = float_to_bits(arr, fmt)
+    mask = fmt.uint_dtype.type(error_vector)
+    return bits_to_float(np.bitwise_xor(bits, mask), fmt)
+
+
+def flip_bit(value, bit_index: int, fmt: FloatFormat | None = None):
+    """Flip a single bit (LSB = index 0) of ``value``."""
+    return flip_bits(value, (bit_index,), fmt)
+
+
+def flip_bits(value, bit_indices: Iterable[int], fmt: FloatFormat | None = None):
+    """Flip several bits of ``value`` at once.
+
+    Equivalent to XOR-ing with an error vector that has exactly the bits in
+    ``bit_indices`` set.
+    """
+    arr = np.asarray(value)
+    if fmt is None:
+        fmt = format_for_dtype(arr.dtype) if arr.dtype.kind == "f" else BINARY64
+    mask = 0
+    for idx in bit_indices:
+        if not 0 <= idx < fmt.total_bits:
+            raise ValueError(
+                f"bit index {idx} out of range for {fmt.name} "
+                f"(0..{fmt.total_bits - 1})"
+            )
+        mask |= 1 << idx
+    return xor_bits(arr, mask, fmt)
+
+
+def get_bit(value, bit_index: int, fmt: FloatFormat | None = None):
+    """Return bit ``bit_index`` (LSB = 0) of ``value`` as 0/1."""
+    arr = np.asarray(value)
+    if fmt is None:
+        fmt = format_for_dtype(arr.dtype) if arr.dtype.kind == "f" else BINARY64
+    bits = float_to_bits(arr, fmt)
+    out = (bits >> fmt.uint_dtype.type(bit_index)) & fmt.uint_dtype.type(1)
+    return out if out.ndim else int(out)
+
+
+def sign_bit(value, fmt: FloatFormat | None = None):
+    """Return the sign bit of ``value`` (1 for negative, 0 otherwise)."""
+    arr = np.asarray(value)
+    if fmt is None:
+        fmt = format_for_dtype(arr.dtype) if arr.dtype.kind == "f" else BINARY64
+    return get_bit(arr, fmt.sign_bit_index, fmt)
+
+
+def exponent_field(value, fmt: FloatFormat | None = None):
+    """Return the raw (biased) exponent field of ``value`` as an integer."""
+    arr = np.asarray(value)
+    if fmt is None:
+        fmt = format_for_dtype(arr.dtype) if arr.dtype.kind == "f" else BINARY64
+    bits = float_to_bits(arr, fmt)
+    mask = fmt.uint_dtype.type((1 << fmt.exponent_bits) - 1)
+    out = (bits >> fmt.uint_dtype.type(fmt.mantissa_bits)) & mask
+    return out if out.ndim else int(out)
+
+
+def mantissa_field(value, fmt: FloatFormat | None = None):
+    """Return the stored mantissa (fraction) field of ``value``."""
+    arr = np.asarray(value)
+    if fmt is None:
+        fmt = format_for_dtype(arr.dtype) if arr.dtype.kind == "f" else BINARY64
+    bits = float_to_bits(arr, fmt)
+    mask = fmt.uint_dtype.type((1 << fmt.mantissa_bits) - 1)
+    out = bits & mask
+    return out if out.ndim else int(out)
+
+
+def compose_float(
+    sign: int, biased_exponent: int, mantissa: int, fmt: FloatFormat = BINARY64
+):
+    """Assemble a float from raw (sign, biased exponent, mantissa) fields."""
+    if sign not in (0, 1):
+        raise ValueError(f"sign must be 0 or 1, got {sign}")
+    if not 0 <= biased_exponent < (1 << fmt.exponent_bits):
+        raise ValueError(f"biased exponent {biased_exponent} out of range")
+    if not 0 <= mantissa < (1 << fmt.mantissa_bits):
+        raise ValueError(f"mantissa {mantissa} out of range")
+    bits = (
+        (sign << fmt.sign_bit_index)
+        | (biased_exponent << fmt.mantissa_bits)
+        | mantissa
+    )
+    return bits_to_float(bits, fmt)
+
+
+def bit_field_of_index(bit_index: int, fmt: FloatFormat = BINARY64) -> str:
+    """Classify a bit index as ``"sign"``, ``"exponent"`` or ``"mantissa"``."""
+    if bit_index == fmt.sign_bit_index:
+        return "sign"
+    if bit_index in fmt.exponent_bit_range:
+        return "exponent"
+    if bit_index in fmt.mantissa_bit_range:
+        return "mantissa"
+    raise ValueError(
+        f"bit index {bit_index} out of range for {fmt.name} "
+        f"(0..{fmt.total_bits - 1})"
+    )

@@ -1,0 +1,133 @@
+"""IEEE-754 binary format descriptions used throughout the library.
+
+The probabilistic rounding-error model of the paper (Section IV) is stated in
+terms of the number of mantissa digits ``t`` of the floating-point format and
+the machine unit rounding error ``eps_M = 2**-t``.  This module centralises
+those constants for the two formats GPUs implement (binary32 / binary64) so
+that every bound scheme and every bit-manipulation helper agrees on them.
+
+Note on the convention for ``t``: the paper (following Barlow/Bareiss) counts
+*mantissa digits* of a normalised base-2 number ``x in [1/2, 1)``, i.e. the
+full significand length **including** the bit that IEEE-754 stores implicitly.
+For binary64 this gives ``t = 53`` and ``eps_M = 2**-53 ~= 1.11e-16``, which
+is the unit roundoff ``u`` of round-to-nearest double arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FloatFormat", "BINARY32", "BINARY64", "format_for_dtype"]
+
+
+@dataclass(frozen=True)
+class FloatFormat:
+    """Static description of an IEEE-754 binary interchange format.
+
+    Attributes
+    ----------
+    name:
+        Human-readable name, e.g. ``"binary64"``.
+    total_bits:
+        Storage width in bits (32 or 64).
+    mantissa_bits:
+        Number of *stored* fraction bits (23 or 52).  The effective precision
+        ``t`` is one larger because of the implicit leading bit.
+    exponent_bits:
+        Width of the biased exponent field.
+    dtype:
+        The matching numpy dtype.
+    uint_dtype:
+        Unsigned integer dtype of the same width, used for bit manipulation.
+    """
+
+    name: str
+    total_bits: int
+    mantissa_bits: int
+    exponent_bits: int
+    dtype: np.dtype
+    uint_dtype: np.dtype
+
+    @property
+    def t(self) -> int:
+        """Effective significand precision in bits (incl. the implicit bit)."""
+        return self.mantissa_bits + 1
+
+    @property
+    def unit_roundoff(self) -> float:
+        """Unit roundoff ``u = 2**-t`` for round-to-nearest."""
+        return 2.0 ** (-self.t)
+
+    @property
+    def machine_epsilon(self) -> float:
+        """Distance from 1.0 to the next larger representable number."""
+        return 2.0 ** (1 - self.t)
+
+    @property
+    def exponent_bias(self) -> int:
+        """Bias of the stored exponent field."""
+        return (1 << (self.exponent_bits - 1)) - 1
+
+    @property
+    def sign_bit_index(self) -> int:
+        """Bit index (LSB = 0) of the sign bit."""
+        return self.total_bits - 1
+
+    @property
+    def exponent_bit_range(self) -> range:
+        """Bit indices (LSB = 0) occupied by the exponent field."""
+        return range(self.mantissa_bits, self.mantissa_bits + self.exponent_bits)
+
+    @property
+    def mantissa_bit_range(self) -> range:
+        """Bit indices (LSB = 0) occupied by the stored mantissa field."""
+        return range(0, self.mantissa_bits)
+
+    @property
+    def max_finite(self) -> float:
+        """Largest finite representable magnitude."""
+        return float(np.finfo(self.dtype).max)
+
+
+BINARY32 = FloatFormat(
+    name="binary32",
+    total_bits=32,
+    mantissa_bits=23,
+    exponent_bits=8,
+    dtype=np.dtype(np.float32),
+    uint_dtype=np.dtype(np.uint32),
+)
+
+BINARY64 = FloatFormat(
+    name="binary64",
+    total_bits=64,
+    mantissa_bits=52,
+    exponent_bits=11,
+    dtype=np.dtype(np.float64),
+    uint_dtype=np.dtype(np.uint64),
+)
+
+_BY_DTYPE = {
+    np.dtype(np.float32): BINARY32,
+    np.dtype(np.float64): BINARY64,
+}
+
+
+def format_for_dtype(dtype: np.dtype | type) -> FloatFormat:
+    """Return the :class:`FloatFormat` describing ``dtype``.
+
+    Raises
+    ------
+    KeyError
+        If ``dtype`` is not binary32 or binary64.
+    """
+    key = np.dtype(dtype)
+    try:
+        return _BY_DTYPE[key]
+    except KeyError:
+        raise KeyError(
+            f"no IEEE-754 format registered for dtype {key!r}; "
+            "supported: float32, float64"
+        ) from None

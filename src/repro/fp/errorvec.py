@@ -1,0 +1,150 @@
+"""Error-vector generation for fault injection (paper Section VI-C).
+
+The paper injects faults by XOR-ing data words with an *error vector*.  Three
+kinds of vectors are used in the evaluation:
+
+* **single-bit flips** into the sign bit, the exponent field, or a random
+  mantissa position;
+* **multi-bit flips** (3 and 5 bits) with a neighbourhood structure: two end
+  positions are chosen at random and the remaining flipped bits are drawn
+  randomly *between* those two, "to create multi-bit flips with certain
+  neighbourhood characteristics";
+* arbitrary user-supplied masks.
+
+All generators are deterministic given a :class:`numpy.random.Generator`, so
+campaigns are reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .constants import BINARY64, FloatFormat
+
+__all__ = [
+    "ErrorVector",
+    "single_bit_vector",
+    "multi_bit_vector",
+    "random_vector_for_field",
+    "popcount",
+]
+
+_FIELDS = ("sign", "exponent", "mantissa")
+
+
+def popcount(mask: int) -> int:
+    """Number of set bits in ``mask``."""
+    return int(bin(mask).count("1"))
+
+
+@dataclass(frozen=True)
+class ErrorVector:
+    """An XOR bit mask together with a description of how it was drawn.
+
+    Attributes
+    ----------
+    mask:
+        The integer bit mask; set bits are flipped on application.
+    field:
+        Which field of the float the flips target: ``"sign"``,
+        ``"exponent"``, ``"mantissa"`` or ``"mixed"``.
+    bit_indices:
+        Sorted tuple of flipped bit positions (LSB = 0).
+    """
+
+    mask: int
+    field: str
+    bit_indices: tuple[int, ...]
+
+    @property
+    def num_flips(self) -> int:
+        """How many bits this vector flips."""
+        return len(self.bit_indices)
+
+    def apply(self, value, fmt: FloatFormat = BINARY64):
+        """XOR this error vector into ``value`` (scalar or array)."""
+        from .bits import xor_bits
+
+        return xor_bits(value, self.mask, fmt)
+
+
+def _field_bit_range(field: str, fmt: FloatFormat) -> list[int]:
+    if field == "sign":
+        return [fmt.sign_bit_index]
+    if field == "exponent":
+        return list(fmt.exponent_bit_range)
+    if field == "mantissa":
+        return list(fmt.mantissa_bit_range)
+    raise ValueError(f"unknown field {field!r}; expected one of {_FIELDS}")
+
+
+def single_bit_vector(
+    field: str,
+    rng: np.random.Generator,
+    fmt: FloatFormat = BINARY64,
+) -> ErrorVector:
+    """Draw a single-bit error vector targeting ``field``.
+
+    The position within the exponent or mantissa field is chosen uniformly
+    at random, matching the paper's fault model ("the position of the bit
+    flip is chosen randomly").
+    """
+    candidates = _field_bit_range(field, fmt)
+    idx = int(rng.choice(candidates))
+    return ErrorVector(mask=1 << idx, field=field, bit_indices=(idx,))
+
+
+def multi_bit_vector(
+    field: str,
+    num_flips: int,
+    rng: np.random.Generator,
+    fmt: FloatFormat = BINARY64,
+) -> ErrorVector:
+    """Draw a multi-bit error vector with the paper's neighbourhood model.
+
+    Two end positions inside ``field`` are chosen at random; the remaining
+    ``num_flips - 2`` flips are drawn (without replacement) strictly between
+    them.  If the field is too narrow to host ``num_flips`` distinct bits a
+    :class:`ValueError` is raised.
+    """
+    if num_flips < 1:
+        raise ValueError("num_flips must be >= 1")
+    if num_flips == 1:
+        return single_bit_vector(field, rng, fmt)
+
+    candidates = _field_bit_range(field, fmt)
+    if num_flips > len(candidates):
+        raise ValueError(
+            f"cannot place {num_flips} flips in the {field} field "
+            f"({len(candidates)} bits wide)"
+        )
+
+    lo_pos = candidates[0]
+    hi_pos = candidates[-1]
+    # Choose two distinct end positions spanning at least num_flips bits.
+    while True:
+        a, b = rng.integers(lo_pos, hi_pos + 1, size=2)
+        low, high = (int(a), int(b)) if a <= b else (int(b), int(a))
+        if high - low + 1 >= num_flips:
+            break
+    inner = list(range(low + 1, high))
+    between = rng.choice(inner, size=num_flips - 2, replace=False) if inner else []
+    indices = sorted({low, high, *map(int, np.asarray(between, dtype=int))})
+    mask = 0
+    for idx in indices:
+        mask |= 1 << idx
+    return ErrorVector(mask=mask, field=field, bit_indices=tuple(indices))
+
+
+def random_vector_for_field(
+    field: str,
+    num_flips: int,
+    rng: np.random.Generator,
+    fmt: FloatFormat = BINARY64,
+) -> ErrorVector:
+    """Dispatch to the single- or multi-bit generator based on ``num_flips``."""
+    if num_flips == 1:
+        return single_bit_vector(field, rng, fmt)
+    return multi_bit_vector(field, num_flips, rng, fmt)

@@ -1,0 +1,92 @@
+"""Rounding-related helpers for the probabilistic error model.
+
+The Barlow/Bareiss model (paper Section IV) expresses the rounding error of a
+floating-point operation as a *mantissa error* scaled by the exponent of the
+result:
+
+    eps = beta * 2**E,   E = ceil(log2 |s*|)        (Eqs. 10, 13)
+
+with the mantissa of a normalised result ``x in [1/2, 1)``.  This module
+provides that exponent convention plus ulp/spacing utilities used by tests
+and by the error-classification logic.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .constants import BINARY64, FloatFormat
+
+__all__ = [
+    "result_exponent",
+    "two_power_exponent",
+    "ulp",
+    "mantissa_in_half_one",
+    "decompose",
+]
+
+
+def result_exponent(value) -> int | np.ndarray:
+    """Exponent ``E = ceil(log2 |value|)`` per Eq. (13) of the paper.
+
+    With this convention a normalised value is written ``value = x * 2**E``
+    with mantissa ``|x| in [1/2, 1)``.  We compute ``E`` via
+    :func:`math.frexp`, which yields exactly that normalisation; it agrees
+    with ``ceil(log2 |v|)`` for every non-power-of-two and exceeds it by one
+    for exact powers of two (keeping the mantissa in ``[1/2, 1)`` instead of
+    landing on 1.0), which is the numerically safe direction for an error
+    *bound*.  Zero maps to the most negative binary64 exponent so that
+    ``2**E`` underflows to 0 and contributes nothing to variance sums;
+    non-finite values map to an exponent just above the finite range.
+    """
+    arr = np.asarray(value, dtype=np.float64)
+    if arr.ndim == 0:
+        v = float(arr)
+        if v == 0.0 or not math.isfinite(v):
+            return -1075 if v == 0.0 else 1025
+        return math.frexp(abs(v))[1]
+    mant, expo = np.frexp(np.abs(arr))
+    expo = expo.astype(np.int64)
+    expo[arr == 0.0] = -1075
+    expo[~np.isfinite(arr)] = 1025
+    return expo
+
+
+def two_power_exponent(value) -> float | np.ndarray:
+    """Return ``2.0**result_exponent(value)`` without overflow surprises."""
+    e = result_exponent(value)
+    if np.ndim(e) == 0:
+        return math.ldexp(1.0, min(int(e), 1024))
+    return np.ldexp(1.0, np.minimum(e, 1024).astype(np.int32))
+
+
+def ulp(value, fmt: FloatFormat = BINARY64):
+    """Unit in the last place of ``value`` in format ``fmt``.
+
+    Matches :func:`math.ulp` for binary64 scalars but also supports arrays
+    and binary32.
+    """
+    arr = np.asarray(value, dtype=fmt.dtype)
+    spacing = np.spacing(np.abs(arr))
+    return spacing if spacing.ndim else float(spacing)
+
+
+def mantissa_in_half_one(value: float) -> float:
+    """Mantissa ``x`` of ``value = x * 2**E`` with ``|x| in [1/2, 1)``.
+
+    Returns 0.0 for zero input.
+    """
+    if value == 0.0:
+        return 0.0
+    mant, _ = math.frexp(value)
+    return mant
+
+
+def decompose(value: float) -> tuple[float, int]:
+    """Split ``value`` into ``(mantissa, exponent)`` with mantissa in
+    ``[1/2, 1)`` (paper's normalisation).  Zero decomposes to ``(0.0, 0)``."""
+    if value == 0.0:
+        return 0.0, 0
+    return math.frexp(value)

@@ -1,0 +1,101 @@
+"""Stuck-at fault model — the second classic hardware fault class.
+
+The paper's evaluation injects *transient* bit flips (XOR error vectors).
+Permanent defects in datapath latches manifest differently: a bit is forced
+to a constant 0 or 1 regardless of the computed value ("stuck-at-0" /
+"stuck-at-1").  Unlike a flip, a stuck-at fault only corrupts values whose
+affected bit differs from the stuck level — roughly half of random data —
+so campaigns over stuck-at faults measure a different (and for ABFT,
+easier-to-miss) error population.
+
+This module provides the stuck-at counterpart of
+:class:`~repro.fp.errorvec.ErrorVector` with the same ``apply`` interface,
+so the whole fault-injection stack (injector, matmul kernel hooks,
+campaigns) works unchanged with either model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .constants import BINARY64, FloatFormat
+from .errorvec import _field_bit_range
+
+__all__ = ["StuckAtVector", "stuck_at_vector"]
+
+
+@dataclass(frozen=True)
+class StuckAtVector:
+    """Bits forced to a constant level on application.
+
+    Attributes
+    ----------
+    mask:
+        Bit positions that are stuck (set bits in the mask).
+    level:
+        0 (stuck-at-0: affected bits cleared) or 1 (stuck-at-1: set).
+    field:
+        The float field the stuck bits live in.
+    bit_indices:
+        Sorted tuple of stuck bit positions (LSB = 0).
+    """
+
+    mask: int
+    level: int
+    field: str
+    bit_indices: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.level not in (0, 1):
+            raise ValueError(f"level must be 0 or 1, got {self.level}")
+
+    @property
+    def num_flips(self) -> int:
+        """Stuck bit count (named for ErrorVector interface compatibility)."""
+        return len(self.bit_indices)
+
+    def apply(self, value, fmt: FloatFormat = BINARY64):
+        """Force the stuck bits of ``value`` to the stuck level."""
+        from .bits import bits_to_float, float_to_bits
+
+        bits = float_to_bits(np.asarray(value), fmt)
+        mask = fmt.uint_dtype.type(self.mask)
+        if self.level == 1:
+            out = np.bitwise_or(bits, mask)
+        else:
+            out = np.bitwise_and(bits, np.bitwise_not(mask))
+        return bits_to_float(out, fmt)
+
+    def corrupts(self, value: float, fmt: FloatFormat = BINARY64) -> bool:
+        """Whether applying this fault to ``value`` changes it at all."""
+        from .bits import float_to_bits
+
+        return int(float_to_bits(self.apply(value, fmt), fmt)) != int(
+            float_to_bits(value, fmt)
+        )
+
+
+def stuck_at_vector(
+    field: str,
+    level: int,
+    rng: np.random.Generator,
+    num_bits: int = 1,
+    fmt: FloatFormat = BINARY64,
+) -> StuckAtVector:
+    """Draw a stuck-at fault at random positions within ``field``.
+
+    ``num_bits`` adjacent-free positions are drawn without replacement.
+    """
+    candidates = _field_bit_range(field, fmt)
+    if not 1 <= num_bits <= len(candidates):
+        raise ValueError(
+            f"num_bits must be in 1..{len(candidates)} for the {field} field"
+        )
+    chosen = rng.choice(candidates, size=num_bits, replace=False)
+    indices = tuple(sorted(int(i) for i in np.atleast_1d(chosen)))
+    mask = 0
+    for idx in indices:
+        mask |= 1 << idx
+    return StuckAtVector(mask=mask, level=level, field=field, bit_indices=indices)

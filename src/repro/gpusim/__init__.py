@@ -1,0 +1,50 @@
+"""Functional SIMT GPU simulator — the CUDA-substrate of this reproduction.
+
+Models the pieces the A-ABFT experiments observe: a device with streaming
+multiprocessors, deterministic block-to-SM scheduling (fault injection
+targets an SM), global/shared memory with capacity accounting, block-granular
+kernel execution, and an analytic roofline timing model for the performance
+experiments.
+"""
+
+from .device import GTX680, K20C, DeviceSpec, device_by_name
+from .kernel import BlockContext, Dim3, Kernel, KernelStats, LaunchConfig
+from .memory import DeviceBuffer, GlobalMemory, SharedMemory
+from .occupancy import KEPLER_SM, Occupancy, SmResources, occupancy
+from .profiler import LaunchRecord, Profiler
+from .scheduler import BlockAssignment, BlockScheduler
+from .simulator import GpuSimulator
+from .stream import Stream, concurrent_seconds
+from .timing import KernelTiming, TimingModel
+from .trace import ExecutionTrace, TraceEvent, trace_from_streams
+
+__all__ = [
+    "BlockAssignment",
+    "BlockContext",
+    "BlockScheduler",
+    "DeviceBuffer",
+    "DeviceSpec",
+    "Dim3",
+    "GTX680",
+    "GlobalMemory",
+    "KEPLER_SM",
+    "Occupancy",
+    "SmResources",
+    "GpuSimulator",
+    "K20C",
+    "Kernel",
+    "KernelStats",
+    "KernelTiming",
+    "LaunchConfig",
+    "LaunchRecord",
+    "Profiler",
+    "SharedMemory",
+    "Stream",
+    "TimingModel",
+    "ExecutionTrace",
+    "TraceEvent",
+    "concurrent_seconds",
+    "device_by_name",
+    "occupancy",
+    "trace_from_streams",
+]

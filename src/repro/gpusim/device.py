@@ -1,0 +1,116 @@
+"""Simulated GPU device descriptions.
+
+The paper's experiments ran on an NVIDIA K20c (Kepler GK110): 13 streaming
+multiprocessors, 2496 CUDA cores, 5 GB GDDR5, and ~1.17 TFLOPS peak double
+precision.  :data:`K20C` encodes those published characteristics; the
+functional simulator uses the SM count and scheduling granularity (which
+determine *where* a fault lands), while the analytic performance model
+(:mod:`repro.perfmodel`) uses the throughput numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DeviceSpec", "K20C", "GTX680", "device_by_name"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of a simulated GPU.
+
+    Attributes
+    ----------
+    name:
+        Marketing name, e.g. ``"Tesla K20c"``.
+    num_sms:
+        Number of streaming multiprocessors.  Fault injection targets one of
+        these (paper Section VI-C: "the fault injection routine randomly
+        selects a streaming multiprocessor").
+    cores_per_sm:
+        CUDA cores per SM (single-precision lanes).
+    clock_ghz:
+        Core clock in GHz.
+    peak_dp_gflops:
+        Peak double-precision throughput in GFLOPS.
+    peak_sp_gflops:
+        Peak single-precision throughput in GFLOPS.
+    mem_bandwidth_gbs:
+        Theoretical global-memory bandwidth in GB/s.
+    global_mem_bytes:
+        Global device memory capacity in bytes.
+    shared_mem_per_block:
+        Shared-memory capacity available to one thread block, in bytes.
+    max_threads_per_block:
+        Hardware limit on threads per block.
+    warp_size:
+        SIMD width of a warp.
+    """
+
+    name: str
+    num_sms: int
+    cores_per_sm: int
+    clock_ghz: float
+    peak_dp_gflops: float
+    peak_sp_gflops: float
+    mem_bandwidth_gbs: float
+    global_mem_bytes: int
+    shared_mem_per_block: int = 48 * 1024
+    max_threads_per_block: int = 1024
+    warp_size: int = 32
+
+    def __post_init__(self) -> None:
+        if self.num_sms <= 0:
+            raise ValueError("num_sms must be positive")
+        if self.peak_dp_gflops <= 0 or self.mem_bandwidth_gbs <= 0:
+            raise ValueError("throughput figures must be positive")
+
+    @property
+    def total_cores(self) -> int:
+        """Total CUDA core count across all SMs."""
+        return self.num_sms * self.cores_per_sm
+
+    def peak_gflops(self, precision: str = "double") -> float:
+        """Peak GFLOPS for ``precision`` in {'double', 'single'}."""
+        if precision == "double":
+            return self.peak_dp_gflops
+        if precision == "single":
+            return self.peak_sp_gflops
+        raise ValueError(f"unknown precision {precision!r}")
+
+
+#: The paper's evaluation platform (Section VI-A).
+K20C = DeviceSpec(
+    name="Tesla K20c",
+    num_sms=13,
+    cores_per_sm=192,
+    clock_ghz=0.706,
+    peak_dp_gflops=1170.0,
+    peak_sp_gflops=3520.0,
+    mem_bandwidth_gbs=208.0,
+    global_mem_bytes=5 * 1024**3,
+)
+
+#: A consumer Kepler part, for what-if studies (weak double precision).
+GTX680 = DeviceSpec(
+    name="GeForce GTX 680",
+    num_sms=8,
+    cores_per_sm=192,
+    clock_ghz=1.006,
+    peak_dp_gflops=128.8,
+    peak_sp_gflops=3090.0,
+    mem_bandwidth_gbs=192.2,
+    global_mem_bytes=2 * 1024**3,
+)
+
+_DEVICES = {spec.name: spec for spec in (K20C, GTX680)}
+
+
+def device_by_name(name: str) -> DeviceSpec:
+    """Look up a built-in device spec by its marketing name."""
+    try:
+        return _DEVICES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown device {name!r}; available: {sorted(_DEVICES)}"
+        ) from None

@@ -1,0 +1,151 @@
+"""Kernel and launch abstractions for the functional GPU simulator.
+
+A :class:`Kernel` is executed block-by-block: the simulator's scheduler
+assigns every thread block of the launch grid to a streaming multiprocessor
+and calls :meth:`Kernel.run_block` once per block with a
+:class:`BlockContext`.  Inside ``run_block`` the kernel may iterate over its
+threads explicitly (as the paper's algorithm listings do) or use vectorised
+numpy operations where the per-thread order does not affect the numerics.
+
+This block-granular model preserves everything the experiments depend on:
+which SM executes which block (fault targeting), the shared-memory footprint,
+and the per-element accumulation order of the matmul kernel.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from ..errors import KernelLaunchError
+from .device import DeviceSpec
+from .memory import SharedMemory
+
+__all__ = ["Dim3", "LaunchConfig", "BlockContext", "Kernel", "KernelStats"]
+
+
+@dataclass(frozen=True)
+class Dim3:
+    """CUDA-style 3-component tuple, used both as a dimension (all
+    components >= 1) and as a block index (components >= 0)."""
+
+    x: int
+    y: int = 1
+    z: int = 1
+
+    def __post_init__(self) -> None:
+        if self.x < 0 or self.y < 0 or self.z < 0:
+            raise ValueError(f"components must be non-negative, got {self}")
+
+    @property
+    def count(self) -> int:
+        """Total number of elements (threads or blocks)."""
+        return self.x * self.y * self.z
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """Grid and block dimensions of a kernel launch."""
+
+    grid: Dim3
+    block: Dim3
+
+    def __post_init__(self) -> None:
+        if self.grid.count < 1 or self.block.count < 1:
+            raise KernelLaunchError(
+                f"grid and block dimensions must all be >= 1, got "
+                f"grid={self.grid}, block={self.block}"
+            )
+
+    @property
+    def num_blocks(self) -> int:
+        return self.grid.count
+
+    @property
+    def threads_per_block(self) -> int:
+        return self.block.count
+
+    def validate(self, device: DeviceSpec) -> None:
+        """Reject configurations the target device could not launch."""
+        if self.threads_per_block > device.max_threads_per_block:
+            raise KernelLaunchError(
+                f"{self.threads_per_block} threads per block exceeds device "
+                f"limit of {device.max_threads_per_block}"
+            )
+
+
+@dataclass
+class KernelStats:
+    """Work accounting a kernel reports during execution.
+
+    The analytic timing model consumes these counters; the functional result
+    never depends on them.
+    """
+
+    flops: int = 0
+    global_bytes_read: int = 0
+    global_bytes_written: int = 0
+    shared_bytes_peak: int = 0
+
+    def merge(self, other: "KernelStats") -> None:
+        self.flops += other.flops
+        self.global_bytes_read += other.global_bytes_read
+        self.global_bytes_written += other.global_bytes_written
+        self.shared_bytes_peak = max(self.shared_bytes_peak, other.shared_bytes_peak)
+
+    @property
+    def global_bytes(self) -> int:
+        return self.global_bytes_read + self.global_bytes_written
+
+
+@dataclass
+class BlockContext:
+    """Everything one thread block sees while executing.
+
+    Attributes
+    ----------
+    block_idx:
+        This block's coordinates in the launch grid.
+    block_dim:
+        Thread-block dimensions.
+    sm_id:
+        The streaming multiprocessor the scheduler assigned this block to.
+    shared:
+        The block's shared-memory scratchpad.
+    stats:
+        Per-block work counters (merged into the launch totals afterwards).
+    """
+
+    block_idx: Dim3
+    block_dim: Dim3
+    sm_id: int
+    shared: SharedMemory
+    linear_block_index: int = 0
+    stats: KernelStats = field(default_factory=KernelStats)
+
+
+class Kernel(abc.ABC):
+    """Base class for simulated GPU kernels.
+
+    Subclasses implement :meth:`run_block`; the simulator takes care of grid
+    iteration, SM assignment, shared-memory provisioning and stat merging.
+    """
+
+    #: Human-readable kernel name used in profiler reports.
+    name: str = "kernel"
+
+    @abc.abstractmethod
+    def run_block(self, ctx: BlockContext) -> None:
+        """Execute one thread block.
+
+        Implementations read/write global memory through the device arrays
+        they were constructed with and may use ``ctx.shared`` for staging,
+        mirroring the paper's algorithm listings.
+        """
+
+    def launch_config(self) -> LaunchConfig:
+        """Default launch configuration; kernels may compute it from their
+        problem shape.  Must be overridden unless the caller supplies one."""
+        raise KernelLaunchError(
+            f"kernel {self.name!r} does not define a default launch config"
+        )

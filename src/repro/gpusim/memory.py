@@ -1,0 +1,164 @@
+"""Simulated GPU memory: global device buffers and per-block shared memory.
+
+The functional simulator models memory at the fidelity the experiments need:
+global buffers are numpy arrays with explicit allocation against the device's
+capacity (so out-of-memory behaves like the real API), and shared memory is a
+per-thread-block scratchpad with a capacity check against the device limit.
+Host/device transfers are explicit copies so kernels can never alias host
+data by accident.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import DeviceError
+from .device import DeviceSpec
+
+__all__ = ["DeviceBuffer", "GlobalMemory", "SharedMemory"]
+
+
+@dataclass
+class DeviceBuffer:
+    """A global-memory allocation.
+
+    The backing numpy array is only handed out to simulated kernels (via
+    :meth:`array`) — host code should use the copy-based accessors of
+    :class:`GlobalMemory` / :class:`~repro.gpusim.simulator.GpuSimulator`.
+    """
+
+    name: str
+    _data: np.ndarray
+    freed: bool = False
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self._data.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._data.dtype
+
+    @property
+    def nbytes(self) -> int:
+        return self._data.nbytes
+
+    def array(self) -> np.ndarray:
+        """Device-side view for kernels. Raises if the buffer was freed."""
+        if self.freed:
+            raise DeviceError(f"use-after-free of device buffer {self.name!r}")
+        return self._data
+
+
+class GlobalMemory:
+    """Global device memory with capacity accounting.
+
+    Parameters
+    ----------
+    device:
+        The device whose ``global_mem_bytes`` bounds total allocation.
+    """
+
+    def __init__(self, device: DeviceSpec) -> None:
+        self.device = device
+        self._allocated_bytes = 0
+        self._buffers: dict[str, DeviceBuffer] = {}
+        self._counter = 0
+
+    @property
+    def allocated_bytes(self) -> int:
+        """Total bytes currently allocated."""
+        return self._allocated_bytes
+
+    @property
+    def free_bytes(self) -> int:
+        """Remaining capacity."""
+        return self.device.global_mem_bytes - self._allocated_bytes
+
+    def alloc(
+        self, shape: tuple[int, ...] | int, dtype=np.float64, name: str | None = None
+    ) -> DeviceBuffer:
+        """Allocate a zero-initialised buffer.
+
+        Raises
+        ------
+        DeviceError
+            If the allocation would exceed the device's memory capacity.
+        """
+        data = np.zeros(shape, dtype=dtype)
+        if data.nbytes > self.free_bytes:
+            raise DeviceError(
+                f"out of device memory: requested {data.nbytes} bytes, "
+                f"{self.free_bytes} free of {self.device.global_mem_bytes}"
+            )
+        if name is None:
+            name = f"buf{self._counter}"
+        self._counter += 1
+        if name in self._buffers and not self._buffers[name].freed:
+            raise DeviceError(f"buffer name {name!r} already allocated")
+        buf = DeviceBuffer(name=name, _data=data)
+        self._buffers[name] = buf
+        self._allocated_bytes += data.nbytes
+        return buf
+
+    def upload(self, host_array: np.ndarray, name: str | None = None) -> DeviceBuffer:
+        """Allocate a buffer and copy ``host_array`` into it."""
+        buf = self.alloc(host_array.shape, host_array.dtype, name)
+        buf.array()[...] = host_array
+        return buf
+
+    def download(self, buf: DeviceBuffer) -> np.ndarray:
+        """Copy a device buffer back to a fresh host array."""
+        return buf.array().copy()
+
+    def free(self, buf: DeviceBuffer) -> None:
+        """Release a buffer; double-free raises."""
+        if buf.freed:
+            raise DeviceError(f"double free of device buffer {buf.name!r}")
+        buf.freed = True
+        self._allocated_bytes -= buf.nbytes
+
+    def free_all(self) -> None:
+        """Release every live buffer (device reset)."""
+        for buf in self._buffers.values():
+            if not buf.freed:
+                buf.freed = True
+                self._allocated_bytes -= buf.nbytes
+
+
+@dataclass
+class SharedMemory:
+    """Per-thread-block shared-memory scratchpad.
+
+    Kernels declare named arrays (``smA``, ``smB``, ...) as in the paper's
+    algorithm listings; total size is checked against the device limit so a
+    kernel that would not fit on the real hardware fails loudly here too.
+    """
+
+    capacity_bytes: int
+    _arrays: dict[str, np.ndarray] = field(default_factory=dict)
+
+    def declare(self, name: str, shape: tuple[int, ...], dtype=np.float64) -> np.ndarray:
+        """Declare (or re-obtain) a named shared array."""
+        if name in self._arrays:
+            existing = self._arrays[name]
+            if existing.shape != tuple(np.atleast_1d(shape)) and existing.shape != shape:
+                raise DeviceError(
+                    f"shared array {name!r} redeclared with different shape"
+                )
+            return existing
+        arr = np.zeros(shape, dtype=dtype)
+        if self.used_bytes + arr.nbytes > self.capacity_bytes:
+            raise DeviceError(
+                f"shared memory exceeded: {self.used_bytes + arr.nbytes} bytes "
+                f"requested, {self.capacity_bytes} available per block"
+            )
+        self._arrays[name] = arr
+        return arr
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently declared in this block's scratchpad."""
+        return sum(a.nbytes for a in self._arrays.values())

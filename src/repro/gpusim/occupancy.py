@@ -1,0 +1,108 @@
+"""CUDA-style occupancy calculation for the simulated device.
+
+The timing model's saturation ramp abstracts how many thread blocks fit on
+an SM.  This module computes that number from first principles, the way the
+CUDA occupancy calculator does: a block becomes resident only if the SM has
+enough warp slots, registers and shared memory for it, and a hard
+blocks-per-SM limit applies on top.
+
+Useful for kernel-configuration studies (how do BM/BN/RX/RY choices trade
+parallelism against register pressure?) and to justify the per-kernel
+efficiency constants of :mod:`repro.perfmodel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import KernelLaunchError
+
+__all__ = ["SmResources", "KEPLER_SM", "Occupancy", "occupancy"]
+
+
+@dataclass(frozen=True)
+class SmResources:
+    """Per-SM scheduling resources of an architecture."""
+
+    max_threads: int
+    max_warps: int
+    max_blocks: int
+    registers: int
+    shared_memory_bytes: int
+    warp_size: int = 32
+
+    def __post_init__(self) -> None:
+        if self.max_threads < self.warp_size:
+            raise ValueError("an SM must host at least one warp")
+        if self.max_warps * self.warp_size < self.max_threads:
+            raise ValueError("warp slots must cover the thread capacity")
+
+
+#: Kepler GK110 (the K20c's architecture, compute capability 3.5).
+KEPLER_SM = SmResources(
+    max_threads=2048,
+    max_warps=64,
+    max_blocks=16,
+    registers=65536,
+    shared_memory_bytes=48 * 1024,
+)
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Result of an occupancy calculation."""
+
+    resident_blocks: int
+    resident_warps: int
+    occupancy: float
+    limiter: str  # "threads", "warps", "blocks", "registers" or "shared"
+
+    @property
+    def percent(self) -> float:
+        return 100.0 * self.occupancy
+
+
+def occupancy(
+    threads_per_block: int,
+    registers_per_thread: int = 32,
+    shared_bytes_per_block: int = 0,
+    sm: SmResources = KEPLER_SM,
+) -> Occupancy:
+    """How many blocks of the given shape fit on one SM, and why not more.
+
+    Raises
+    ------
+    KernelLaunchError
+        If a single block already exceeds an SM resource (the launch would
+        fail on real hardware).
+    """
+    if threads_per_block < 1:
+        raise KernelLaunchError("a block needs at least one thread")
+    warps_per_block = -(-threads_per_block // sm.warp_size)
+    regs_per_block = registers_per_thread * threads_per_block
+
+    limits: dict[str, int] = {
+        "threads": sm.max_threads // threads_per_block,
+        "warps": sm.max_warps // warps_per_block,
+        "blocks": sm.max_blocks,
+    }
+    if registers_per_thread > 0:
+        limits["registers"] = sm.registers // regs_per_block
+    if shared_bytes_per_block > 0:
+        limits["shared"] = sm.shared_memory_bytes // shared_bytes_per_block
+
+    limiter, blocks = min(limits.items(), key=lambda kv: kv[1])
+    if blocks < 1:
+        raise KernelLaunchError(
+            f"one block ({threads_per_block} threads, "
+            f"{registers_per_thread} regs/thread, "
+            f"{shared_bytes_per_block} B shared) exceeds the SM's "
+            f"{limiter} capacity"
+        )
+    warps = blocks * warps_per_block
+    return Occupancy(
+        resident_blocks=blocks,
+        resident_warps=warps,
+        occupancy=warps / sm.max_warps,
+        limiter=limiter,
+    )

@@ -1,0 +1,79 @@
+"""Launch-level profiling for the simulated GPU.
+
+Collects one record per kernel launch (work counters + modelled timing) and
+aggregates them into per-kernel and whole-run summaries.  The performance
+experiments read their scheme-level timings from here.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from .kernel import KernelStats
+from .timing import KernelTiming
+
+__all__ = ["LaunchRecord", "Profiler"]
+
+
+@dataclass(frozen=True)
+class LaunchRecord:
+    """One completed kernel launch."""
+
+    kernel_name: str
+    num_blocks: int
+    threads_per_block: int
+    stats: KernelStats
+    timing: KernelTiming
+
+    @property
+    def seconds(self) -> float:
+        return self.timing.seconds
+
+
+@dataclass
+class Profiler:
+    """Accumulates launch records for a simulation run."""
+
+    records: list[LaunchRecord] = field(default_factory=list)
+
+    def record(self, record: LaunchRecord) -> None:
+        self.records.append(record)
+
+    def reset(self) -> None:
+        self.records.clear()
+
+    @property
+    def total_seconds(self) -> float:
+        """Sum of modelled kernel times (serial-stream assumption)."""
+        return sum(r.seconds for r in self.records)
+
+    @property
+    def total_flops(self) -> int:
+        return sum(r.stats.flops for r in self.records)
+
+    def seconds_by_kernel(self) -> dict[str, float]:
+        """Modelled time per kernel name."""
+        out: dict[str, float] = defaultdict(float)
+        for r in self.records:
+            out[r.kernel_name] += r.seconds
+        return dict(out)
+
+    def launches_of(self, kernel_name: str) -> list[LaunchRecord]:
+        """All launches of a given kernel, in order."""
+        return [r for r in self.records if r.kernel_name == kernel_name]
+
+    def summary(self) -> str:
+        """Human-readable per-kernel summary table."""
+        lines = [f"{'kernel':<28} {'launches':>8} {'time [ms]':>12} {'GFLOPS':>10}"]
+        by_name: dict[str, list[LaunchRecord]] = defaultdict(list)
+        for r in self.records:
+            by_name[r.kernel_name].append(r)
+        for name, records in sorted(by_name.items()):
+            seconds = sum(r.seconds for r in records)
+            flops = sum(r.stats.flops for r in records)
+            gflops = flops / seconds / 1e9 if seconds > 0 else 0.0
+            lines.append(
+                f"{name:<28} {len(records):>8} {seconds * 1e3:>12.3f} {gflops:>10.1f}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""Block-to-SM scheduling for the functional simulator.
+
+Real GPUs dispatch thread blocks to streaming multiprocessors through a
+hardware work distributor; for the experiments in this library the only
+observable property of that mapping is *which* SM executes *which* block,
+because fault injection targets a single SM (paper Section VI-C).  The
+scheduler therefore provides a deterministic round-robin assignment (a good
+model of the Kepler work distributor under a uniform kernel) plus helpers to
+enumerate the blocks resident on a given SM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .device import DeviceSpec
+from .kernel import Dim3, LaunchConfig
+
+__all__ = ["BlockScheduler", "BlockAssignment"]
+
+
+@dataclass(frozen=True)
+class BlockAssignment:
+    """One scheduled thread block."""
+
+    linear_index: int
+    block_idx: Dim3
+    sm_id: int
+
+
+class BlockScheduler:
+    """Deterministic round-robin block scheduler.
+
+    Blocks are linearised in row-major order (x fastest) and assigned to SMs
+    cyclically: block ``i`` runs on SM ``i mod num_sms``.
+    """
+
+    def __init__(self, device: DeviceSpec) -> None:
+        self.device = device
+
+    def linearise(self, grid: Dim3) -> list[Dim3]:
+        """All block coordinates of ``grid`` in dispatch order."""
+        return [
+            Dim3(x, y, z)
+            for z in range(grid.z)
+            for y in range(grid.y)
+            for x in range(grid.x)
+        ]
+
+    def assign(self, config: LaunchConfig) -> list[BlockAssignment]:
+        """Schedule every block of a launch onto an SM."""
+        num_sms = self.device.num_sms
+        return [
+            BlockAssignment(linear_index=i, block_idx=idx, sm_id=i % num_sms)
+            for i, idx in enumerate(self.linearise(config.grid))
+        ]
+
+    def sm_of_block(self, linear_index: int) -> int:
+        """SM that will execute the block with the given linear index."""
+        if linear_index < 0:
+            raise ValueError("block index must be non-negative")
+        return linear_index % self.device.num_sms
+
+    def blocks_on_sm(self, config: LaunchConfig, sm_id: int) -> list[BlockAssignment]:
+        """All blocks of a launch that land on ``sm_id``."""
+        if not 0 <= sm_id < self.device.num_sms:
+            raise ValueError(
+                f"sm_id {sm_id} out of range for {self.device.name} "
+                f"(0..{self.device.num_sms - 1})"
+            )
+        return [a for a in self.assign(config) if a.sm_id == sm_id]

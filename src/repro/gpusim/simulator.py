@@ -1,0 +1,157 @@
+"""The :class:`GpuSimulator` facade tying device, memory, scheduling,
+profiling and kernel execution together.
+
+Typical use::
+
+    sim = GpuSimulator(K20C)
+    d_a = sim.upload(a)
+    d_c = sim.alloc(c_shape)
+    sim.launch(MyKernel(d_a, d_c, ...), stream="compute")
+    c = sim.download(d_c)
+
+Every launch runs block-by-block under the deterministic round-robin block
+scheduler, provisions a fresh shared-memory scratchpad per block, merges the
+kernel's work counters and records a modelled timing in the profiler.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .device import DeviceSpec, K20C
+from .kernel import BlockContext, Kernel, KernelStats, LaunchConfig
+from .memory import DeviceBuffer, GlobalMemory, SharedMemory
+from .profiler import LaunchRecord, Profiler
+from .scheduler import BlockScheduler
+from .stream import Stream, concurrent_seconds
+from .timing import TimingModel
+
+__all__ = ["GpuSimulator"]
+
+
+class GpuSimulator:
+    """A functional simulator of one GPU device.
+
+    Parameters
+    ----------
+    device:
+        Static device description; defaults to the paper's K20c.
+    timing_model:
+        Override the analytic timing model (tests inject simplified ones).
+    """
+
+    def __init__(
+        self, device: DeviceSpec = K20C, timing_model: TimingModel | None = None
+    ) -> None:
+        self.device = device
+        self.memory = GlobalMemory(device)
+        self.scheduler = BlockScheduler(device)
+        self.timing = timing_model or TimingModel(device)
+        self.profiler = Profiler()
+        self._streams: dict[str, Stream] = {}
+
+    # ------------------------------------------------------------------
+    # Memory convenience wrappers
+    # ------------------------------------------------------------------
+    def alloc(self, shape, dtype=np.float64, name: str | None = None) -> DeviceBuffer:
+        """Allocate a zeroed device buffer."""
+        return self.memory.alloc(shape, dtype, name)
+
+    def upload(self, host_array: np.ndarray, name: str | None = None) -> DeviceBuffer:
+        """Copy a host array into a fresh device buffer."""
+        return self.memory.upload(np.ascontiguousarray(host_array), name)
+
+    def download(self, buf: DeviceBuffer) -> np.ndarray:
+        """Copy a device buffer back to the host."""
+        return self.memory.download(buf)
+
+    def free(self, buf: DeviceBuffer) -> None:
+        """Release a device buffer."""
+        self.memory.free(buf)
+
+    def reset(self) -> None:
+        """Free all buffers and clear profiling state."""
+        self.memory.free_all()
+        self.profiler.reset()
+        self._streams.clear()
+
+    # ------------------------------------------------------------------
+    # Streams
+    # ------------------------------------------------------------------
+    def stream(self, name: str) -> Stream:
+        """Get or create a named stream."""
+        if name not in self._streams:
+            self._streams[name] = Stream(name)
+        return self._streams[name]
+
+    def concurrent_wall_seconds(self, *stream_names: str) -> float:
+        """Modelled wall time of the named streams running concurrently."""
+        return concurrent_seconds(*(self.stream(n) for n in stream_names))
+
+    # ------------------------------------------------------------------
+    # Kernel execution
+    # ------------------------------------------------------------------
+    def launch(
+        self,
+        kernel: Kernel,
+        config: LaunchConfig | None = None,
+        stream: str = "default",
+        compute_efficiency: float | None = None,
+        precision: str = "double",
+    ) -> LaunchRecord:
+        """Execute ``kernel`` over its launch grid and record the launch.
+
+        Parameters
+        ----------
+        kernel:
+            The kernel instance; its buffers were bound at construction.
+        config:
+            Launch configuration; defaults to ``kernel.launch_config()``.
+        stream:
+            Stream name for timing aggregation.
+        compute_efficiency:
+            Override for the kernel's sustained-efficiency factor; defaults
+            to ``kernel.compute_efficiency`` when present, else 0.85.
+        precision:
+            Floating-point precision for the timing roofline.
+        """
+        if config is None:
+            config = kernel.launch_config()
+        config.validate(self.device)
+
+        totals = KernelStats()
+        for assignment in self.scheduler.assign(config):
+            shared = SharedMemory(self.device.shared_mem_per_block)
+            ctx = BlockContext(
+                block_idx=assignment.block_idx,
+                block_dim=config.block,
+                sm_id=assignment.sm_id,
+                shared=shared,
+                linear_block_index=assignment.linear_index,
+            )
+            kernel.run_block(ctx)
+            ctx.stats.shared_bytes_peak = max(
+                ctx.stats.shared_bytes_peak, shared.used_bytes
+            )
+            totals.merge(ctx.stats)
+
+        efficiency = compute_efficiency
+        if efficiency is None:
+            efficiency = getattr(kernel, "compute_efficiency", 0.85)
+        timing = self.timing.estimate(
+            kernel.name,
+            totals,
+            num_blocks=config.num_blocks,
+            compute_efficiency=efficiency,
+            precision=precision,
+        )
+        record = LaunchRecord(
+            kernel_name=kernel.name,
+            num_blocks=config.num_blocks,
+            threads_per_block=config.threads_per_block,
+            stats=totals,
+            timing=timing,
+        )
+        self.profiler.record(record)
+        self.stream(stream).record(record)
+        return record

@@ -1,0 +1,130 @@
+"""Analytic kernel timing for the simulated device.
+
+The functional simulator produces bit-exact numerics but runs on a CPU, so
+wall-clock time means nothing.  Timing is instead *modelled*: every kernel
+launch reports its floating-point operation count and global-memory traffic
+(:class:`~repro.gpusim.kernel.KernelStats`), and this module converts those
+into an estimated execution time with a roofline model refined by two
+empirically motivated efficiency terms:
+
+* ``compute_efficiency`` — the fraction of peak FLOPS a kernel sustains when
+  compute-bound.  Dense matmul on Kepler sustains 75-90 % of peak for large
+  tiles (Tan et al., SC'11); reduction-style kernels sustain far less.
+* an occupancy ramp — small launches cannot fill all SMs, so sustained
+  throughput scales with ``min(1, blocks / (sms * blocks_to_saturate))``.
+
+The per-scheme GFLOPS tables of the paper (Table I) are regenerated from
+these estimates by :mod:`repro.perfmodel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .device import DeviceSpec
+from .kernel import KernelStats
+
+__all__ = ["TimingModel", "KernelTiming"]
+
+
+@dataclass(frozen=True)
+class KernelTiming:
+    """Modelled execution time of one kernel launch."""
+
+    name: str
+    seconds: float
+    flops: int
+    bytes: int
+    limiter: str  # "compute", "memory" or "launch"
+
+    @property
+    def gflops(self) -> float:
+        """Achieved GFLOPS of this launch under the model."""
+        if self.seconds <= 0.0:
+            return 0.0
+        return self.flops / self.seconds / 1e9
+
+
+class TimingModel:
+    """Roofline-with-occupancy timing model.
+
+    Parameters
+    ----------
+    device:
+        Device whose peak throughput and bandwidth anchor the roofline.
+    launch_overhead_s:
+        Fixed per-launch overhead (driver + dispatch); ~5 µs on Kepler.
+    blocks_to_saturate:
+        Resident blocks per SM needed to reach full throughput.
+    """
+
+    def __init__(
+        self,
+        device: DeviceSpec,
+        launch_overhead_s: float = 5e-6,
+        blocks_to_saturate: int = 8,
+    ) -> None:
+        if launch_overhead_s < 0:
+            raise ValueError("launch overhead must be non-negative")
+        if blocks_to_saturate <= 0:
+            raise ValueError("blocks_to_saturate must be positive")
+        self.device = device
+        self.launch_overhead_s = launch_overhead_s
+        self.blocks_to_saturate = blocks_to_saturate
+
+    def occupancy_factor(self, num_blocks: int) -> float:
+        """Throughput scale factor for a launch of ``num_blocks`` blocks."""
+        saturation = self.device.num_sms * self.blocks_to_saturate
+        if num_blocks <= 0:
+            return 0.0
+        return min(1.0, num_blocks / saturation)
+
+    def estimate(
+        self,
+        name: str,
+        stats: KernelStats,
+        num_blocks: int,
+        compute_efficiency: float = 0.85,
+        precision: str = "double",
+    ) -> KernelTiming:
+        """Estimate the execution time of one launch.
+
+        Parameters
+        ----------
+        name:
+            Kernel name, carried into the timing record.
+        stats:
+            Operation/byte counters accumulated during functional execution.
+        num_blocks:
+            Grid size of the launch, for the occupancy ramp.
+        compute_efficiency:
+            Fraction of device peak this kernel sustains when compute-bound
+            and fully occupied (kernel-specific; see module docstring).
+        precision:
+            ``"double"`` or ``"single"`` — selects the peak-FLOPS roof.
+        """
+        if not 0.0 < compute_efficiency <= 1.0:
+            raise ValueError("compute_efficiency must be in (0, 1]")
+        peak = self.device.peak_gflops(precision) * 1e9
+        occupancy = self.occupancy_factor(num_blocks)
+        effective_peak = peak * compute_efficiency * max(occupancy, 1e-9)
+        bw = self.device.mem_bandwidth_gbs * 1e9
+
+        compute_time = stats.flops / effective_peak if stats.flops else 0.0
+        memory_time = stats.global_bytes / bw if stats.global_bytes else 0.0
+        body = max(compute_time, memory_time)
+        total = body + self.launch_overhead_s
+
+        if body == 0.0:
+            limiter = "launch"
+        elif compute_time >= memory_time:
+            limiter = "compute"
+        else:
+            limiter = "memory"
+        return KernelTiming(
+            name=name,
+            seconds=total,
+            flops=stats.flops,
+            bytes=stats.global_bytes,
+            limiter=limiter,
+        )

@@ -1,0 +1,125 @@
+"""Checking kernel: bounds + reference checksums + comparison
+(paper Algorithm 2).
+
+One thread block processes one ``(BS+1) x (BS+1)`` result sub-matrix: it
+loads the top-p indices/values produced by the encoding/reduction kernels,
+derives the rounding-error bound for each checksum comparison (the
+three-case ``y`` rule + the probabilistic model), recomputes the reference
+row/column checksums from the result data, and writes the discrepancy and
+tolerance of every comparison to global buffers.  The host turns those
+buffers into a :class:`~repro.abft.checking.CheckReport`.
+
+The kernel is generic over the epsilon provider, so the same launch code
+serves the A-ABFT scheme (top-p based), the SEA baseline (norm based) and
+fixed bounds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..abft.checking import EpsilonProvider
+from ..abft.encoding import PartitionedLayout
+from ..gpusim.kernel import BlockContext, Dim3, Kernel, LaunchConfig
+from ..gpusim.memory import DeviceBuffer
+
+__all__ = ["CheckKernel"]
+
+
+class CheckKernel(Kernel):
+    """Per-block bound determination, reference checksums and comparison.
+
+    Parameters
+    ----------
+    c_buf:
+        The full-checksum result matrix.
+    row_layout / col_layout:
+        Encoded layouts of the result.
+    epsilons:
+        Per-comparison tolerance provider.
+    col_disc_buf / col_eps_buf:
+        Outputs for column checks, shape ``(num_row_blocks, encoded_cols)``.
+    row_disc_buf / row_eps_buf:
+        Outputs for row checks, shape ``(encoded_rows, num_col_blocks)``.
+    """
+
+    name = "abft_check"
+    #: Checksum sums + a handful of bound evaluations per block.
+    compute_efficiency = 0.20
+
+    def __init__(
+        self,
+        c_buf: DeviceBuffer,
+        row_layout: PartitionedLayout,
+        col_layout: PartitionedLayout,
+        epsilons: EpsilonProvider,
+        col_disc_buf: DeviceBuffer,
+        col_eps_buf: DeviceBuffer,
+        row_disc_buf: DeviceBuffer,
+        row_eps_buf: DeviceBuffer,
+    ) -> None:
+        expected_c = (row_layout.encoded_rows, col_layout.encoded_rows)
+        if c_buf.shape != expected_c:
+            raise ValueError(f"result buffer shape {c_buf.shape}, expected {expected_c}")
+        expected_col = (row_layout.num_blocks, col_layout.encoded_rows)
+        expected_row = (row_layout.encoded_rows, col_layout.num_blocks)
+        if col_disc_buf.shape != expected_col or col_eps_buf.shape != expected_col:
+            raise ValueError(f"column outputs must have shape {expected_col}")
+        if row_disc_buf.shape != expected_row or row_eps_buf.shape != expected_row:
+            raise ValueError(f"row outputs must have shape {expected_row}")
+        self.c_buf = c_buf
+        self.row_layout = row_layout
+        self.col_layout = col_layout
+        self.epsilons = epsilons
+        self.col_disc_buf = col_disc_buf
+        self.col_eps_buf = col_eps_buf
+        self.row_disc_buf = row_disc_buf
+        self.row_eps_buf = row_eps_buf
+
+    def launch_config(self) -> LaunchConfig:
+        return LaunchConfig(
+            grid=Dim3(x=self.col_layout.num_blocks, y=self.row_layout.num_blocks),
+            block=Dim3(x=self.col_layout.stride),
+        )
+
+    def run_block(self, ctx: BlockContext) -> None:
+        blk_row = ctx.block_idx.y
+        blk_col = ctx.block_idx.x
+        rows = self.row_layout
+        cols = self.col_layout
+        c = self.c_buf.array()
+
+        row_idx = slice(blk_row * rows.stride, (blk_row + 1) * rows.stride)
+        col_idx = slice(blk_col * cols.stride, (blk_col + 1) * cols.stride)
+        sub = ctx.shared.declare("Csub", (rows.stride, cols.stride))
+        sub[...] = c[row_idx, col_idx]
+
+        # Column checks for this block's encoded columns.
+        ref_cols = sub[: rows.block_size, :].sum(axis=0)
+        orig_cols = sub[rows.block_size, :]
+        col_disc = np.abs(ref_cols - orig_cols)
+        for j in range(cols.stride):
+            encoded_col = blk_col * cols.stride + j
+            self.col_disc_buf.array()[blk_row, encoded_col] = col_disc[j]
+            self.col_eps_buf.array()[blk_row, encoded_col] = (
+                self.epsilons.column_epsilon(blk_row, encoded_col)
+            )
+
+        # Row checks for this block's encoded rows.
+        ref_rows = sub[:, : cols.block_size].sum(axis=1)
+        orig_rows = sub[:, cols.block_size]
+        row_disc = np.abs(ref_rows - orig_rows)
+        for i in range(rows.stride):
+            encoded_row = blk_row * rows.stride + i
+            self.row_disc_buf.array()[encoded_row, blk_col] = row_disc[i]
+            self.row_eps_buf.array()[encoded_row, blk_col] = self.epsilons.row_epsilon(
+                encoded_row, blk_col
+            )
+
+        bs = rows.block_size
+        # Reference sums (2 * BS * stride adds), comparisons, bound evals.
+        ctx.stats.flops += 2 * bs * (rows.stride + cols.stride) + 8 * (
+            rows.stride + cols.stride
+        )
+        ctx.stats.global_bytes_read += sub.nbytes
+        ctx.stats.global_bytes_written += (rows.stride + cols.stride) * 16

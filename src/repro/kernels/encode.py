@@ -1,0 +1,233 @@
+"""Checksum-encoding kernels with fused top-p search (paper Algorithm 1).
+
+The encoding kernel processes one ``BS x BS`` sub-matrix per thread block
+and fuses two jobs (Section V-A):
+
+a/c) compute the block's column (for ``A``) or row (for ``B``) checksums and
+     write the encoded matrix;
+b/d) find the ``p`` largest absolute values *per row* (for ``A``) or *per
+     column* (for ``B``) within the block — including the block's checksum
+     values themselves (Algorithm 1's ``localSums`` / ``maxSum`` path), so
+     the checksum vectors get top-p candidates too.
+
+Per-block candidates are merged to global per-vector top-p sets by the
+reduction kernel (:mod:`repro.kernels.reduce`).
+
+Buffer layout of the candidate outputs: ``max_vals``/``max_ids`` have shape
+``(encoded_rows, num_inner_blocks, p)`` where ``encoded_rows`` indexes the
+encoded vectors (data rows/cols + checksum rows/cols) and ``max_ids`` holds
+*global* indices along the vector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..abft.encoding import PartitionedLayout
+from ..gpusim.kernel import BlockContext, Dim3, Kernel, LaunchConfig
+from ..gpusim.memory import DeviceBuffer
+
+__all__ = ["EncodeColumnChecksumsKernel", "EncodeRowChecksumsKernel"]
+
+
+def _block_top_p(values: np.ndarray, p: int) -> tuple[np.ndarray, np.ndarray]:
+    """Top-p |values| per row of a 2-D block: (vals desc, local indices)."""
+    absolute = np.abs(values)
+    length = absolute.shape[1]
+    k = min(p, length)
+    part = np.argpartition(absolute, length - k, axis=1)[:, length - k :]
+    vals = np.take_along_axis(absolute, part, axis=1)
+    order = np.argsort(-vals, axis=1)
+    idx = np.take_along_axis(part, order, axis=1)
+    vals = np.take_along_axis(vals, order, axis=1)
+    if k < p:  # pad with -inf so padded slots never win the reduction
+        pad_vals = np.full((absolute.shape[0], p - k), -np.inf)
+        pad_idx = np.zeros((absolute.shape[0], p - k), dtype=np.int64)
+        vals = np.hstack([vals, pad_vals])
+        idx = np.hstack([idx, pad_idx])
+    return vals, idx
+
+
+class EncodeColumnChecksumsKernel(Kernel):
+    """Encode ``A`` with partitioned column checksums + per-block top-p.
+
+    Launch: one thread block per ``BS x BS`` sub-matrix of ``A``
+    (grid = inner blocks x row blocks), ``BS x 1`` threads as in the paper.
+
+    Parameters
+    ----------
+    a_buf:
+        Input data matrix ``A`` (``m x n``), ``m`` divisible by ``BS``.
+    out_buf:
+        Output encoded matrix (``(m + m/BS) x n``), interleaved layout.
+    max_vals / max_ids:
+        Candidate buffers, shapes ``(encoded_rows, n/BS, p)``.
+    layout:
+        Row layout of the encoded output.
+    p:
+        Number of largest absolute values tracked (``numMax``).
+    """
+
+    name = "encode_columns"
+    #: Streaming adds with a small search loop — moderate sustained rate.
+    compute_efficiency = 0.25
+
+    def __init__(
+        self,
+        a_buf: DeviceBuffer,
+        out_buf: DeviceBuffer,
+        max_vals: DeviceBuffer,
+        max_ids: DeviceBuffer,
+        layout: PartitionedLayout,
+        p: int,
+    ) -> None:
+        m, n = a_buf.shape
+        bs = layout.block_size
+        if m != layout.data_rows:
+            raise ValueError(f"A has {m} rows, layout expects {layout.data_rows}")
+        if n % bs:
+            raise ValueError(f"inner dimension {n} not divisible by BS={bs}")
+        if out_buf.shape != (layout.encoded_rows, n):
+            raise ValueError(
+                f"encoded buffer shape {out_buf.shape}, expected "
+                f"{(layout.encoded_rows, n)}"
+            )
+        expected = (layout.encoded_rows, n // bs, p)
+        if max_vals.shape != expected or max_ids.shape != expected:
+            raise ValueError(f"candidate buffers must have shape {expected}")
+        self.a_buf = a_buf
+        self.out_buf = out_buf
+        self.max_vals = max_vals
+        self.max_ids = max_ids
+        self.layout = layout
+        self.p = p
+
+    def launch_config(self) -> LaunchConfig:
+        bs = self.layout.block_size
+        m, n = self.a_buf.shape
+        return LaunchConfig(
+            grid=Dim3(x=n // bs, y=m // bs), block=Dim3(x=bs)
+        )
+
+    def run_block(self, ctx: BlockContext) -> None:
+        bs = self.layout.block_size
+        blk_row = ctx.block_idx.y
+        blk_col = ctx.block_idx.x
+        a = self.a_buf.array()
+        out = self.out_buf.array()
+        vals = self.max_vals.array()
+        ids = self.max_ids.array()
+
+        rows = slice(blk_row * bs, (blk_row + 1) * bs)
+        cols = slice(blk_col * bs, (blk_col + 1) * bs)
+        sub = ctx.shared.declare("Asub", (bs, bs))
+        sub[...] = a[rows, cols]
+
+        # Column checksums (threads accumulate top-to-bottom, Figure 2).
+        checksums = sub.sum(axis=0)
+        out[self.layout.data_indices(blk_row), cols] = sub
+        out[self.layout.checksum_index(blk_row), cols] = checksums
+
+        # Top-p per data row of the block, with global column indices.
+        top_vals, local_idx = _block_top_p(sub, self.p)
+        global_idx = local_idx + blk_col * bs
+        data_rows = self.layout.data_indices(blk_row)
+        vals[data_rows, blk_col, :] = top_vals
+        ids[data_rows, blk_col, :] = global_idx
+
+        # Top-p of the checksum row from this block's column checksums
+        # (Algorithm 1's localSums / maxReduce path).
+        cs_vals, cs_local = _block_top_p(checksums[None, :], self.p)
+        cs_row = self.layout.checksum_index(blk_row)
+        vals[cs_row, blk_col, :] = cs_vals[0]
+        ids[cs_row, blk_col, :] = cs_local[0] + blk_col * bs
+
+        # Work accounting: BS^2 adds (checksums), BS^2 abs +
+        # p sweeps of BS^2 comparisons (max search).
+        ctx.stats.flops += bs * bs * (2 + self.p)
+        ctx.stats.global_bytes_read += sub.nbytes
+        ctx.stats.global_bytes_written += (
+            sub.nbytes + checksums.nbytes + top_vals.nbytes * 2 + cs_vals.nbytes * 2
+        )
+
+
+class EncodeRowChecksumsKernel(Kernel):
+    """Encode ``B`` with partitioned row checksums + per-block top-p.
+
+    Same structure as :class:`EncodeColumnChecksumsKernel`, transposed:
+    checksum *columns* are appended per ``BS``-column block and the top-p
+    search runs per *column*.  Candidate buffers index the encoded columns.
+    """
+
+    name = "encode_rows"
+    compute_efficiency = 0.25
+
+    def __init__(
+        self,
+        b_buf: DeviceBuffer,
+        out_buf: DeviceBuffer,
+        max_vals: DeviceBuffer,
+        max_ids: DeviceBuffer,
+        layout: PartitionedLayout,
+        p: int,
+    ) -> None:
+        n, q = b_buf.shape
+        bs = layout.block_size
+        if q != layout.data_rows:
+            raise ValueError(f"B has {q} cols, layout expects {layout.data_rows}")
+        if n % bs:
+            raise ValueError(f"inner dimension {n} not divisible by BS={bs}")
+        if out_buf.shape != (n, layout.encoded_rows):
+            raise ValueError(
+                f"encoded buffer shape {out_buf.shape}, expected "
+                f"{(n, layout.encoded_rows)}"
+            )
+        expected = (layout.encoded_rows, n // bs, p)
+        if max_vals.shape != expected or max_ids.shape != expected:
+            raise ValueError(f"candidate buffers must have shape {expected}")
+        self.b_buf = b_buf
+        self.out_buf = out_buf
+        self.max_vals = max_vals
+        self.max_ids = max_ids
+        self.layout = layout
+        self.p = p
+
+    def launch_config(self) -> LaunchConfig:
+        bs = self.layout.block_size
+        n, q = self.b_buf.shape
+        return LaunchConfig(grid=Dim3(x=q // bs, y=n // bs), block=Dim3(x=bs))
+
+    def run_block(self, ctx: BlockContext) -> None:
+        bs = self.layout.block_size
+        blk_inner = ctx.block_idx.y  # along the inner dimension n
+        blk_col = ctx.block_idx.x  # along the encoded axis (columns of B)
+        b = self.b_buf.array()
+        out = self.out_buf.array()
+        vals = self.max_vals.array()
+        ids = self.max_ids.array()
+
+        rows = slice(blk_inner * bs, (blk_inner + 1) * bs)
+        cols = slice(blk_col * bs, (blk_col + 1) * bs)
+        sub = ctx.shared.declare("Bsub", (bs, bs))
+        sub[...] = b[rows, cols]
+
+        checksums = sub.sum(axis=1)
+        out[rows, self.layout.data_indices(blk_col)] = sub
+        out[rows, self.layout.checksum_index(blk_col)] = checksums
+
+        top_vals, local_idx = _block_top_p(sub.T, self.p)
+        global_idx = local_idx + blk_inner * bs
+        data_cols = self.layout.data_indices(blk_col)
+        vals[data_cols, blk_inner, :] = top_vals
+        ids[data_cols, blk_inner, :] = global_idx
+
+        cs_vals, cs_local = _block_top_p(checksums[None, :], self.p)
+        cs_col = self.layout.checksum_index(blk_col)
+        vals[cs_col, blk_inner, :] = cs_vals[0]
+        ids[cs_col, blk_inner, :] = cs_local[0] + blk_inner * bs
+
+        ctx.stats.flops += bs * bs * (2 + self.p)
+        ctx.stats.global_bytes_read += sub.nbytes
+        ctx.stats.global_bytes_written += (
+            sub.nbytes + checksums.nbytes + top_vals.nbytes * 2 + cs_vals.nbytes * 2
+        )

@@ -1,0 +1,104 @@
+"""Vector-norm kernels for the SEA-ABFT baseline.
+
+SEA tolerances need the Euclidean norm of every encoded row of ``A_cc`` and
+every encoded column of ``B_rc``.  On the GPU these norm computations "use
+only a small fraction of the available GPU threads" (paper Section VI-A) —
+one thread block per strip of vectors — which is why SEA-ABFT's throughput
+trails A-ABFT's in Table I.  The kernel's low ``compute_efficiency`` encodes
+exactly that utilisation penalty for the timing model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gpusim.kernel import BlockContext, Dim3, Kernel, LaunchConfig
+from ..gpusim.memory import DeviceBuffer
+
+__all__ = ["RowNormKernel", "ColumnNormKernel"]
+
+
+class RowNormKernel(Kernel):
+    """Euclidean norms of every row of a matrix buffer."""
+
+    name = "row_norms"
+    #: Reduction-style kernel with poor SM utilisation (paper Section VI-A).
+    compute_efficiency = 0.06
+
+    def __init__(
+        self,
+        in_buf: DeviceBuffer,
+        out_buf: DeviceBuffer,
+        rows_per_block: int = 32,
+    ) -> None:
+        if len(in_buf.shape) != 2:
+            raise ValueError(f"expected a matrix buffer, got shape {in_buf.shape}")
+        if out_buf.shape != (in_buf.shape[0],):
+            raise ValueError(
+                f"output must have shape {(in_buf.shape[0],)}, got {out_buf.shape}"
+            )
+        if rows_per_block < 1:
+            raise ValueError("rows_per_block must be >= 1")
+        self.in_buf = in_buf
+        self.out_buf = out_buf
+        self.rows_per_block = rows_per_block
+
+    def launch_config(self) -> LaunchConfig:
+        rows = self.in_buf.shape[0]
+        grid_x = -(-rows // self.rows_per_block)
+        return LaunchConfig(grid=Dim3(x=grid_x), block=Dim3(x=self.rows_per_block))
+
+    def run_block(self, ctx: BlockContext) -> None:
+        matrix = self.in_buf.array()
+        out = self.out_buf.array()
+        start = ctx.block_idx.x * self.rows_per_block
+        stop = min(start + self.rows_per_block, matrix.shape[0])
+        out[start:stop] = np.linalg.norm(matrix[start:stop, :], axis=1)
+
+        handled = stop - start
+        cols = matrix.shape[1]
+        ctx.stats.flops += handled * (2 * cols + 1)  # squares + adds + sqrt
+        ctx.stats.global_bytes_read += handled * cols * 8
+        ctx.stats.global_bytes_written += handled * 8
+
+
+class ColumnNormKernel(RowNormKernel):
+    """Euclidean norms of every column of a matrix buffer."""
+
+    name = "column_norms"
+
+    def __init__(
+        self,
+        in_buf: DeviceBuffer,
+        out_buf: DeviceBuffer,
+        cols_per_block: int = 32,
+    ) -> None:
+        if len(in_buf.shape) != 2:
+            raise ValueError(f"expected a matrix buffer, got shape {in_buf.shape}")
+        if out_buf.shape != (in_buf.shape[1],):
+            raise ValueError(
+                f"output must have shape {(in_buf.shape[1],)}, got {out_buf.shape}"
+            )
+        if cols_per_block < 1:
+            raise ValueError("cols_per_block must be >= 1")
+        self.in_buf = in_buf
+        self.out_buf = out_buf
+        self.rows_per_block = cols_per_block
+
+    def launch_config(self) -> LaunchConfig:
+        cols = self.in_buf.shape[1]
+        grid_x = -(-cols // self.rows_per_block)
+        return LaunchConfig(grid=Dim3(x=grid_x), block=Dim3(x=self.rows_per_block))
+
+    def run_block(self, ctx: BlockContext) -> None:
+        matrix = self.in_buf.array()
+        out = self.out_buf.array()
+        start = ctx.block_idx.x * self.rows_per_block
+        stop = min(start + self.rows_per_block, matrix.shape[1])
+        out[start:stop] = np.linalg.norm(matrix[:, start:stop], axis=0)
+
+        handled = stop - start
+        rows = matrix.shape[0]
+        ctx.stats.flops += handled * (2 * rows + 1)
+        ctx.stats.global_bytes_read += handled * rows * 8
+        ctx.stats.global_bytes_written += handled * 8

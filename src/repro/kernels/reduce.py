@@ -1,0 +1,91 @@
+"""Global top-p reduction kernel (paper Section V-A, step 3).
+
+The encoding kernels produce ``(inner_blocks * p)`` top-p candidates per
+encoded vector; this kernel reduces them "to the required p per
+row/column".  On the real GPU it runs in a separate stream concurrently
+with the matrix multiplication; the pipeline submits it to a different
+simulated stream so the timing model can overlap it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gpusim.kernel import BlockContext, Dim3, Kernel, LaunchConfig
+from ..gpusim.memory import DeviceBuffer
+
+__all__ = ["TopPReduceKernel"]
+
+
+class TopPReduceKernel(Kernel):
+    """Reduce per-block top-p candidates to global per-vector top-p sets.
+
+    Parameters
+    ----------
+    cand_vals / cand_ids:
+        Candidate buffers from an encoding kernel, shape
+        ``(num_vectors, num_inner_blocks, p)``.
+    out_vals / out_ids:
+        Reduced outputs, shape ``(num_vectors, p)``; values descending,
+        ids are global indices along the vector.
+    vectors_per_block:
+        How many vectors one thread block reduces (launch-shaping knob).
+    """
+
+    name = "top_p_reduce"
+    #: Small comparison-dominated kernel with poor utilisation.
+    compute_efficiency = 0.05
+
+    def __init__(
+        self,
+        cand_vals: DeviceBuffer,
+        cand_ids: DeviceBuffer,
+        out_vals: DeviceBuffer,
+        out_ids: DeviceBuffer,
+        vectors_per_block: int = 32,
+    ) -> None:
+        if cand_vals.shape != cand_ids.shape:
+            raise ValueError("candidate buffers must have identical shapes")
+        if len(cand_vals.shape) != 3:
+            raise ValueError(
+                f"candidates must be (vectors, blocks, p), got {cand_vals.shape}"
+            )
+        num_vectors, _, p = cand_vals.shape
+        if out_vals.shape != (num_vectors, p) or out_ids.shape != (num_vectors, p):
+            raise ValueError(
+                f"outputs must have shape {(num_vectors, p)}, got "
+                f"{out_vals.shape} / {out_ids.shape}"
+            )
+        if vectors_per_block < 1:
+            raise ValueError("vectors_per_block must be >= 1")
+        self.cand_vals = cand_vals
+        self.cand_ids = cand_ids
+        self.out_vals = out_vals
+        self.out_ids = out_ids
+        self.vectors_per_block = vectors_per_block
+
+    def launch_config(self) -> LaunchConfig:
+        num_vectors = self.cand_vals.shape[0]
+        grid_x = -(-num_vectors // self.vectors_per_block)  # ceil division
+        return LaunchConfig(grid=Dim3(x=grid_x), block=Dim3(x=self.vectors_per_block))
+
+    def run_block(self, ctx: BlockContext) -> None:
+        vals = self.cand_vals.array()
+        ids = self.cand_ids.array()
+        out_vals = self.out_vals.array()
+        out_ids = self.out_ids.array()
+
+        num_vectors, num_blocks, p = vals.shape
+        start = ctx.block_idx.x * self.vectors_per_block
+        stop = min(start + self.vectors_per_block, num_vectors)
+        for v in range(start, stop):
+            flat_vals = vals[v].ravel()
+            flat_ids = ids[v].ravel()
+            order = np.argsort(-flat_vals, kind="stable")[:p]
+            out_vals[v, :] = flat_vals[order]
+            out_ids[v, :] = flat_ids[order]
+
+        reduced = stop - start
+        ctx.stats.flops += reduced * num_blocks * p  # comparison sweeps
+        ctx.stats.global_bytes_read += reduced * num_blocks * p * 16
+        ctx.stats.global_bytes_written += reduced * p * 16

@@ -1,0 +1,136 @@
+"""Triple modular redundancy (TMR) baseline (paper Section VI-A).
+
+The paper's TMR contender "executes an identical kernel three times and
+performs a direct comparison of the result matrices" — no checksums, no
+error bounds, but 3x the multiplication work.  The driver below runs three
+plain block-matmul launches on the simulator plus an element-wise majority
+compare kernel, matching that setup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..faults.injector import FaultInjector
+from ..gpusim.kernel import BlockContext, Dim3, Kernel, LaunchConfig
+from ..gpusim.memory import DeviceBuffer
+from ..gpusim.simulator import GpuSimulator
+from .matmul import BlockMatmulKernel
+
+__all__ = ["TmrCompareKernel", "TmrOutcome", "run_tmr_matmul"]
+
+
+class TmrCompareKernel(Kernel):
+    """Element-wise 2-of-3 majority vote over three result replicas.
+
+    Writes the majority value into ``out_buf`` and accumulates the number of
+    disagreeing elements in ``mismatch_buf[0]``.  Identical replicas (the
+    paper's setup: same kernel run three times) allow exact comparison.
+    """
+
+    name = "tmr_compare"
+    #: Pure streaming compare — bandwidth bound, low arithmetic intensity.
+    compute_efficiency = 0.10
+
+    def __init__(
+        self,
+        replicas: tuple[DeviceBuffer, DeviceBuffer, DeviceBuffer],
+        out_buf: DeviceBuffer,
+        mismatch_buf: DeviceBuffer,
+        rows_per_block: int = 64,
+    ) -> None:
+        shapes = {r.shape for r in replicas}
+        if len(shapes) != 1:
+            raise ValueError(f"replica shapes disagree: {shapes}")
+        if out_buf.shape != replicas[0].shape:
+            raise ValueError("output shape must match replicas")
+        if mismatch_buf.shape != (1,):
+            raise ValueError("mismatch buffer must have shape (1,)")
+        self.replicas = replicas
+        self.out_buf = out_buf
+        self.mismatch_buf = mismatch_buf
+        self.rows_per_block = rows_per_block
+
+    def launch_config(self) -> LaunchConfig:
+        rows = self.replicas[0].shape[0]
+        grid_x = -(-rows // self.rows_per_block)
+        return LaunchConfig(grid=Dim3(x=grid_x), block=Dim3(x=min(self.rows_per_block, 1024)))
+
+    def run_block(self, ctx: BlockContext) -> None:
+        r0, r1, r2 = (r.array() for r in self.replicas)
+        out = self.out_buf.array()
+        mismatches = self.mismatch_buf.array()
+        start = ctx.block_idx.x * self.rows_per_block
+        stop = min(start + self.rows_per_block, r0.shape[0])
+        s = slice(start, stop)
+
+        eq01 = r0[s] == r1[s]
+        eq02 = r0[s] == r2[s]
+        eq12 = r1[s] == r2[s]
+        # Majority vote: r0 wherever it matches either peer, else r1 where
+        # r1 matches r2, else (no majority) r0.
+        out[s] = np.where(eq01 | eq02, r0[s], np.where(eq12, r1[s], r0[s]))
+        mismatches[0] += float(np.sum(~(eq01 & eq02)))
+
+        handled = (stop - start) * r0.shape[1]
+        ctx.stats.flops += 3 * handled  # three compares per element
+        ctx.stats.global_bytes_read += 3 * handled * 8
+        ctx.stats.global_bytes_written += handled * 8
+
+
+@dataclass
+class TmrOutcome:
+    """Result of a TMR-protected multiplication."""
+
+    c: np.ndarray
+    mismatching_elements: int
+
+    @property
+    def error_detected(self) -> bool:
+        return self.mismatching_elements > 0
+
+
+def run_tmr_matmul(
+    sim: GpuSimulator,
+    a: np.ndarray,
+    b: np.ndarray,
+    tile: int = 64,
+    injector: FaultInjector | None = None,
+    faulty_replica: int = 0,
+) -> TmrOutcome:
+    """Execute the TMR baseline on the simulator.
+
+    ``injector`` (if given) strikes replica ``faulty_replica`` only — TMR
+    masks any single-replica fault, which the compare kernel confirms.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    d_a = sim.upload(a)
+    d_b = sim.upload(b)
+    replicas = []
+    for i in range(3):
+        d_c = sim.alloc((a.shape[0], b.shape[1]))
+        kernel = BlockMatmulKernel(
+            d_a,
+            d_b,
+            d_c,
+            tile_rows=tile,
+            tile_cols=tile,
+            injector=injector if i == faulty_replica else None,
+        )
+        if injector is not None and i == faulty_replica:
+            config = kernel.launch_config()
+            injector.resolve(sim.scheduler.assign(config), (tile, tile))
+        sim.launch(kernel, stream="compute")
+        replicas.append(d_c)
+
+    d_out = sim.alloc((a.shape[0], b.shape[1]))
+    d_mismatch = sim.alloc((1,))
+    compare = TmrCompareKernel(tuple(replicas), d_out, d_mismatch)
+    sim.launch(compare, stream="compute")
+    return TmrOutcome(
+        c=sim.download(d_out),
+        mismatching_elements=int(sim.download(d_mismatch)[0]),
+    )

@@ -1,0 +1,30 @@
+"""Analytic K20c performance model for the Table I reproduction."""
+
+from .k20c import LAUNCH_OVERHEAD_S, matmul_efficiency
+from .model import KernelCost, SchemeTiming, roofline_seconds
+from .schemes import (
+    SCHEME_NAMES,
+    aabft_timing,
+    abft_fixed_timing,
+    scheme_gflops,
+    scheme_timing,
+    sea_abft_timing,
+    tmr_timing,
+    unprotected_timing,
+)
+
+__all__ = [
+    "KernelCost",
+    "LAUNCH_OVERHEAD_S",
+    "SCHEME_NAMES",
+    "SchemeTiming",
+    "aabft_timing",
+    "abft_fixed_timing",
+    "matmul_efficiency",
+    "roofline_seconds",
+    "scheme_gflops",
+    "scheme_timing",
+    "sea_abft_timing",
+    "tmr_timing",
+    "unprotected_timing",
+]

@@ -1,0 +1,59 @@
+"""Calibration of the analytic model against the paper's K20c numbers.
+
+One-time calibration choices (all documented in EXPERIMENTS.md).  The
+constants below were fitted by least squares against the paper's published
+Table I (36 scheme/size cells) plus the Section VI-A unprotected peak of
+1048.4 GFLOPS; the fitted model reproduces every cell within ~11 % (mean
+~5 %) and preserves every ordering and crossover.  Notes:
+
+* **Matmul efficiency curve** ``eff_mm(n) = EFF_INF * n / (n + N_HALF)`` —
+  a saturating occupancy/tail model fitted to the paper's fixed-bound ABFT
+  column of Table I (the scheme closest to a bare matmul).  It reproduces
+  the published DGEMM ramp within ~10 % across 512..8192 and saturates near
+  the paper's 1048-GFLOPS unprotected peak.
+* **Auxiliary-kernel efficiencies** — encode/check are streaming kernels
+  with modest arithmetic intensity, the top-p passes and the SEA norm
+  computations utilise few threads (paper Section VI-A explicitly blames
+  SEA's "suboptimal utilisation").  The SEA norm work model follows the
+  paper's implementation, which derives the norm groups per result block
+  (no global norm reuse), making its overhead O(n^3 / BS) — this is what
+  produces SEA's persistent ~25 % gap at large n in Table I.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "EFF_INF",
+    "N_HALF",
+    "EFF_ENCODE",
+    "EFF_TOPP",
+    "EFF_CHECK",
+    "EFF_NORMS",
+    "EFF_COMPARE",
+    "LAUNCH_OVERHEAD_S",
+    "matmul_efficiency",
+]
+
+#: Asymptotic fraction of peak the DGEMM kernel sustains.
+EFF_INF = 0.951
+#: Matrix size at which the DGEMM kernel reaches half of EFF_INF.
+N_HALF = 372.0
+#: Streaming checksum-encoding kernel.
+EFF_ENCODE = 0.002
+#: The additional per-row/column top-p search passes (poor utilisation).
+EFF_TOPP = 0.0042
+#: Checking kernel (reference sums + comparisons).
+EFF_CHECK = 0.74
+#: SEA per-block norm computation ("small fraction of available threads").
+EFF_NORMS = 0.075
+#: TMR element-wise compare kernel (bandwidth bound either way).
+EFF_COMPARE = 0.10
+#: Fixed per-kernel-launch overhead (driver + dispatch) on Kepler.
+LAUNCH_OVERHEAD_S = 5e-6
+
+
+def matmul_efficiency(n: int) -> float:
+    """Sustained DGEMM efficiency at matrix dimension ``n`` (calibrated)."""
+    if n < 1:
+        raise ValueError(f"matrix dimension must be >= 1, got {n}")
+    return EFF_INF * n / (n + N_HALF)

@@ -1,0 +1,103 @@
+"""Analytic cost model primitives for the Table I performance experiment.
+
+The paper's Table I reports end-to-end GFLOPS of four protection schemes on
+a K20c.  Since this reproduction has no GPU, the timings are *modelled*: a
+scheme's execution time is the sum (max across overlapped streams) of its
+kernels' roofline times,
+
+    t_kernel = max(flops / (eff * peak), bytes / bandwidth) + launches * t_launch
+
+with per-kernel sustained-efficiency factors calibrated once against the
+published table (see :mod:`repro.perfmodel.k20c`).  The kernel op/byte
+counts are the same formulas the functional kernels accumulate in their
+:class:`~repro.gpusim.kernel.KernelStats`, which the tests cross-validate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..gpusim.device import DeviceSpec
+
+__all__ = ["KernelCost", "SchemeTiming", "roofline_seconds"]
+
+
+@dataclass(frozen=True)
+class KernelCost:
+    """Work of one (possibly repeated) kernel launch group."""
+
+    name: str
+    flops: float
+    bytes: float
+    efficiency: float
+    launches: int = 1
+    #: Kernels in the "overlap" stream run concurrently with the compute
+    #: stream (the paper overlaps the top-p reduction with the matmul).
+    overlapped: bool = False
+
+    def seconds(self, device: DeviceSpec, launch_overhead_s: float) -> float:
+        """Roofline execution time of this cost item on ``device``."""
+        return roofline_seconds(
+            self.flops,
+            self.bytes,
+            self.efficiency,
+            device,
+            self.launches,
+            launch_overhead_s,
+        )
+
+
+def roofline_seconds(
+    flops: float,
+    nbytes: float,
+    efficiency: float,
+    device: DeviceSpec,
+    launches: int = 1,
+    launch_overhead_s: float = 5e-6,
+    precision: str = "double",
+) -> float:
+    """Max of compute and memory time plus launch overhead."""
+    if flops < 0 or nbytes < 0:
+        raise ValueError("flops and bytes must be non-negative")
+    if not 0.0 < efficiency <= 1.0:
+        raise ValueError(f"efficiency must be in (0, 1], got {efficiency}")
+    peak = device.peak_gflops(precision) * 1e9 * efficiency
+    bw = device.mem_bandwidth_gbs * 1e9
+    compute = flops / peak
+    memory = nbytes / bw
+    return max(compute, memory) + launches * launch_overhead_s
+
+
+@dataclass
+class SchemeTiming:
+    """Modelled timing of one protected multiplication."""
+
+    scheme: str
+    n: int
+    costs: list[KernelCost] = field(default_factory=list)
+    launch_overhead_s: float = 5e-6
+
+    def seconds(self, device: DeviceSpec) -> float:
+        """Wall time with overlapped kernels hidden behind the compute stream."""
+        compute = sum(
+            c.seconds(device, self.launch_overhead_s)
+            for c in self.costs
+            if not c.overlapped
+        )
+        overlap = sum(
+            c.seconds(device, self.launch_overhead_s)
+            for c in self.costs
+            if c.overlapped
+        )
+        return max(compute, overlap)
+
+    def gflops(self, device: DeviceSpec) -> float:
+        """Useful-work throughput ``2 n^3 / t`` — the paper's metric."""
+        t = self.seconds(device)
+        return 2.0 * self.n**3 / t / 1e9 if t > 0 else 0.0
+
+    def breakdown(self, device: DeviceSpec) -> dict[str, float]:
+        """Per-kernel-group seconds (for overhead analysis)."""
+        return {
+            c.name: c.seconds(device, self.launch_overhead_s) for c in self.costs
+        }

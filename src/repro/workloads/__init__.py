@@ -1,0 +1,57 @@
+"""Input-matrix workload generators: the paper's input classes plus
+realistic scientific-application operators."""
+
+from .applications import (
+    APPLICATION_SUITES,
+    SUITE_LAPLACIAN,
+    SUITE_POISSON,
+    SUITE_WISHART,
+    graph_laplacian,
+    poisson_2d,
+    wishart_covariance,
+)
+from .dynamic import (
+    dynamic_matrix,
+    dynamic_pair,
+    dynamic_spectrum,
+    random_orthogonal,
+)
+from .generators import MatrixPair, reciprocal_matrix, uniform_matrix, uniform_pair
+from .suites import (
+    DETECTION_SUITES,
+    PAPER_MATRIX_SIZES,
+    PAPER_SUITES,
+    SUITE_DYNAMIC_K2,
+    SUITE_DYNAMIC_K65536,
+    SUITE_HUNDRED,
+    SUITE_UNIT,
+    WorkloadSuite,
+    suite_by_name,
+)
+
+__all__ = [
+    "APPLICATION_SUITES",
+    "DETECTION_SUITES",
+    "MatrixPair",
+    "PAPER_MATRIX_SIZES",
+    "PAPER_SUITES",
+    "SUITE_DYNAMIC_K2",
+    "SUITE_DYNAMIC_K65536",
+    "SUITE_HUNDRED",
+    "SUITE_LAPLACIAN",
+    "SUITE_POISSON",
+    "SUITE_UNIT",
+    "SUITE_WISHART",
+    "WorkloadSuite",
+    "dynamic_matrix",
+    "graph_laplacian",
+    "poisson_2d",
+    "wishart_covariance",
+    "dynamic_pair",
+    "random_orthogonal",
+    "reciprocal_matrix",
+    "dynamic_spectrum",
+    "suite_by_name",
+    "uniform_matrix",
+    "uniform_pair",
+]

@@ -1,0 +1,137 @@
+"""Realistic scientific-application matrices.
+
+The paper motivates ABFT with large-scale scientific computing (EDA,
+biology, thermodynamics).  The synthetic input classes of its evaluation
+(uniform, Eq. 47) are complemented here with operators that actually occur
+in such codes:
+
+* **2-D Poisson stencils** (heat/diffusion/electrostatics solvers) —
+  banded, diagonally dominant, many exact zeros;
+* **graph Laplacians** (network analysis, spectral clustering; built with
+  networkx) — structured cancellation: every row sums to exactly zero,
+  which makes full-encoding checksum vectors vanish and exercises the
+  bound machinery's hardest edge case;
+* **Wishart covariance matrices** (statistics, Kalman filtering, finance)
+  — dense symmetric positive definite with decaying spectrum.
+
+All are exposed both as raw constructors and as
+:class:`~repro.workloads.suites.WorkloadSuite` instances for the experiment
+drivers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .generators import MatrixPair
+from .suites import WorkloadSuite
+
+__all__ = [
+    "poisson_2d",
+    "graph_laplacian",
+    "wishart_covariance",
+    "SUITE_POISSON",
+    "SUITE_LAPLACIAN",
+    "SUITE_WISHART",
+    "APPLICATION_SUITES",
+]
+
+
+def poisson_2d(n: int) -> np.ndarray:
+    """Dense 2-D Poisson (5-point stencil) operator of dimension ``n``.
+
+    ``n`` is rounded down to the nearest perfect square's dimension
+    internally and the operator is embedded into an ``n x n`` matrix (extra
+    rows/columns get identity entries), so any requested size works with
+    block-multiple dimensions.
+    """
+    if n < 1:
+        raise ValueError(f"dimension must be positive, got {n}")
+    grid = int(np.sqrt(n))
+    size = grid * grid
+    m = np.zeros((n, n))
+    # Identity on the padding tail keeps the operator non-singular.
+    for k in range(size, n):
+        m[k, k] = 1.0
+    for i in range(grid):
+        for j in range(grid):
+            k = i * grid + j
+            m[k, k] = 4.0
+            for di, dj in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+                ni, nj = i + di, j + dj
+                if 0 <= ni < grid and 0 <= nj < grid:
+                    m[k, ni * grid + nj] = -1.0
+    return m
+
+
+def graph_laplacian(
+    n: int,
+    rng: np.random.Generator,
+    model: str = "watts_strogatz",
+) -> np.ndarray:
+    """Dense Laplacian of a random graph with ``n`` nodes.
+
+    Models: ``watts_strogatz`` (small world, k=6, p=0.1),
+    ``barabasi_albert`` (scale free, m=3), ``erdos_renyi`` (G(n, 8/n)).
+    Row and column sums are exactly zero — the structured-cancellation
+    stress case for checksum schemes.
+    """
+    import networkx as nx
+
+    seed = int(rng.integers(2**31))
+    if model == "watts_strogatz":
+        g = nx.watts_strogatz_graph(n, k=min(6, n - 1), p=0.1, seed=seed)
+    elif model == "barabasi_albert":
+        g = nx.barabasi_albert_graph(n, m=min(3, n - 1), seed=seed)
+    elif model == "erdos_renyi":
+        g = nx.gnp_random_graph(n, min(1.0, 8.0 / n), seed=seed)
+    else:
+        raise ValueError(f"unknown graph model {model!r}")
+    return nx.laplacian_matrix(g).toarray().astype(np.float64)
+
+
+def wishart_covariance(
+    n: int, rng: np.random.Generator, oversampling: float = 2.0
+) -> np.ndarray:
+    """Sample covariance of ``oversampling * n`` Gaussian observations.
+
+    Symmetric positive definite (almost surely, for oversampling > 1) with
+    the Marchenko-Pastur-shaped spectrum typical of estimated covariances.
+    """
+    if oversampling <= 1.0:
+        raise ValueError("oversampling must exceed 1 for a full-rank covariance")
+    samples = int(oversampling * n)
+    data = rng.standard_normal((samples, n))
+    return (data.T @ data) / samples
+
+
+SUITE_POISSON = WorkloadSuite(
+    name="app_poisson",
+    description="2-D Poisson stencil operator squared (PDE solvers)",
+    factory=lambda n, rng: MatrixPair(a=poisson_2d(n), b=poisson_2d(n)),
+    params={"stencil": "5-point"},
+)
+
+SUITE_LAPLACIAN = WorkloadSuite(
+    name="app_laplacian",
+    description="small-world graph Laplacian (network analysis)",
+    factory=lambda n, rng: MatrixPair(
+        a=graph_laplacian(n, rng), b=graph_laplacian(n, rng)
+    ),
+    params={"model": "watts_strogatz"},
+)
+
+SUITE_WISHART = WorkloadSuite(
+    name="app_wishart",
+    description="Wishart sample covariance (statistics/filtering)",
+    factory=lambda n, rng: MatrixPair(
+        a=wishart_covariance(n, rng), b=wishart_covariance(n, rng)
+    ),
+    params={"oversampling": 2.0},
+)
+
+APPLICATION_SUITES: tuple[WorkloadSuite, ...] = (
+    SUITE_POISSON,
+    SUITE_LAPLACIAN,
+    SUITE_WISHART,
+)

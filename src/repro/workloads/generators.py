@@ -1,0 +1,92 @@
+"""Random input-matrix generators for the paper's experiments.
+
+Section VI evaluates on three input classes:
+
+* uniform random values in ``[-1, 1]`` (Table II, Figure 4),
+* uniform random values in ``[-100, 100]`` (Table III, Figure 4),
+* matrices with high value-range dynamic built from Eq. (47)
+  (Table IV, Figure 4) — see :mod:`repro.workloads.dynamic`.
+
+All generators take an explicit :class:`numpy.random.Generator` so every
+experiment is reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "uniform_matrix",
+    "uniform_pair",
+    "MatrixPair",
+    "reciprocal_matrix",
+]
+
+
+@dataclass(frozen=True)
+class MatrixPair:
+    """Operand pair ``(A, B)`` for a multiplication experiment."""
+
+    a: np.ndarray
+    b: np.ndarray
+
+    @property
+    def m(self) -> int:
+        return self.a.shape[0]
+
+    @property
+    def n(self) -> int:
+        return self.a.shape[1]
+
+    @property
+    def q(self) -> int:
+        return self.b.shape[1]
+
+
+def uniform_matrix(
+    rows: int,
+    cols: int,
+    rng: np.random.Generator,
+    low: float = -1.0,
+    high: float = 1.0,
+    dtype=np.float64,
+) -> np.ndarray:
+    """Matrix of i.i.d. uniform values on ``[low, high]``."""
+    if rows <= 0 or cols <= 0:
+        raise ValueError(f"matrix dimensions must be positive, got {rows}x{cols}")
+    if not low < high:
+        raise ValueError(f"invalid range [{low}, {high}]")
+    return rng.uniform(low, high, size=(rows, cols)).astype(dtype)
+
+
+def uniform_pair(
+    n: int,
+    rng: np.random.Generator,
+    low: float = -1.0,
+    high: float = 1.0,
+    dtype=np.float64,
+) -> MatrixPair:
+    """Square operand pair with uniform entries, as used for Tables II/III."""
+    return MatrixPair(
+        a=uniform_matrix(n, n, rng, low, high, dtype),
+        b=uniform_matrix(n, n, rng, low, high, dtype),
+    )
+
+
+def reciprocal_matrix(
+    rows: int,
+    cols: int,
+    rng: np.random.Generator,
+    exponent_range: tuple[int, int] = (-8, 8),
+    dtype=np.float64,
+) -> np.ndarray:
+    """Matrix whose entry mantissas follow the reciprocal (Benford) law.
+
+    Useful for validating the model assumption of Section IV-A directly.
+    """
+    from ..fp.distribution import sample_reciprocal_floats
+
+    values = sample_reciprocal_floats(rows * cols, rng, exponent_range)
+    return values.reshape(rows, cols).astype(dtype)

@@ -1,0 +1,129 @@
+"""Named workload suites matching the paper's experiment configurations.
+
+Each suite is a declarative description (name + generator + parameters) of
+one of the input classes evaluated in Section VI, so experiment drivers and
+benchmarks can iterate over ``PAPER_SUITES`` instead of hard-coding ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from .dynamic import dynamic_pair
+from .generators import MatrixPair, uniform_pair
+
+__all__ = [
+    "WorkloadSuite",
+    "SUITE_UNIT",
+    "SUITE_HUNDRED",
+    "SUITE_DYNAMIC_K2",
+    "SUITE_DYNAMIC_K65536",
+    "PAPER_SUITES",
+    "DETECTION_SUITES",
+    "PAPER_MATRIX_SIZES",
+    "suite_by_name",
+]
+
+#: Matrix dimensions swept in the paper's evaluation (Section VI).
+PAPER_MATRIX_SIZES: tuple[int, ...] = (
+    512,
+    1024,
+    2048,
+    3072,
+    4096,
+    5120,
+    6144,
+    7168,
+    8192,
+)
+
+
+@dataclass(frozen=True)
+class WorkloadSuite:
+    """A named, parameterised input-matrix distribution.
+
+    Attributes
+    ----------
+    name:
+        Short identifier used in reports (e.g. ``"uniform_unit"``).
+    description:
+        Human-readable description matching the paper's wording.
+    factory:
+        Callable ``(n, rng) -> MatrixPair`` producing square operands.
+    params:
+        The distribution parameters, for provenance in reports.
+    """
+
+    name: str
+    description: str
+    factory: Callable[[int, np.random.Generator], MatrixPair]
+    params: dict = field(default_factory=dict)
+
+    def generate(self, n: int, rng: np.random.Generator) -> MatrixPair:
+        """Draw an operand pair of dimension ``n``."""
+        return self.factory(n, rng)
+
+
+SUITE_UNIT = WorkloadSuite(
+    name="uniform_unit",
+    description="random input values in the range -1.0 to 1.0 (Table II)",
+    factory=lambda n, rng: uniform_pair(n, rng, -1.0, 1.0),
+    params={"low": -1.0, "high": 1.0},
+)
+
+SUITE_HUNDRED = WorkloadSuite(
+    name="uniform_hundred",
+    description="random input values in the range -100.0 to 100.0 (Table III)",
+    factory=lambda n, rng: uniform_pair(n, rng, -100.0, 100.0),
+    params={"low": -100.0, "high": 100.0},
+)
+
+SUITE_DYNAMIC_K2 = WorkloadSuite(
+    name="dynamic_k2",
+    description="high value-range dynamic, Eq. (47), alpha=0, kappa=2 (Table IV)",
+    factory=lambda n, rng: dynamic_pair(n, rng, alpha=0.0, kappa=2.0),
+    params={"alpha": 0.0, "kappa": 2.0},
+)
+
+SUITE_DYNAMIC_K65536 = WorkloadSuite(
+    name="dynamic_k65536",
+    description=(
+        "high value-range dynamic, Eq. (47), alpha=0, kappa=65536 "
+        "(Figure 4 detection experiments)"
+    ),
+    factory=lambda n, rng: dynamic_pair(n, rng, alpha=0.0, kappa=65536.0),
+    params={"alpha": 0.0, "kappa": 65536.0},
+)
+
+#: The three input classes of the bound-quality tables, in paper order.
+PAPER_SUITES: tuple[WorkloadSuite, ...] = (
+    SUITE_UNIT,
+    SUITE_HUNDRED,
+    SUITE_DYNAMIC_K2,
+)
+
+#: The input classes of the detection experiments (Section VI-C uses
+#: kappa = 65536 for the high-dynamic class, not Table IV's kappa = 2).
+DETECTION_SUITES: tuple[WorkloadSuite, ...] = (
+    SUITE_UNIT,
+    SUITE_HUNDRED,
+    SUITE_DYNAMIC_K65536,
+)
+
+_ALL = {
+    s.name: s
+    for s in (SUITE_UNIT, SUITE_HUNDRED, SUITE_DYNAMIC_K2, SUITE_DYNAMIC_K65536)
+}
+
+
+def suite_by_name(name: str) -> WorkloadSuite:
+    """Look up a suite by its ``name``; raises ``KeyError`` with the options."""
+    try:
+        return _ALL[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload suite {name!r}; available: {sorted(_ALL)}"
+        ) from None

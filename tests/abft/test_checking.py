@@ -1,0 +1,138 @@
+"""Checksum checking: discrepancies, findings, location, NaN safety."""
+
+import numpy as np
+import pytest
+
+from repro.abft.checking import (
+    CheckReport,
+    check_partitioned,
+    column_discrepancies,
+    row_discrepancies,
+)
+from repro.abft.encoding import (
+    encode_partitioned_columns,
+    encode_partitioned_rows,
+)
+from repro.abft.providers import ConstantEpsilonProvider
+from repro.errors import ShapeError
+
+
+@pytest.fixture
+def clean_result(rng):
+    a = rng.uniform(-1, 1, (64, 32))
+    b = rng.uniform(-1, 1, (32, 64))
+    a_cc, rows = encode_partitioned_columns(a, 32)
+    b_rc, cols = encode_partitioned_rows(b, 32)
+    return a_cc @ b_rc, rows, cols
+
+
+class TestDiscrepancies:
+    def test_clean_result_has_tiny_discrepancies(self, clean_result):
+        c, rows, cols = clean_result
+        col_d = column_discrepancies(c, rows)
+        row_d = row_discrepancies(c, cols)
+        assert col_d.shape == (2, 66)
+        assert row_d.shape == (66, 2)
+        assert col_d.max() < 1e-12
+        assert row_d.max() < 1e-12
+
+    def test_corruption_shows_in_both_axes(self, clean_result):
+        c, rows, cols = clean_result
+        c = c.copy()
+        c[5, 40] += 0.5
+        assert column_discrepancies(c, rows)[0, 40] == pytest.approx(0.5, rel=1e-9)
+        assert row_discrepancies(c, cols)[5, 1] == pytest.approx(0.5, rel=1e-9)
+
+    def test_shape_validation(self, clean_result):
+        _, rows, _ = clean_result
+        with pytest.raises(ShapeError):
+            column_discrepancies(np.zeros((10, 10)), rows)
+
+
+class TestCheckPartitioned:
+    def test_clean_passes(self, clean_result):
+        c, rows, cols = clean_result
+        report = check_partitioned(c, rows, cols, ConstantEpsilonProvider(1e-9))
+        assert not report.error_detected
+        assert report.num_failed == 0
+        assert report.num_checks == 2 * 66 + 66 * 2
+        assert report.located_errors == []
+
+    def test_data_corruption_detected_and_located(self, clean_result):
+        c, rows, cols = clean_result
+        c = c.copy()
+        c[10, 7] += 1e-3
+        report = check_partitioned(c, rows, cols, ConstantEpsilonProvider(1e-9))
+        assert report.error_detected
+        axes = {f.axis for f in report.findings}
+        assert axes == {"column", "row"}
+        assert report.located_errors == [(10, 7)]
+
+    def test_checksum_row_corruption_located(self, clean_result):
+        c, rows, cols = clean_result
+        c = c.copy()
+        cs_row = rows.checksum_index(1)
+        c[cs_row, 3] += 1e-3
+        report = check_partitioned(c, rows, cols, ConstantEpsilonProvider(1e-9))
+        assert report.located_errors == [(cs_row, 3)]
+
+    def test_corner_checksum_corruption_located(self, clean_result):
+        c, rows, cols = clean_result
+        c = c.copy()
+        r, q = rows.checksum_index(0), cols.checksum_index(0)
+        c[r, q] += 1e-3
+        report = check_partitioned(c, rows, cols, ConstantEpsilonProvider(1e-9))
+        assert (r, q) in report.located_errors
+
+    def test_nan_result_always_detected(self, clean_result):
+        """A NaN in the result must fail the check even though NaN
+        comparisons are false — the explicit non-finite guard."""
+        c, rows, cols = clean_result
+        c = c.copy()
+        c[2, 2] = float("nan")
+        report = check_partitioned(
+            c, rows, cols, ConstantEpsilonProvider(float("1e300"))
+        )
+        assert report.error_detected
+
+    def test_inf_result_detected(self, clean_result):
+        c, rows, cols = clean_result
+        c = c.copy()
+        c[2, 2] = float("inf")
+        report = check_partitioned(c, rows, cols, ConstantEpsilonProvider(1e-9))
+        assert report.error_detected
+
+    def test_sub_tolerance_corruption_passes(self, clean_result):
+        """Errors below the tolerance are tolerable by design."""
+        c, rows, cols = clean_result
+        c = c.copy()
+        c[10, 7] += 1e-14
+        report = check_partitioned(c, rows, cols, ConstantEpsilonProvider(1e-9))
+        assert not report.error_detected
+
+    def test_two_errors_same_block_give_cross_product_locations(
+        self, clean_result
+    ):
+        c, rows, cols = clean_result
+        c = c.copy()
+        c[1, 2] += 1e-3
+        c[3, 4] += 1e-3
+        report = check_partitioned(c, rows, cols, ConstantEpsilonProvider(1e-9))
+        # Two row + two column failures in one block: 4 candidate positions
+        # (the classic ABFT ambiguity for multi-errors).
+        located = set(report.located_errors)
+        assert {(1, 2), (3, 4), (1, 4), (3, 2)} <= located
+
+    def test_wrong_shape_rejected(self, clean_result):
+        _, rows, cols = clean_result
+        with pytest.raises(ShapeError):
+            check_partitioned(
+                np.zeros((5, 5)), rows, cols, ConstantEpsilonProvider(1.0)
+            )
+
+
+class TestCheckReport:
+    def test_findings_by_axis(self):
+        report = CheckReport()
+        assert report.findings_by_axis("row") == []
+        assert not report.error_detected

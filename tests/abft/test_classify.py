@@ -1,0 +1,78 @@
+"""Error classification into rounding / tolerable / critical (Sec. VI-C)."""
+
+import pytest
+
+from repro.abft.classify import ErrorClass, ErrorClassifier
+from repro.bounds.probabilistic import (
+    inner_product_mean_bound,
+    inner_product_sigma_bound,
+)
+
+T = 53
+N = 512
+Y = 1.0
+
+
+@pytest.fixture
+def classifier():
+    return ErrorClassifier(omega=3.0)
+
+
+class TestClassification:
+    def test_zero_error_is_rounding(self, classifier):
+        c = classifier.classify(0.0, N, Y)
+        assert c.error_class is ErrorClass.ROUNDING
+        assert not c.is_critical
+
+    def test_error_below_expectation_is_rounding(self, classifier):
+        ev = inner_product_mean_bound(N, Y, T)
+        c = classifier.classify(ev * 0.5, N, Y)
+        assert c.error_class is ErrorClass.ROUNDING
+
+    def test_error_within_three_sigma_is_tolerable(self, classifier):
+        sigma = inner_product_sigma_bound(N, Y, T)
+        c = classifier.classify(2.0 * sigma, N, Y)
+        assert c.error_class is ErrorClass.TOLERABLE
+        assert not c.is_critical
+
+    def test_error_beyond_three_sigma_is_critical(self, classifier):
+        sigma = inner_product_sigma_bound(N, Y, T)
+        c = classifier.classify(10.0 * sigma, N, Y)
+        assert c.error_class is ErrorClass.CRITICAL
+        assert c.is_critical
+
+    def test_sign_is_irrelevant(self, classifier):
+        sigma = inner_product_sigma_bound(N, Y, T)
+        assert classifier.classify(-10 * sigma, N, Y).is_critical
+
+    def test_large_errors_always_critical(self, classifier):
+        assert classifier.classify(1.0, N, Y).is_critical
+
+    def test_classification_carries_model_values(self, classifier):
+        c = classifier.classify(1e-3, N, Y)
+        assert c.sigma == pytest.approx(inner_product_sigma_bound(N, Y, T))
+        assert c.expectation == pytest.approx(inner_product_mean_bound(N, Y, T))
+        assert c.omega == 3.0
+
+    def test_omega_controls_threshold(self):
+        sigma = inner_product_sigma_bound(N, Y, T)
+        loose = ErrorClassifier(omega=5.0).classify(4 * sigma, N, Y)
+        tight = ErrorClassifier(omega=3.0).classify(4 * sigma, N, Y)
+        assert loose.error_class is ErrorClass.TOLERABLE
+        assert tight.error_class is ErrorClass.CRITICAL
+
+    def test_fma_tightens_threshold(self):
+        sigma_fma = inner_product_sigma_bound(N, Y, T, fma=True)
+        delta = 2.9 * sigma_fma
+        assert not ErrorClassifier(fma=True).classify(delta, N, Y).is_critical
+        # The same delta relative to the larger non-FMA sigma is still
+        # tolerable; scale above the non-FMA threshold to flip it.
+        sigma = inner_product_sigma_bound(N, Y, T, fma=False)
+        assert ErrorClassifier(fma=True).classify(3.1 * sigma, N, Y).is_critical
+
+    def test_larger_y_raises_threshold(self, classifier):
+        delta = 1e-12
+        small_y = classifier.classify(delta, N, 0.01)
+        large_y = classifier.classify(delta, N, 100.0)
+        assert small_y.is_critical
+        assert not large_y.is_critical

@@ -1,0 +1,173 @@
+"""Checksum encodings and the partitioned layout index arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.abft.encoding import (
+    PartitionedLayout,
+    encode_column_checksums,
+    encode_full,
+    encode_partitioned_columns,
+    encode_partitioned_rows,
+    encode_row_checksums,
+    pad_to_block_multiple,
+)
+from repro.errors import EncodingError, ShapeError
+
+
+class TestFullEncoding:
+    def test_column_checksums(self, rng):
+        a = rng.uniform(-1, 1, (5, 7))
+        a_cc = encode_column_checksums(a)
+        assert a_cc.shape == (6, 7)
+        assert np.allclose(a_cc[5], a.sum(axis=0))
+        assert np.array_equal(a_cc[:5], a)
+
+    def test_row_checksums(self, rng):
+        b = rng.uniform(-1, 1, (4, 6))
+        b_rc = encode_row_checksums(b)
+        assert b_rc.shape == (4, 7)
+        assert np.allclose(b_rc[:, 6], b.sum(axis=1))
+
+    def test_full_checksum_product_property(self, rng):
+        """Huang/Abraham: C_fc = A_cc @ B_rc has consistent checksums."""
+        a = rng.uniform(-1, 1, (5, 8))
+        b = rng.uniform(-1, 1, (8, 6))
+        a_cc, b_rc = encode_full(a, b)
+        c = a_cc @ b_rc
+        assert np.allclose(c[-1, :], c[:-1, :].sum(axis=0))
+        assert np.allclose(c[:, -1], c[:, :-1].sum(axis=1))
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ShapeError):
+            encode_column_checksums(rng.uniform(size=5))
+        with pytest.raises(ShapeError):
+            encode_full(rng.uniform(size=(3, 4)), rng.uniform(size=(5, 3)))
+
+
+class TestPartitionedLayout:
+    def test_basic_counts(self):
+        layout = PartitionedLayout(data_rows=128, block_size=32)
+        assert layout.num_blocks == 4
+        assert layout.encoded_rows == 132
+        assert layout.stride == 33
+
+    def test_checksum_indices(self):
+        layout = PartitionedLayout(data_rows=64, block_size=32)
+        assert layout.checksum_index(0) == 32
+        assert layout.checksum_index(1) == 65
+        assert np.array_equal(layout.all_checksum_indices(), [32, 65])
+
+    def test_data_indices_partition(self):
+        layout = PartitionedLayout(data_rows=96, block_size=32)
+        all_data = layout.all_data_indices()
+        all_cs = layout.all_checksum_indices()
+        assert len(all_data) == 96
+        assert len(set(all_data.tolist()) | set(all_cs.tolist())) == 99
+
+    @given(st.integers(1, 16), st.integers(1, 8))
+    def test_index_maps_are_inverse_bijections(self, blocks, bs):
+        layout = PartitionedLayout(data_rows=blocks * bs, block_size=bs)
+        for data_idx in range(layout.data_rows):
+            enc = layout.to_encoded_index(data_idx)
+            assert not layout.is_checksum_index(enc)
+            assert layout.to_data_index(enc) == data_idx
+
+    def test_to_data_index_rejects_checksum_rows(self):
+        layout = PartitionedLayout(data_rows=32, block_size=32)
+        with pytest.raises(EncodingError):
+            layout.to_data_index(32)
+
+    def test_out_of_range_indices(self):
+        layout = PartitionedLayout(data_rows=32, block_size=32)
+        with pytest.raises(IndexError):
+            layout.checksum_index(1)
+        with pytest.raises(IndexError):
+            layout.to_encoded_index(32)
+        with pytest.raises(IndexError):
+            layout.is_checksum_index(33)
+
+    def test_non_divisible_rejected(self):
+        with pytest.raises(EncodingError, match="not divisible"):
+            PartitionedLayout(data_rows=33, block_size=32)
+
+    def test_invalid_block_size(self):
+        with pytest.raises(EncodingError):
+            PartitionedLayout(data_rows=32, block_size=0)
+
+
+class TestPartitionedEncoding:
+    def test_column_encoding_structure(self, rng):
+        a = rng.uniform(-1, 1, (64, 48))
+        a_cc, layout = encode_partitioned_columns(a, 32)
+        assert a_cc.shape == (66, 48)
+        # Data rows preserved in order.
+        assert np.array_equal(a_cc[layout.all_data_indices()], a)
+        # Each checksum row sums its block.
+        for blk in range(2):
+            expected = a[blk * 32 : (blk + 1) * 32].sum(axis=0)
+            assert np.allclose(a_cc[layout.checksum_index(blk)], expected)
+
+    def test_row_encoding_is_transpose_of_column(self, rng):
+        b = rng.uniform(-1, 1, (48, 64))
+        b_rc, layout = encode_partitioned_rows(b, 32)
+        a_cc, layout_t = encode_partitioned_columns(b.T, 32)
+        assert np.array_equal(b_rc, a_cc.T)
+        assert layout.encoded_rows == layout_t.encoded_rows
+
+    def test_partitioned_product_checksum_property(self, rng):
+        """The key invariant: a plain product of partitioned-encoded
+        operands yields per-block full-checksum sub-matrices."""
+        a = rng.uniform(-1, 1, (64, 32))
+        b = rng.uniform(-1, 1, (32, 96))
+        a_cc, rows = encode_partitioned_columns(a, 32)
+        b_rc, cols = encode_partitioned_rows(b, 32)
+        c = a_cc @ b_rc
+        for bi in range(rows.num_blocks):
+            data = c[rows.data_indices(bi), :]
+            assert np.allclose(data.sum(axis=0), c[rows.checksum_index(bi), :])
+        for bj in range(cols.num_blocks):
+            data = c[:, cols.data_indices(bj)]
+            assert np.allclose(data.sum(axis=1), c[:, cols.checksum_index(bj)])
+
+    @settings(max_examples=25)
+    @given(st.integers(1, 4), st.integers(1, 4), st.integers(2, 8))
+    def test_roundtrip_random_shapes(self, row_blocks, col_blocks, bs):
+        rng = np.random.default_rng(row_blocks * 100 + col_blocks * 10 + bs)
+        a = rng.uniform(-1, 1, (row_blocks * bs, col_blocks * bs))
+        a_cc, layout = encode_partitioned_columns(a, bs)
+        assert np.array_equal(a_cc[layout.all_data_indices()], a)
+
+
+class TestPadding:
+    def test_no_padding_needed(self, rng):
+        m = rng.uniform(size=(64, 64))
+        padded, (r, c) = pad_to_block_multiple(m, 32)
+        assert padded is m
+        assert (r, c) == (0, 0)
+
+    def test_pads_both_axes(self, rng):
+        m = rng.uniform(size=(33, 50))
+        padded, (r, c) = pad_to_block_multiple(m, 32)
+        assert padded.shape == (64, 64)
+        assert (r, c) == (31, 14)
+        assert np.array_equal(padded[:33, :50], m)
+        assert np.all(padded[33:, :] == 0)
+        assert np.all(padded[:, 50:] == 0)
+
+    def test_single_axis(self, rng):
+        m = rng.uniform(size=(33, 50))
+        padded, (r, c) = pad_to_block_multiple(m, 32, axis=0)
+        assert padded.shape == (64, 50)
+        assert c == 0
+
+    def test_padding_preserves_product(self, rng):
+        """Zero padding must not change the data part of the product."""
+        a = rng.uniform(-1, 1, (30, 20))
+        b = rng.uniform(-1, 1, (20, 45))
+        a_pad, _ = pad_to_block_multiple(a, 16, axis=0)
+        b_pad, _ = pad_to_block_multiple(b, 16, axis=1)
+        c_pad = a_pad @ b_pad
+        assert np.allclose(c_pad[:30, :45], a @ b)

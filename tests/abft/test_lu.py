@@ -1,0 +1,146 @@
+"""Checksum-protected LU decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.abft.lu import (
+    SingularPivotError,
+    plain_lu,
+    protected_lu,
+)
+from repro.errors import ShapeError
+
+
+def _dominant(rng, n, scale=1.0):
+    """A diagonally dominant matrix (safe for unpivoted elimination)."""
+    a = rng.uniform(-1.0, 1.0, (n, n)) * scale
+    a += np.diag(np.sign(np.diag(a)) * (np.abs(a).sum(axis=1) + 1.0) * scale)
+    return a
+
+
+class TestFactorisation:
+    def test_factors_reconstruct(self, rng):
+        a = _dominant(rng, 40)
+        result = protected_lu(a)
+        assert np.allclose(result.l @ result.u, a, rtol=1e-10)
+        assert not result.detected
+
+    def test_l_is_unit_lower(self, rng):
+        a = _dominant(rng, 16)
+        result = protected_lu(a)
+        assert np.allclose(np.diag(result.l), 1.0)
+        assert np.allclose(np.triu(result.l, 1), 0.0)
+        assert np.allclose(np.tril(result.u, -1), 0.0)
+
+    def test_plain_lu_matches_protected(self, rng):
+        a = _dominant(rng, 24)
+        l1, u1 = plain_lu(a)
+        result = protected_lu(a)
+        assert np.array_equal(l1, result.l)
+        assert np.array_equal(u1, result.u)
+
+    def test_matches_scipy(self, rng):
+        from scipy.linalg import lu as scipy_lu
+
+        a = _dominant(rng, 20)
+        result = protected_lu(a)
+        p, l, u = scipy_lu(a)
+        # Diagonal dominance keeps scipy from pivoting in most draws; when
+        # it does not pivot the factors must agree.
+        if np.allclose(p, np.eye(20)):
+            assert np.allclose(result.l, l, rtol=1e-9)
+            assert np.allclose(result.u, u, rtol=1e-9)
+
+    def test_validation(self, rng):
+        with pytest.raises(ShapeError):
+            protected_lu(rng.uniform(size=(3, 4)))
+        with pytest.raises(SingularPivotError):
+            protected_lu(np.zeros((3, 3)))
+
+    def test_singular_pivot_detected(self):
+        a = np.array([[1.0, 2.0], [2.0, 4.0]])  # rank 1
+        with pytest.raises(SingularPivotError):
+            protected_lu(a)
+
+
+class TestChecksumInvariant:
+    def test_fault_free_passes(self, rng):
+        for scale in (1.0, 100.0):
+            a = _dominant(rng, 48, scale)
+            result = protected_lu(a)
+            assert not result.detected, result.report.failed_rows
+
+    def test_discrepancies_are_rounding_level(self, rng):
+        a = _dominant(rng, 32)
+        result = protected_lu(a)
+        assert result.report.discrepancies.max() < result.report.epsilons.min()
+
+    def test_update_scale_tracked(self, rng):
+        a = _dominant(rng, 16)
+        result = protected_lu(a)
+        assert result.update_scale >= np.abs(a).max()
+
+    def test_injected_error_detected(self, rng):
+        a = _dominant(rng, 48)
+
+        def strike(k, work):
+            if k == 20:
+                work[30, 35] += 1e-3  # active-matrix value error
+
+        result = protected_lu(a, fault_hook=strike)
+        assert result.detected
+        assert 30 in result.report.failed_rows
+
+    def test_error_in_checksum_column_detected(self, rng):
+        a = _dominant(rng, 32)
+
+        def strike(k, work):
+            if k == 10:
+                work[20, 32] += 1e-3  # the augmented checksum column
+
+        result = protected_lu(a, fault_hook=strike)
+        assert result.detected
+        # Row 20 flags first; once row 20 serves as the pivot row its
+        # corrupted checksum element propagates into every later row.
+        assert result.report.failed_rows[0] == 20
+
+    def test_sub_tolerance_error_tolerated(self, rng):
+        a = _dominant(rng, 32)
+
+        def strike(k, work):
+            if k == 10:
+                work[20, 25] += 1e-17
+
+        result = protected_lu(a, fault_hook=strike)
+        assert not result.detected
+
+    def test_nan_detected(self, rng):
+        a = _dominant(rng, 16)
+
+        def strike(k, work):
+            if k == 5:
+                work[10, 12] = float("nan")
+
+        result = protected_lu(a, fault_hook=strike)
+        assert result.detected
+
+    def test_check_false_skips_verification(self, rng):
+        a = _dominant(rng, 16)
+        result = protected_lu(a, check=False)
+        assert not result.detected
+        assert result.report.discrepancies.max() == 0.0
+
+
+class TestSolveWorkflow:
+    def test_protected_solve(self, rng):
+        """LU factors from the protected routine solve systems correctly."""
+        from scipy.linalg import solve_triangular
+
+        n = 32
+        a = _dominant(rng, n)
+        b = rng.uniform(-1, 1, n)
+        result = protected_lu(a)
+        assert not result.detected
+        y = solve_triangular(result.l, b, lower=True, unit_diagonal=True)
+        x = solve_triangular(result.u, y)
+        assert np.allclose(a @ x, b, rtol=1e-8)

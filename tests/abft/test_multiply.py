@@ -1,0 +1,131 @@
+"""The high-level protected multiplication API."""
+
+import numpy as np
+import pytest
+
+from repro.abft.multiply import aabft_matmul, fixed_abft_matmul, sea_abft_matmul
+from repro.errors import BoundSchemeError, ShapeError
+from repro.workloads import SUITE_DYNAMIC_K2, SUITE_HUNDRED, SUITE_UNIT
+
+
+class TestCorrectness:
+    def test_result_matches_numpy(self, small_pair):
+        a, b = small_pair
+        result = aabft_matmul(a, b, block_size=32)
+        assert np.allclose(result.c, a @ b, rtol=1e-13)
+
+    def test_rectangular_operands(self, rect_pair):
+        a, b = rect_pair
+        result = aabft_matmul(a, b, block_size=32)
+        assert result.c.shape == (64, 128)
+        assert np.allclose(result.c, a @ b)
+
+    def test_padding_transparent(self, rng):
+        a = rng.uniform(-1, 1, (37, 55))
+        b = rng.uniform(-1, 1, (55, 41))
+        result = aabft_matmul(a, b, block_size=16)
+        assert result.c.shape == (37, 41)
+        assert np.allclose(result.c, a @ b)
+        assert not result.detected
+
+    def test_shape_errors(self, rng):
+        with pytest.raises(ShapeError):
+            aabft_matmul(rng.uniform(size=(4, 4)), rng.uniform(size=(5, 4)))
+        with pytest.raises(ShapeError):
+            aabft_matmul(rng.uniform(size=4), rng.uniform(size=(4, 4)))
+
+
+class TestNoFalsePositives:
+    """Fault-free multiplications must pass the check on every input class
+    the paper evaluates (too-tight bounds cause false positives)."""
+
+    @pytest.mark.parametrize(
+        "suite", [SUITE_UNIT, SUITE_HUNDRED, SUITE_DYNAMIC_K2], ids=lambda s: s.name
+    )
+    def test_aabft_no_false_positives(self, suite, rng):
+        pair = suite.generate(192, rng)
+        result = aabft_matmul(pair.a, pair.b, block_size=64)
+        assert not result.detected, result.report.findings[:3]
+
+    @pytest.mark.parametrize(
+        "suite", [SUITE_UNIT, SUITE_HUNDRED, SUITE_DYNAMIC_K2], ids=lambda s: s.name
+    )
+    def test_sea_no_false_positives(self, suite, rng):
+        pair = suite.generate(192, rng)
+        result = sea_abft_matmul(pair.a, pair.b, block_size=64)
+        assert not result.detected
+
+    def test_aabft_sigma_only_still_passes(self, rng):
+        """Even the tightest setting the paper mentions (omega = 1) should
+        rarely flag — with this fixed seed it must pass."""
+        a = rng.uniform(-1, 1, (128, 128))
+        b = rng.uniform(-1, 1, (128, 128))
+        result = aabft_matmul(a, b, block_size=64, omega=1.0)
+        assert not result.detected
+
+
+class TestDetection:
+    def test_detects_injected_corruption(self, small_pair):
+        a, b = small_pair
+        clean = aabft_matmul(a, b, block_size=32)
+        corrupted = clean.c_fc.copy()
+        corrupted[5, 9] += 1e-3
+        from repro.abft.checking import check_partitioned
+
+        report = check_partitioned(
+            corrupted, clean.row_layout, clean.col_layout, clean.provider
+        )
+        assert report.error_detected
+        assert (5, 9) in report.located_errors
+
+    def test_fixed_bound_too_tight_false_positives(self, small_pair):
+        """A manual bound below the rounding noise must flag clean results —
+        the failure mode that motivates A-ABFT."""
+        a, b = small_pair
+        result = fixed_abft_matmul(a, b, epsilon=1e-18, block_size=32)
+        assert result.detected
+
+    def test_fixed_bound_too_loose_misses_errors(self, small_pair):
+        a, b = small_pair
+        clean = fixed_abft_matmul(a, b, epsilon=1.0, block_size=32)
+        corrupted = clean.c_fc.copy()
+        corrupted[5, 9] += 1e-3  # well above rounding, below the loose bound
+        from repro.abft.checking import check_partitioned
+
+        report = check_partitioned(
+            corrupted, clean.row_layout, clean.col_layout, clean.provider
+        )
+        assert not report.error_detected
+
+    def test_fixed_bound_validation(self, small_pair):
+        a, b = small_pair
+        with pytest.raises(BoundSchemeError):
+            fixed_abft_matmul(a, b, epsilon=-1.0)
+
+
+class TestParameters:
+    def test_p_affects_bounds_monotonically(self, small_pair):
+        a, b = small_pair
+        eps_small_p = aabft_matmul(a, b, block_size=32, p=1).provider.column_epsilon(
+            0, 0
+        )
+        eps_large_p = aabft_matmul(a, b, block_size=32, p=8).provider.column_epsilon(
+            0, 0
+        )
+        assert eps_large_p <= eps_small_p
+
+    def test_fma_tightens_bounds(self, small_pair):
+        a, b = small_pair
+        eps = aabft_matmul(a, b, block_size=32).provider.column_epsilon(0, 0)
+        eps_fma = aabft_matmul(a, b, block_size=32, fma=True).provider.column_epsilon(
+            0, 0
+        )
+        assert eps_fma < eps
+
+    def test_block_size_variants_all_correct(self, rng):
+        a = rng.uniform(-1, 1, (128, 128))
+        b = rng.uniform(-1, 1, (128, 128))
+        for bs in (16, 32, 64, 128):
+            result = aabft_matmul(a, b, block_size=bs)
+            assert np.allclose(result.c, a @ b)
+            assert not result.detected

@@ -1,0 +1,135 @@
+"""Online (panel-wise) ABFT: early detection and in-flight recovery."""
+
+import numpy as np
+import pytest
+
+from repro.abft.online import online_abft_matmul
+from repro.errors import CorrectionError, ShapeError
+
+
+@pytest.fixture
+def pair(rng):
+    return rng.uniform(-1, 1, (128, 192)), rng.uniform(-1, 1, (192, 128))
+
+
+class TestFaultFree:
+    def test_result_matches_numpy(self, pair):
+        a, b = pair
+        result = online_abft_matmul(a, b, block_size=32, num_panels=4)
+        assert np.allclose(result.c, a @ b, rtol=1e-12)
+        assert not result.any_detected
+        assert result.detection_panel is None
+        assert len(result.events) == 4
+
+    def test_single_panel_degenerates_to_offline(self, pair):
+        a, b = pair
+        result = online_abft_matmul(a, b, block_size=32, num_panels=1)
+        assert np.allclose(result.c, a @ b)
+        assert not result.any_detected
+
+    def test_many_panels_no_false_positives(self, pair):
+        """Inter-panel accumulation adds rounding; the per-panel bounds must
+        absorb it."""
+        a, b = pair
+        result = online_abft_matmul(a, b, block_size=32, num_panels=12)
+        assert not result.any_detected
+
+    def test_uneven_panel_split(self, rng):
+        a = rng.uniform(-1, 1, (64, 100))
+        b = rng.uniform(-1, 1, (100, 64))
+        result = online_abft_matmul(a, b, block_size=32, num_panels=3)
+        assert np.allclose(result.c, a @ b)
+        assert [e.processed_inner for e in result.events][-1] == 100
+
+    def test_validation(self, rng):
+        with pytest.raises(ShapeError):
+            online_abft_matmul(
+                rng.uniform(size=(60, 64)), rng.uniform(size=(64, 64)), block_size=32
+            )
+        with pytest.raises(ValueError, match="num_panels"):
+            online_abft_matmul(
+                rng.uniform(size=(64, 64)),
+                rng.uniform(size=(64, 64)),
+                block_size=32,
+                num_panels=0,
+            )
+
+
+class TestDetectionAndRecovery:
+    def test_early_detection_latency(self, pair):
+        """A fault struck in panel 1 is detected at panel 1, not at the
+        end — the point of online checking."""
+        a, b = pair
+
+        def strike(panel, c_fc):
+            if panel == 1:
+                c_fc[10, 20] += 1e-3
+
+        result = online_abft_matmul(
+            a, b, block_size=32, num_panels=4, corrupt_hook=strike
+        )
+        assert result.detection_panel == 1
+
+    def test_recovery_heals_the_result(self, pair):
+        a, b = pair
+
+        def strike(panel, c_fc):
+            if panel == 2:
+                c_fc[5, 7] += 5e-2
+
+        result = online_abft_matmul(
+            a, b, block_size=32, num_panels=4, corrupt_hook=strike
+        )
+        assert result.recovered
+        assert np.allclose(result.c, a @ b, rtol=1e-10)
+        assert not result.final_report.error_detected
+
+    def test_recovery_block_granularity(self, pair):
+        """Only the implicated block is recomputed."""
+        a, b = pair
+
+        def strike(panel, c_fc):
+            if panel == 0:
+                c_fc[40, 50] += 1e-2  # block (1, 1) with BS=32 (stride 33)
+
+        result = online_abft_matmul(
+            a, b, block_size=32, num_panels=4, corrupt_hook=strike
+        )
+        recovered = result.events[0].recovered_blocks
+        assert recovered == ((1, 1),)
+
+    def test_multiple_faults_different_panels(self, pair):
+        a, b = pair
+
+        def strike(panel, c_fc):
+            if panel in (0, 3):
+                c_fc[3, 3] += 1e-2
+
+        result = online_abft_matmul(
+            a, b, block_size=32, num_panels=4, corrupt_hook=strike
+        )
+        detected_panels = [e.panel for e in result.events if e.detected]
+        assert detected_panels == [0, 3]
+        assert np.allclose(result.c, a @ b, rtol=1e-10)
+
+    def test_persistent_fault_raises(self, pair):
+        """A fault that reappears after every recomputation (e.g. corrupted
+        input data) must surface as an error, not loop forever."""
+        a, b = pair
+        # A corrupted *input* reappears after every recomputation.
+        a_bad = a.copy()
+        a_bad[5, 7] = float("nan")
+        with pytest.raises(CorrectionError, match="persists"):
+            online_abft_matmul(a_bad, b, block_size=32, num_panels=4)
+
+    def test_sub_tolerance_corruption_ignored(self, pair):
+        a, b = pair
+
+        def strike(panel, c_fc):
+            if panel == 1:
+                c_fc[10, 20] += 1e-16
+
+        result = online_abft_matmul(
+            a, b, block_size=32, num_panels=4, corrupt_hook=strike
+        )
+        assert not result.any_detected

@@ -1,0 +1,166 @@
+"""The GPU-simulated A-ABFT pipeline: equivalence with the host API and
+fault behaviour end to end."""
+
+import numpy as np
+import pytest
+
+from repro.abft.multiply import aabft_matmul, sea_abft_matmul
+from repro.abft.pipeline import AABFTPipeline
+from repro.errors import ConfigurationError, ShapeError
+from repro.faults.injector import FaultInjector
+from repro.faults.model import FaultSite, FaultSpec
+from repro.fp.errorvec import ErrorVector
+from repro.gpusim.simulator import GpuSimulator
+
+
+@pytest.fixture
+def pair(rng):
+    a = rng.uniform(-1.0, 1.0, (96, 96))
+    b = rng.uniform(-1.0, 1.0, (96, 96))
+    return a, b
+
+
+class TestFunctionalEquivalence:
+    def test_result_matches_host_api(self, pair):
+        a, b = pair
+        sim = GpuSimulator()
+        pipeline = AABFTPipeline(sim, block_size=32, p=2)
+        result = pipeline.run(a, b)
+        host = aabft_matmul(a, b, block_size=32, p=2)
+        assert np.allclose(result.c, host.c, rtol=1e-13)
+        assert not result.detected
+
+    def test_epsilons_match_host_api(self, pair):
+        """The pipeline's autonomously determined tolerances equal the
+        host implementation's (same top-p data, same model)."""
+        a, b = pair
+        sim = GpuSimulator()
+        result = AABFTPipeline(sim, block_size=32, p=2).run(a, b)
+        host = aabft_matmul(a, b, block_size=32, p=2)
+        for blk in range(result.row_layout.num_blocks):
+            for col in range(0, result.col_layout.encoded_rows, 7):
+                assert result.provider.column_epsilon(blk, col) == pytest.approx(
+                    host.provider.column_epsilon(blk, col), rel=1e-12
+                )
+
+    def test_sea_scheme_matches_host(self, pair):
+        a, b = pair
+        sim = GpuSimulator()
+        result = AABFTPipeline(sim, block_size=32, scheme="sea").run(a, b)
+        host = sea_abft_matmul(a, b, block_size=32)
+        assert np.allclose(result.c, host.c)
+        assert not result.detected
+
+    def test_fixed_scheme(self, pair):
+        a, b = pair
+        sim = GpuSimulator()
+        result = AABFTPipeline(sim, block_size=32, scheme="fixed", fixed_epsilon=1e-9).run(a, b)
+        assert not result.detected
+
+    def test_configuration_validation(self):
+        sim = GpuSimulator()
+        with pytest.raises(ConfigurationError):
+            AABFTPipeline(sim, scheme="magic")
+        with pytest.raises(ConfigurationError):
+            AABFTPipeline(sim, scheme="fixed")
+
+    def test_unpadded_operands_rejected(self, rng):
+        sim = GpuSimulator()
+        pipeline = AABFTPipeline(sim, block_size=32)
+        with pytest.raises(ShapeError, match="multiples"):
+            pipeline.run(rng.uniform(size=(33, 32)), rng.uniform(size=(32, 32)))
+
+
+class TestPipelineTimings:
+    def test_profiler_sees_all_pipeline_kernels(self, pair):
+        a, b = pair
+        sim = GpuSimulator()
+        AABFTPipeline(sim, block_size=32).run(a, b)
+        names = {r.kernel_name for r in sim.profiler.records}
+        assert names == {
+            "encode_columns",
+            "encode_rows",
+            "top_p_reduce",
+            "matmul_block",
+            "abft_check",
+        }
+
+    def test_reduction_overlapped_with_compute(self, pair):
+        a, b = pair
+        sim = GpuSimulator()
+        result = AABFTPipeline(sim, block_size=32).run(a, b)
+        compute = sim.stream("compute").seconds
+        assert result.modelled_seconds == pytest.approx(compute)
+        assert sim.stream("reduce").seconds < compute
+
+    def test_sea_launches_norm_kernels(self, pair):
+        a, b = pair
+        sim = GpuSimulator()
+        AABFTPipeline(sim, block_size=32, scheme="sea").run(a, b)
+        names = {r.kernel_name for r in sim.profiler.records}
+        assert "row_norms" in names and "column_norms" in names
+        assert "top_p_reduce" not in names
+
+
+class TestPipelineFaults:
+    def _spec(self, site, bit, k=0):
+        return FaultSpec(
+            sm_id=1,
+            site=site,
+            module_row=7,
+            module_col=9,
+            error_vector=ErrorVector(
+                mask=1 << bit, field="mantissa", bit_indices=(bit,)
+            ),
+            k_injection=k,
+        )
+
+    def test_high_mantissa_fault_detected_and_located(self, pair, rng):
+        a, b = pair
+        sim = GpuSimulator()
+        pipeline = AABFTPipeline(sim, block_size=32)
+        injector = FaultInjector(self._spec(FaultSite.MERGE_ADD, 50), rng)
+        result = pipeline.run(a, b, injector=injector)
+        assert result.detected
+        act = injector.activation
+        blk_per_row = result.col_layout.num_blocks
+        blk_y, blk_x = divmod(act.linear_block_index, blk_per_row)
+        expected = (
+            blk_y * result.row_layout.stride + act.element_row,
+            blk_x * result.col_layout.stride + act.element_col,
+        )
+        assert expected in result.report.located_errors
+
+    def test_low_bit_fault_tolerated(self, pair, rng):
+        a, b = pair
+        sim = GpuSimulator()
+        pipeline = AABFTPipeline(sim, block_size=32)
+        injector = FaultInjector(
+            self._spec(FaultSite.INNER_ADD, 0, k=95), rng
+        )
+        result = pipeline.run(a, b, injector=injector)
+        assert not result.detected
+
+    def test_detect_and_correct_end_to_end(self, pair, rng):
+        from repro.abft.correction import correct_single_error
+
+        a, b = pair
+        sim = GpuSimulator()
+        pipeline = AABFTPipeline(sim, block_size=32)
+        injector = FaultInjector(self._spec(FaultSite.MERGE_ADD, 51), rng)
+        result = pipeline.run(a, b, injector=injector)
+        assert result.detected
+        fix = correct_single_error(
+            result.c_fc,
+            result.report,
+            result.row_layout,
+            result.col_layout,
+            result.provider,
+        )
+        data = fix.corrected[
+            np.ix_(
+                result.row_layout.all_data_indices(),
+                result.col_layout.all_data_indices(),
+            )
+        ]
+        assert np.allclose(data, a @ b, rtol=1e-12)

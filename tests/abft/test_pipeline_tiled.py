@@ -1,0 +1,58 @@
+"""The pipeline with the structure-faithful tiled matmul kernel."""
+
+import numpy as np
+import pytest
+
+from repro.abft.pipeline import AABFTPipeline, _tile_divisor
+from repro.errors import ConfigurationError
+from repro.faults.injector import FaultInjector
+from repro.faults.model import FaultSite, FaultSpec
+from repro.fp.errorvec import ErrorVector
+from repro.gpusim.simulator import GpuSimulator
+
+
+class TestTileDivisor:
+    def test_odd_strides(self):
+        assert _tile_divisor(65) == 5
+        assert _tile_divisor(33) == 3
+        assert _tile_divisor(17) == 1  # prime beyond the preferred max
+
+    def test_even_strides(self):
+        assert _tile_divisor(64) == 8
+        assert _tile_divisor(12) == 6
+
+
+class TestTiledPipeline:
+    def test_matches_block_kernel_pipeline(self, rng):
+        a = rng.uniform(-1, 1, (96, 96))
+        b = rng.uniform(-1, 1, (96, 96))
+        tiled = AABFTPipeline(
+            GpuSimulator(), block_size=32, matmul_kernel="tiled"
+        ).run(a, b)
+        block = AABFTPipeline(GpuSimulator(), block_size=32).run(a, b)
+        assert np.allclose(tiled.c, block.c, rtol=1e-13)
+        assert not tiled.detected
+        assert not block.detected
+
+    def test_fault_detected_through_tiled_kernel(self, rng):
+        a = rng.uniform(-1, 1, (64, 64))
+        b = rng.uniform(-1, 1, (64, 64))
+        spec = FaultSpec(
+            sm_id=0,
+            site=FaultSite.INNER_MUL,
+            module_row=7,
+            module_col=8,
+            error_vector=ErrorVector(
+                mask=1 << 50, field="mantissa", bit_indices=(50,)
+            ),
+            k_injection=30,
+        )
+        sim = GpuSimulator()
+        pipeline = AABFTPipeline(sim, block_size=32, matmul_kernel="tiled")
+        result = pipeline.run(a, b, injector=FaultInjector(spec, rng))
+        assert result.detected
+        assert result.report.located_errors
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ConfigurationError, match="matmul_kernel"):
+            AABFTPipeline(GpuSimulator(), matmul_kernel="warp")

@@ -1,0 +1,130 @@
+"""Epsilon providers: context assembly for the partitioned check."""
+
+import numpy as np
+import pytest
+
+from repro.abft.encoding import (
+    encode_partitioned_columns,
+    encode_partitioned_rows,
+)
+from repro.abft.providers import (
+    AABFTEpsilonProvider,
+    ConstantEpsilonProvider,
+    SEAEpsilonProvider,
+)
+from repro.bounds.probabilistic import ProbabilisticBound
+from repro.bounds.sea import SEABound, sea_epsilon
+from repro.bounds.upper_bound import (
+    determine_upper_bound,
+    top_p_of_columns,
+    top_p_of_rows,
+)
+
+
+@pytest.fixture
+def encoded(rng):
+    a = rng.uniform(-1, 1, (64, 32))
+    b = rng.uniform(-1, 1, (32, 64))
+    a_cc, rows = encode_partitioned_columns(a, 32)
+    b_rc, cols = encode_partitioned_rows(b, 32)
+    return a_cc, b_rc, rows, cols
+
+
+class TestConstantProvider:
+    def test_constant(self):
+        p = ConstantEpsilonProvider(0.5)
+        assert p.column_epsilon(0, 0) == 0.5
+        assert p.row_epsilon(7, 3) == 0.5
+
+
+class TestAABFTProvider:
+    def test_column_epsilon_uses_checksum_row_y(self, encoded):
+        a_cc, b_rc, rows, cols = encoded
+        row_tops = top_p_of_rows(a_cc, 2)
+        col_tops = top_p_of_columns(b_rc, 2)
+        scheme = ProbabilisticBound()
+        provider = AABFTEpsilonProvider(scheme, row_tops, col_tops, rows, cols, 32)
+
+        cs_row = rows.checksum_index(0)
+        y = determine_upper_bound(row_tops[cs_row], col_tops[5])
+        from repro.bounds.base import BoundContext
+
+        expected = scheme.epsilon(BoundContext(n=32, m=32, upper_bound=y))
+        assert provider.column_epsilon(0, 5) == pytest.approx(expected)
+
+    def test_row_epsilon_uses_checksum_col_y(self, encoded):
+        a_cc, b_rc, rows, cols = encoded
+        row_tops = top_p_of_rows(a_cc, 2)
+        col_tops = top_p_of_columns(b_rc, 2)
+        provider = AABFTEpsilonProvider(
+            ProbabilisticBound(), row_tops, col_tops, rows, cols, 32
+        )
+        cs_col = cols.checksum_index(1)
+        y = determine_upper_bound(row_tops[3], col_tops[cs_col])
+        assert provider.upper_bound(3, cs_col) == pytest.approx(y)
+        assert provider.row_epsilon(3, 1) > 0
+
+    def test_validates_top_counts(self, encoded):
+        a_cc, b_rc, rows, cols = encoded
+        with pytest.raises(ValueError, match="row top-p"):
+            AABFTEpsilonProvider(
+                ProbabilisticBound(),
+                top_p_of_rows(a_cc, 2)[:-1],
+                top_p_of_columns(b_rc, 2),
+                rows,
+                cols,
+                32,
+            )
+
+    def test_checksum_rows_get_larger_epsilon_than_data_rows(self, encoded):
+        """Checksum vectors have larger magnitudes (sums of BS values), so
+        their y — and hence epsilon — exceeds a typical data row's."""
+        a_cc, b_rc, rows, cols = encoded
+        provider = AABFTEpsilonProvider(
+            ProbabilisticBound(),
+            top_p_of_rows(a_cc, 2),
+            top_p_of_columns(b_rc, 2),
+            rows,
+            cols,
+            32,
+        )
+        col_eps = provider.column_epsilon(0, 5)  # uses checksum row of block 0
+        data_y = provider.upper_bound(3, 5)  # a data row's y
+        from repro.bounds.base import BoundContext
+
+        data_eps = ProbabilisticBound().epsilon(
+            BoundContext(n=32, m=32, upper_bound=data_y)
+        )
+        assert col_eps > data_eps
+
+
+class TestSEAProvider:
+    def test_column_epsilon_formula(self, encoded):
+        a_cc, b_rc, rows, cols = encoded
+        a_norms = np.linalg.norm(a_cc, axis=1)
+        b_norms = np.linalg.norm(b_rc, axis=0)
+        provider = SEAEpsilonProvider(SEABound(), a_norms, b_norms, rows, cols, 32)
+
+        data_idx = rows.data_indices(1)
+        cs_idx = rows.checksum_index(1)
+        expected = sea_epsilon(
+            32, a_norms[data_idx], float(a_norms[cs_idx]), float(b_norms[7]), 53
+        )
+        assert provider.column_epsilon(1, 7) == pytest.approx(expected)
+
+    def test_row_epsilon_swaps_roles(self, encoded):
+        a_cc, b_rc, rows, cols = encoded
+        a_norms = np.linalg.norm(a_cc, axis=1)
+        b_norms = np.linalg.norm(b_rc, axis=0)
+        provider = SEAEpsilonProvider(SEABound(), a_norms, b_norms, rows, cols, 32)
+        data_idx = cols.data_indices(0)
+        cs_idx = cols.checksum_index(0)
+        expected = sea_epsilon(
+            32, b_norms[data_idx], float(b_norms[cs_idx]), float(a_norms[9]), 53
+        )
+        assert provider.row_epsilon(9, 0) == pytest.approx(expected)
+
+    def test_validates_norm_counts(self, encoded):
+        a_cc, b_rc, rows, cols = encoded
+        with pytest.raises(ValueError, match="row norms"):
+            SEAEpsilonProvider(SEABound(), np.ones(3), np.ones(66), rows, cols, 32)

@@ -1,0 +1,126 @@
+"""Checksum-protected QR factorisation."""
+
+import numpy as np
+import pytest
+
+from repro.abft.qr import plain_qr, protected_qr
+from repro.errors import ShapeError
+
+
+class TestFactorisation:
+    def test_factors_reconstruct(self, rng):
+        a = rng.uniform(-1, 1, (48, 32))
+        result = protected_qr(a)
+        assert np.allclose(result.q @ result.r, a, atol=1e-12)
+        assert not result.detected
+
+    def test_q_orthogonal(self, rng):
+        a = rng.uniform(-1, 1, (30, 30))
+        result = protected_qr(a)
+        assert np.allclose(result.q @ result.q.T, np.eye(30), atol=1e-12)
+
+    def test_r_upper_triangular(self, rng):
+        a = rng.uniform(-1, 1, (20, 12))
+        result = protected_qr(a)
+        assert np.allclose(np.tril(result.r, -1), 0.0)
+
+    def test_matches_numpy_up_to_signs(self, rng):
+        a = rng.uniform(-1, 1, (16, 16))
+        result = protected_qr(a)
+        _, r_np = np.linalg.qr(a)
+        # QR is unique up to the sign of each row of R.
+        assert np.allclose(np.abs(np.diag(result.r)), np.abs(np.diag(r_np)), rtol=1e-10)
+
+    def test_plain_matches_protected(self, rng):
+        a = rng.uniform(-1, 1, (12, 8))
+        q1, r1 = plain_qr(a)
+        result = protected_qr(a)
+        assert np.array_equal(q1, result.q)
+        assert np.array_equal(r1, result.r)
+
+    def test_validation(self, rng):
+        with pytest.raises(ShapeError):
+            protected_qr(rng.uniform(size=(4, 8)))  # m < n
+        with pytest.raises(ShapeError):
+            protected_qr(rng.uniform(size=8))
+
+    def test_rank_deficient_column_tolerated(self, rng):
+        a = rng.uniform(-1, 1, (16, 8))
+        a[:, 3] = 0.0
+        result = protected_qr(a)
+        assert np.allclose(result.q @ result.r, a, atol=1e-12)
+
+
+class TestChecksumInvariant:
+    def test_fault_free_passes_various_scales(self, rng):
+        for scale in (1.0, 1e3, 1e-3):
+            a = rng.uniform(-scale, scale, (40, 40))
+            result = protected_qr(a)
+            assert not result.detected, result.report.failed_rows
+
+    def test_invariant_is_rounding_level(self, rng):
+        a = rng.uniform(-1, 1, (32, 32))
+        result = protected_qr(a)
+        assert result.report.discrepancies.max() < result.report.epsilons.min()
+
+    def test_injected_error_detected(self, rng):
+        a = rng.uniform(-1, 1, (40, 40))
+
+        def strike(k, work):
+            if k == 15:
+                work[25, 30] += 1e-3
+
+        result = protected_qr(a, fault_hook=strike)
+        assert result.detected
+        assert 25 in result.report.failed_rows
+
+    def test_checksum_column_error_detected(self, rng):
+        a = rng.uniform(-1, 1, (32, 32))
+
+        def strike(k, work):
+            if k == 10:
+                work[20, 32] += 1e-3
+
+        result = protected_qr(a, fault_hook=strike)
+        assert result.detected
+
+    def test_sub_tolerance_error_tolerated(self, rng):
+        a = rng.uniform(-1, 1, (32, 32))
+
+        def strike(k, work):
+            if k == 10:
+                work[20, 25] += 1e-17
+
+        result = protected_qr(a, fault_hook=strike)
+        assert not result.detected
+
+    def test_nan_detected(self, rng):
+        a = rng.uniform(-1, 1, (16, 16))
+
+        def strike(k, work):
+            if k == 4:
+                work[8, 9] = float("nan")
+
+        result = protected_qr(a, fault_hook=strike)
+        assert result.detected
+
+    def test_check_false_skips(self, rng):
+        a = rng.uniform(-1, 1, (16, 16))
+        result = protected_qr(a, check=False)
+        assert not result.detected
+
+
+class TestLeastSquaresWorkflow:
+    def test_protected_least_squares(self, rng):
+        """QR factors from the protected routine solve LS problems."""
+        from scipy.linalg import solve_triangular
+
+        m, n = 60, 20
+        a = rng.uniform(-1, 1, (m, n))
+        x_true = rng.uniform(-1, 1, n)
+        b = a @ x_true
+        result = protected_qr(a)
+        assert not result.detected
+        qtb = result.q.T @ b
+        x = solve_triangular(result.r[:n, :n], qtb[:n])
+        assert np.allclose(x, x_true, rtol=1e-8)

@@ -1,0 +1,107 @@
+"""Single-precision (binary32) protected multiplication.
+
+GPUs are single-precision machines first; the A-ABFT model applies with
+``t = 24``.  These tests verify the whole scheme end to end in float32:
+correct bounds (no false positives despite ~1e9x larger rounding errors),
+detection of corruptions sized relative to binary32 rounding, and that the
+binary64 bounds would be *wrong* for binary32 data (the reason ``t``
+matters).
+"""
+
+import numpy as np
+import pytest
+
+from repro.abft.checking import check_partitioned
+from repro.abft.multiply import aabft_matmul, sea_abft_matmul
+from repro.bounds.base import BoundContext
+from repro.bounds.probabilistic import ProbabilisticBound
+from repro.fp.constants import BINARY32, BINARY64
+
+
+@pytest.fixture
+def pair32(rng):
+    a = rng.uniform(-1.0, 1.0, (128, 128)).astype(np.float32)
+    b = rng.uniform(-1.0, 1.0, (128, 128)).astype(np.float32)
+    return a, b
+
+
+class TestFloat32Multiply:
+    def test_result_dtype_and_value(self, pair32):
+        a, b = pair32
+        result = aabft_matmul(a, b, block_size=64)
+        assert result.c.dtype == np.float32
+        assert np.allclose(result.c, a @ b, rtol=1e-6)
+
+    def test_no_false_positives_binary32_bounds(self, pair32):
+        a, b = pair32
+        assert not aabft_matmul(a, b, block_size=64).detected
+        assert not sea_abft_matmul(a, b, block_size=64).detected
+
+    def test_binary64_bounds_would_false_positive(self, pair32):
+        """Using t = 53 tolerances on binary32 data flags everything —
+        the demonstration that the precision parameter is load-bearing."""
+        a, b = pair32
+        result = aabft_matmul(a, b, block_size=64)
+        wrong_provider = result.provider
+        wrong_provider.scheme = ProbabilisticBound(omega=3.0, fmt=BINARY64)
+        report = check_partitioned(
+            result.c_fc.astype(np.float64),
+            result.row_layout,
+            result.col_layout,
+            wrong_provider,
+        )
+        assert report.error_detected  # false positives everywhere
+
+    def test_detects_above_rounding_corruption(self, pair32):
+        a, b = pair32
+        result = aabft_matmul(a, b, block_size=64)
+        corrupted = result.c_fc.astype(np.float64)
+        corrupted[5, 9] += 1e-2  # large vs float32 rounding (~1e-5)
+        report = check_partitioned(
+            corrupted, result.row_layout, result.col_layout, result.provider
+        )
+        assert report.error_detected
+        assert (5, 9) in report.located_errors
+
+    def test_tolerates_binary32_rounding_sized_noise(self, pair32):
+        """Perturbations at the binary32 rounding level are, by design,
+        inside the tolerance."""
+        a, b = pair32
+        result = aabft_matmul(a, b, block_size=64)
+        corrupted = result.c_fc.astype(np.float64)
+        corrupted[5, 9] += 1e-7
+        report = check_partitioned(
+            corrupted, result.row_layout, result.col_layout, result.provider
+        )
+        assert not report.error_detected
+
+    def test_mixed_precision_promotes_to_double(self, rng):
+        a = rng.uniform(-1, 1, (64, 64)).astype(np.float32)
+        b = rng.uniform(-1, 1, (64, 64))  # float64
+        result = aabft_matmul(a, b, block_size=64)
+        assert result.c.dtype == np.float64
+        assert not result.detected
+
+
+class TestBinary32Bounds:
+    def test_epsilon_ratio_matches_precision_gap(self):
+        """binary32 vs binary64 tolerance ratio is 2^(53-24) = 2^29."""
+        ctx = BoundContext(n=128, m=64, upper_bound=1.0)
+        eps32 = ProbabilisticBound(fmt=BINARY32).epsilon(ctx)
+        eps64 = ProbabilisticBound(fmt=BINARY64).epsilon(ctx)
+        assert eps32 / eps64 == pytest.approx(2.0 ** (53 - 24), rel=1e-6)
+
+    def test_bound_covers_observed_float32_errors(self, rng):
+        n, trials = 128, 100
+        a = rng.uniform(-1, 1, (trials, n)).astype(np.float32)
+        b = rng.uniform(-1, 1, (trials, n)).astype(np.float32)
+        computed = np.einsum("ij,ij->i", a, b)  # float32 accumulation
+        exact = np.einsum(
+            "ij,ij->i", a.astype(np.float64), b.astype(np.float64)
+        )
+        errors = np.abs(computed.astype(np.float64) - exact)
+        y = float(np.max(np.abs(a.astype(np.float64) * b)))
+        eps = ProbabilisticBound(omega=3.0, fmt=BINARY32).epsilon(
+            BoundContext(n=n, m=1, upper_bound=y)
+        )
+        assert np.all(errors < eps)

@@ -1,0 +1,125 @@
+"""Protected linear solve: factorisation + residual verification."""
+
+import numpy as np
+import pytest
+
+from repro.abft.solve import (
+    ProtectedSolveResult,
+    SolveVerificationError,
+    protected_solve,
+)
+from repro.errors import ShapeError
+
+
+def _system(rng, n, scale=1.0):
+    a = rng.uniform(-1.0, 1.0, (n, n)) * scale
+    a += np.diag(np.sign(np.diag(a)) * (np.abs(a).sum(axis=1) + 1.0) * scale)
+    x_true = rng.uniform(-1.0, 1.0, n)
+    return a, a @ x_true, x_true
+
+
+class TestCleanSolve:
+    def test_solution_accurate_and_verified(self, rng):
+        a, b, x_true = _system(rng, 48)
+        result = protected_solve(a, b)
+        assert result.report.verified
+        assert result.report.refinement_steps == 0
+        assert np.allclose(result.x, x_true, rtol=1e-9)
+
+    def test_matches_numpy_solve(self, rng):
+        a, b, _ = _system(rng, 32)
+        result = protected_solve(a, b)
+        assert np.allclose(result.x, np.linalg.solve(a, b), rtol=1e-9)
+
+    def test_various_scales(self, rng):
+        for scale in (1e-3, 1.0, 1e3):
+            a, b, x_true = _system(rng, 24, scale)
+            result = protected_solve(a, b)
+            assert result.report.verified
+            assert np.allclose(result.x, x_true, rtol=1e-8)
+
+    def test_residual_below_tolerance_with_headroom(self, rng):
+        a, b, _ = _system(rng, 40)
+        result = protected_solve(a, b)
+        assert result.report.residual_norm < result.report.tolerance
+
+    def test_validation(self, rng):
+        with pytest.raises(ShapeError):
+            protected_solve(rng.uniform(size=(3, 4)), np.ones(3))
+        with pytest.raises(ShapeError):
+            protected_solve(rng.uniform(size=(3, 3)) + 3 * np.eye(3), np.ones(4))
+
+
+class TestFaultBehaviour:
+    def test_factorisation_fault_raises(self, rng):
+        a, b, _ = _system(rng, 32)
+
+        def strike(k, work):
+            if k == 10:
+                work[20, 25] += 1e-2
+
+        with pytest.raises(SolveVerificationError, match="factorisation"):
+            protected_solve(a, b, fault_hook=strike)
+
+    def test_refinement_repairs_marginal_factor_noise(self, rng):
+        """A perturbation below the factorisation check's radar but above
+        the residual tolerance is repaired by iterative refinement."""
+        a, b, x_true = _system(rng, 32)
+        clean = protected_solve(a, b)
+
+        # Perturb the solution path indirectly: solve with a slightly
+        # damaged U by monkey-patching through the public API is intrusive;
+        # instead verify refinement converges from a degraded start by
+        # solving a system whose first solve leaves a large residual.
+        # Construct it by solving with float32-truncated factors.
+        from repro.abft.solve import _back_substitute, _forward_substitute
+
+        x0 = _back_substitute(
+            clean.lu.u.astype(np.float32).astype(np.float64),
+            _forward_substitute(
+                clean.lu.l.astype(np.float32).astype(np.float64), b
+            ),
+        )
+        # The degraded solution has a residual far beyond tolerance...
+        assert np.max(np.abs(b - a @ x0)) > clean.report.tolerance
+        # ...and one refinement step with the good factors repairs it.
+        r = b - a @ x0
+        x1 = x0 + _back_substitute(clean.lu.u, _forward_substitute(clean.lu.l, r))
+        assert np.max(np.abs(b - a @ x1)) <= clean.report.tolerance
+
+    def test_unachievable_tolerance_raises(self, rng):
+        """A residual tolerance below what refinement can reach must fail
+        loudly rather than loop (e.g. a user-supplied over-tight scheme)."""
+        from repro.bounds.base import BoundScheme
+
+        class ResidualOnlyTight(BoundScheme):
+            # Loose for the factorisation check (ctx.n = 32), impossible
+            # for the residual check (ctx.n = 33).
+            def epsilon(self, ctx):
+                return 1e-30 if ctx.n == 33 else 1.0
+
+        a, b, _ = _system(rng, 32)
+        with pytest.raises(SolveVerificationError, match="residual"):
+            protected_solve(a, b, scheme=ResidualOnlyTight(), max_refinements=2)
+
+    def test_overtight_scheme_fails_at_factorisation(self, rng):
+        from repro.bounds.fixed import FixedBound
+
+        a, b, _ = _system(rng, 32)
+        with pytest.raises(SolveVerificationError, match="factorisation"):
+            protected_solve(a, b, scheme=FixedBound(1e-30))
+
+    def test_singular_system_raises_pivot_error(self):
+        from repro.abft.lu import SingularPivotError
+
+        with pytest.raises(SingularPivotError):
+            protected_solve(np.zeros((4, 4)), np.zeros(4))
+
+
+class TestResultShape:
+    def test_result_carries_evidence(self, rng):
+        a, b, _ = _system(rng, 16)
+        result = protected_solve(a, b)
+        assert isinstance(result, ProtectedSolveResult)
+        assert result.lu.update_scale > 0
+        assert result.report.tolerance > 0

@@ -1,0 +1,173 @@
+"""Weighted-checksum ABFT: location and correction from column-side only."""
+
+import numpy as np
+import pytest
+
+from repro.abft.weighted import (
+    WeightedChecker,
+    encode_weighted_columns,
+    linear_weights,
+    weighted_abft_matmul,
+)
+from repro.errors import CorrectionError, ShapeError
+
+
+@pytest.fixture
+def pair(rng):
+    return rng.uniform(-1, 1, (48, 64)), rng.uniform(-1, 1, (64, 56))
+
+
+class TestEncoding:
+    def test_weights(self):
+        assert np.array_equal(linear_weights(4), [1.0, 2.0, 3.0, 4.0])
+        with pytest.raises(ValueError):
+            linear_weights(0)
+
+    def test_encoded_rows(self, rng):
+        a = rng.uniform(-1, 1, (5, 7))
+        a_wc, w = encode_weighted_columns(a)
+        assert a_wc.shape == (7, 7)
+        assert np.allclose(a_wc[5], a.sum(axis=0))
+        assert np.allclose(a_wc[6], w @ a)
+
+    def test_custom_weights(self, rng):
+        a = rng.uniform(-1, 1, (3, 4))
+        w = np.array([1.0, 4.0, 16.0])
+        a_wc, _ = encode_weighted_columns(a, w)
+        assert np.allclose(a_wc[4], w @ a)
+
+    def test_weight_shape_validation(self, rng):
+        with pytest.raises(ShapeError):
+            encode_weighted_columns(rng.uniform(size=(3, 4)), np.ones(4))
+
+
+class TestFaultFree:
+    def test_no_false_positives(self, pair):
+        a, b = pair
+        result, _ = weighted_abft_matmul(a, b)
+        assert not result.detected
+        assert np.allclose(result.c, a @ b)
+
+    def test_no_false_positives_large_range(self, rng):
+        a = rng.uniform(-100, 100, (64, 64))
+        b = rng.uniform(-100, 100, (64, 64))
+        result, _ = weighted_abft_matmul(a, b)
+        assert not result.detected
+
+    def test_no_false_positives_dynamic_inputs(self, rng):
+        from repro.workloads import SUITE_DYNAMIC_K2
+
+        p = SUITE_DYNAMIC_K2.generate(96, rng)
+        result, _ = weighted_abft_matmul(p.a, p.b)
+        assert not result.detected
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ShapeError):
+            weighted_abft_matmul(rng.uniform(size=(4, 5)), rng.uniform(size=(4, 5)))
+
+
+class TestLocationAndCorrection:
+    def test_single_error_row_located_without_row_checksums(self, pair):
+        """The weighted/plain ratio reveals the row — Jou/Abraham's
+        property, with autonomous bounds."""
+        a, b = pair
+        result, checker = weighted_abft_matmul(a, b)
+        row, col, delta = 17, 23, 1e-4
+        corrupted = result.c_wc.copy()
+        corrupted[row, col] += delta
+        rechecked = checker.check(corrupted)
+        assert rechecked.detected
+        assert len(rechecked.flagged_columns) == 1
+        outcome = rechecked.flagged_columns[0]
+        assert outcome.column == col
+        assert outcome.located_row == row
+
+    def test_correct_restores_product(self, pair):
+        a, b = pair
+        result, checker = weighted_abft_matmul(a, b)
+        corrupted = result.c_wc.copy()
+        corrupted[30, 5] += 2.5e-3
+        rechecked = checker.check(corrupted)
+        fixed = rechecked.correct()
+        assert np.allclose(fixed, a @ b, rtol=1e-10)
+        # And the corrected data passes a fresh check.
+        verified = checker.check(
+            np.vstack([fixed, fixed.sum(axis=0), checker.weights @ fixed])
+        )
+        assert not verified.detected
+
+    def test_every_row_locatable(self, pair):
+        """Ratios must resolve correctly across the full weight range."""
+        a, b = pair
+        result, checker = weighted_abft_matmul(a, b)
+        for row in (0, 1, 23, 46, 47):
+            corrupted = result.c_wc.copy()
+            corrupted[row, 11] += 5e-4
+            outcome = checker.check(corrupted).flagged_columns[0]
+            assert outcome.located_row == row, row
+
+    def test_corrupted_checksum_row_flagged_not_located(self, pair):
+        """An error in the plain checksum row flips the discrepancy sign
+        structure; it must flag but not mislocate a data row."""
+        a, b = pair
+        result, checker = weighted_abft_matmul(a, b)
+        m = a.shape[0]
+        corrupted = result.c_wc.copy()
+        corrupted[m, 9] += 1e-3  # plain checksum element
+        rechecked = checker.check(corrupted)
+        assert rechecked.detected
+        outcome = rechecked.flagged_columns[0]
+        # d_plain = -delta, d_weighted ~ 0 -> ratio ~ 0: no data row.
+        assert outcome.located_row is None
+
+    def test_two_errors_same_column_not_correctable(self, pair):
+        a, b = pair
+        result, checker = weighted_abft_matmul(a, b)
+        corrupted = result.c_wc.copy()
+        corrupted[10, 5] += 1e-3
+        corrupted[21, 5] += 1e-3
+        rechecked = checker.check(corrupted)
+        assert rechecked.detected
+        outcome = rechecked.flagged_columns[0]
+        # Blended ratio (11 + 22)/2 = 16.5: not within slack of an integer.
+        assert outcome.located_row is None
+        with pytest.raises(CorrectionError, match="ratio"):
+            rechecked.correct()
+
+    def test_errors_in_two_columns_refused(self, pair):
+        a, b = pair
+        result, checker = weighted_abft_matmul(a, b)
+        corrupted = result.c_wc.copy()
+        corrupted[4, 5] += 1e-3
+        corrupted[8, 9] += 1e-3
+        rechecked = checker.check(corrupted)
+        assert len(rechecked.flagged_columns) == 2
+        with pytest.raises(CorrectionError, match="columns flagged"):
+            rechecked.correct()
+
+    def test_no_error_correct_raises(self, pair):
+        a, b = pair
+        result, _ = weighted_abft_matmul(a, b)
+        with pytest.raises(CorrectionError, match="no flagged"):
+            result.correct()
+
+    def test_nan_corruption_flagged(self, pair):
+        a, b = pair
+        result, checker = weighted_abft_matmul(a, b)
+        corrupted = result.c_wc.copy()
+        corrupted[3, 3] = float("nan")
+        assert checker.check(corrupted).detected
+
+
+class TestCheckerValidation:
+    def test_ratio_slack_range(self, pair, rng):
+        a, b = pair
+        a_wc, w = encode_weighted_columns(a)
+        with pytest.raises(ValueError, match="ratio_slack"):
+            WeightedChecker(a_wc, w, b, ratio_slack=0.6)
+
+    def test_product_row_count(self, pair):
+        a, b = pair
+        result, checker = weighted_abft_matmul(a, b)
+        with pytest.raises(ShapeError, match="rows"):
+            checker.check(result.c_wc[:-1, :])

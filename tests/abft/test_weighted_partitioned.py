@@ -1,0 +1,115 @@
+"""Partitioned weighted checksums: block-granular column-side location."""
+
+import numpy as np
+import pytest
+
+from repro.abft.weighted_partitioned import (
+    PartitionedWeightedLayout,
+    encode_partitioned_weighted_columns,
+    partitioned_weighted_matmul,
+)
+from repro.errors import CorrectionError, EncodingError, ShapeError
+
+
+@pytest.fixture
+def pair(rng):
+    return rng.uniform(-1, 1, (96, 64)), rng.uniform(-1, 1, (64, 80))
+
+
+class TestLayout:
+    def test_counts(self):
+        layout = PartitionedWeightedLayout(data_rows=96, block_size=32)
+        assert layout.num_blocks == 3
+        assert layout.stride == 34
+        assert layout.encoded_rows == 102
+
+    def test_indices(self):
+        layout = PartitionedWeightedLayout(data_rows=64, block_size=32)
+        assert layout.plain_index(0) == 32
+        assert layout.weighted_index(0) == 33
+        assert layout.plain_index(1) == 66
+        assert len(layout.all_data_indices()) == 64
+
+    def test_validation(self):
+        with pytest.raises(EncodingError):
+            PartitionedWeightedLayout(data_rows=33, block_size=32)
+        layout = PartitionedWeightedLayout(data_rows=32, block_size=32)
+        with pytest.raises(IndexError):
+            layout.plain_index(1)
+
+
+class TestEncoding:
+    def test_block_checksums(self, rng):
+        a = rng.uniform(-1, 1, (64, 48))
+        a_wc, layout = encode_partitioned_weighted_columns(a, 32)
+        assert a_wc.shape == (68, 48)
+        w = np.arange(1.0, 33.0)
+        for blk in range(2):
+            rows = slice(blk * 32, (blk + 1) * 32)
+            assert np.allclose(a_wc[layout.plain_index(blk)], a[rows].sum(axis=0))
+            assert np.allclose(a_wc[layout.weighted_index(blk)], w @ a[rows])
+        assert np.array_equal(a_wc[layout.all_data_indices()], a)
+
+
+class TestCheckAndCorrect:
+    def test_fault_free_passes(self, pair):
+        a, b = pair
+        result, _ = partitioned_weighted_matmul(a, b, block_size=32)
+        assert not result.detected
+        assert np.allclose(result.c, a @ b)
+
+    def test_fault_free_passes_wide_range(self, rng):
+        a = rng.uniform(-100, 100, (64, 64))
+        b = rng.uniform(-100, 100, (64, 64))
+        result, _ = partitioned_weighted_matmul(a, b, block_size=64)
+        assert not result.detected
+
+    def test_exact_position_located_in_every_block(self, pair):
+        """Both the block and the row-within-block resolve: the located
+        index is *global* and exact."""
+        a, b = pair
+        result, checker = partitioned_weighted_matmul(a, b, block_size=32)
+        for data_row in (0, 31, 32, 65, 95):
+            corrupted = result.c_wc.copy()
+            blk = data_row // 32
+            encoded_row = blk * 34 + (data_row % 32)
+            corrupted[encoded_row, 7] += 1e-3
+            rechecked = checker.check(corrupted)
+            assert len(rechecked.findings) == 1
+            finding = rechecked.findings[0]
+            assert finding.block_row == blk
+            assert finding.column == 7
+            assert finding.located_row == data_row
+
+    def test_correct_restores_product(self, pair):
+        a, b = pair
+        result, checker = partitioned_weighted_matmul(a, b, block_size=32)
+        corrupted = result.c_wc.copy()
+        corrupted[2 * 34 + 5, 11] += 3e-3  # data row 69
+        fixed = checker.check(corrupted).correct()
+        assert np.allclose(fixed, a @ b, rtol=1e-10)
+
+    def test_errors_in_two_blocks_both_flagged(self, pair):
+        a, b = pair
+        result, checker = partitioned_weighted_matmul(a, b, block_size=32)
+        corrupted = result.c_wc.copy()
+        corrupted[3, 5] += 1e-3
+        corrupted[40, 9] += 1e-3  # a different block
+        rechecked = checker.check(corrupted)
+        assert len(rechecked.findings) == 2
+        with pytest.raises(CorrectionError, match="flagged"):
+            rechecked.correct()
+
+    def test_block_local_weights_are_small(self, pair):
+        """The point of partitioning the weighted row: weights stay 1..BS
+        instead of 1..m, so the weighted checksum's magnitude (and its
+        tolerance) grows with the block, not the matrix."""
+        a, b = pair
+        _, checker32 = partitioned_weighted_matmul(a, b, block_size=32)
+        assert checker32.weights.max() == 32.0
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ShapeError):
+            partitioned_weighted_matmul(
+                rng.uniform(size=(4, 5)), rng.uniform(size=(4, 5)), block_size=4
+            )

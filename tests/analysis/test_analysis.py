@@ -1,0 +1,117 @@
+"""Metrics, stats helpers and table rendering."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    bound_tightness_ratio,
+    confusion_counts,
+    detection_metrics,
+)
+from repro.analysis.stats import (
+    bootstrap_ci,
+    geometric_mean,
+    mean_abs,
+    order_of_magnitude_gap,
+)
+from repro.analysis.tables import format_sci, render_table
+
+
+class TestTables:
+    def test_render_aligns_columns(self):
+        text = render_table(["a", "bb"], [[1, 2], [333, 4]], title="t")
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        assert len({len(l) for l in lines[1:]}) == 1
+
+    def test_row_width_validation(self):
+        with pytest.raises(ValueError, match="cells"):
+            render_table(["a"], [[1, 2]])
+
+    def test_format_sci(self):
+        assert format_sci(1.675e-11) == "1.68e-11"
+        assert format_sci(float("nan")) == "n/a"
+
+
+class TestStats:
+    def test_geometric_mean(self):
+        assert geometric_mean(np.array([1.0, 100.0])) == pytest.approx(10.0)
+
+    def test_geometric_mean_validation(self):
+        with pytest.raises(ValueError):
+            geometric_mean(np.array([]))
+        with pytest.raises(ValueError):
+            geometric_mean(np.array([1.0, 0.0]))
+
+    def test_mean_abs(self):
+        assert mean_abs(np.array([-2.0, 2.0])) == 2.0
+
+    def test_order_of_magnitude_gap(self):
+        assert order_of_magnitude_gap(1e-9, 1e-11) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            order_of_magnitude_gap(-1.0, 1.0)
+
+    def test_bootstrap_ci_contains_mean(self, rng):
+        data = rng.normal(5.0, 1.0, 400)
+        lo, hi = bootstrap_ci(data, rng)
+        assert lo < data.mean() < hi
+        assert hi - lo < 0.5
+
+    def test_bootstrap_validation(self, rng):
+        with pytest.raises(ValueError):
+            bootstrap_ci(np.array([]), rng)
+        with pytest.raises(ValueError):
+            bootstrap_ci(np.ones(3), rng, confidence=1.5)
+
+
+class TestTightness:
+    def test_ratio_of_constant_factor(self):
+        errors = np.array([1e-14, 2e-14, 4e-14])
+        bounds = 100.0 * errors
+        assert bound_tightness_ratio(bounds, errors) == pytest.approx(100.0)
+
+    def test_zero_errors_excluded(self):
+        errors = np.array([0.0, 1e-14])
+        bounds = np.array([1e-12, 1e-12])
+        assert bound_tightness_ratio(bounds, errors) == pytest.approx(100.0)
+
+    def test_all_zero_errors_rejected(self):
+        with pytest.raises(ValueError):
+            bound_tightness_ratio(np.ones(2), np.zeros(2))
+
+
+class TestConfusion:
+    def test_counts(self):
+        deltas = np.array([1.0, 1.0, 0.01, 0.01])
+        detected = np.array([True, False, True, False])
+        counts = confusion_counts(deltas, detected, critical_threshold=0.1)
+        assert counts == {
+            "true_positive": 1,
+            "false_negative": 1,
+            "benign_flagged": 1,
+            "benign_passed": 1,
+        }
+
+
+class TestDetectionMetrics:
+    def test_from_campaign(self):
+        from repro.faults.campaign import CampaignConfig, FaultCampaign
+        from repro.workloads import SUITE_UNIT
+
+        config = CampaignConfig(
+            n=128, suite=SUITE_UNIT, num_injections=40, block_size=64, seed=21
+        )
+        result = FaultCampaign(config).run()
+        metrics = detection_metrics(result, "aabft")
+        assert metrics.total_injections == 40
+        assert metrics.critical + metrics.false_negatives >= metrics.detected_critical
+        assert 0.0 <= metrics.detection_rate <= 1.0
+        assert metrics.detection_rate == result.detection_rate("aabft")
+
+    def test_empty_denominator_is_nan(self):
+        from repro.analysis.metrics import DetectionMetrics
+
+        m = DetectionMetrics("x", 0, 0, 0, 0)
+        assert math.isnan(m.detection_rate)

@@ -1,0 +1,92 @@
+"""Result persistence: JSON round trips of experiment outputs."""
+
+import pytest
+
+from repro.analysis.io import (
+    campaign_to_dict,
+    dicts_to_rows,
+    load_results,
+    rows_to_dicts,
+    save_results,
+)
+from repro.experiments.table1 import run_table1
+from repro.faults.campaign import CampaignConfig, FaultCampaign
+from repro.workloads import SUITE_UNIT
+
+
+class TestRowRoundTrips:
+    def test_table1(self, tmp_path):
+        rows = run_table1((512, 1024))
+        path = save_results(tmp_path / "t1.json", "table1", rows)
+        kind, loaded = load_results(path)
+        assert kind == "table1"
+        assert loaded == rows
+
+    def test_bound_quality(self, tmp_path, rng):
+        from repro.experiments.bound_quality import measure_bound_quality
+
+        rows = [measure_bound_quality(SUITE_UNIT, 128, rng, num_samples=8)]
+        path = save_results(tmp_path / "bq.json", "bound_quality", rows)
+        _, loaded = load_results(path)
+        assert loaded == rows
+
+    def test_figure4_enum_round_trip(self, tmp_path):
+        from repro.experiments.figure4 import run_figure4
+
+        cells = run_figure4((SUITE_UNIT,), (128,), injections_per_cell=10, seed=1)
+        path = save_results(tmp_path / "f4.json", "figure4", cells)
+        _, loaded = load_results(path)
+        assert loaded == cells
+
+    def test_coverage_float_keys(self, tmp_path, rng):
+        from repro.experiments.coverage import measure_coverage
+
+        rows = [measure_coverage(SUITE_UNIT, 128, rng, num_samples=8)]
+        path = save_results(tmp_path / "cov.json", "coverage", rows)
+        _, loaded = load_results(path)
+        assert loaded == rows
+        assert 3.0 in loaded[0].coverage
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown row kind"):
+            rows_to_dicts("table9", [])
+        with pytest.raises(ValueError, match="unknown row kind"):
+            dicts_to_rows("table9", [])
+
+
+class TestCampaignPersistence:
+    def test_campaign_export(self, tmp_path):
+        config = CampaignConfig(
+            n=128, suite=SUITE_UNIT, num_injections=20, block_size=64, seed=4
+        )
+        result = FaultCampaign(config).run()
+        path = save_results(tmp_path / "camp.json", "campaign", result)
+        kind, loaded = load_results(path)
+        assert kind == "campaign"
+        assert loaded["config"]["suite"] == "uniform_unit"
+        assert len(loaded["records"]) == 20
+        assert loaded["rates"]["aabft"] == pytest.approx(
+            result.detection_rate("aabft"), nan_ok=True
+        )
+        # Records carry the decision-relevant fields.
+        record = loaded["records"][0]
+        assert set(record) >= {"site", "delta", "critical", "detected"}
+
+    def test_dict_shape(self):
+        config = CampaignConfig(
+            n=128, suite=SUITE_UNIT, num_injections=5, block_size=64, seed=5
+        )
+        result = FaultCampaign(config).run()
+        d = campaign_to_dict(result)
+        assert d["config"]["fault_model"] == "flip"
+        assert isinstance(d["false_positive_free"], dict)
+
+
+class TestVersioning:
+    def test_version_mismatch_rejected(self, tmp_path):
+        import json
+
+        bad = tmp_path / "old.json"
+        bad.write_text(json.dumps({"kind": "table1", "version": 0, "data": []}))
+        with pytest.raises(ValueError, match="version"):
+            load_results(bad)

@@ -1,0 +1,65 @@
+"""Classic deterministic gamma_n bounds — the pessimistic reference point."""
+
+import pytest
+
+from repro.bounds.analytical import AnalyticalBound, dot_product_bound, gamma_factor
+from repro.bounds.base import BoundContext
+from repro.bounds.probabilistic import ProbabilisticBound
+from repro.errors import BoundSchemeError
+
+T = 53
+
+
+class TestGamma:
+    def test_small_n(self):
+        u = 2.0**-T
+        assert gamma_factor(1, T) == pytest.approx(u / (1 - u))
+
+    def test_monotone(self):
+        assert gamma_factor(10, T) < gamma_factor(100, T) < gamma_factor(1000, T)
+
+    def test_undefined_when_nu_exceeds_one(self):
+        with pytest.raises(ValueError, match="n\\*u"):
+            gamma_factor(2**54, T)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            gamma_factor(0, T)
+
+
+class TestDotProductBound:
+    def test_formula(self):
+        assert dot_product_bound(10.0, 100, T) == pytest.approx(
+            gamma_factor(100, T) * 10.0
+        )
+
+    def test_negative_condition_rejected(self):
+        with pytest.raises(ValueError):
+            dot_product_bound(-1.0, 10, T)
+
+
+class TestAnalyticalScheme:
+    def test_requires_upper_bound(self):
+        with pytest.raises(BoundSchemeError):
+            AnalyticalBound().epsilon(BoundContext(n=10, m=2))
+
+    def test_more_pessimistic_than_probabilistic(self):
+        """Paper Section III: analytical estimates 'often lead to error
+        bounds which are too loose' — the deterministic bound must exceed
+        the 3-sigma probabilistic one for any non-trivial n."""
+        analytical = AnalyticalBound()
+        probabilistic = ProbabilisticBound(omega=3.0)
+        for n in (64, 512, 4096):
+            ctx = BoundContext(n=n, m=64, upper_bound=1.0)
+            assert analytical.epsilon(ctx) > probabilistic.epsilon(ctx)
+
+    def test_gap_narrows_relative_with_n(self):
+        # Deterministic grows ~n^2 y vs probabilistic ~n^1.5 y: ratio ~ n^0.5.
+        analytical = AnalyticalBound()
+        probabilistic = ProbabilisticBound(omega=3.0)
+
+        def ratio(n):
+            ctx = BoundContext(n=n, m=64, upper_bound=1.0)
+            return analytical.epsilon(ctx) / probabilistic.epsilon(ctx)
+
+        assert ratio(4096) / ratio(1024) == pytest.approx(2.0, rel=0.1)

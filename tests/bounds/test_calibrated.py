@@ -1,0 +1,101 @@
+"""The calibration-run baseline and its failure modes (paper Section III)."""
+
+import pytest
+
+from repro.abft.checking import check_partitioned
+from repro.abft.encoding import (
+    encode_partitioned_columns,
+    encode_partitioned_rows,
+)
+from repro.abft.providers import ConstantEpsilonProvider
+from repro.bounds.base import BoundContext
+from repro.bounds.calibrated import CalibratedBound, calibrate
+from repro.errors import BoundSchemeError
+from repro.workloads import SUITE_HUNDRED, SUITE_UNIT
+
+
+class TestCalibration:
+    def test_learned_bound_works_on_calibrated_distribution(self, rng):
+        bound = calibrate(SUITE_UNIT, 128, rng, runs=4)
+        pair = SUITE_UNIT.generate(128, rng)
+        a_cc, rows = encode_partitioned_columns(pair.a, 64)
+        b_rc, cols = encode_partitioned_rows(pair.b, 64)
+        report = check_partitioned(
+            a_cc @ b_rc, rows, cols, ConstantEpsilonProvider(bound.value)
+        )
+        assert not report.error_detected
+
+    def test_describe_records_provenance(self, rng):
+        bound = calibrate(SUITE_UNIT, 128, rng, runs=2)
+        text = bound.describe()
+        assert "uniform_unit" in text
+        assert "n=128" in text
+
+    def test_epsilon_constant(self, rng):
+        bound = calibrate(SUITE_UNIT, 128, rng, runs=2)
+        assert bound.epsilon(BoundContext(n=1, m=1)) == bound.value
+        assert bound.epsilon(BoundContext(n=10**6, m=64)) == bound.value
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError, match="calibration run"):
+            calibrate(SUITE_UNIT, 128, rng, runs=0)
+        with pytest.raises(ValueError, match="safety"):
+            calibrate(SUITE_UNIT, 128, rng, safety=0.5)
+        with pytest.raises(BoundSchemeError):
+            CalibratedBound(value=0.0, calibrated_n=1, calibrated_suite="x", safety=2.0)
+
+
+class TestFailureModes:
+    """The paper's criticism, quantified: the learned constant breaks when
+    the input characteristics or the problem size change."""
+
+    def test_distribution_shift_causes_false_positives(self, rng):
+        """Calibrated on U(-1,1), applied to U(-100,100): discrepancies grow
+        by ~1e4 while the bound stays put — mass false positives."""
+        bound = calibrate(SUITE_UNIT, 128, rng, runs=4)
+        pair = SUITE_HUNDRED.generate(128, rng)
+        a_cc, rows = encode_partitioned_columns(pair.a, 64)
+        b_rc, cols = encode_partitioned_rows(pair.b, 64)
+        report = check_partitioned(
+            a_cc @ b_rc, rows, cols, ConstantEpsilonProvider(bound.value)
+        )
+        assert report.error_detected
+        assert report.num_failed > 50  # not an isolated fluke: mass FPs
+
+    def test_reverse_shift_misses_errors(self, rng):
+        """Calibrated on U(-100,100), applied to U(-1,1): the bound is ~1e4
+        too loose and real corruptions sail through."""
+        bound = calibrate(SUITE_HUNDRED, 128, rng, runs=4)
+        pair = SUITE_UNIT.generate(128, rng)
+        a_cc, rows = encode_partitioned_columns(pair.a, 64)
+        b_rc, cols = encode_partitioned_rows(pair.b, 64)
+        c_fc = a_cc @ b_rc
+        # An error far above this workload's rounding noise (~1e-13) yet
+        # below the constant learned on the louder distribution.
+        delta = bound.value / 5.0
+        c_fc[5, 9] += delta
+        report = check_partitioned(
+            c_fc, rows, cols, ConstantEpsilonProvider(bound.value)
+        )
+        assert not report.error_detected  # the miss
+        # A-ABFT on the same data catches it.
+        from repro.abft.multiply import aabft_matmul
+
+        clean = aabft_matmul(pair.a, pair.b, block_size=64)
+        corrupted = clean.c_fc.copy()
+        corrupted[5, 9] += delta
+        assert check_partitioned(
+            corrupted, clean.row_layout, clean.col_layout, clean.provider
+        ).error_detected
+
+    def test_size_shift_causes_false_positives(self, rng):
+        """Calibrated at n=128, applied at n=512: discrepancies grow with n
+        past the frozen constant."""
+        bound = calibrate(SUITE_HUNDRED, 128, rng, runs=4, safety=1.05)
+        pair = SUITE_HUNDRED.generate(512, rng)
+        a_cc, rows = encode_partitioned_columns(pair.a, 64)
+        b_rc, cols = encode_partitioned_rows(pair.b, 64)
+        report = check_partitioned(
+            a_cc @ b_rc, rows, cols, ConstantEpsilonProvider(bound.value)
+        )
+        assert report.error_detected

@@ -1,0 +1,93 @@
+"""Per-element rounding-error maps (the paper's Section I by-product)."""
+
+import numpy as np
+import pytest
+
+from repro.bounds.errormap import rounding_error_map, upper_bound_grid
+from repro.bounds.upper_bound import (
+    determine_upper_bound,
+    top_p_of_columns,
+    top_p_of_rows,
+)
+
+
+class TestUpperBoundGrid:
+    def test_matches_scalar_rule(self, rng):
+        a = rng.uniform(-5, 5, (12, 30))
+        b = rng.uniform(-5, 5, (30, 9))
+        row_tops = top_p_of_rows(a, 3)
+        col_tops = top_p_of_columns(b, 3)
+        grid = upper_bound_grid(row_tops, col_tops)
+        assert grid.shape == (12, 9)
+        for i in range(12):
+            for j in range(9):
+                assert grid[i, j] == pytest.approx(
+                    determine_upper_bound(row_tops[i], col_tops[j])
+                )
+
+    def test_grid_bounds_all_products(self, rng):
+        a = rng.uniform(-2, 2, (8, 40))
+        b = rng.uniform(-2, 2, (40, 8))
+        grid = upper_bound_grid(top_p_of_rows(a, 2), top_p_of_columns(b, 2))
+        for i in range(8):
+            for j in range(8):
+                assert grid[i, j] >= np.max(np.abs(a[i] * b[:, j]))
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            upper_bound_grid([], [])
+
+
+class TestErrorMap:
+    def test_map_shapes_and_relations(self, rng):
+        a = rng.uniform(-1, 1, (16, 64))
+        b = rng.uniform(-1, 1, (64, 24))
+        emap = rounding_error_map(a, b, p=2, omega=3.0)
+        assert emap.shape == (16, 24)
+        assert np.all(emap.sigma > 0)
+        assert np.all(emap.epsilon >= 3.0 * emap.sigma)
+        assert np.allclose(
+            emap.epsilon, np.abs(emap.expectation) + 3.0 * emap.sigma
+        )
+
+    def test_fma_map_has_zero_bias(self, rng):
+        a = rng.uniform(-1, 1, (8, 32))
+        b = rng.uniform(-1, 1, (32, 8))
+        emap = rounding_error_map(a, b, fma=True)
+        assert np.all(emap.expectation == 0.0)
+        plain = rounding_error_map(a, b, fma=False)
+        assert np.all(emap.sigma < plain.sigma)
+
+    def test_map_covers_actual_errors(self, rng):
+        """The per-element bounds must contain the exact rounding errors of
+        the actual product (validated with the exact engine)."""
+        from repro.exact.compensated import exact_dot_errors
+
+        a = rng.uniform(-1, 1, (12, 256))
+        b = rng.uniform(-1, 1, (256, 12))
+        c = a @ b
+        emap = rounding_error_map(a, b, omega=3.0)
+        for j in range(12):
+            rhs = np.ascontiguousarray(np.broadcast_to(b[:, j], (12, 256)))
+            errors = np.abs(exact_dot_errors(a, rhs, c[:, j]))
+            assert np.all(errors <= emap.epsilon[:, j])
+
+    def test_worst_elements_sorted(self, rng):
+        a = rng.uniform(-1, 1, (6, 16))
+        a[3, :] *= 50.0  # one big row dominates the error landscape
+        b = rng.uniform(-1, 1, (16, 6))
+        emap = rounding_error_map(a, b)
+        worst = emap.worst_elements(3)
+        assert worst[0][0] == 3
+        assert worst[0][2] >= worst[1][2] >= worst[2][2]
+
+    def test_summary_text(self, rng):
+        a = rng.uniform(-1, 1, (4, 8))
+        b = rng.uniform(-1, 1, (8, 4))
+        text = rounding_error_map(a, b).summary()
+        assert "4x4" in text
+        assert "sigma" in text
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            rounding_error_map(rng.uniform(size=(3, 4)), rng.uniform(size=(5, 3)))

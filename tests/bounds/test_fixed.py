@@ -1,0 +1,51 @@
+"""Fixed/manual bound schemes (the non-autonomous baseline)."""
+
+import pytest
+
+from repro.bounds.base import BoundContext
+from repro.bounds.fixed import FixedBound, RelativeFixedBound
+from repro.errors import BoundSchemeError
+
+
+class TestFixedBound:
+    def test_constant_for_any_context(self):
+        scheme = FixedBound(1e-9)
+        assert scheme.epsilon(BoundContext(n=1, m=1)) == 1e-9
+        assert scheme.epsilon(BoundContext(n=100_000, m=64)) == 1e-9
+
+    def test_zero_allowed(self):
+        # A zero bound means exact comparison (valid for integer data).
+        assert FixedBound(0.0).epsilon(BoundContext(n=1, m=1)) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(BoundSchemeError):
+            FixedBound(-1e-9)
+
+    def test_rejects_nan(self):
+        with pytest.raises(BoundSchemeError):
+            FixedBound(float("nan"))
+
+    def test_rejects_inf(self):
+        with pytest.raises(BoundSchemeError):
+            FixedBound(float("inf"))
+
+    def test_describe(self):
+        assert "1.000e-09" in FixedBound(1e-9).describe()
+
+
+class TestRelativeFixedBound:
+    def test_scales_with_n(self):
+        scheme = RelativeFixedBound(rel_tol=1e-15, scale=10.0)
+        e1 = scheme.epsilon(BoundContext(n=100, m=1))
+        e2 = scheme.epsilon(BoundContext(n=200, m=1))
+        assert e2 == pytest.approx(2 * e1)
+
+    def test_validation(self):
+        with pytest.raises(BoundSchemeError):
+            RelativeFixedBound(rel_tol=0.0, scale=1.0)
+        with pytest.raises(BoundSchemeError):
+            RelativeFixedBound(rel_tol=1e-15, scale=-1.0)
+
+    def test_describe(self):
+        text = RelativeFixedBound(rel_tol=1e-15, scale=2.0).describe()
+        assert "rel_tol" in text

@@ -1,0 +1,114 @@
+"""The three-case upper-bound rule of Section IV-E."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bounds.upper_bound import (
+    TopP,
+    determine_upper_bound,
+    exact_upper_bound,
+    top_p_of_columns,
+    top_p_of_rows,
+)
+
+
+class TestTopP:
+    def test_rows_descending_order(self, rng):
+        m = rng.uniform(-10, 10, (5, 20))
+        tops = top_p_of_rows(m, 4)
+        assert len(tops) == 5
+        for i, t in enumerate(tops):
+            assert np.all(np.diff(t.values) <= 0)
+            assert np.array_equal(t.values, np.abs(m[i, t.indices]))
+
+    def test_rows_are_true_maxima(self, rng):
+        m = rng.uniform(-10, 10, (8, 30))
+        tops = top_p_of_rows(m, 3)
+        for i, t in enumerate(tops):
+            expected = np.sort(np.abs(m[i]))[-3:][::-1]
+            assert np.allclose(t.values, expected)
+
+    def test_columns_match_transposed_rows(self, rng):
+        m = rng.uniform(-5, 5, (12, 7))
+        by_cols = top_p_of_columns(m, 2)
+        by_rows = top_p_of_rows(m.T, 2)
+        for c, r in zip(by_cols, by_rows):
+            assert np.array_equal(c.values, r.values)
+            assert np.array_equal(c.indices, r.indices)
+
+    def test_p_validation(self, rng):
+        m = rng.uniform(-1, 1, (3, 4))
+        with pytest.raises(ValueError):
+            top_p_of_rows(m, 0)
+        with pytest.raises(ValueError):
+            top_p_of_rows(m, 5)
+
+    def test_max_min_accessors(self):
+        t = TopP(values=np.array([5.0, 2.0]), indices=np.array([1, 3]))
+        assert t.max == 5.0
+        assert t.min == 2.0
+        assert t.p == 2
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            TopP(values=np.array([1.0, 2.0]), indices=np.array([0]))
+
+
+class TestThreeCaseRule:
+    @settings(max_examples=200)
+    @given(
+        st.integers(2, 64),
+        st.integers(1, 6),
+        st.integers(0, 2**32 - 1),
+    )
+    def test_always_an_upper_bound(self, n, p, seed):
+        """The determined y must bound every product |a_k * b_k| (Eq. 46)."""
+        rng = np.random.default_rng(seed)
+        p = min(p, n)
+        a = rng.uniform(-10, 10, n) * 10.0 ** rng.integers(-3, 4, n)
+        b = rng.uniform(-10, 10, n) * 10.0 ** rng.integers(-3, 4, n)
+        row_top = top_p_of_rows(a[None, :], p)[0]
+        col_top = top_p_of_columns(b[:, None], p)[0]
+        y = determine_upper_bound(row_top, col_top)
+        assert y >= exact_upper_bound(a, b)
+
+    def test_shared_index_case_is_tight(self):
+        # Largest values of a and b share index 0: y = |a_0 * b_0| exactly.
+        a = np.array([10.0, 1.0, 1.0, 1.0])
+        b = np.array([8.0, 1.0, 1.0, 1.0])
+        row_top = top_p_of_rows(a[None, :], 2)[0]
+        col_top = top_p_of_columns(b[:, None], 2)[0]
+        assert determine_upper_bound(row_top, col_top) == 80.0
+
+    def test_disjoint_case_uses_cross_bounds(self):
+        # Top-2 of a: indices {0, 1}; top-2 of b: indices {2, 3} — disjoint.
+        a = np.array([10.0, 9.0, 0.5, 0.5])
+        b = np.array([0.5, 0.5, 8.0, 7.0])
+        row_top = top_p_of_rows(a[None, :], 2)[0]
+        col_top = top_p_of_columns(b[:, None], 2)[0]
+        y = determine_upper_bound(row_top, col_top)
+        # max|a| * min_top|b| = 10*7 = 70; max|b| * min_top|a| = 8*9 = 72.
+        assert y == 72.0
+        assert y >= exact_upper_bound(a, b)
+
+    def test_larger_p_never_loosens(self, rng):
+        """Increasing p refines (or keeps) the bound — paper Section IV-E."""
+        n = 64
+        for _ in range(20):
+            a = rng.uniform(-5, 5, n)
+            b = rng.uniform(-5, 5, n)
+            ys = []
+            for p in (1, 2, 4, 8, 16):
+                rt = top_p_of_rows(a[None, :], p)[0]
+                ct = top_p_of_columns(b[:, None], p)[0]
+                ys.append(determine_upper_bound(rt, ct))
+            exact = exact_upper_bound(a, b)
+            assert all(y >= exact for y in ys)
+            # p = n would be exact; the trend must be non-increasing overall.
+            assert ys[-1] <= ys[0]
+
+    def test_exact_upper_bound_validates(self):
+        with pytest.raises(ValueError):
+            exact_upper_bound(np.ones(3), np.ones(2))

@@ -1,0 +1,36 @@
+"""Shared fixtures for the A-ABFT reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG; tests that need several draws share the stream."""
+    return np.random.default_rng(0xA_ABF7)
+
+
+@pytest.fixture
+def small_pair(rng):
+    """A 96x96 operand pair with uniform(-1, 1) entries (block size 32)."""
+    a = rng.uniform(-1.0, 1.0, (96, 96))
+    b = rng.uniform(-1.0, 1.0, (96, 96))
+    return a, b
+
+
+@pytest.fixture
+def rect_pair(rng):
+    """A rectangular (m != n != q) pair exercising non-square paths."""
+    a = rng.uniform(-1.0, 1.0, (64, 96))
+    b = rng.uniform(-1.0, 1.0, (96, 128))
+    return a, b
+
+
+@pytest.fixture
+def simulator():
+    """A fresh K20c simulator."""
+    from repro.gpusim import GpuSimulator
+
+    return GpuSimulator()

@@ -1,0 +1,88 @@
+"""Rational-arithmetic oracle: exactness and rounding-error measurement."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exact.fraction_ops import (
+    exact_dot,
+    exact_rounding_error,
+    exact_sum,
+    round_fraction_to_float,
+)
+
+small_floats = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=-1e6, max_value=1e6
+)
+
+
+class TestExactSum:
+    def test_cancellation_is_exact(self):
+        # Catastrophic cancellation in float, exact in rationals.
+        values = [1e16, 1.0, -1e16]
+        assert exact_sum(values) == Fraction(1)
+        assert sum(values) == 0.0  # the float sum is wrong
+
+    @given(st.lists(small_floats, min_size=1, max_size=30))
+    def test_matches_fraction_sum(self, values):
+        assert exact_sum(values) == sum(Fraction(v) for v in values)
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(ValueError):
+            exact_sum([1.0, float("inf")])
+
+
+class TestExactDot:
+    def test_simple(self):
+        assert exact_dot([1.0, 2.0], [3.0, 4.0]) == Fraction(11)
+
+    def test_products_are_exact(self):
+        # 0.1 * 0.1 is not representable; the Fraction result is exact.
+        result = exact_dot([0.1], [0.1])
+        assert result == Fraction(0.1) * Fraction(0.1)
+        assert float(result) != 0.1 * 0.1 or True  # conversion rounds once
+
+    @given(
+        st.lists(small_floats, min_size=1, max_size=15),
+        st.data(),
+    )
+    def test_commutes(self, a, data):
+        b = data.draw(st.lists(small_floats, min_size=len(a), max_size=len(a)))
+        assert exact_dot(a, b) == exact_dot(b, a)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="equal length"):
+            exact_dot([1.0], [1.0, 2.0])
+
+    def test_zero_terms_skipped(self):
+        assert exact_dot([0.0, 2.0], [5.0, 3.0]) == Fraction(6)
+
+
+class TestRoundingError:
+    def test_correctly_rounded_float(self):
+        exact = Fraction(1, 3)
+        assert round_fraction_to_float(exact) == 1.0 / 3.0
+
+    def test_error_of_exact_value_is_zero(self):
+        assert exact_rounding_error(11.0, Fraction(11)) == 0.0
+
+    def test_error_sign(self):
+        # computed > exact  =>  positive error.
+        assert exact_rounding_error(1.0, Fraction(1, 2)) == 0.5
+
+    @settings(max_examples=30)
+    @given(st.lists(small_floats, min_size=2, max_size=20), st.data())
+    def test_numpy_dot_error_within_theory(self, a, data):
+        b = data.draw(st.lists(small_floats, min_size=len(a), max_size=len(a)))
+        a_arr, b_arr = np.array(a), np.array(b)
+        computed = float(a_arr @ b_arr)
+        exact = exact_dot(a_arr, b_arr)
+        err = abs(exact_rounding_error(computed, exact))
+        # Deterministic worst case: gamma_n * |a|.|b|.
+        n = len(a)
+        u = 2.0**-53
+        bound = (n * u / (1 - n * u)) * float(np.abs(a_arr) @ np.abs(b_arr))
+        assert err <= bound + 5e-324

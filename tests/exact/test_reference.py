@@ -1,0 +1,113 @@
+"""The ExactReference engine (GMP substitute): both paths agree."""
+
+import numpy as np
+import pytest
+
+from repro.abft.encoding import (
+    encode_partitioned_columns,
+    encode_partitioned_rows,
+)
+from repro.exact.reference import ExactReference
+
+
+@pytest.fixture(params=["compensated", "fraction"])
+def engine(request):
+    return ExactReference(method=request.param)
+
+
+class TestSingleElement:
+    def test_exact_inner_product(self, engine, rng):
+        a = rng.uniform(-1, 1, 50)
+        b = rng.uniform(-1, 1, 50)
+        value = engine.exact_inner_product(a, b)
+        # Exactly rounded result differs from np.dot by at most 1 ulp-ish
+        # but equals the Fraction-rounded value.
+        from repro.exact.fraction_ops import exact_dot
+
+        assert value == float(exact_dot(a, b))
+
+    def test_rounding_error_of_exact_value(self, engine):
+        a = np.array([1.0, 2.0, 4.0])
+        b = np.array([8.0, 16.0, 32.0])
+        computed = float(a @ b)
+        assert engine.rounding_error(a, b, computed) == 0.0
+
+    def test_rounding_error_detects_perturbation(self, engine, rng):
+        a = rng.uniform(-1, 1, 32)
+        b = rng.uniform(-1, 1, 32)
+        computed = float(a @ b) + 1e-6
+        err = engine.rounding_error(a, b, computed)
+        assert err == pytest.approx(1e-6, rel=1e-6)
+
+
+class TestMethodsAgree:
+    def test_paths_bit_identical(self, rng):
+        comp = ExactReference("compensated")
+        frac = ExactReference("fraction")
+        for _ in range(10):
+            a = rng.uniform(-100, 100, 40)
+            b = rng.uniform(-100, 100, 40)
+            assert comp.exact_inner_product(a, b) == frac.exact_inner_product(a, b)
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            ExactReference("gmp")
+
+
+class TestChecksumErrors:
+    def test_column_checksum_errors_magnitude(self, rng):
+        a = rng.uniform(-1, 1, (64, 64))
+        b = rng.uniform(-1, 1, (64, 64))
+        a_cc, _ = encode_partitioned_columns(a, 32)
+        b_rc, _ = encode_partitioned_rows(b, 32)
+        c_fc = a_cc @ b_rc
+        ref = ExactReference()
+        # Checksum row of the first block is encoded row 32.
+        sample = ref.column_checksum_errors(
+            a_cc[: 32 + 1, :], b_rc, c_fc[: 32 + 1, :], columns=np.arange(8)
+        )
+        assert sample.errors.shape == (8,)
+        # Rounding errors of length-64 double dot products: tiny but
+        # generally non-zero.
+        assert sample.max_abs < 1e-12
+        assert sample.mean_abs >= 0.0
+        assert sample.rms <= sample.max_abs
+
+    def test_inner_dim_mismatch(self, rng):
+        ref = ExactReference()
+        with pytest.raises(ValueError, match="inner dimensions"):
+            ref.column_checksum_errors(
+                rng.random((5, 4)), rng.random((3, 3)), rng.random((5, 3))
+            )
+
+
+class TestDiscrepancies:
+    def test_fault_free_discrepancies_are_rounding_level(self, rng):
+        a = rng.uniform(-1, 1, (33, 32))  # 32 data rows + checksum row
+        a[32] = a[:32].sum(axis=0)
+        b = rng.uniform(-1, 1, (32, 33))
+        b[:, 32] = b[:, :32].sum(axis=1)
+        c = a @ b
+        ref = ExactReference()
+        col = ref.checksum_discrepancies(c, axis="column")
+        row = ref.checksum_discrepancies(c, axis="row")
+        assert col.shape == (32,)
+        assert row.shape == (32,)
+        assert np.max(col) < 1e-12
+        assert np.max(row) < 1e-12
+
+    def test_injected_error_shows_up(self, rng):
+        a = rng.uniform(-1, 1, (33, 32))
+        a[32] = a[:32].sum(axis=0)
+        b = rng.uniform(-1, 1, (32, 33))
+        b[:, 32] = b[:, :32].sum(axis=1)
+        c = a @ b
+        c[3, 5] += 1.0
+        ref = ExactReference()
+        assert ref.checksum_discrepancies(c, "column")[5] == pytest.approx(1.0)
+        assert ref.checksum_discrepancies(c, "row")[3] == pytest.approx(1.0)
+
+    def test_bad_axis(self, rng):
+        ref = ExactReference()
+        with pytest.raises(ValueError, match="axis"):
+            ref.checksum_discrepancies(np.zeros((3, 3)), "diagonal")

@@ -1,0 +1,47 @@
+"""Coverage validation of the probabilistic confidence intervals."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.coverage import measure_coverage, render_coverage
+from repro.workloads import SUITE_DYNAMIC_K2, SUITE_HUNDRED, SUITE_UNIT
+
+
+class TestCoverage:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        rng = np.random.default_rng(8)
+        return [
+            measure_coverage(suite, 128, rng, num_samples=48)
+            for suite in (SUITE_UNIT, SUITE_HUNDRED, SUITE_DYNAMIC_K2)
+        ]
+
+    def test_three_sigma_covers_everything(self, rows):
+        """The paper's conservative setting must leave zero errors outside
+        the interval on every input class."""
+        for row in rows:
+            assert row.covered_at(3.0) == 1.0, row
+
+    def test_even_one_sigma_covers(self, rows):
+        """The partial-sum variance model is so conservative that even the
+        1-sigma interval covers — the quantified source of the bound's
+        false-positive immunity."""
+        for row in rows:
+            assert row.covered_at(1.0) == 1.0
+
+    def test_effective_omega_far_below_one(self, rows):
+        for row in rows:
+            assert 0.0 < row.effective_omega < 0.5
+
+    def test_coverage_monotone_in_omega(self, rows):
+        for row in rows:
+            assert (
+                row.covered_at(1.0)
+                <= row.covered_at(2.0)
+                <= row.covered_at(3.0)
+            )
+
+    def test_render(self, rows):
+        text = render_coverage(rows)
+        assert "sigma" in text
+        assert "uniform_unit" in text

@@ -1,0 +1,103 @@
+"""Experiment drivers: each table/figure regenerates with the paper's shape."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.bound_quality import measure_bound_quality, render_bound_table
+from repro.experiments.figure4 import render_figure4, run_figure4
+from repro.experiments.paper_data import TABLE1_GFLOPS, TABLE2_UNIT
+from repro.experiments.table1 import overhead_summary, render_table1, run_table1
+from repro.faults.model import FaultSite
+from repro.workloads import SUITE_DYNAMIC_K2, SUITE_HUNDRED, SUITE_UNIT
+
+
+class TestTable1Driver:
+    def test_rows_cover_paper_sizes(self):
+        rows = run_table1()
+        assert [r.n for r in rows] == sorted(TABLE1_GFLOPS)
+
+    def test_render_includes_paper_columns(self):
+        text = render_table1(run_table1((512, 1024)))
+        assert "(paper)" in text
+        assert "382.3" in text  # published ABFT at 512
+
+    def test_render_without_paper(self):
+        text = render_table1(run_table1((512,)), with_paper=False)
+        assert "(paper)" not in text
+        assert "unprotected" in text
+
+    def test_overhead_summary_mentions_fraction(self):
+        text = overhead_summary(run_table1((8192,)))
+        assert "%" in text
+        assert "8192" in text
+
+
+class TestBoundQualityDriver:
+    def test_unit_suite_matches_paper_order_of_magnitude(self, rng):
+        """Table II at n=512: rnd err ~2e-14, A-ABFT ~2e-11, SEA ~9e-10.
+        Measured values must land within ~4x of the published ones."""
+        row = measure_bound_quality(SUITE_UNIT, 512, rng, num_samples=48)
+        paper_err, paper_aabft, paper_sea = TABLE2_UNIT[512]
+        assert row.avg_rounding_error == pytest.approx(paper_err, rel=3.0)
+        assert row.avg_aabft_bound == pytest.approx(paper_aabft, rel=3.0)
+        assert row.avg_sea_bound == pytest.approx(paper_sea, rel=3.0)
+
+    def test_bound_ordering_invariant(self, rng):
+        """err < A-ABFT bound < SEA bound for every suite (the qualitative
+        content of Tables II-IV)."""
+        for suite in (SUITE_UNIT, SUITE_HUNDRED, SUITE_DYNAMIC_K2):
+            row = measure_bound_quality(suite, 128, rng, num_samples=32)
+            assert row.avg_rounding_error < row.avg_aabft_bound < row.avg_sea_bound
+
+    def test_aabft_two_orders_closer_than_sea(self, rng):
+        """The headline claim: A-ABFT bounds are typically ~2 orders of
+        magnitude closer to the exact rounding error than SEA's."""
+        row = measure_bound_quality(SUITE_UNIT, 512, rng, num_samples=48)
+        assert row.sea_tightness / row.aabft_tightness > 10.0
+
+    def test_hundred_range_scales_by_1e4(self, rng):
+        """Products scale by 100^2 between Tables II and III."""
+        unit = measure_bound_quality(SUITE_UNIT, 128, rng, num_samples=32)
+        hundred = measure_bound_quality(SUITE_HUNDRED, 128, rng, num_samples=32)
+        ratio = hundred.avg_aabft_bound / unit.avg_aabft_bound
+        assert 1e3 < ratio < 1e5
+
+    def test_exhaustive_mode(self, rng):
+        row = measure_bound_quality(
+            SUITE_UNIT, 64, rng, block_size=32, num_samples=1, exhaustive=True
+        )
+        assert row.num_samples == 2 * 66  # blocks x encoded cols
+
+    def test_render_with_and_without_paper(self, rng):
+        row = measure_bound_quality(SUITE_UNIT, 128, rng, num_samples=8)
+        assert "avg rnd err" in render_bound_table([row])
+        assert "(paper)" in render_bound_table([row], TABLE2_UNIT)
+
+
+class TestFigure4Driver:
+    @pytest.fixture(scope="class")
+    def cells(self):
+        return run_figure4(
+            suites=(SUITE_UNIT,),
+            sizes=(128,),
+            injections_per_cell=40,
+            seed=5,
+        )
+
+    def test_grid_covers_all_sites(self, cells):
+        assert {c.site for c in cells} == {
+            FaultSite.INNER_MUL,
+            FaultSite.INNER_ADD,
+            FaultSite.MERGE_ADD,
+        }
+
+    def test_aabft_beats_sea_overall(self, cells):
+        total_aabft = np.nansum([c.rate_aabft * c.num_critical for c in cells])
+        total_sea = np.nansum([c.rate_sea * c.num_critical for c in cells])
+        assert total_aabft >= total_sea
+
+    def test_render(self, cells):
+        text = render_figure4(cells)
+        assert "Figure 4" in text
+        assert "inner_mul" in text
+        assert "%" in text

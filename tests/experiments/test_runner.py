@@ -1,0 +1,44 @@
+"""The run-everything driver at a miniature scale."""
+
+from repro.experiments.runner import FULL, QUICK, ExperimentScale, run_all
+from repro.experiments import full_runs_requested
+
+
+class TestScales:
+    def test_quick_scale_shape(self):
+        assert QUICK.bound_sizes == (512, 1024)
+        assert QUICK.name == "quick"
+
+    def test_full_scale_covers_paper(self):
+        assert FULL.bound_sizes[-1] == 8192
+        assert len(FULL.bound_sizes) == 9
+
+    def test_env_toggle(self, monkeypatch):
+        monkeypatch.setenv("AABFT_FULL", "1")
+        assert full_runs_requested()
+        monkeypatch.setenv("AABFT_FULL", "0")
+        assert not full_runs_requested()
+        monkeypatch.delenv("AABFT_FULL")
+        assert not full_runs_requested()
+
+
+class TestRunAll:
+    def test_miniature_end_to_end(self):
+        """run_all produces every table/figure section (tiny scale so the
+        whole thing finishes in seconds)."""
+        tiny = ExperimentScale(
+            name="tiny",
+            bound_sizes=(128,),
+            detection_sizes=(128,),
+            bound_samples=12,
+            injections_per_cell=15,
+        )
+        report = run_all(tiny, seed=7)
+        assert "Table I" in report
+        assert "Table II" in report
+        assert "Table III" in report
+        assert "Table IV" in report
+        assert "Figure 4" in report
+        assert "A-ABFT at n=8192" in report  # the overhead headline
+        # The size-128 measured rows appear in each bound table.
+        assert report.count("\n       128  ") >= 3

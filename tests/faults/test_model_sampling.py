@@ -1,0 +1,136 @@
+"""Fault specifications, the injector, and campaign sampling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FaultSpecError
+from repro.faults.injector import FaultInjector
+from repro.faults.model import FaultSite, FaultSpec
+from repro.faults.sampling import ALL_SITES, FaultSampler
+from repro.fp.errorvec import ErrorVector
+from repro.gpusim.device import K20C
+from repro.gpusim.kernel import Dim3, LaunchConfig
+from repro.gpusim.scheduler import BlockScheduler
+
+VEC = ErrorVector(mask=1 << 30, field="mantissa", bit_indices=(30,))
+
+
+class TestFaultSpec:
+    def test_valid_spec(self):
+        spec = FaultSpec(
+            sm_id=3, site=FaultSite.INNER_MUL, module_row=1, module_col=2,
+            error_vector=VEC, k_injection=10,
+        )
+        assert "inner_mul" in spec.describe()
+        assert "SM3" in spec.describe()
+
+    def test_validation(self):
+        with pytest.raises(FaultSpecError):
+            FaultSpec(-1, FaultSite.INNER_MUL, 0, 0, VEC)
+        with pytest.raises(FaultSpecError):
+            FaultSpec(0, FaultSite.INNER_MUL, -1, 0, VEC)
+        with pytest.raises(FaultSpecError):
+            FaultSpec(0, FaultSite.INNER_MUL, 0, 0, VEC, k_injection=-1)
+
+
+class TestInjector:
+    def _assignments(self, blocks=26):
+        scheduler = BlockScheduler(K20C)
+        return scheduler.assign(LaunchConfig(grid=Dim3(x=blocks), block=Dim3(x=1)))
+
+    def test_resolve_picks_block_on_target_sm(self, rng):
+        spec = FaultSpec(4, FaultSite.INNER_ADD, 2, 3, VEC, 5)
+        injector = FaultInjector(spec, rng)
+        act = injector.resolve(self._assignments(), (8, 8))
+        assert act.linear_block_index % 13 == 4
+        assert act.element_row == 2
+        assert act.element_col == 3
+
+    def test_module_offsets_wrap_to_block(self, rng):
+        spec = FaultSpec(0, FaultSite.INNER_ADD, 10, 11, VEC)
+        injector = FaultInjector(spec, rng)
+        act = injector.resolve(self._assignments(), (4, 4))
+        assert act.element_row == 2
+        assert act.element_col == 3
+
+    def test_strikes_only_at_k_injection(self, rng):
+        spec = FaultSpec(0, FaultSite.INNER_ADD, 0, 0, VEC, k_injection=7)
+        injector = FaultInjector(spec, rng)
+        injector.resolve_direct()
+        assert injector.strikes(FaultSite.INNER_ADD, 7)
+        assert not injector.strikes(FaultSite.INNER_ADD, 6)
+        assert not injector.strikes(FaultSite.INNER_MUL, 7)
+        assert not injector.strikes(FaultSite.MERGE_ADD)
+
+    def test_merge_strike_ignores_k(self, rng):
+        spec = FaultSpec(0, FaultSite.MERGE_ADD, 0, 0, VEC, k_injection=3)
+        injector = FaultInjector(spec, rng)
+        injector.resolve_direct()
+        assert injector.strikes(FaultSite.MERGE_ADD)
+        assert injector.strikes(FaultSite.MERGE_ADD, k=None)
+
+    def test_unresolved_never_strikes(self, rng):
+        injector = FaultInjector(
+            FaultSpec(0, FaultSite.MERGE_ADD, 0, 0, VEC), rng
+        )
+        assert not injector.strikes(FaultSite.MERGE_ADD)
+        assert not injector.targets_block(0)
+
+    def test_apply_records_activation(self, rng):
+        injector = FaultInjector(
+            FaultSpec(0, FaultSite.MERGE_ADD, 0, 0, VEC), rng
+        )
+        injector.resolve_direct()
+        out = injector.apply(1.0)
+        assert out != 1.0
+        assert injector.activation.fired
+        assert injector.activation.original_value == 1.0
+        assert injector.activation.faulty_value == out
+
+
+class TestSampler:
+    def _sampler(self, **kw):
+        defaults = dict(
+            num_sms=13, inner_dim=256, block_rows=65, block_cols=65
+        )
+        defaults.update(kw)
+        return FaultSampler(**defaults)
+
+    def test_sample_respects_ranges(self, rng):
+        sampler = self._sampler()
+        for spec in sampler.sample_many(200, rng):
+            assert 0 <= spec.sm_id < 13
+            assert 0 <= spec.k_injection < 256
+            assert 0 <= spec.module_row < 65
+            assert spec.site in ALL_SITES
+            assert spec.error_vector.field == "mantissa"
+            assert spec.error_vector.num_flips == 1
+
+    def test_all_sites_drawn(self, rng):
+        sampler = self._sampler()
+        sites = {s.site for s in sampler.sample_many(100, rng)}
+        assert sites == set(ALL_SITES)
+
+    def test_multi_flip_sampling(self, rng):
+        sampler = self._sampler(num_flips=3)
+        assert all(
+            s.error_vector.num_flips == 3 for s in sampler.sample_many(20, rng)
+        )
+
+    def test_field_selection(self, rng):
+        sampler = self._sampler(fields=("sign",))
+        assert all(
+            s.error_vector.field == "sign" for s in sampler.sample_many(10, rng)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self._sampler(num_sms=0)
+        with pytest.raises(ValueError):
+            self._sampler(sites=())
+
+    def test_deterministic_given_seed(self):
+        sampler = self._sampler()
+        s1 = sampler.sample_many(10, np.random.default_rng(5))
+        s2 = sampler.sample_many(10, np.random.default_rng(5))
+        assert [s.describe() for s in s1] == [s.describe() for s in s2]

@@ -1,0 +1,136 @@
+"""Bit-level float manipulation: roundtrips, flips, field extraction."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fp.bits import (
+    bit_field_of_index,
+    bits_to_float,
+    compose_float,
+    exponent_field,
+    flip_bit,
+    flip_bits,
+    float_to_bits,
+    get_bit,
+    mantissa_field,
+    sign_bit,
+    xor_bits,
+)
+from repro.fp.constants import BINARY32
+
+finite_doubles = st.floats(allow_nan=False, allow_infinity=False)
+
+
+class TestRoundtrip:
+    @given(finite_doubles)
+    def test_bits_roundtrip_scalar(self, x):
+        assert bits_to_float(float_to_bits(x)) == x or (x != x)
+
+    def test_bits_roundtrip_array(self, rng):
+        arr = rng.standard_normal(100)
+        assert np.array_equal(bits_to_float(float_to_bits(arr)), arr)
+
+    def test_float32_roundtrip(self, rng):
+        arr = rng.standard_normal(50).astype(np.float32)
+        out = bits_to_float(float_to_bits(arr), BINARY32)
+        assert out.dtype == np.float32
+        assert np.array_equal(out, arr)
+
+    def test_known_pattern(self):
+        # 1.0 in binary64 is 0x3FF0000000000000.
+        assert int(float_to_bits(1.0)) == 0x3FF0000000000000
+        assert bits_to_float(0x3FF0000000000000) == 1.0
+
+
+class TestFlips:
+    @given(finite_doubles, st.integers(0, 63))
+    def test_double_flip_is_identity(self, x, bit):
+        flipped = flip_bit(x, bit)
+        restored = flip_bit(flipped, bit)
+        assert float_to_bits(restored) == float_to_bits(x)
+
+    def test_sign_flip_negates(self):
+        assert flip_bit(3.5, 63) == -3.5
+        assert flip_bit(-2.0, 63) == 2.0
+
+    def test_lowest_mantissa_flip_is_one_ulp(self):
+        x = 1.0
+        flipped = float(flip_bit(x, 0))
+        assert flipped == np.nextafter(1.0, 2.0)
+
+    def test_exponent_flip_scales_by_power_of_two(self):
+        # 1.0 has biased exponent 0b01111111111: its lowest exponent bit is
+        # set, so flipping bit 52 halves the value; 2.0 (0b10000000000) has
+        # it clear, so flipping doubles.
+        assert float(flip_bit(1.0, 52)) == 0.5
+        assert float(flip_bit(2.0, 52)) == 4.0
+
+    def test_flip_bits_multiple(self):
+        x = 1.0
+        out = float(flip_bits(x, [63, 52]))
+        assert out == -0.5
+
+    def test_flip_bits_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            flip_bits(1.0, [64])
+
+    def test_xor_bits_matches_flip(self):
+        x = math.pi
+        assert float(xor_bits(x, 1 << 17)) == float(flip_bit(x, 17))
+
+    def test_xor_bits_array(self, rng):
+        arr = rng.standard_normal(32)
+        out = xor_bits(arr, 1 << 63)
+        assert np.array_equal(out, -arr)
+
+
+class TestFields:
+    def test_sign_bit(self):
+        assert sign_bit(-1.0) == 1
+        assert sign_bit(1.0) == 0
+        assert sign_bit(0.0) == 0
+        assert sign_bit(-0.0) == 1
+
+    def test_exponent_field_of_one(self):
+        assert exponent_field(1.0) == 1023
+
+    def test_mantissa_field_of_one_and_half(self):
+        assert mantissa_field(1.0) == 0
+        assert mantissa_field(1.5) == 1 << 51
+
+    @given(finite_doubles)
+    def test_compose_inverts_decompose(self, x):
+        s = sign_bit(x)
+        e = exponent_field(x)
+        m = mantissa_field(x)
+        assert float_to_bits(compose_float(s, e, m)) == float_to_bits(x)
+
+    def test_compose_validates(self):
+        with pytest.raises(ValueError):
+            compose_float(2, 0, 0)
+        with pytest.raises(ValueError):
+            compose_float(0, 1 << 11, 0)
+        with pytest.raises(ValueError):
+            compose_float(0, 0, 1 << 52)
+
+    def test_get_bit(self):
+        assert get_bit(1.0, 62) == 0  # top exponent bit of 1.0 is 0
+        assert get_bit(1.0, 61) == 1
+
+    def test_bit_field_classification(self):
+        assert bit_field_of_index(63) == "sign"
+        assert bit_field_of_index(52) == "exponent"
+        assert bit_field_of_index(62) == "exponent"
+        assert bit_field_of_index(0) == "mantissa"
+        assert bit_field_of_index(51) == "mantissa"
+        with pytest.raises(ValueError):
+            bit_field_of_index(64)
+
+    def test_bit_field_classification_float32(self):
+        assert bit_field_of_index(31, BINARY32) == "sign"
+        assert bit_field_of_index(23, BINARY32) == "exponent"
+        assert bit_field_of_index(22, BINARY32) == "mantissa"

@@ -1,0 +1,60 @@
+"""Format constants: IEEE-754 binary32/binary64 invariants."""
+
+import numpy as np
+import pytest
+
+from repro.fp.constants import BINARY32, BINARY64, format_for_dtype
+
+
+class TestFormats:
+    def test_binary64_precision(self):
+        assert BINARY64.t == 53
+        assert BINARY64.mantissa_bits == 52
+        assert BINARY64.exponent_bits == 11
+        assert BINARY64.total_bits == 64
+
+    def test_binary32_precision(self):
+        assert BINARY32.t == 24
+        assert BINARY32.mantissa_bits == 23
+        assert BINARY32.exponent_bits == 8
+        assert BINARY32.total_bits == 32
+
+    def test_unit_roundoff_matches_numpy(self):
+        # numpy's eps is 2**(1-t); the unit roundoff u is half of it.
+        assert BINARY64.machine_epsilon == np.finfo(np.float64).eps
+        assert BINARY64.unit_roundoff == np.finfo(np.float64).eps / 2
+        assert BINARY32.machine_epsilon == np.finfo(np.float32).eps
+
+    def test_exponent_bias(self):
+        assert BINARY64.exponent_bias == 1023
+        assert BINARY32.exponent_bias == 127
+
+    def test_bit_field_layout_is_partition(self):
+        for fmt in (BINARY32, BINARY64):
+            fields = (
+                {fmt.sign_bit_index}
+                | set(fmt.exponent_bit_range)
+                | set(fmt.mantissa_bit_range)
+            )
+            assert fields == set(range(fmt.total_bits))
+            # Fields must not overlap.
+            assert (
+                1 + len(fmt.exponent_bit_range) + len(fmt.mantissa_bit_range)
+                == fmt.total_bits
+            )
+
+    def test_max_finite(self):
+        assert BINARY64.max_finite == np.finfo(np.float64).max
+
+
+class TestFormatForDtype:
+    def test_lookup_float64(self):
+        assert format_for_dtype(np.float64) is BINARY64
+        assert format_for_dtype(np.dtype("float64")) is BINARY64
+
+    def test_lookup_float32(self):
+        assert format_for_dtype(np.float32) is BINARY32
+
+    def test_unsupported_dtype_raises(self):
+        with pytest.raises(KeyError, match="float16"):
+            format_for_dtype(np.float16)

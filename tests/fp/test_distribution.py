@@ -1,0 +1,115 @@
+"""The reciprocal (base-2 Benford) mantissa law (paper Section IV-A)."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import integrate
+
+from repro.fp.distribution import (
+    mantissa_histogram_distance,
+    reciprocal_cdf,
+    reciprocal_mean,
+    reciprocal_pdf,
+    reciprocal_ppf,
+    reciprocal_variance,
+    sample_mantissas,
+    sample_reciprocal_floats,
+)
+
+
+class TestDensity:
+    def test_pdf_integrates_to_one(self):
+        total, _ = integrate.quad(reciprocal_pdf, 0.5, 1.0)
+        assert math.isclose(total, 1.0, rel_tol=1e-10)
+
+    def test_pdf_zero_outside_support(self):
+        assert reciprocal_pdf(0.25) == 0.0
+        assert reciprocal_pdf(1.5) == 0.0
+
+    def test_pdf_decreasing_on_support(self):
+        xs = np.linspace(0.5, 0.999, 64)
+        ys = reciprocal_pdf(xs)
+        assert np.all(np.diff(ys) < 0)
+
+    def test_cdf_endpoints(self):
+        assert reciprocal_cdf(0.5) == 0.0
+        assert reciprocal_cdf(1.0) == 1.0
+        assert reciprocal_cdf(0.0) == 0.0
+
+    def test_cdf_median(self):
+        # Median of r(x) is 2**(-1/2).
+        assert math.isclose(reciprocal_cdf(2 ** -0.5), 0.5, rel_tol=1e-12)
+
+    def test_ppf_inverts_cdf(self):
+        qs = np.linspace(0.0, 1.0, 33)
+        xs = reciprocal_ppf(qs)
+        assert np.allclose(reciprocal_cdf(xs), qs)
+
+    def test_ppf_rejects_bad_quantiles(self):
+        with pytest.raises(ValueError):
+            reciprocal_ppf(1.5)
+
+
+class TestMoments:
+    def test_mean_matches_integral(self):
+        mean, _ = integrate.quad(lambda x: x * reciprocal_pdf(x), 0.5, 1.0)
+        assert math.isclose(reciprocal_mean(), mean, rel_tol=1e-10)
+
+    def test_variance_matches_integral(self):
+        m = reciprocal_mean()
+        var, _ = integrate.quad(
+            lambda x: (x - m) ** 2 * reciprocal_pdf(x), 0.5, 1.0
+        )
+        assert math.isclose(reciprocal_variance(), var, rel_tol=1e-9)
+
+    def test_sample_moments(self, rng):
+        samples = sample_mantissas(200_000, rng)
+        assert abs(samples.mean() - reciprocal_mean()) < 5e-3
+        assert abs(samples.var() - reciprocal_variance()) < 5e-3
+
+
+class TestSampling:
+    def test_samples_in_support(self, rng):
+        samples = sample_mantissas(10_000, rng)
+        assert np.all((samples >= 0.5) & (samples < 1.0))
+
+    def test_reciprocal_floats_signed(self, rng):
+        values = sample_reciprocal_floats(10_000, rng)
+        assert (values < 0).mean() == pytest.approx(0.5, abs=0.05)
+
+    def test_reciprocal_floats_exponent_range(self, rng):
+        values = sample_reciprocal_floats(5_000, rng, exponent_range=(0, 1), signed=False)
+        # exponent fixed at 0: frexp exponent 0 -> values in [1/4, 1/2)? No:
+        # ldexp(m, 0) with m in [1/2, 1) stays in [1/2, 1).
+        assert np.all((values >= 0.5) & (values < 1.0))
+
+    def test_invalid_exponent_range(self, rng):
+        with pytest.raises(ValueError):
+            sample_reciprocal_floats(10, rng, exponent_range=(3, 3))
+
+
+class TestGoodnessOfFit:
+    def test_reciprocal_samples_fit(self, rng):
+        values = sample_reciprocal_floats(50_000, rng)
+        assert mantissa_histogram_distance(values) < 0.03
+
+    def test_uniform_mantissas_do_not_fit(self, rng):
+        # Uniform values on [0.5, 1) have uniform mantissas, not reciprocal.
+        values = rng.uniform(0.5, 1.0, 50_000)
+        assert mantissa_histogram_distance(values) > 0.05
+
+    def test_products_drift_towards_reciprocal(self, rng):
+        # Hamming's observation: multiplication pushes mantissas towards
+        # the reciprocal law.  Products of uniforms fit better than the
+        # uniforms themselves.
+        u = rng.uniform(0.5, 1.0, 60_000)
+        v = rng.uniform(0.5, 1.0, 60_000)
+        w = rng.uniform(0.5, 1.0, 60_000)
+        d_uniform = mantissa_histogram_distance(u)
+        d_product = mantissa_histogram_distance(u * v * w)
+        assert d_product < d_uniform
+
+    def test_empty_input_raises(self):
+        with pytest.raises(ValueError):
+            mantissa_histogram_distance(np.array([0.0, 0.0]))

@@ -1,0 +1,108 @@
+"""Error-vector generation: field targeting and neighbourhood structure."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fp.bits import bit_field_of_index
+from repro.fp.constants import BINARY32, BINARY64
+from repro.fp.errorvec import (
+    ErrorVector,
+    multi_bit_vector,
+    popcount,
+    random_vector_for_field,
+    single_bit_vector,
+)
+
+
+class TestPopcount:
+    def test_values(self):
+        assert popcount(0) == 0
+        assert popcount(0b1011) == 3
+        assert popcount(1 << 63) == 1
+
+
+class TestSingleBit:
+    @pytest.mark.parametrize("field", ["sign", "exponent", "mantissa"])
+    def test_targets_requested_field(self, field, rng):
+        for _ in range(50):
+            vec = single_bit_vector(field, rng)
+            assert vec.num_flips == 1
+            assert bit_field_of_index(vec.bit_indices[0]) == field
+            assert vec.mask == 1 << vec.bit_indices[0]
+
+    def test_sign_field_is_deterministic(self, rng):
+        vec = single_bit_vector("sign", rng)
+        assert vec.bit_indices == (63,)
+
+    def test_unknown_field_raises(self, rng):
+        with pytest.raises(ValueError, match="unknown field"):
+            single_bit_vector("parity", rng)
+
+    def test_mantissa_positions_cover_field(self, rng):
+        positions = {single_bit_vector("mantissa", rng).bit_indices[0] for _ in range(600)}
+        # With 600 draws over 52 positions we expect near-complete coverage.
+        assert len(positions) > 40
+        assert all(0 <= p < 52 for p in positions)
+
+
+class TestMultiBit:
+    @pytest.mark.parametrize("flips", [2, 3, 5])
+    def test_flip_count_and_field(self, flips, rng):
+        for _ in range(30):
+            vec = multi_bit_vector("mantissa", flips, rng)
+            assert vec.num_flips == flips
+            assert popcount(vec.mask) == flips
+            assert all(bit_field_of_index(i) == "mantissa" for i in vec.bit_indices)
+
+    def test_neighbourhood_structure(self, rng):
+        # Inner flips lie strictly between the two end positions.
+        for _ in range(30):
+            vec = multi_bit_vector("mantissa", 5, rng)
+            lo, hi = vec.bit_indices[0], vec.bit_indices[-1]
+            assert all(lo <= i <= hi for i in vec.bit_indices)
+            assert hi - lo + 1 >= 5
+
+    def test_too_many_flips_raises(self, rng):
+        with pytest.raises(ValueError, match="cannot place"):
+            multi_bit_vector("sign", 2, rng)
+
+    def test_single_flip_delegates(self, rng):
+        vec = multi_bit_vector("exponent", 1, rng)
+        assert vec.num_flips == 1
+
+    def test_zero_flips_raises(self, rng):
+        with pytest.raises(ValueError, match=">= 1"):
+            multi_bit_vector("mantissa", 0, rng)
+
+    def test_float32_field_bounds(self, rng):
+        for _ in range(20):
+            vec = multi_bit_vector("mantissa", 3, rng, BINARY32)
+            assert all(0 <= i < 23 for i in vec.bit_indices)
+
+
+class TestApply:
+    def test_apply_flips_value(self, rng):
+        vec = ErrorVector(mask=1 << 63, field="sign", bit_indices=(63,))
+        assert float(vec.apply(2.5)) == -2.5
+
+    def test_apply_is_involution(self, rng):
+        vec = random_vector_for_field("mantissa", 3, rng)
+        x = 1.2345
+        assert float(vec.apply(vec.apply(x))) == x
+
+    @settings(max_examples=50)
+    @given(st.floats(allow_nan=False, allow_infinity=False), st.integers(1, 5))
+    def test_apply_changes_value_unless_mask_empty(self, x, flips):
+        rng = np.random.default_rng(99)
+        vec = random_vector_for_field("mantissa", flips, rng, BINARY64)
+        from repro.fp.bits import float_to_bits
+
+        assert int(float_to_bits(vec.apply(x))) != int(float_to_bits(x))
+
+
+class TestDispatch:
+    def test_random_vector_dispatch(self, rng):
+        assert random_vector_for_field("sign", 1, rng).num_flips == 1
+        assert random_vector_for_field("mantissa", 3, rng).num_flips == 3

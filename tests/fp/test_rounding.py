@@ -1,0 +1,81 @@
+"""Exponent/ulp helpers underlying the probabilistic error model."""
+
+import math
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fp.rounding import (
+    decompose,
+    mantissa_in_half_one,
+    result_exponent,
+    two_power_exponent,
+    ulp,
+)
+
+nonzero_doubles = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=1e-300, max_value=1e300
+)
+
+
+class TestResultExponent:
+    @given(nonzero_doubles)
+    def test_normalisation_invariant(self, x):
+        # value = mantissa * 2**E with mantissa in [1/2, 1).
+        e = result_exponent(x)
+        mant = x / math.ldexp(1.0, e)
+        assert 0.5 <= mant < 1.0
+
+    def test_specific_values(self):
+        assert result_exponent(1.0) == 1  # 1.0 = 0.5 * 2**1
+        assert result_exponent(0.75) == 0
+        assert result_exponent(3.0) == 2
+        assert result_exponent(-8.0) == 4
+
+    def test_zero_maps_to_floor(self):
+        assert result_exponent(0.0) == -1075
+        assert two_power_exponent(0.0) == 0.0
+
+    def test_nonfinite_maps_above_range(self):
+        assert result_exponent(float("inf")) == 1025
+
+    def test_array_agrees_with_scalar(self, rng):
+        arr = rng.standard_normal(200) * 10.0**rng.integers(-5, 5, 200)
+        vec = result_exponent(arr)
+        for x, e in zip(arr, vec):
+            assert result_exponent(float(x)) == e
+
+    @given(nonzero_doubles)
+    def test_two_power_consistency(self, x):
+        assert two_power_exponent(x) == math.ldexp(1.0, result_exponent(x))
+
+
+class TestUlp:
+    def test_matches_math_ulp(self):
+        for x in (1.0, 1.5, 1e10, 1e-10, 0.0):
+            assert ulp(x) == math.ulp(x)
+
+    def test_ulp_symmetric_in_sign(self):
+        assert ulp(-3.7) == ulp(3.7)
+
+    def test_array(self, rng):
+        arr = rng.standard_normal(10)
+        out = ulp(arr)
+        assert out.shape == arr.shape
+        assert np.all(out > 0)
+
+
+class TestDecompose:
+    @given(nonzero_doubles)
+    def test_reconstruction(self, x):
+        mant, e = decompose(x)
+        assert math.ldexp(mant, e) == x
+        assert 0.5 <= abs(mant) < 1.0
+
+    def test_zero(self):
+        assert decompose(0.0) == (0.0, 0)
+        assert mantissa_in_half_one(0.0) == 0.0
+
+    def test_mantissa_sign_preserved(self):
+        assert mantissa_in_half_one(-1.0) == -0.5

@@ -1,0 +1,108 @@
+"""Stuck-at fault model."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fp.bits import float_to_bits, get_bit
+from repro.fp.stuckat import StuckAtVector, stuck_at_vector
+
+finite = st.floats(allow_nan=False, allow_infinity=False)
+
+
+class TestStuckAtVector:
+    @given(finite, st.integers(0, 63), st.integers(0, 1))
+    def test_bit_forced_to_level(self, x, bit, level):
+        vec = StuckAtVector(mask=1 << bit, level=level, field="x", bit_indices=(bit,))
+        out = float(vec.apply(x))
+        assert get_bit(out, bit) == level
+
+    @given(finite, st.integers(0, 63), st.integers(0, 1))
+    def test_idempotent(self, x, bit, level):
+        """Applying a permanent fault twice equals applying it once."""
+        vec = StuckAtVector(mask=1 << bit, level=level, field="x", bit_indices=(bit,))
+        once = vec.apply(x)
+        twice = vec.apply(once)
+        assert float_to_bits(once) == float_to_bits(twice)
+
+    @given(finite, st.integers(0, 63))
+    def test_stuck_matches_existing_bit_is_noop(self, x, bit):
+        level = int(get_bit(x, bit))
+        vec = StuckAtVector(mask=1 << bit, level=level, field="x", bit_indices=(bit,))
+        assert float_to_bits(vec.apply(x)) == float_to_bits(x)
+        assert not vec.corrupts(x)
+
+    def test_corrupts_detects_change(self):
+        vec = StuckAtVector(mask=1 << 63, level=1, field="sign", bit_indices=(63,))
+        assert vec.corrupts(1.0)  # positive -> forced negative
+        assert not vec.corrupts(-1.0)
+
+    def test_level_validation(self):
+        with pytest.raises(ValueError):
+            StuckAtVector(mask=1, level=2, field="mantissa", bit_indices=(0,))
+
+    def test_array_apply(self, rng):
+        vec = StuckAtVector(mask=1 << 63, level=1, field="sign", bit_indices=(63,))
+        arr = rng.uniform(-1, 1, 20)
+        out = vec.apply(arr)
+        assert np.all(out <= 0)
+        assert np.allclose(np.abs(out), np.abs(arr))
+
+
+class TestSampling:
+    def test_positions_within_field(self, rng):
+        for _ in range(50):
+            vec = stuck_at_vector("mantissa", 1, rng)
+            assert all(0 <= i < 52 for i in vec.bit_indices)
+            assert vec.level == 1
+
+    def test_multi_bit(self, rng):
+        vec = stuck_at_vector("mantissa", 0, rng, num_bits=4)
+        assert vec.num_flips == 4
+        assert len(set(vec.bit_indices)) == 4
+
+    def test_too_many_bits(self, rng):
+        with pytest.raises(ValueError):
+            stuck_at_vector("sign", 1, rng, num_bits=2)
+
+
+class TestCampaignIntegration:
+    def test_stuck_at_campaign_runs(self):
+        """Stuck-at campaigns work through the whole stack; ~half of the
+        strikes are no-ops (bit already at the stuck level), so the
+        critical count is lower than for flips."""
+        from repro.faults.campaign import CampaignConfig, FaultCampaign
+        from repro.workloads import SUITE_UNIT
+
+        flip = FaultCampaign(
+            CampaignConfig(
+                n=128, suite=SUITE_UNIT, num_injections=120, block_size=64, seed=3
+            )
+        ).run()
+        stuck = FaultCampaign(
+            CampaignConfig(
+                n=128,
+                suite=SUITE_UNIT,
+                num_injections=120,
+                block_size=64,
+                fault_model="stuck1",
+                seed=3,
+            )
+        ).run()
+        assert stuck.num_critical() < flip.num_critical()
+        assert stuck.num_critical() > 0
+        # Detection quality for the errors that do manifest is comparable.
+        assert stuck.detection_rate("aabft") > 0.6
+
+    def test_invalid_model_rejected(self):
+        from repro.faults.sampling import FaultSampler
+
+        with pytest.raises(ValueError, match="fault_model"):
+            FaultSampler(
+                num_sms=4,
+                inner_dim=8,
+                block_rows=4,
+                block_cols=4,
+                fault_model="bridge",
+            )

@@ -1,0 +1,44 @@
+"""Device specifications."""
+
+import pytest
+
+from repro.gpusim.device import GTX680, K20C, DeviceSpec, device_by_name
+
+
+class TestK20C:
+    def test_published_characteristics(self):
+        """The paper's platform: GK110, 13 SMs, 2496 cores, ~1.17 TFLOPS DP."""
+        assert K20C.num_sms == 13
+        assert K20C.total_cores == 2496
+        assert K20C.peak_dp_gflops == pytest.approx(1170.0)
+        assert K20C.global_mem_bytes == 5 * 1024**3
+
+    def test_peak_selection(self):
+        assert K20C.peak_gflops("double") == K20C.peak_dp_gflops
+        assert K20C.peak_gflops("single") == K20C.peak_sp_gflops
+        with pytest.raises(ValueError):
+            K20C.peak_gflops("half")
+
+
+class TestDeviceSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeviceSpec(
+                name="bad",
+                num_sms=0,
+                cores_per_sm=1,
+                clock_ghz=1.0,
+                peak_dp_gflops=1.0,
+                peak_sp_gflops=1.0,
+                mem_bandwidth_gbs=1.0,
+                global_mem_bytes=1,
+            )
+
+    def test_lookup(self):
+        assert device_by_name("Tesla K20c") is K20C
+        assert device_by_name("GeForce GTX 680") is GTX680
+        with pytest.raises(KeyError):
+            device_by_name("H100")
+
+    def test_consumer_part_has_weak_dp(self):
+        assert GTX680.peak_dp_gflops < K20C.peak_dp_gflops / 5

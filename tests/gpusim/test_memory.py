@@ -1,0 +1,104 @@
+"""Global/shared memory: allocation accounting and error behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeviceError
+from repro.gpusim.device import K20C, DeviceSpec
+from repro.gpusim.memory import GlobalMemory, SharedMemory
+
+TINY_DEVICE = DeviceSpec(
+    name="tiny",
+    num_sms=1,
+    cores_per_sm=1,
+    clock_ghz=1.0,
+    peak_dp_gflops=1.0,
+    peak_sp_gflops=1.0,
+    mem_bandwidth_gbs=1.0,
+    global_mem_bytes=1024,
+    shared_mem_per_block=128,
+)
+
+
+class TestGlobalMemory:
+    def test_alloc_zeroed(self):
+        mem = GlobalMemory(K20C)
+        buf = mem.alloc((4, 4))
+        assert buf.shape == (4, 4)
+        assert np.all(buf.array() == 0)
+        assert mem.allocated_bytes == 128
+
+    def test_upload_download_roundtrip(self, rng):
+        mem = GlobalMemory(K20C)
+        host = rng.uniform(size=(8, 8))
+        buf = mem.upload(host)
+        out = mem.download(buf)
+        assert np.array_equal(out, host)
+        out[0, 0] = 99.0  # download must be a copy
+        assert buf.array()[0, 0] == host[0, 0]
+
+    def test_out_of_memory(self):
+        mem = GlobalMemory(TINY_DEVICE)
+        with pytest.raises(DeviceError, match="out of device memory"):
+            mem.alloc((1024,))  # 8 KiB > 1 KiB capacity
+
+    def test_free_releases_capacity(self):
+        mem = GlobalMemory(TINY_DEVICE)
+        buf = mem.alloc((64,))  # 512 bytes
+        assert mem.free_bytes == 512
+        mem.free(buf)
+        assert mem.free_bytes == 1024
+
+    def test_double_free_rejected(self):
+        mem = GlobalMemory(TINY_DEVICE)
+        buf = mem.alloc((4,))
+        mem.free(buf)
+        with pytest.raises(DeviceError, match="double free"):
+            mem.free(buf)
+
+    def test_use_after_free_rejected(self):
+        mem = GlobalMemory(TINY_DEVICE)
+        buf = mem.alloc((4,))
+        mem.free(buf)
+        with pytest.raises(DeviceError, match="use-after-free"):
+            buf.array()
+
+    def test_duplicate_name_rejected(self):
+        mem = GlobalMemory(K20C)
+        mem.alloc((4,), name="x")
+        with pytest.raises(DeviceError, match="already allocated"):
+            mem.alloc((4,), name="x")
+
+    def test_free_all(self):
+        mem = GlobalMemory(K20C)
+        mem.alloc((16,))
+        mem.alloc((16,))
+        mem.free_all()
+        assert mem.allocated_bytes == 0
+
+
+class TestSharedMemory:
+    def test_declare_and_reuse(self):
+        shared = SharedMemory(capacity_bytes=1024)
+        a = shared.declare("smA", (4, 4))
+        b = shared.declare("smA", (4, 4))
+        assert a is b
+        assert shared.used_bytes == 128
+
+    def test_capacity_enforced(self):
+        shared = SharedMemory(capacity_bytes=100)
+        with pytest.raises(DeviceError, match="shared memory exceeded"):
+            shared.declare("big", (8, 8))
+
+    def test_shape_conflict_rejected(self):
+        shared = SharedMemory(capacity_bytes=1024)
+        shared.declare("smA", (4, 4))
+        with pytest.raises(DeviceError, match="different shape"):
+            shared.declare("smA", (2, 2))
+
+    def test_kernel_exceeding_device_shared_memory_fails(self):
+        """A block that would not fit on the real K20c must fail here too."""
+        shared = SharedMemory(capacity_bytes=K20C.shared_mem_per_block)
+        shared.declare("a", (64, 64))  # 32 KiB
+        with pytest.raises(DeviceError):
+            shared.declare("b", (64, 64))  # another 32 KiB > 48 KiB total

@@ -1,0 +1,66 @@
+"""Block-to-SM scheduling: determinism and coverage."""
+
+import pytest
+
+from repro.gpusim.device import K20C
+from repro.gpusim.kernel import Dim3, LaunchConfig
+from repro.gpusim.scheduler import BlockScheduler
+
+
+@pytest.fixture
+def scheduler():
+    return BlockScheduler(K20C)
+
+
+class TestLinearise:
+    def test_row_major_x_fastest(self, scheduler):
+        grid = Dim3(x=3, y=2)
+        coords = scheduler.linearise(grid)
+        assert [(c.x, c.y) for c in coords] == [
+            (0, 0),
+            (1, 0),
+            (2, 0),
+            (0, 1),
+            (1, 1),
+            (2, 1),
+        ]
+
+    def test_3d_grid(self, scheduler):
+        coords = scheduler.linearise(Dim3(x=2, y=2, z=2))
+        assert len(coords) == 8
+        assert coords[4].z == 1
+
+
+class TestAssignment:
+    def test_round_robin(self, scheduler):
+        config = LaunchConfig(grid=Dim3(x=26), block=Dim3(x=32))
+        assignments = scheduler.assign(config)
+        assert [a.sm_id for a in assignments[:14]] == list(range(13)) + [0]
+
+    def test_deterministic(self, scheduler):
+        config = LaunchConfig(grid=Dim3(x=7, y=5), block=Dim3(x=8))
+        a1 = scheduler.assign(config)
+        a2 = scheduler.assign(config)
+        assert a1 == a2
+
+    def test_sm_of_block_matches_assignment(self, scheduler):
+        config = LaunchConfig(grid=Dim3(x=40), block=Dim3(x=1))
+        for a in scheduler.assign(config):
+            assert scheduler.sm_of_block(a.linear_index) == a.sm_id
+
+    def test_blocks_on_sm(self, scheduler):
+        config = LaunchConfig(grid=Dim3(x=27), block=Dim3(x=1))
+        on_zero = scheduler.blocks_on_sm(config, 0)
+        assert [a.linear_index for a in on_zero] == [0, 13, 26]
+
+    def test_all_sms_used_for_large_grids(self, scheduler):
+        config = LaunchConfig(grid=Dim3(x=100), block=Dim3(x=1))
+        sms = {a.sm_id for a in scheduler.assign(config)}
+        assert sms == set(range(13))
+
+    def test_invalid_sm_id(self, scheduler):
+        config = LaunchConfig(grid=Dim3(x=4), block=Dim3(x=1))
+        with pytest.raises(ValueError):
+            scheduler.blocks_on_sm(config, 13)
+        with pytest.raises(ValueError):
+            scheduler.sm_of_block(-1)

@@ -1,0 +1,147 @@
+"""The GpuSimulator facade: launching, profiling, streams, timing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelLaunchError
+from repro.gpusim.kernel import BlockContext, Dim3, Kernel, KernelStats, LaunchConfig
+from repro.gpusim.simulator import GpuSimulator
+from repro.gpusim.timing import TimingModel
+
+
+class AddOneKernel(Kernel):
+    """Adds 1.0 to one row per block — a minimal deterministic kernel."""
+
+    name = "add_one"
+    compute_efficiency = 0.5
+
+    def __init__(self, buf):
+        self.buf = buf
+        self.visited_sms: list[int] = []
+
+    def launch_config(self):
+        return LaunchConfig(grid=Dim3(x=self.buf.shape[0]), block=Dim3(x=32))
+
+    def run_block(self, ctx: BlockContext):
+        data = self.buf.array()
+        data[ctx.block_idx.x, :] += 1.0
+        self.visited_sms.append(ctx.sm_id)
+        ctx.stats.flops += data.shape[1]
+        ctx.stats.global_bytes_read += data.shape[1] * 8
+        ctx.stats.global_bytes_written += data.shape[1] * 8
+
+
+class TestLaunch:
+    def test_kernel_executes_every_block(self, simulator, rng):
+        host = rng.uniform(size=(10, 6))
+        buf = simulator.upload(host)
+        kernel = AddOneKernel(buf)
+        simulator.launch(kernel)
+        assert np.allclose(simulator.download(buf), host + 1.0)
+        assert len(kernel.visited_sms) == 10
+
+    def test_blocks_visit_round_robin_sms(self, simulator, rng):
+        buf = simulator.upload(rng.uniform(size=(26, 2)))
+        kernel = AddOneKernel(buf)
+        simulator.launch(kernel)
+        assert kernel.visited_sms == [i % 13 for i in range(26)]
+
+    def test_stats_merged(self, simulator, rng):
+        buf = simulator.upload(rng.uniform(size=(4, 8)))
+        record = simulator.launch(AddOneKernel(buf))
+        assert record.stats.flops == 4 * 8
+        assert record.stats.global_bytes == 4 * 8 * 8 * 2
+        assert record.num_blocks == 4
+
+    def test_launch_config_validation(self, simulator, rng):
+        buf = simulator.upload(rng.uniform(size=(2, 2)))
+        kernel = AddOneKernel(buf)
+        bad = LaunchConfig(grid=Dim3(x=1), block=Dim3(x=2048))
+        with pytest.raises(KernelLaunchError, match="exceeds device limit"):
+            simulator.launch(kernel, config=bad)
+
+    def test_kernel_without_default_config(self, simulator):
+        class Bare(Kernel):
+            name = "bare"
+
+            def run_block(self, ctx):
+                pass
+
+        with pytest.raises(KernelLaunchError, match="default launch config"):
+            simulator.launch(Bare())
+
+
+class TestProfiling:
+    def test_profiler_records_launches(self, simulator, rng):
+        buf = simulator.upload(rng.uniform(size=(4, 4)))
+        simulator.launch(AddOneKernel(buf))
+        simulator.launch(AddOneKernel(buf))
+        assert len(simulator.profiler.records) == 2
+        assert simulator.profiler.total_seconds > 0
+        assert "add_one" in simulator.profiler.summary()
+
+    def test_seconds_by_kernel(self, simulator, rng):
+        buf = simulator.upload(rng.uniform(size=(4, 4)))
+        simulator.launch(AddOneKernel(buf))
+        by_kernel = simulator.profiler.seconds_by_kernel()
+        assert set(by_kernel) == {"add_one"}
+
+    def test_reset_clears_state(self, simulator, rng):
+        buf = simulator.upload(rng.uniform(size=(4, 4)))
+        simulator.launch(AddOneKernel(buf))
+        simulator.reset()
+        assert simulator.profiler.records == []
+        assert simulator.memory.allocated_bytes == 0
+
+
+class TestStreams:
+    def test_streams_accumulate_separately(self, simulator, rng):
+        buf = simulator.upload(rng.uniform(size=(4, 4)))
+        simulator.launch(AddOneKernel(buf), stream="a")
+        simulator.launch(AddOneKernel(buf), stream="a")
+        simulator.launch(AddOneKernel(buf), stream="b")
+        assert len(simulator.stream("a").records) == 2
+        assert len(simulator.stream("b").records) == 1
+
+    def test_concurrent_wall_time_is_max(self, simulator, rng):
+        buf = simulator.upload(rng.uniform(size=(4, 4)))
+        simulator.launch(AddOneKernel(buf), stream="a")
+        simulator.launch(AddOneKernel(buf), stream="a")
+        simulator.launch(AddOneKernel(buf), stream="b")
+        wall = simulator.concurrent_wall_seconds("a", "b")
+        assert wall == pytest.approx(simulator.stream("a").seconds)
+        assert wall < simulator.profiler.total_seconds
+
+
+class TestTimingModel:
+    def test_compute_bound_kernel(self):
+        model = TimingModel(device=GpuSimulator().device, launch_overhead_s=0.0)
+        stats = KernelStats(flops=10**9, global_bytes_read=8)
+        t = model.estimate("k", stats, num_blocks=1000, compute_efficiency=1.0)
+        assert t.limiter == "compute"
+        assert t.seconds == pytest.approx(10**9 / (1170e9), rel=1e-6)
+
+    def test_memory_bound_kernel(self):
+        model = TimingModel(device=GpuSimulator().device, launch_overhead_s=0.0)
+        stats = KernelStats(flops=10, global_bytes_read=10**9)
+        t = model.estimate("k", stats, num_blocks=1000)
+        assert t.limiter == "memory"
+        assert t.seconds == pytest.approx(10**9 / 208e9, rel=1e-6)
+
+    def test_occupancy_penalises_small_launches(self):
+        model = TimingModel(device=GpuSimulator().device, launch_overhead_s=0.0)
+        stats = KernelStats(flops=10**9)
+        small = model.estimate("k", stats, num_blocks=4)
+        large = model.estimate("k", stats, num_blocks=10_000)
+        assert small.seconds > large.seconds
+
+    def test_empty_kernel_is_launch_bound(self):
+        model = TimingModel(device=GpuSimulator().device)
+        t = model.estimate("k", KernelStats(), num_blocks=1)
+        assert t.limiter == "launch"
+        assert t.gflops == 0.0
+
+    def test_efficiency_validation(self):
+        model = TimingModel(device=GpuSimulator().device)
+        with pytest.raises(ValueError):
+            model.estimate("k", KernelStats(flops=1), 1, compute_efficiency=0.0)

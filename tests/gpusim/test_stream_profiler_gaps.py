@@ -1,0 +1,68 @@
+"""Edge cases of streams, profiler accounting and kernel stats."""
+
+import pytest
+
+from repro.gpusim.kernel import Dim3, KernelStats
+from repro.gpusim.profiler import Profiler
+from repro.gpusim.stream import Stream, concurrent_seconds
+
+
+class TestStreamEdges:
+    def test_no_streams_zero_wall(self):
+        assert concurrent_seconds() == 0.0
+
+    def test_empty_stream(self):
+        s = Stream("empty")
+        assert s.seconds == 0.0
+        assert concurrent_seconds(s) == 0.0
+
+
+class TestKernelStats:
+    def test_merge_accumulates(self):
+        a = KernelStats(flops=10, global_bytes_read=100, global_bytes_written=50)
+        b = KernelStats(
+            flops=5, global_bytes_read=1, global_bytes_written=2, shared_bytes_peak=99
+        )
+        a.merge(b)
+        assert a.flops == 15
+        assert a.global_bytes == 153
+        assert a.shared_bytes_peak == 99
+
+    def test_shared_peak_is_max_not_sum(self):
+        a = KernelStats(shared_bytes_peak=10)
+        a.merge(KernelStats(shared_bytes_peak=7))
+        assert a.shared_bytes_peak == 10
+
+
+class TestDim3:
+    def test_count(self):
+        assert Dim3(3, 4, 2).count == 24
+        assert Dim3(5).count == 5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Dim3(-1)
+
+
+class TestProfilerQueries:
+    def test_launches_of_filters_by_name(self, simulator, rng):
+        from tests.gpusim.test_simulator import AddOneKernel
+
+        buf = simulator.upload(rng.uniform(size=(4, 4)))
+        simulator.launch(AddOneKernel(buf))
+        simulator.launch(AddOneKernel(buf))
+        assert len(simulator.profiler.launches_of("add_one")) == 2
+        assert simulator.profiler.launches_of("missing") == []
+
+    def test_total_flops(self, simulator, rng):
+        from tests.gpusim.test_simulator import AddOneKernel
+
+        buf = simulator.upload(rng.uniform(size=(4, 8)))
+        simulator.launch(AddOneKernel(buf))
+        assert simulator.profiler.total_flops == 32
+
+    def test_empty_profiler_summary(self):
+        p = Profiler()
+        text = p.summary()
+        assert "kernel" in text
+        assert p.total_seconds == 0.0

@@ -1,0 +1,90 @@
+"""Execution traces and Chrome trace export."""
+
+import json
+
+import pytest
+
+from repro.abft.pipeline import AABFTPipeline
+from repro.gpusim.simulator import GpuSimulator
+from repro.gpusim.trace import ExecutionTrace, trace_from_streams
+
+
+@pytest.fixture
+def traced_pipeline_run(rng):
+    a = rng.uniform(-1, 1, (96, 96))
+    b = rng.uniform(-1, 1, (96, 96))
+    sim = GpuSimulator()
+    AABFTPipeline(sim, block_size=32).run(a, b)
+    return sim
+
+
+class TestTraceConstruction:
+    def test_pipeline_trace_streams(self, traced_pipeline_run):
+        sim = traced_pipeline_run
+        trace = trace_from_streams(sim.stream("compute"), sim.stream("reduce"))
+        assert set(trace.stream_names()) == {"compute", "reduce"}
+        # All five kernel kinds appear somewhere.
+        names = {e.name for e in trace.events}
+        assert "matmul_block" in names
+        assert "top_p_reduce" in names
+
+    def test_events_back_to_back_within_stream(self, traced_pipeline_run):
+        sim = traced_pipeline_run
+        trace = trace_from_streams(sim.stream("compute"))
+        events = trace.events_on("compute")
+        for prev, cur in zip(events, events[1:]):
+            assert cur.start_us == pytest.approx(prev.end_us)
+
+    def test_wall_time_matches_longest_stream(self, traced_pipeline_run):
+        sim = traced_pipeline_run
+        trace = trace_from_streams(sim.stream("compute"), sim.stream("reduce"))
+        assert trace.wall_us == pytest.approx(
+            sim.concurrent_wall_seconds("compute", "reduce") * 1e6
+        )
+
+    def test_overlap_visible(self, traced_pipeline_run):
+        """The reduction stream's work fits inside the compute stream's
+        window — the Section V-A overlap."""
+        sim = traced_pipeline_run
+        trace = trace_from_streams(sim.stream("compute"), sim.stream("reduce"))
+        reduce_busy = sum(e.duration_us for e in trace.events_on("reduce"))
+        compute_busy = sum(e.duration_us for e in trace.events_on("compute"))
+        assert reduce_busy < compute_busy
+
+    def test_empty_trace(self):
+        trace = ExecutionTrace()
+        assert trace.wall_us == 0.0
+        assert trace.stream_names() == []
+
+
+class TestChromeExport:
+    def test_valid_json_with_all_events(self, traced_pipeline_run):
+        sim = traced_pipeline_run
+        trace = trace_from_streams(sim.stream("compute"), sim.stream("reduce"))
+        payload = json.loads(trace.to_chrome_trace())
+        duration_events = [
+            e for e in payload["traceEvents"] if e.get("ph") == "X"
+        ]
+        assert len(duration_events) == len(trace.events)
+        metadata = [e for e in payload["traceEvents"] if e.get("ph") == "M"]
+        assert {m["args"]["name"] for m in metadata} == {
+            "stream:compute",
+            "stream:reduce",
+        }
+
+    def test_event_args_carry_profile_data(self, traced_pipeline_run):
+        sim = traced_pipeline_run
+        trace = trace_from_streams(sim.stream("compute"))
+        payload = json.loads(trace.to_chrome_trace())
+        matmul = next(
+            e for e in payload["traceEvents"] if e.get("name") == "matmul_block"
+        )
+        assert matmul["args"]["flops"] > 0
+        assert matmul["args"]["limiter"] in ("compute", "memory", "launch")
+
+    def test_summary_text(self, traced_pipeline_run):
+        sim = traced_pipeline_run
+        trace = trace_from_streams(sim.stream("compute"), sim.stream("reduce"))
+        text = trace.summary()
+        assert "stream compute" in text
+        assert "wall time" in text

@@ -1,0 +1,134 @@
+"""End-to-end workflows across the whole stack."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AABFTPipeline,
+    CampaignConfig,
+    FaultCampaign,
+    FaultInjector,
+    FaultSite,
+    FaultSpec,
+    GpuSimulator,
+    aabft_matmul,
+    correct_single_error,
+)
+from repro.fp.errorvec import single_bit_vector
+from repro.workloads import SUITE_DYNAMIC_K65536, SUITE_UNIT
+
+
+class TestProtectDetectCorrect:
+    """The full user story: multiply, get hit, detect, locate, correct."""
+
+    def test_full_cycle_on_simulator(self, rng):
+        a = rng.uniform(-1, 1, (128, 128))
+        b = rng.uniform(-1, 1, (128, 128))
+        sim = GpuSimulator()
+        pipeline = AABFTPipeline(sim, block_size=64, p=2)
+
+        spec = FaultSpec(
+            sm_id=2,
+            site=FaultSite.INNER_MUL,
+            module_row=10,
+            module_col=20,
+            error_vector=single_bit_vector("exponent", rng),
+            k_injection=64,
+        )
+        result = pipeline.run(a, b, injector=FaultInjector(spec, rng))
+        assert result.detected
+        assert len(result.report.located_errors) == 1
+
+        fix = correct_single_error(
+            result.c_fc,
+            result.report,
+            result.row_layout,
+            result.col_layout,
+            result.provider,
+        )
+        corrected_data = fix.corrected[
+            np.ix_(
+                result.row_layout.all_data_indices(),
+                result.col_layout.all_data_indices(),
+            )
+        ]
+        assert np.allclose(corrected_data, a @ b, rtol=1e-10)
+
+    def test_repeated_protected_multiplications_reuse_simulator(self, rng):
+        sim = GpuSimulator()
+        pipeline = AABFTPipeline(sim, block_size=32)
+        for _ in range(3):
+            a = rng.uniform(-1, 1, (64, 64))
+            b = rng.uniform(-1, 1, (64, 64))
+            result = pipeline.run(a, b)
+            assert not result.detected
+            assert np.allclose(result.c, a @ b)
+
+
+class TestSchemeComparisons:
+    """The paper's comparative claims hold end to end."""
+
+    def test_detection_hierarchy_on_unit_inputs(self):
+        config = CampaignConfig(
+            n=256, suite=SUITE_UNIT, num_injections=150, block_size=64, seed=42
+        )
+        result = FaultCampaign(config).run()
+        assert result.false_positive_free == {"aabft": True, "sea": True}
+        assert result.detection_rate("aabft") >= result.detection_rate("sea")
+        assert result.detection_rate("aabft") > 0.8
+
+    def test_detection_on_high_dynamic_inputs(self):
+        """Figure 4's third panel uses kappa = 65536 inputs."""
+        config = CampaignConfig(
+            n=128,
+            suite=SUITE_DYNAMIC_K65536,
+            num_injections=120,
+            block_size=64,
+            seed=43,
+        )
+        result = FaultCampaign(config).run()
+        assert result.false_positive_free["aabft"]
+        assert result.detection_rate("aabft") >= result.detection_rate("sea")
+
+    def test_size_independence_of_aabft_detection(self):
+        """Paper: A-ABFT's detection 'does not depend on the size of the
+        input matrices'; allow a few points of noise."""
+        rates = []
+        for n in (128, 256, 384):
+            config = CampaignConfig(
+                n=n, suite=SUITE_UNIT, num_injections=120, block_size=64, seed=44
+            )
+            rates.append(FaultCampaign(config).run().detection_rate("aabft"))
+        assert max(rates) - min(rates) < 0.15
+
+    def test_multibit_flips_same_trend(self):
+        """3-bit neighbourhood flips: same qualitative behaviour as 1-bit
+        (paper: 'the trend in the results was consistent')."""
+        config = CampaignConfig(
+            n=128,
+            suite=SUITE_UNIT,
+            num_injections=90,
+            block_size=64,
+            num_flips=3,
+            seed=45,
+        )
+        result = FaultCampaign(config).run()
+        assert result.detection_rate("aabft") >= result.detection_rate("sea")
+
+
+class TestIterativeSolverScenario:
+    """ABFT-protected matmul inside a small iterative computation — the
+    scientific-computing use case the paper motivates."""
+
+    def test_protected_power_iteration(self, rng):
+        n = 64
+        m = rng.uniform(0.0, 1.0, (n, n))
+        m = (m + m.T) / 2  # symmetric, dominant eigenvalue real
+        v = np.ones((n, 1))
+        for _ in range(20):
+            result = aabft_matmul(m, v, block_size=32)
+            assert not result.detected
+            v = result.c
+            v /= np.linalg.norm(v)
+        rayleigh = float((v.T @ (m @ v))[0, 0])
+        assert rayleigh == pytest.approx(np.linalg.eigvalsh(m)[-1], rel=1e-6)

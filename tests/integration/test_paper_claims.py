@@ -1,0 +1,159 @@
+"""Executable checklist of the paper's headline claims.
+
+One test per claim, each phrased as the paper states it and checked with
+this library's measurements (quick-scale sizes; the full-size confirmations
+live in EXPERIMENTS.md).  This module is the reproduction's summary: if it
+passes, the paper's story holds in this implementation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.bound_quality import measure_bound_quality
+from repro.experiments.coverage import measure_coverage
+from repro.experiments.table1 import run_table1
+from repro.faults.campaign import CampaignConfig, FaultCampaign
+from repro.workloads import SUITE_DYNAMIC_K65536, SUITE_UNIT
+
+
+class TestAbstractClaims:
+    """'...determines rounding error bounds autonomously at runtime with
+    low performance overhead and high error coverage.'"""
+
+    def test_autonomous_no_calibration_no_user_input(self, rng):
+        """The scheme consumes nothing but the operands."""
+        from repro import aabft_matmul
+
+        a = rng.uniform(-1, 1, (128, 128))
+        b = rng.uniform(-1, 1, (128, 128))
+        result = aabft_matmul(a, b)  # no tolerances, no calibration data
+        assert not result.detected
+
+    def test_low_performance_overhead(self):
+        """Conclusion: 'peak double-precision floating-point performance
+        values of over 900 GFLOPS' (modelled here)."""
+        rows = run_table1((8192,))
+        assert rows[0].aabft > 900.0
+
+    def test_overhead_as_low_as_claimed(self):
+        """Section VI-A: 'the overhead of A-ABFT can be as low as 13.8%'."""
+        rows = run_table1((8192,))
+        assert rows[0].aabft_overhead < 0.15
+
+
+class TestBoundQualityClaims:
+    """Section VI-B / conclusion."""
+
+    @pytest.fixture(scope="class")
+    def measurement(self):
+        rng = np.random.default_rng(2014)
+        return measure_bound_quality(SUITE_UNIT, 512, rng, num_samples=64)
+
+    def test_two_orders_of_magnitude_closer(self, measurement):
+        """'The determined rounding error bounds are up to two orders of
+        magnitude closer to the actual rounding error, compared to other
+        state of the art approaches.'"""
+        ratio = measurement.sea_tightness / measurement.aabft_tightness
+        assert ratio > 30.0  # ~1.5-2 decades
+
+    def test_bounds_are_valid_upper_bounds(self, measurement):
+        assert measurement.avg_rounding_error < measurement.avg_aabft_bound
+
+    def test_conservative_three_sigma_still_covers(self):
+        """Section VI-B reports the 'worst case' 3-sigma setting; coverage
+        of the actual errors must be total."""
+        rng = np.random.default_rng(7)
+        row = measure_coverage(SUITE_UNIT, 256, rng, num_samples=64)
+        assert row.covered_at(3.0) == 1.0
+
+
+class TestDetectionClaims:
+    """Section VI-C / conclusion."""
+
+    @pytest.fixture(scope="class")
+    def campaign_result(self):
+        config = CampaignConfig(
+            n=512,
+            suite=SUITE_UNIT,
+            num_injections=300,
+            block_size=64,
+            seed=2014,
+        )
+        return FaultCampaign(config).run()
+
+    def test_error_detection_rates_well_over_ninety_percent(self, campaign_result):
+        """'...leads to error detection rates of well over 90%.'  (Figure 4
+        shows per-operation rates mostly at or above 90; we assert the
+        aggregate near that level.)"""
+        assert campaign_result.detection_rate("aabft") > 0.85
+
+    def test_aabft_beats_sea_everywhere(self, campaign_result):
+        from repro.faults.sampling import ALL_SITES
+
+        for site in ALL_SITES:
+            assert campaign_result.detection_rate(
+                "aabft", site
+            ) >= campaign_result.detection_rate("sea", site)
+
+    def test_sign_and_exponent_fully_detected(self):
+        """'A-ABFT, as well as SEA-ABFT detected all faults that have been
+        injected into the sign bit or the exponent.'"""
+        config = CampaignConfig(
+            n=256,
+            suite=SUITE_UNIT,
+            num_injections=150,
+            block_size=64,
+            fields=("sign", "exponent"),
+            seed=5,
+        )
+        result = FaultCampaign(config).run()
+        assert result.detection_rate("aabft") == 1.0
+        assert result.detection_rate("sea") == 1.0
+
+    def test_detection_size_independent(self):
+        """'...the error detection capability of A-ABFT is not influenced
+        by the size of the processed matrices.'"""
+        rates = []
+        for n in (128, 256, 512):
+            config = CampaignConfig(
+                n=n, suite=SUITE_UNIT, num_injections=200, block_size=64, seed=6
+            )
+            rates.append(FaultCampaign(config).run().detection_rate("aabft"))
+        assert max(rates) - min(rates) < 0.12
+
+    def test_no_false_positives_on_detection_inputs(self):
+        """Detection rates are meaningless if clean runs flag; they never
+        do, on any of the detection input classes."""
+        for suite in (SUITE_UNIT, SUITE_DYNAMIC_K65536):
+            config = CampaignConfig(
+                n=128, suite=suite, num_injections=1, block_size=64, seed=8
+            )
+            campaign = FaultCampaign(config)
+            campaign.prepare()
+            assert campaign.fault_free_pass["aabft"], suite.name
+
+
+class TestTableOneClaims:
+    """Section VI-A's comparative performance story (modelled)."""
+
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return {r.n: r for r in run_table1()}
+
+    def test_aabft_approaches_fixed_abft(self, rows):
+        """'...the gap between both approaches becomes smaller and smaller
+        with increasing matrix dimensions.'"""
+        gaps = [1.0 - rows[n].aabft / rows[n].abft for n in (512, 2048, 8192)]
+        assert gaps[0] > gaps[1] > gaps[2]
+
+    def test_exceeds_tmr_and_sea_by_far_at_scale(self, rows):
+        """'...exceeding the performance of TMR and SEA-ABFT by far,
+        especially for larger matrix dimensions.'"""
+        big = rows[8192]
+        assert big.aabft > 1.25 * big.sea
+        assert big.aabft > 2.5 * big.tmr
+
+    def test_tmr_overhead_becomes_clearly_visible(self, rows):
+        """'For growing matrix dimensions, the expected overhead of TMR
+        becomes clearly visible.'"""
+        assert rows[8192].tmr / rows[8192].unprotected < 0.4

@@ -1,0 +1,132 @@
+"""Property-based cross-module invariants (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.abft.multiply import aabft_matmul
+from repro.abft.pipeline import AABFTPipeline
+from repro.faults.campaign import CampaignConfig, FaultCampaign
+from repro.gpusim.simulator import GpuSimulator
+from repro.workloads import SUITE_UNIT
+
+slow_settings = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestHostApiProperties:
+    @slow_settings
+    @given(
+        m_blocks=st.integers(1, 3),
+        n_extra=st.integers(0, 60),
+        q_blocks=st.integers(1, 3),
+        bs=st.sampled_from([8, 16, 32]),
+        scale=st.sampled_from([1.0, 100.0, 1e-3]),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_protected_product_always_correct_and_clean(
+        self, m_blocks, n_extra, q_blocks, bs, scale, seed
+    ):
+        """For any shape, block size and scale *within the model's
+        validity domain* (inner dimension >= block size; see
+        docs/THEORY.md on the reference-summation term): the protected
+        product equals numpy's and fault-free checks pass."""
+        n = bs + n_extra
+        rng = np.random.default_rng(seed)
+        a = rng.uniform(-scale, scale, (m_blocks * bs, n))
+        b = rng.uniform(-scale, scale, (n, q_blocks * bs))
+        result = aabft_matmul(a, b, block_size=bs)
+        assert np.allclose(result.c, a @ b, rtol=1e-12, atol=1e-300)
+        assert not result.detected
+
+    @slow_settings
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        delta_exp=st.integers(-8, 4),
+        row=st.integers(0, 65),
+        col=st.integers(0, 65),
+    )
+    def test_detection_threshold_consistency(self, seed, delta_exp, row, col):
+        """Any corruption strictly above the element's column *and* row
+        tolerances is detected; anything below both passes."""
+        rng = np.random.default_rng(seed)
+        a = rng.uniform(-1, 1, (64, 64))
+        b = rng.uniform(-1, 1, (64, 64))
+        result = aabft_matmul(a, b, block_size=32)
+        from repro.abft.checking import check_partitioned
+
+        delta = 10.0**delta_exp
+        col_eps = result.provider.column_epsilon(
+            row // 33, col
+        )
+        row_eps = result.provider.row_epsilon(row, col // 33)
+        corrupted = result.c_fc.copy()
+        corrupted[row, col] += delta
+        report = check_partitioned(
+            corrupted, result.row_layout, result.col_layout, result.provider
+        )
+        # Fault-free discrepancies are far below eps, so the corruption
+        # dominates: detection iff delta clearly exceeds a tolerance.
+        if delta > 4 * max(col_eps, row_eps):
+            assert report.error_detected
+        if delta < 0.25 * min(col_eps, row_eps):
+            assert not report.error_detected
+
+
+class TestPipelineEquivalenceProperty:
+    @slow_settings
+    @given(
+        blocks=st.integers(1, 3),
+        bs=st.sampled_from([16, 32]),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_simulated_pipeline_matches_host(self, blocks, bs, seed):
+        """The kernel-by-kernel simulated pipeline and the direct host
+        implementation agree on results and on every tolerance."""
+        rng = np.random.default_rng(seed)
+        n = blocks * bs
+        a = rng.uniform(-1, 1, (n, n))
+        b = rng.uniform(-1, 1, (n, n))
+        sim = GpuSimulator()
+        piped = AABFTPipeline(sim, block_size=bs, p=2).run(a, b)
+        host = aabft_matmul(a, b, block_size=bs, p=2)
+        assert np.allclose(piped.c, host.c, rtol=1e-13)
+        assert piped.detected == host.detected
+        for blk in range(piped.row_layout.num_blocks):
+            assert piped.provider.column_epsilon(blk, 0) == pytest.approx(
+                host.provider.column_epsilon(blk, 0), rel=1e-12
+            )
+
+
+class TestCampaignProperties:
+    def test_detection_monotone_in_omega(self):
+        """Loosening omega can only reduce detections (same faults)."""
+        rates = []
+        for omega in (1.0, 3.0, 6.0):
+            config = CampaignConfig(
+                n=128,
+                suite=SUITE_UNIT,
+                num_injections=100,
+                block_size=64,
+                omega=omega,
+                seed=99,
+            )
+            result = FaultCampaign(config).run()
+            # Use raw detections (not per-critical rates) since the
+            # critical ground truth also depends on omega.
+            detected = sum(1 for r in result.records if r.detected["aabft"])
+            rates.append(detected)
+        assert rates[0] >= rates[1] >= rates[2]
+
+    def test_campaign_reproducible(self):
+        config = CampaignConfig(
+            n=128, suite=SUITE_UNIT, num_injections=50, block_size=64, seed=123
+        )
+        r1 = FaultCampaign(config).run()
+        r2 = FaultCampaign(config).run()
+        assert [x.delta for x in r1.records] == [x.delta for x in r2.records]
+        assert [x.detected for x in r1.records] == [x.detected for x in r2.records]

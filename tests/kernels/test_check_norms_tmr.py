@@ -1,0 +1,160 @@
+"""Checking kernel (Algorithm 2), norm kernels, and the TMR baseline."""
+
+import numpy as np
+import pytest
+
+from repro.abft.checking import check_partitioned
+from repro.abft.encoding import (
+    encode_partitioned_columns,
+    encode_partitioned_rows,
+)
+from repro.abft.providers import ConstantEpsilonProvider
+from repro.kernels.check import CheckKernel
+from repro.kernels.norms import ColumnNormKernel, RowNormKernel
+from repro.kernels.tmr import TmrCompareKernel, run_tmr_matmul
+
+BS = 16
+
+
+@pytest.fixture
+def encoded_product(rng):
+    a = rng.uniform(-1, 1, (32, 32))
+    b = rng.uniform(-1, 1, (32, 32))
+    a_cc, rows = encode_partitioned_columns(a, BS)
+    b_rc, cols = encode_partitioned_rows(b, BS)
+    return a_cc @ b_rc, rows, cols
+
+
+class TestCheckKernel:
+    def _launch(self, simulator, c_fc, rows, cols, provider):
+        d_c = simulator.upload(c_fc)
+        d_cd = simulator.alloc((rows.num_blocks, cols.encoded_rows))
+        d_ce = simulator.alloc((rows.num_blocks, cols.encoded_rows))
+        d_rd = simulator.alloc((rows.encoded_rows, cols.num_blocks))
+        d_re = simulator.alloc((rows.encoded_rows, cols.num_blocks))
+        simulator.launch(
+            CheckKernel(d_c, rows, cols, provider, d_cd, d_ce, d_rd, d_re)
+        )
+        return (
+            simulator.download(d_cd),
+            simulator.download(d_ce),
+            simulator.download(d_rd),
+            simulator.download(d_re),
+        )
+
+    def test_matches_host_checker(self, simulator, encoded_product):
+        c_fc, rows, cols = encoded_product
+        provider = ConstantEpsilonProvider(1e-9)
+        col_d, col_e, row_d, row_e = self._launch(
+            simulator, c_fc, rows, cols, provider
+        )
+        host = check_partitioned(c_fc, rows, cols, provider)
+        assert np.allclose(col_d, host.column_disc, atol=1e-15)
+        # The host computes row sums via the transpose; summation order
+        # differs from the kernel's at the last-ulp level.
+        assert np.allclose(row_d, host.row_disc, atol=2e-14)
+        assert np.all(col_e == 1e-9)
+        assert np.all(row_e == 1e-9)
+
+    def test_detects_corruption(self, simulator, encoded_product):
+        c_fc, rows, cols = encoded_product
+        c_fc = c_fc.copy()
+        c_fc[3, 7] += 1e-3
+        col_d, col_e, row_d, row_e = self._launch(
+            simulator, c_fc, rows, cols, ConstantEpsilonProvider(1e-9)
+        )
+        assert col_d[0, 7] > 1e-4
+        assert row_d[3, 0] > 1e-4
+
+    def test_shape_validation(self, simulator, encoded_product):
+        c_fc, rows, cols = encoded_product
+        d_c = simulator.upload(c_fc)
+        bad = simulator.alloc((1, 1))
+        ok_cd = simulator.alloc((rows.num_blocks, cols.encoded_rows))
+        ok_rd = simulator.alloc((rows.encoded_rows, cols.num_blocks))
+        with pytest.raises(ValueError, match="column outputs"):
+            CheckKernel(
+                d_c, rows, cols, ConstantEpsilonProvider(1.0), bad, ok_cd, ok_rd, ok_rd
+            )
+
+
+class TestNormKernels:
+    def test_row_norms(self, simulator, rng):
+        m = rng.uniform(-2, 2, (70, 40))
+        d_m = simulator.upload(m)
+        d_out = simulator.alloc((70,))
+        simulator.launch(RowNormKernel(d_m, d_out))
+        assert np.allclose(simulator.download(d_out), np.linalg.norm(m, axis=1))
+
+    def test_column_norms(self, simulator, rng):
+        m = rng.uniform(-2, 2, (40, 70))
+        d_m = simulator.upload(m)
+        d_out = simulator.alloc((70,))
+        simulator.launch(ColumnNormKernel(d_m, d_out))
+        assert np.allclose(simulator.download(d_out), np.linalg.norm(m, axis=0))
+
+    def test_partial_last_block(self, simulator, rng):
+        """Vector counts not divisible by the block strip are handled."""
+        m = rng.uniform(size=(33, 5))
+        d_m = simulator.upload(m)
+        d_out = simulator.alloc((33,))
+        simulator.launch(RowNormKernel(d_m, d_out, rows_per_block=32))
+        assert np.allclose(simulator.download(d_out), np.linalg.norm(m, axis=1))
+
+    def test_output_shape_validation(self, simulator, rng):
+        d_m = simulator.upload(rng.uniform(size=(8, 8)))
+        d_bad = simulator.alloc((9,))
+        with pytest.raises(ValueError):
+            RowNormKernel(d_m, d_bad)
+
+
+class TestTmr:
+    def test_fault_free_result_correct(self, simulator, rng):
+        a = rng.uniform(-1, 1, (64, 64))
+        b = rng.uniform(-1, 1, (64, 64))
+        outcome = run_tmr_matmul(simulator, a, b, tile=32)
+        assert not outcome.error_detected
+        assert np.allclose(outcome.c, a @ b)
+
+    def test_single_replica_fault_masked_and_detected(self, simulator, rng):
+        from repro.faults.injector import FaultInjector
+        from repro.faults.model import FaultSite, FaultSpec
+        from repro.fp.errorvec import ErrorVector
+
+        a = rng.uniform(-1, 1, (64, 64))
+        b = rng.uniform(-1, 1, (64, 64))
+        spec = FaultSpec(
+            sm_id=0,
+            site=FaultSite.MERGE_ADD,
+            module_row=1,
+            module_col=1,
+            error_vector=ErrorVector(mask=1 << 50, field="mantissa", bit_indices=(50,)),
+        )
+        injector = FaultInjector(spec, rng)
+        outcome = run_tmr_matmul(simulator, a, b, tile=32, injector=injector)
+        assert outcome.error_detected
+        # Majority vote: the two clean replicas win everywhere.
+        assert np.allclose(outcome.c, a @ b, rtol=1e-13)
+
+    def test_compare_kernel_counts_mismatches(self, simulator, rng):
+        base = rng.uniform(size=(16, 16))
+        r0 = simulator.upload(base)
+        r1 = simulator.upload(base)
+        corrupted = base.copy()
+        corrupted[2, 3] += 1.0
+        corrupted[5, 5] += 1.0
+        r2 = simulator.upload(corrupted)
+        out = simulator.alloc((16, 16))
+        mismatch = simulator.alloc((1,))
+        simulator.launch(TmrCompareKernel((r0, r1, r2), out, mismatch))
+        assert simulator.download(mismatch)[0] == 2
+        assert np.array_equal(simulator.download(out), base)
+
+    def test_replica_shape_validation(self, simulator, rng):
+        r0 = simulator.upload(rng.uniform(size=(4, 4)))
+        r1 = simulator.upload(rng.uniform(size=(4, 4)))
+        r2 = simulator.upload(rng.uniform(size=(5, 4)))
+        out = simulator.alloc((4, 4))
+        mm = simulator.alloc((1,))
+        with pytest.raises(ValueError, match="replica shapes"):
+            TmrCompareKernel((r0, r1, r2), out, mm)

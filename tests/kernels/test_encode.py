@@ -1,0 +1,134 @@
+"""Encoding kernels (Algorithm 1) + global top-p reduction (step 3)."""
+
+import numpy as np
+import pytest
+
+from repro.abft.encoding import (
+    PartitionedLayout,
+    encode_partitioned_columns,
+    encode_partitioned_rows,
+)
+from repro.bounds.upper_bound import top_p_of_columns, top_p_of_rows
+from repro.kernels.encode import (
+    EncodeColumnChecksumsKernel,
+    EncodeRowChecksumsKernel,
+)
+from repro.kernels.reduce import TopPReduceKernel
+
+BS = 16
+P = 2
+
+
+def _encode_a_on_device(simulator, a, p=P, bs=BS):
+    layout = PartitionedLayout(data_rows=a.shape[0], block_size=bs)
+    inner_blocks = a.shape[1] // bs
+    d_a = simulator.upload(a)
+    d_out = simulator.alloc((layout.encoded_rows, a.shape[1]))
+    d_vals = simulator.alloc((layout.encoded_rows, inner_blocks, p))
+    d_ids = simulator.alloc((layout.encoded_rows, inner_blocks, p))
+    simulator.launch(
+        EncodeColumnChecksumsKernel(d_a, d_out, d_vals, d_ids, layout, p)
+    )
+    return layout, d_out, d_vals, d_ids
+
+
+class TestEncodeColumns:
+    def test_matches_host_encoding(self, simulator, rng):
+        a = rng.uniform(-1, 1, (32, 48))
+        layout, d_out, _, _ = _encode_a_on_device(simulator, a)
+        expected, _ = encode_partitioned_columns(a, BS)
+        # Checksums are summed top-to-bottom per block on device vs numpy
+        # pairwise on host — equal up to rounding.
+        assert np.allclose(simulator.download(d_out), expected, rtol=1e-14)
+
+    def test_reduced_top_p_matches_host(self, simulator, rng):
+        a = rng.uniform(-1, 1, (32, 48))
+        layout, d_out, d_vals, d_ids = _encode_a_on_device(simulator, a)
+        d_rv = simulator.alloc((layout.encoded_rows, P))
+        d_ri = simulator.alloc((layout.encoded_rows, P))
+        simulator.launch(TopPReduceKernel(d_vals, d_ids, d_rv, d_ri))
+
+        a_cc = simulator.download(d_out)
+        host_tops = top_p_of_rows(a_cc, P)
+        dev_vals = simulator.download(d_rv)
+        dev_ids = simulator.download(d_ri).astype(int)
+        for r, top in enumerate(host_tops):
+            assert np.allclose(dev_vals[r], top.values)
+            # Indices must address elements of the same absolute value
+            # (ties may resolve differently).
+            assert np.allclose(np.abs(a_cc[r, dev_ids[r]]), top.values)
+
+    def test_shape_validation(self, simulator, rng):
+        a = rng.uniform(size=(32, 48))
+        layout = PartitionedLayout(data_rows=32, block_size=BS)
+        d_a = simulator.upload(a)
+        d_bad = simulator.alloc((10, 10))
+        d_v = simulator.alloc((layout.encoded_rows, 3, P))
+        d_i = simulator.alloc((layout.encoded_rows, 3, P))
+        with pytest.raises(ValueError, match="encoded buffer shape"):
+            EncodeColumnChecksumsKernel(d_a, d_bad, d_v, d_i, layout, P)
+
+    def test_inner_dim_divisibility(self, simulator, rng):
+        a = rng.uniform(size=(32, 50))
+        layout = PartitionedLayout(data_rows=32, block_size=BS)
+        d_a = simulator.upload(a)
+        d_out = simulator.alloc((layout.encoded_rows, 50))
+        d_v = simulator.alloc((layout.encoded_rows, 3, P))
+        d_i = simulator.alloc((layout.encoded_rows, 3, P))
+        with pytest.raises(ValueError, match="not divisible"):
+            EncodeColumnChecksumsKernel(d_a, d_out, d_v, d_i, layout, P)
+
+
+class TestEncodeRows:
+    def test_matches_host_encoding(self, simulator, rng):
+        b = rng.uniform(-1, 1, (48, 32))
+        layout = PartitionedLayout(data_rows=32, block_size=BS)
+        inner_blocks = 48 // BS
+        d_b = simulator.upload(b)
+        d_out = simulator.alloc((48, layout.encoded_rows))
+        d_v = simulator.alloc((layout.encoded_rows, inner_blocks, P))
+        d_i = simulator.alloc((layout.encoded_rows, inner_blocks, P))
+        simulator.launch(EncodeRowChecksumsKernel(d_b, d_out, d_v, d_i, layout, P))
+        expected, _ = encode_partitioned_rows(b, BS)
+        assert np.allclose(simulator.download(d_out), expected, rtol=1e-14)
+
+    def test_reduced_column_top_p(self, simulator, rng):
+        b = rng.uniform(-1, 1, (48, 32))
+        layout = PartitionedLayout(data_rows=32, block_size=BS)
+        inner_blocks = 48 // BS
+        d_b = simulator.upload(b)
+        d_out = simulator.alloc((48, layout.encoded_rows))
+        d_v = simulator.alloc((layout.encoded_rows, inner_blocks, P))
+        d_i = simulator.alloc((layout.encoded_rows, inner_blocks, P))
+        simulator.launch(EncodeRowChecksumsKernel(d_b, d_out, d_v, d_i, layout, P))
+        d_rv = simulator.alloc((layout.encoded_rows, P))
+        d_ri = simulator.alloc((layout.encoded_rows, P))
+        simulator.launch(TopPReduceKernel(d_v, d_i, d_rv, d_ri))
+
+        b_rc = simulator.download(d_out)
+        host_tops = top_p_of_columns(b_rc, P)
+        dev_vals = simulator.download(d_rv)
+        for c, top in enumerate(host_tops):
+            assert np.allclose(dev_vals[c], top.values)
+
+
+class TestReduceKernel:
+    def test_validation(self, simulator):
+        d_v = simulator.alloc((4, 2, 2))
+        d_i = simulator.alloc((4, 2, 2))
+        d_bad = simulator.alloc((4, 3))
+        d_ok = simulator.alloc((4, 2))
+        with pytest.raises(ValueError, match="shape"):
+            TopPReduceKernel(d_v, d_i, d_bad, d_ok)
+
+    def test_reduction_picks_global_maxima(self, simulator):
+        # Hand-built candidates: two blocks with interleaved magnitudes.
+        vals = np.array([[[5.0, 1.0], [4.0, 3.0]]])
+        ids = np.array([[[0.0, 1.0], [8.0, 9.0]]])
+        d_v = simulator.upload(vals)
+        d_i = simulator.upload(ids)
+        d_rv = simulator.alloc((1, 2))
+        d_ri = simulator.alloc((1, 2))
+        simulator.launch(TopPReduceKernel(d_v, d_i, d_rv, d_ri))
+        assert np.array_equal(simulator.download(d_rv)[0], [5.0, 4.0])
+        assert np.array_equal(simulator.download(d_ri)[0], [0.0, 8.0])

@@ -1,0 +1,90 @@
+"""The literal Algorithm 1 reference vs. the vectorised encoding kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.abft.encoding import PartitionedLayout
+from repro.gpusim.simulator import GpuSimulator
+from repro.kernels.encode import EncodeColumnChecksumsKernel
+from repro.kernels.encode_reference import algorithm1_reference
+
+
+class TestAlgorithm1Reference:
+    def test_checksums_are_sequential_column_sums(self, rng):
+        block = rng.uniform(-1, 1, (8, 8))
+        result = algorithm1_reference(block, 2)
+        for j in range(8):
+            s = 0.0
+            for i in range(8):
+                s = s + block[i, j]
+            assert result.checksums[j] == s
+
+    def test_max_search_with_exclusion(self):
+        block = np.array(
+            [
+                [3.0, -5.0, 1.0, 2.0],
+                [0.5, 0.25, -0.75, 0.1],
+                [10.0, 10.0, 10.0, 10.0],
+                [-1.0, -2.0, -3.0, -4.0],
+            ]
+        )
+        result = algorithm1_reference(block, 2)
+        assert np.array_equal(result.max_values[0], [5.0, 3.0])
+        assert np.array_equal(result.max_ids[0], [1, 0])
+        # Ties resolve to the first occurrence, then exclusion moves on.
+        assert np.array_equal(result.max_ids[2], [0, 1])
+        assert np.array_equal(result.max_values[3], [4.0, 3.0])
+
+    def test_checksum_row_candidates(self, rng):
+        block = rng.uniform(-1, 1, (6, 6))
+        result = algorithm1_reference(block, 3)
+        magnitudes = np.abs(result.checksums)
+        order = np.argsort(-magnitudes)
+        assert np.array_equal(result.checksum_max_ids, order[:3])
+        assert np.allclose(result.checksum_max_values, magnitudes[order[:3]])
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError, match="square"):
+            algorithm1_reference(rng.uniform(size=(3, 4)), 1)
+        with pytest.raises(ValueError, match="numMax"):
+            algorithm1_reference(rng.uniform(size=(4, 4)), 5)
+
+
+class TestEquivalenceWithVectorisedKernel:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1), p=st.integers(1, 4))
+    def test_kernel_matches_listing(self, seed, p):
+        """The production encoding kernel must produce Algorithm 1's
+        values (indices may differ only on exact-magnitude ties)."""
+        rng = np.random.default_rng(seed)
+        bs = 8
+        a = rng.uniform(-1, 1, (bs, bs))
+
+        reference = algorithm1_reference(a, p)
+
+        sim = GpuSimulator()
+        layout = PartitionedLayout(data_rows=bs, block_size=bs)
+        d_a = sim.upload(a)
+        d_out = sim.alloc((layout.encoded_rows, bs))
+        d_vals = sim.alloc((layout.encoded_rows, 1, p))
+        d_ids = sim.alloc((layout.encoded_rows, 1, p))
+        sim.launch(EncodeColumnChecksumsKernel(d_a, d_out, d_vals, d_ids, layout, p))
+
+        out = sim.download(d_out)
+        vals = sim.download(d_vals)
+        ids = sim.download(d_ids).astype(int)
+
+        # Checksum row: numpy's pairwise sum vs the listing's sequential
+        # accumulation agree to rounding.
+        assert np.allclose(out[bs, :], reference.checksums, rtol=1e-14)
+        # Top-p values per data row match the listing exactly.
+        for tid in range(bs):
+            assert np.allclose(vals[tid, 0], reference.max_values[tid])
+            # Indices address same-magnitude elements.
+            assert np.allclose(
+                np.abs(a[tid, ids[tid, 0]]), reference.max_values[tid]
+            )
+        # The checksum row's candidates match too.
+        assert np.allclose(vals[bs, 0], reference.checksum_max_values, rtol=1e-14)

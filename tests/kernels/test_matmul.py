@@ -1,0 +1,184 @@
+"""The block matmul kernel (Algorithm 3): numerics and fault semantics."""
+
+import numpy as np
+import pytest
+
+from repro.faults.injector import FaultInjector
+from repro.faults.model import FaultSite, FaultSpec
+from repro.fp.errorvec import ErrorVector
+from repro.kernels.matmul import BlockMatmulKernel, sequential_inner_product
+
+
+def _spec(site, bit, k=0, sm=0, row=1, col=2):
+    return FaultSpec(
+        sm_id=sm,
+        site=site,
+        module_row=row,
+        module_col=col,
+        error_vector=ErrorVector(mask=1 << bit, field="mantissa", bit_indices=(bit,)),
+        k_injection=k,
+    )
+
+
+class TestSequentialInnerProduct:
+    def test_matches_python_accumulation(self, rng):
+        a = rng.uniform(-1, 1, 100)
+        b = rng.uniform(-1, 1, 100)
+        expected = 0.0
+        for x, y in zip(a, b):
+            expected += x * y
+        assert sequential_inner_product(a, b) == expected
+
+    def test_order_differs_from_blas_at_rounding_level(self, rng):
+        a = rng.uniform(-1, 1, 1000)
+        b = rng.uniform(-1, 1, 1000)
+        seq = sequential_inner_product(a, b)
+        blas = float(a @ b)
+        assert seq == pytest.approx(blas, rel=1e-12)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            sequential_inner_product([1.0], [1.0, 2.0])
+
+    def test_mul_fault_at_step_k(self, rng):
+        a = rng.uniform(1, 2, 10)
+        b = rng.uniform(1, 2, 10)
+        spec = _spec(FaultSite.INNER_MUL, bit=51, k=4)
+        injector = FaultInjector(spec, rng)
+        injector.resolve_direct()
+        faulty = sequential_inner_product(a, b, injector)
+        clean = sequential_inner_product(a, b)
+        # The induced delta is exactly the bit flip of the k=4 product.
+        from repro.fp.bits import flip_bit
+
+        prod = a[4] * b[4]
+        expected_delta = abs(float(flip_bit(prod, 51)) - prod)
+        assert abs(faulty - clean) == pytest.approx(expected_delta, rel=1e-9)
+
+    def test_add_fault_perturbs_accumulator(self, rng):
+        a = rng.uniform(1, 2, 10)
+        b = rng.uniform(1, 2, 10)
+        spec = _spec(FaultSite.INNER_ADD, bit=0, k=9)
+        injector = FaultInjector(spec, rng)
+        injector.resolve_direct()
+        faulty = sequential_inner_product(a, b, injector)
+        clean = sequential_inner_product(a, b)
+        assert faulty != clean
+        assert abs(faulty - clean) < 1e-12  # LSB flip of the final sum
+
+    def test_merge_fault_hits_final_value(self, rng):
+        a = rng.uniform(1, 2, 10)
+        b = rng.uniform(1, 2, 10)
+        spec = _spec(FaultSite.MERGE_ADD, bit=51)
+        injector = FaultInjector(spec, rng)
+        injector.resolve_direct()
+        faulty = sequential_inner_product(a, b, injector)
+        clean = sequential_inner_product(a, b)
+        assert injector.activation.fired
+        from repro.fp.bits import flip_bit
+
+        assert faulty == float(flip_bit(clean, 51))
+
+
+class TestBlockMatmulKernel:
+    def test_matches_numpy(self, simulator, rng):
+        a = rng.uniform(-1, 1, (64, 48))
+        b = rng.uniform(-1, 1, (48, 96))
+        d_a, d_b = simulator.upload(a), simulator.upload(b)
+        d_c = simulator.alloc((64, 96))
+        simulator.launch(BlockMatmulKernel(d_a, d_b, d_c, 32, 32))
+        assert np.allclose(simulator.download(d_c), a @ b, rtol=1e-13)
+
+    def test_faithful_mode_matches_sequential_order(self, simulator, rng):
+        a = rng.uniform(-1, 1, (8, 16))
+        b = rng.uniform(-1, 1, (16, 8))
+        d_a, d_b = simulator.upload(a), simulator.upload(b)
+        d_c = simulator.alloc((8, 8))
+        simulator.launch(BlockMatmulKernel(d_a, d_b, d_c, 4, 4, faithful=True))
+        c = simulator.download(d_c)
+        for i in range(8):
+            for j in range(8):
+                assert c[i, j] == sequential_inner_product(a[i], b[:, j])
+
+    def test_shape_validation(self, simulator, rng):
+        d_a = simulator.upload(rng.uniform(size=(8, 8)))
+        d_b = simulator.upload(rng.uniform(size=(9, 8)))
+        d_c = simulator.alloc((8, 8))
+        with pytest.raises(ValueError, match="inner dimensions"):
+            BlockMatmulKernel(d_a, d_b, d_c, 4, 4)
+
+    def test_tile_divisibility(self, simulator, rng):
+        d_a = simulator.upload(rng.uniform(size=(9, 8)))
+        d_b = simulator.upload(rng.uniform(size=(8, 8)))
+        d_c = simulator.alloc((9, 8))
+        with pytest.raises(ValueError, match="not divisible"):
+            BlockMatmulKernel(d_a, d_b, d_c, 4, 4)
+
+    def test_flop_accounting(self, simulator, rng):
+        n = 32
+        d_a = simulator.upload(rng.uniform(size=(n, n)))
+        d_b = simulator.upload(rng.uniform(size=(n, n)))
+        d_c = simulator.alloc((n, n))
+        record = simulator.launch(BlockMatmulKernel(d_a, d_b, d_c, 16, 16))
+        assert record.stats.flops == 2 * n * n * n
+
+
+class TestFaultInjectionThroughKernel:
+    def _run(self, simulator, rng, spec, n=64, tile=16):
+        a = rng.uniform(-1, 1, (n, n))
+        b = rng.uniform(-1, 1, (n, n))
+        d_a, d_b = simulator.upload(a), simulator.upload(b)
+        d_c = simulator.alloc((n, n))
+        injector = FaultInjector(spec, rng)
+        kernel = BlockMatmulKernel(d_a, d_b, d_c, tile, tile, injector=injector)
+        injector.resolve(simulator.scheduler.assign(kernel.launch_config()), (tile, tile))
+        simulator.launch(kernel)
+        return a, b, simulator.download(d_c), injector
+
+    def test_exactly_one_element_corrupted(self, simulator, rng):
+        spec = _spec(FaultSite.MERGE_ADD, bit=50, sm=1)
+        a, b, c, injector = self._run(simulator, rng, spec)
+        clean = a @ b
+        diff = np.abs(c - clean)
+        # Allow rounding-order noise at the replayed element, but the
+        # injected delta must dominate at exactly one position.
+        big = diff > 1e-6
+        assert big.sum() == 1
+        act = injector.activation
+        assert act.fired
+        blk_per_row = a.shape[1] // 16
+        blk_y, blk_x = divmod(act.linear_block_index, blk_per_row)
+        r = blk_y * 16 + act.element_row
+        col = blk_x * 16 + act.element_col
+        assert big[r, col]
+
+    def test_resolve_fails_when_sm_has_no_blocks(self, simulator, rng):
+        from repro.errors import FaultSpecError
+
+        spec = _spec(FaultSite.MERGE_ADD, bit=50, sm=12)
+        with pytest.raises(FaultSpecError, match="no thread blocks"):
+            self._run(simulator, rng, spec, n=32)  # only 4 blocks -> SMs 0..3
+
+    def test_fault_lands_on_requested_sm(self, simulator, rng):
+        for sm in (0, 5, 12):
+            spec = _spec(FaultSite.MERGE_ADD, bit=50, sm=sm)
+            _, _, _, injector = self._run(simulator, rng, spec)
+            assert (
+                simulator.scheduler.sm_of_block(
+                    injector.activation.linear_block_index
+                )
+                == sm
+            )
+
+    def test_fault_free_injector_blocks_untouched(self, simulator, rng):
+        """Blocks not targeted by the injector take the fast path and match
+        BLAS exactly."""
+        spec = _spec(FaultSite.MERGE_ADD, bit=50, sm=0)
+        a, b, c, injector = self._run(simulator, rng, spec)
+        clean = a @ b
+        act = injector.activation
+        blk_per_row = a.shape[1] // 16
+        blk_y, blk_x = divmod(act.linear_block_index, blk_per_row)
+        mask = np.ones_like(c, dtype=bool)
+        mask[blk_y * 16 : (blk_y + 1) * 16, blk_x * 16 : (blk_x + 1) * 16] = False
+        assert np.array_equal(c[mask], clean[mask])

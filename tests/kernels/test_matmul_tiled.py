@@ -1,0 +1,148 @@
+"""The register-tiled Algorithm 3 kernel."""
+
+import numpy as np
+import pytest
+
+from repro.faults.injector import FaultInjector
+from repro.faults.model import FaultSite, FaultSpec
+from repro.fp.errorvec import ErrorVector
+from repro.kernels.matmul import sequential_inner_product
+from repro.kernels.matmul_tiled import RegisterTiledMatmulKernel
+
+
+def _spec(site, bit, k=0, sm=0):
+    return FaultSpec(
+        sm_id=sm,
+        site=site,
+        module_row=2,
+        module_col=3,
+        error_vector=ErrorVector(mask=1 << bit, field="mantissa", bit_indices=(bit,)),
+        k_injection=k,
+    )
+
+
+def _launch(simulator, a, b, injector=None, **tile):
+    d_a, d_b = simulator.upload(a), simulator.upload(b)
+    d_c = simulator.alloc((a.shape[0], b.shape[1]))
+    kernel = RegisterTiledMatmulKernel(d_a, d_b, d_c, injector=injector, **tile)
+    if injector is not None:
+        injector.resolve(
+            simulator.scheduler.assign(kernel.launch_config()),
+            (kernel.bm, kernel.bn),
+        )
+    simulator.launch(kernel)
+    return simulator.download(d_c), kernel
+
+
+class TestTiledNumerics:
+    def test_matches_sequential_order_exactly(self, simulator, rng):
+        """Lockstep rank-1 updates = per-thread sequential k-order: every
+        element must equal the sequential inner product bit for bit."""
+        a = rng.uniform(-1, 1, (32, 40))
+        b = rng.uniform(-1, 1, (40, 32))
+        c, _ = _launch(simulator, a, b, bm=16, bn=16, bk=8, rx=4, ry=4)
+        for i in range(32):
+            for j in range(32):
+                assert c[i, j] == sequential_inner_product(a[i], b[:, j])
+
+    def test_matches_numpy_within_rounding(self, simulator, rng):
+        a = rng.uniform(-1, 1, (64, 64))
+        b = rng.uniform(-1, 1, (64, 64))
+        c, _ = _launch(simulator, a, b, bm=32, bn=32, bk=8, rx=4, ry=4)
+        assert np.allclose(c, a @ b, rtol=1e-13)
+
+    def test_inner_dim_not_multiple_of_bk(self, simulator, rng):
+        a = rng.uniform(-1, 1, (16, 37))  # 37 = 4*8 + 5
+        b = rng.uniform(-1, 1, (37, 16))
+        c, _ = _launch(simulator, a, b, bm=16, bn=16, bk=8, rx=4, ry=4)
+        assert c[3, 5] == sequential_inner_product(a[3], b[:, 5])
+
+    def test_flop_accounting(self, simulator, rng):
+        a = rng.uniform(-1, 1, (32, 16))
+        b = rng.uniform(-1, 1, (16, 32))
+        d_a, d_b = simulator.upload(a), simulator.upload(b)
+        d_c = simulator.alloc((32, 32))
+        record = simulator.launch(
+            RegisterTiledMatmulKernel(d_a, d_b, d_c, bm=16, bn=16, bk=8)
+        )
+        assert record.stats.flops == 2 * 32 * 16 * 32
+
+    def test_validation(self, simulator, rng):
+        d_a = simulator.upload(rng.uniform(size=(32, 16)))
+        d_b = simulator.upload(rng.uniform(size=(16, 32)))
+        d_c = simulator.alloc((32, 32))
+        with pytest.raises(ValueError, match="register tiles"):
+            RegisterTiledMatmulKernel(d_a, d_b, d_c, bm=16, bn=16, rx=5, ry=4)
+        with pytest.raises(ValueError, match="blocks"):
+            RegisterTiledMatmulKernel(d_a, d_b, d_c, bm=24, bn=16)
+
+
+class TestTiledFaults:
+    def test_mul_fault_exact_semantics(self, simulator, rng):
+        """The struck element must equal the sequential replay with the
+        same fault — bit for bit."""
+        a = rng.uniform(-1, 1, (32, 40))
+        b = rng.uniform(-1, 1, (40, 32))
+        spec = _spec(FaultSite.INNER_MUL, bit=48, k=17, sm=1)
+        injector = FaultInjector(spec, rng)
+        c, kernel = _launch(
+            simulator, a, b, injector=injector, bm=16, bn=16, bk=8, rx=4, ry=4
+        )
+        act = injector.activation
+        blocks_x = 32 // 16
+        blk_y, blk_x = divmod(act.linear_block_index, blocks_x)
+        r = blk_y * 16 + act.element_row
+        col = blk_x * 16 + act.element_col
+
+        replay = FaultInjector(spec, rng)
+        replay.resolve_direct()
+        expected = sequential_inner_product(a[r], b[:, col], replay)
+        assert c[r, col] == expected
+
+    @pytest.mark.parametrize(
+        "site", [FaultSite.INNER_MUL, FaultSite.INNER_ADD, FaultSite.MERGE_ADD]
+    )
+    def test_exactly_one_element_corrupted(self, simulator, rng, site):
+        a = rng.uniform(-1, 1, (32, 40))
+        b = rng.uniform(-1, 1, (40, 32))
+        spec = _spec(site, bit=50, k=20, sm=2)
+        injector = FaultInjector(spec, rng)
+        c, _ = _launch(
+            simulator, a, b, injector=injector, bm=16, bn=16, bk=8, rx=4, ry=4
+        )
+        clean = np.empty_like(c)
+        for i in range(32):
+            for j in range(32):
+                clean[i, j] = sequential_inner_product(a[i], b[:, j])
+        different = np.argwhere(c != clean)
+        assert len(different) == 1
+
+    def test_agrees_with_simple_kernel_fault_path(self, simulator, rng):
+        """Both matmul kernels implement the same fault semantics; for an
+        identical resolved strike the corrupted element values agree."""
+        from repro.kernels.matmul import BlockMatmulKernel
+
+        a = rng.uniform(-1, 1, (32, 24))
+        b = rng.uniform(-1, 1, (24, 32))
+        spec = _spec(FaultSite.INNER_ADD, bit=49, k=11, sm=0)
+
+        rng1 = np.random.default_rng(7)
+        inj1 = FaultInjector(spec, rng1)
+        c_tiled, _ = _launch(
+            simulator, a, b, injector=inj1, bm=16, bn=16, bk=8, rx=4, ry=4
+        )
+
+        rng2 = np.random.default_rng(7)
+        inj2 = FaultInjector(spec, rng2)
+        d_a, d_b = simulator.upload(a), simulator.upload(b)
+        d_c = simulator.alloc((32, 32))
+        simple = BlockMatmulKernel(d_a, d_b, d_c, 16, 16, injector=inj2)
+        inj2.resolve(simulator.scheduler.assign(simple.launch_config()), (16, 16))
+        simulator.launch(simple)
+        c_simple = simulator.download(d_c)
+
+        act = inj1.activation
+        blk_y, blk_x = divmod(act.linear_block_index, 2)
+        r = blk_y * 16 + act.element_row
+        col = blk_x * 16 + act.element_col
+        assert c_tiled[r, col] == c_simple[r, col]

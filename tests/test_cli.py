@@ -1,0 +1,39 @@
+"""The aabft command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_commands_exist(self):
+        parser = build_parser()
+        for cmd in ("table1", "bounds", "detect", "coverage", "all", "demo"):
+            args = parser.parse_args([cmd])
+            assert args.command == cmd
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_detect_options(self):
+        args = build_parser().parse_args(
+            ["detect", "--injections", "7", "--flips", "3", "--field", "exponent"]
+        )
+        assert args.injections == 7
+        assert args.flips == 3
+        assert args.field == "exponent"
+
+
+class TestExecution:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "A-ABFT" in out
+        assert "8192" in out
+
+    def test_demo_detects_or_tolerates(self, capsys):
+        assert main(["--seed", "3", "demo", "--n", "128"]) == 0
+        out = capsys.readouterr().out
+        assert "fault-free run: detected=False" in out
+        assert "injected:" in out

@@ -1,0 +1,18 @@
+"""Docstring examples must actually run (doctest)."""
+
+import doctest
+
+import pytest
+
+import repro.abft.multiply
+
+MODULES_WITH_EXAMPLES = [repro.abft.multiply]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES_WITH_EXAMPLES, ids=lambda m: m.__name__
+)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__} lost its doctest examples"
+    assert results.failed == 0

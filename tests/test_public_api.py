@@ -1,0 +1,71 @@
+"""Public API surface: imports, __all__ hygiene, docstrings."""
+
+import importlib
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.abft",
+    "repro.analysis",
+    "repro.bounds",
+    "repro.exact",
+    "repro.experiments",
+    "repro.faults",
+    "repro.fp",
+    "repro.gpusim",
+    "repro.kernels",
+    "repro.perfmodel",
+    "repro.workloads",
+]
+
+
+class TestImports:
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_subpackage_imports(self, name):
+        module = importlib.import_module(name)
+        assert module.__doc__, f"{name} lacks a module docstring"
+
+    def test_version(self):
+        assert repro.__version__ == "0.1.0"
+
+    @pytest.mark.parametrize("name", SUBPACKAGES + ["repro"])
+    def test_all_entries_resolve(self, name):
+        module = importlib.import_module(name)
+        for symbol in getattr(module, "__all__", []):
+            assert hasattr(module, symbol), f"{name}.{symbol} in __all__ missing"
+
+    def test_top_level_exports_core_api(self):
+        for symbol in (
+            "aabft_matmul",
+            "sea_abft_matmul",
+            "fixed_abft_matmul",
+            "GpuSimulator",
+            "AABFTPipeline",
+            "FaultCampaign",
+            "ProbabilisticBound",
+        ):
+            assert symbol in repro.__all__
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_public_classes_documented(self, name):
+        module = importlib.import_module(name)
+        for symbol in getattr(module, "__all__", []):
+            obj = getattr(module, symbol)
+            if isinstance(obj, type):
+                assert obj.__doc__, f"{name}.{symbol} lacks a docstring"
+
+    def test_quickstart_in_package_docstring(self):
+        assert "aabft_matmul" in repro.__doc__
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        from repro import errors
+
+        for symbol in errors.__all__:
+            exc = getattr(errors, symbol)
+            assert issubclass(exc, errors.ReproError)

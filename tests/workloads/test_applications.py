@@ -1,0 +1,140 @@
+"""Scientific-application workloads + the structured-cancellation edge case."""
+
+import numpy as np
+import pytest
+
+from repro.abft.multiply import aabft_matmul, sea_abft_matmul
+from repro.bounds.probabilistic import sum_sigma_bound
+from repro.workloads.applications import (
+    APPLICATION_SUITES,
+    graph_laplacian,
+    poisson_2d,
+    wishart_covariance,
+)
+
+
+class TestPoisson:
+    def test_structure(self):
+        m = poisson_2d(64)  # 8x8 grid exactly
+        assert m.shape == (64, 64)
+        assert np.all(np.diag(m) == 4.0)
+        assert np.allclose(m, m.T)
+        # Diagonally dominant => positive definite.
+        assert np.all(np.linalg.eigvalsh(m) > 0)
+
+    def test_non_square_grid_padding(self):
+        m = poisson_2d(70)  # 8x8 grid + 6 identity rows
+        assert m.shape == (70, 70)
+        assert np.all(np.diag(m)[64:] == 1.0)
+        assert np.linalg.matrix_rank(m) == 70
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            poisson_2d(0)
+
+
+class TestGraphLaplacian:
+    @pytest.mark.parametrize(
+        "model", ["watts_strogatz", "barabasi_albert", "erdos_renyi"]
+    )
+    def test_laplacian_properties(self, model, rng):
+        lap = graph_laplacian(96, rng, model)
+        assert lap.shape == (96, 96)
+        # Row sums of a Laplacian are exactly zero (integer arithmetic).
+        assert np.all(lap.sum(axis=1) == 0.0)
+        assert np.allclose(lap, lap.T)
+
+    def test_unknown_model(self, rng):
+        with pytest.raises(ValueError):
+            graph_laplacian(16, rng, "configuration")
+
+
+class TestWishart:
+    def test_spd(self, rng):
+        cov = wishart_covariance(48, rng)
+        assert np.allclose(cov, cov.T)
+        assert np.all(np.linalg.eigvalsh(cov) > 0)
+
+    def test_oversampling_validation(self, rng):
+        with pytest.raises(ValueError):
+            wishart_covariance(8, rng, oversampling=0.5)
+
+
+class TestProtectedMultiplicationOnApplications:
+    @pytest.mark.parametrize("suite", APPLICATION_SUITES, ids=lambda s: s.name)
+    def test_no_false_positives_partitioned(self, suite, rng):
+        """Fault-free protected products of realistic operators must pass
+        with the paper-faithful bounds (partitioned encoding)."""
+        pair = suite.generate(192, rng)
+        assert not aabft_matmul(pair.a, pair.b, block_size=64).detected
+        assert not sea_abft_matmul(pair.a, pair.b, block_size=64).detected
+
+    @pytest.mark.parametrize("suite", APPLICATION_SUITES, ids=lambda s: s.name)
+    def test_detects_corruption(self, suite, rng):
+        pair = suite.generate(128, rng)
+        result = aabft_matmul(pair.a, pair.b, block_size=64)
+        scale = float(np.abs(result.c).max())
+        corrupted = result.c_fc.copy()
+        corrupted[5, 9] += max(1e-3, 1e-6 * scale)
+        from repro.abft.checking import check_partitioned
+
+        report = check_partitioned(
+            corrupted, result.row_layout, result.col_layout, result.provider
+        )
+        assert report.error_detected
+
+    def test_integer_laplacian_exact_cancellation_is_benign(self, rng):
+        """Full-encoding checksum rows of an (integer) Laplacian are exactly
+        zero — and so is all the arithmetic, so no false positives even
+        without a floor."""
+        lap = graph_laplacian(128, rng)
+        result = aabft_matmul(lap, lap, block_size=128)
+        assert not result.detected
+
+
+class TestCancellationLimitation:
+    """Mean-centred (non-integer) data drives checksum vectors to ~zero:
+    the paper-faithful bound collapses while reference-summation rounding
+    does not — a documented limitation, fixed by the epsilon floor."""
+
+    @pytest.fixture
+    def centred_pair(self, rng):
+        a = rng.uniform(-1, 1, (128, 128))
+        a -= a.mean(axis=0, keepdims=True)
+        b = rng.uniform(-1, 1, (128, 128))
+        return a, b
+
+    def test_paper_faithful_bound_false_positives(self, centred_pair):
+        a, b = centred_pair
+        result = aabft_matmul(a, b, block_size=128)
+        assert result.detected  # the limitation, demonstrated
+        assert all(f.axis == "column" for f in result.report.findings)
+
+    def test_epsilon_floor_restores_correctness(self, centred_pair):
+        a, b = centred_pair
+        c_scale = float(np.abs(a @ b).max())
+        floor = 3.0 * sum_sigma_bound(128, c_scale, 53)
+        result = aabft_matmul(a, b, block_size=128, epsilon_floor=floor)
+        assert not result.detected
+
+        corrupted = result.c_fc.copy()
+        corrupted[5, 9] += 1e-6
+        from repro.abft.checking import check_partitioned
+
+        report = check_partitioned(
+            corrupted, result.row_layout, result.col_layout, result.provider
+        )
+        assert report.error_detected  # sensitivity preserved
+
+    def test_partitioned_encoding_mitigates(self, centred_pair):
+        """Block checksums of mean-centred data do not cancel (only the
+        full column sums do), so the paper's partitioned setting is far
+        less exposed."""
+        a, b = centred_pair
+        result = aabft_matmul(a, b, block_size=32)
+        assert not result.detected
+
+    def test_floor_validation(self, centred_pair):
+        a, b = centred_pair
+        with pytest.raises(ValueError, match="epsilon_floor"):
+            aabft_matmul(a, b, block_size=32, epsilon_floor=-1.0)

@@ -1,0 +1,145 @@
+"""Workload generators: uniform ranges, Eq. 47 dynamic matrices, suites."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.dynamic import (
+    dynamic_matrix,
+    dynamic_pair,
+    dynamic_spectrum,
+    random_orthogonal,
+)
+from repro.workloads.generators import (
+    MatrixPair,
+    reciprocal_matrix,
+    uniform_matrix,
+    uniform_pair,
+)
+from repro.workloads.suites import (
+    PAPER_MATRIX_SIZES,
+    PAPER_SUITES,
+    SUITE_DYNAMIC_K2,
+    SUITE_UNIT,
+    suite_by_name,
+)
+
+
+class TestUniform:
+    def test_range_respected(self, rng):
+        m = uniform_matrix(50, 60, rng, -100.0, 100.0)
+        assert m.shape == (50, 60)
+        assert m.min() >= -100.0
+        assert m.max() <= 100.0
+        assert abs(m.mean()) < 5.0
+
+    def test_pair_shapes(self, rng):
+        pair = uniform_pair(32, rng)
+        assert pair.m == pair.n == pair.q == 32
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            uniform_matrix(0, 5, rng)
+        with pytest.raises(ValueError):
+            uniform_matrix(5, 5, rng, low=1.0, high=-1.0)
+
+    def test_deterministic_given_seed(self):
+        m1 = uniform_matrix(8, 8, np.random.default_rng(3))
+        m2 = uniform_matrix(8, 8, np.random.default_rng(3))
+        assert np.array_equal(m1, m2)
+
+
+class TestDynamicSpectrum:
+    def test_span_is_kappa(self):
+        s = dynamic_spectrum(64, 256.0)
+        assert s[0] == 1.0
+        assert s[-1] == pytest.approx(256.0)
+        assert np.all(np.diff(s) > 0)
+
+    def test_kappa_one_is_flat(self):
+        assert np.allclose(dynamic_spectrum(16, 1.0), 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dynamic_spectrum(0, 2.0)
+        with pytest.raises(ValueError):
+            dynamic_spectrum(4, 0.5)
+
+
+class TestRandomOrthogonal:
+    def test_orthogonality(self, rng):
+        q = random_orthogonal(32, rng)
+        assert np.allclose(q @ q.T, np.eye(32), atol=1e-12)
+
+    def test_haar_sign_fix_determinism(self):
+        q1 = random_orthogonal(16, np.random.default_rng(4))
+        q2 = random_orthogonal(16, np.random.default_rng(4))
+        assert np.array_equal(q1, q2)
+
+
+class TestDynamicMatrix:
+    def test_gaussian_magnitude_grows_with_kappa(self, rng):
+        small = dynamic_matrix(64, rng, kappa=2.0)
+        large = dynamic_matrix(64, rng, kappa=256.0)
+        assert np.abs(large).mean() > np.abs(small).mean()
+
+    def test_gaussian_element_scale(self, rng):
+        """Element std is sqrt(sum sigma_k^2) ~ sqrt(n * avg kappa^2xi);
+        the Table IV magnitude reproduction relies on this scale."""
+        n = 128
+        m = dynamic_matrix(n, rng, kappa=2.0)
+        sigma = dynamic_spectrum(n, 2.0)
+        expected_std = np.sqrt(np.sum(sigma**2))
+        assert m.std() == pytest.approx(expected_std, rel=0.2)
+
+    def test_alpha_scales_by_powers_of_ten(self, rng):
+        m0 = dynamic_matrix(32, np.random.default_rng(5), alpha=0.0)
+        m2 = dynamic_matrix(32, np.random.default_rng(5), alpha=2.0)
+        assert np.allclose(m2, 100.0 * m0)
+
+    def test_orthogonal_variant_has_condition_kappa(self, rng):
+        m = dynamic_matrix(48, rng, kappa=100.0, factors="orthogonal")
+        assert np.linalg.cond(m) == pytest.approx(100.0, rel=1e-6)
+
+    def test_unknown_factors(self, rng):
+        with pytest.raises(ValueError, match="factors"):
+            dynamic_matrix(8, rng, factors="unitary")
+
+    def test_pair(self, rng):
+        pair = dynamic_pair(16, rng, kappa=4.0)
+        assert isinstance(pair, MatrixPair)
+        assert not np.array_equal(pair.a, pair.b)
+
+
+class TestReciprocalMatrix:
+    def test_mantissas_follow_benford(self, rng):
+        from repro.fp.distribution import mantissa_histogram_distance
+
+        m = reciprocal_matrix(100, 100, rng)
+        assert mantissa_histogram_distance(m) < 0.05
+
+
+class TestSuites:
+    def test_paper_sizes(self):
+        assert PAPER_MATRIX_SIZES[0] == 512
+        assert PAPER_MATRIX_SIZES[-1] == 8192
+        assert len(PAPER_MATRIX_SIZES) == 9
+
+    def test_three_bound_quality_suites(self):
+        assert [s.name for s in PAPER_SUITES] == [
+            "uniform_unit",
+            "uniform_hundred",
+            "dynamic_k2",
+        ]
+
+    def test_suite_generation(self, rng):
+        pair = SUITE_UNIT.generate(32, rng)
+        assert pair.a.shape == (32, 32)
+        assert np.abs(pair.a).max() <= 1.0
+
+    def test_dynamic_suite_params(self, rng):
+        assert SUITE_DYNAMIC_K2.params == {"alpha": 0.0, "kappa": 2.0}
+
+    def test_lookup(self):
+        assert suite_by_name("uniform_unit") is SUITE_UNIT
+        with pytest.raises(KeyError, match="available"):
+            suite_by_name("gaussian")
