@@ -35,6 +35,7 @@ from .abft import (
     ErrorClass,
     ErrorClassifier,
     PipelineResult,
+    ProtectedResult,
     aabft_matmul,
     correct_single_error,
     fixed_abft_matmul,
@@ -44,6 +45,13 @@ from .abft import (
     protected_solve,
     sea_abft_matmul,
     weighted_abft_matmul,
+)
+from .engine import (
+    AbftConfig,
+    EncodedOperand,
+    EngineStats,
+    MatmulEngine,
+    default_engine,
 )
 from .bounds import (
     AnalyticalBound,
@@ -81,6 +89,7 @@ __version__ = "0.1.0"
 
 __all__ = [
     "AABFTPipeline",
+    "AbftConfig",
     "AbftResult",
     "AnalyticalBound",
     "BoundContext",
@@ -94,7 +103,9 @@ __all__ = [
     "CorrectionError",
     "DeviceError",
     "DeviceSpec",
+    "EncodedOperand",
     "EncodingError",
+    "EngineStats",
     "ErrorClass",
     "ErrorClassifier",
     "FaultCampaign",
@@ -106,14 +117,17 @@ __all__ = [
     "GpuSimulator",
     "K20C",
     "KernelLaunchError",
+    "MatmulEngine",
     "PipelineResult",
     "ProbabilisticBound",
+    "ProtectedResult",
     "ReproError",
     "SEABound",
     "ShapeError",
     "ErrorMap",
     "aabft_matmul",
     "correct_single_error",
+    "default_engine",
     "fixed_abft_matmul",
     "online_abft_matmul",
     "protected_lu",

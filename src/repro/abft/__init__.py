@@ -20,15 +20,16 @@ from .encoding import (
     encode_partitioned_rows,
     encode_row_checksums,
     pad_to_block_multiple,
+    strip_encoding,
 )
 from .multiply import (
     DEFAULT_BLOCK_SIZE,
     DEFAULT_P,
-    AbftResult,
     aabft_matmul,
     fixed_abft_matmul,
     sea_abft_matmul,
 )
+from .result import AbftResult, ProtectedResult
 from .lu import LuReport, ProtectedLuResult, SingularPivotError, plain_lu, protected_lu
 from .online import OnlineAbftResult, PanelEvent, online_abft_matmul
 from .pipeline import AABFTPipeline, PipelineResult
@@ -88,6 +89,7 @@ __all__ = [
     "WeightedCheckOutcome",
     "PartitionedLayout",
     "PipelineResult",
+    "ProtectedResult",
     "SEAEpsilonProvider",
     "aabft_matmul",
     "build_report",
@@ -101,6 +103,7 @@ __all__ = [
     "encode_row_checksums",
     "fixed_abft_matmul",
     "pad_to_block_multiple",
+    "strip_encoding",
     "online_abft_matmul",
     "plain_lu",
     "plain_qr",

@@ -42,6 +42,7 @@ __all__ = [
     "encode_partitioned_columns",
     "encode_partitioned_rows",
     "pad_to_block_multiple",
+    "strip_encoding",
 ]
 
 
@@ -196,6 +197,26 @@ def encode_partitioned_rows(
         raise ShapeError(f"expected a 2-D matrix, got shape {b.shape}")
     encoded_t, layout = encode_partitioned_columns(b.T, block_size)
     return np.ascontiguousarray(encoded_t.T), layout
+
+
+def strip_encoding(
+    c_fc: np.ndarray,
+    row_layout: PartitionedLayout,
+    col_layout: PartitionedLayout,
+    rows_added: int = 0,
+    cols_added: int = 0,
+) -> np.ndarray:
+    """Extract the data result from a full-checksum matrix.
+
+    Removes the checksum rows/columns addressed by the layouts and strips
+    the zero padding that :func:`pad_to_block_multiple` appended, returning
+    what an unprotected ``a @ b`` would have produced (contiguous copy).
+    """
+    c_fc = np.asarray(c_fc)
+    data = c_fc[np.ix_(row_layout.all_data_indices(), col_layout.all_data_indices())]
+    rows = data.shape[0] - rows_added
+    cols = data.shape[1] - cols_added
+    return np.ascontiguousarray(data[:rows, :cols])
 
 
 def pad_to_block_multiple(

@@ -6,6 +6,14 @@ API a downstream user calls; the GPU-simulated pipeline in
 :mod:`repro.abft.pipeline` executes the same mathematics kernel-by-kernel for
 the performance and fault-injection experiments.
 
+Since the engine redesign they are thin shims over a shared
+:class:`repro.engine.MatmulEngine` (see :func:`repro.engine.default_engine`):
+each call builds an :class:`repro.engine.AbftConfig` from its keyword
+arguments and routes through the module-level engine, so repeated same-shape
+calls reuse cached execution plans.  Results are bitwise identical to the
+pre-engine implementation.  New code should prefer constructing an engine
+and config directly — especially for batches or operand reuse.
+
 Example
 -------
 >>> import numpy as np
@@ -21,31 +29,16 @@ True
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
 
 import numpy as np
 
-from ..bounds.fixed import FixedBound
-from ..bounds.probabilistic import ProbabilisticBound
-from ..bounds.sea import SEABound
-from ..fp.constants import format_for_dtype
-from ..bounds.upper_bound import top_p_of_columns, top_p_of_rows
-from ..errors import ShapeError
-from .checking import CheckReport, EpsilonProvider, check_partitioned
-from .encoding import (
-    PartitionedLayout,
-    encode_partitioned_columns,
-    encode_partitioned_rows,
-    pad_to_block_multiple,
-)
-from .providers import (
-    AABFTEpsilonProvider,
-    ConstantEpsilonProvider,
-    SEAEpsilonProvider,
-)
+from ..engine.config import AbftConfig
+from .result import AbftResult, ProtectedResult
 
 __all__ = [
     "AbftResult",
+    "ProtectedResult",
     "aabft_matmul",
     "sea_abft_matmul",
     "fixed_abft_matmul",
@@ -59,81 +52,54 @@ DEFAULT_BLOCK_SIZE = 64
 DEFAULT_P = 2
 
 
-@dataclass
-class AbftResult:
-    """Everything an ABFT-protected multiplication produced.
-
-    Attributes
-    ----------
-    c:
-        The data result matrix (checksums and padding stripped) — what an
-        unprotected ``a @ b`` would have returned.
-    c_fc:
-        The raw full-checksum result (encoded coordinates).
-    report:
-        The checksum check report.
-    row_layout / col_layout:
-        Layouts of the encoded result (for error location / correction).
-    provider:
-        The epsilon provider used for the check (reusable for re-checks and
-        correction verification).
-    """
-
-    c: np.ndarray
-    c_fc: np.ndarray
-    report: CheckReport
-    row_layout: PartitionedLayout
-    col_layout: PartitionedLayout
-    provider: EpsilonProvider
-
-    @property
-    def detected(self) -> bool:
-        """Whether the check flagged any comparison."""
-        return self.report.error_detected
+def _warn_positional(func: str, names: list[str]) -> None:
+    warnings.warn(
+        f"passing {', '.join(names)} to {func}() positionally is deprecated; "
+        "use keyword arguments or an AbftConfig",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
-def _prepare(
-    a: np.ndarray, b: np.ndarray, block_size: int
-) -> tuple[np.ndarray, np.ndarray, tuple[int, int], tuple[int, int]]:
-    a = np.asarray(a)
-    b = np.asarray(b)
-    # Compute in the caller's precision (binary32 or binary64); anything
-    # else is promoted to binary64.
-    if a.dtype != np.float32 or b.dtype != np.float32:
-        a = a.astype(np.float64, copy=False)
-        b = b.astype(np.float64, copy=False)
-    if a.ndim != 2 or b.ndim != 2:
-        raise ShapeError("operands must be 2-D matrices")
-    if a.shape[1] != b.shape[0]:
-        raise ShapeError(
-            f"inner dimensions disagree: A is {a.shape}, B is {b.shape}"
+def _consume_positional(func: str, args: tuple, names: list[str]) -> dict:
+    """Map legacy positional tuning arguments onto their keyword names."""
+    if not args:
+        return {}
+    if len(args) > len(names):
+        raise TypeError(
+            f"{func}() takes at most {2 + len(names)} positional arguments "
+            f"({2 + len(args)} given)"
         )
-    a_pad, a_added = pad_to_block_multiple(a, block_size, axis=0)
-    b_pad, b_added = pad_to_block_multiple(b, block_size, axis=1)
-    return a_pad, b_pad, a_added, b_added
+    used = names[: len(args)]
+    _warn_positional(func, used)
+    return dict(zip(used, args))
 
 
-def _extract_data(
-    c_fc: np.ndarray,
-    row_layout: PartitionedLayout,
-    col_layout: PartitionedLayout,
-    rows_added: int,
-    cols_added: int,
-) -> np.ndarray:
-    data = c_fc[np.ix_(row_layout.all_data_indices(), col_layout.all_data_indices())]
-    rows = data.shape[0] - rows_added
-    cols = data.shape[1] - cols_added
-    return np.ascontiguousarray(data[:rows, :cols])
+def _build_config(
+    func: str, base: AbftConfig | None, scheme: str, overrides: dict
+) -> AbftConfig:
+    """Resolve the effective config: explicit kwargs override ``base``."""
+    changes = {k: v for k, v in overrides.items() if v is not None}
+    changes["scheme"] = scheme
+    if base is None:
+        return AbftConfig(**changes)
+    if not isinstance(base, AbftConfig):
+        raise TypeError(
+            f"{func}() config must be an AbftConfig, got {type(base).__name__}"
+        )
+    return base.replace(**changes)
 
 
 def aabft_matmul(
     a: np.ndarray,
     b: np.ndarray,
-    block_size: int = DEFAULT_BLOCK_SIZE,
-    p: int = DEFAULT_P,
-    omega: float = 3.0,
-    fma: bool = False,
-    epsilon_floor: float = 0.0,
+    *args,
+    config: AbftConfig | None = None,
+    block_size: int | None = None,
+    p: int | None = None,
+    omega: float | None = None,
+    fma: bool | None = None,
+    epsilon_floor: float | None = None,
 ) -> AbftResult:
     """ABFT matmul with autonomous probabilistic error bounds (A-ABFT).
 
@@ -145,6 +111,9 @@ def aabft_matmul(
         When both operands are float32 the whole scheme runs in binary32
         (GPU single precision) with bounds for ``t = 24``; otherwise
         binary64.
+    config:
+        An :class:`repro.engine.AbftConfig` carrying every tuning knob.
+        Individual keyword arguments below override its fields.
     block_size:
         Partitioned-encoding block size ``BS``.
     p:
@@ -161,98 +130,69 @@ def aabft_matmul(
         still carries rounding noise, causing false positives.  A floor of
         ``n * 2**-t * max|C|`` restores zero false positives; the default 0
         is paper-faithful.  See docs/THEORY.md.
+
+    Passing the tuning arguments positionally (the pre-engine signature) is
+    deprecated; calls go through the shared :func:`repro.engine.default_engine`.
     """
-    a_pad, b_pad, (rows_added, _), (_, cols_added) = _prepare(a, b, block_size)
-    a_cc, row_layout = encode_partitioned_columns(a_pad, block_size)
-    b_rc, col_layout = encode_partitioned_rows(b_pad, block_size)
-
-    # Runtime top-p determination over the encoded operands (the encoding
-    # kernel tracks checksum magnitudes too — Algorithm 1's localSums).
-    row_tops = top_p_of_rows(a_cc, p)
-    col_tops = top_p_of_columns(b_rc, p)
-
-    c_fc = a_cc @ b_rc
-    provider = AABFTEpsilonProvider(
-        scheme=ProbabilisticBound(
-            omega=omega, fma=fma, fmt=format_for_dtype(c_fc.dtype)
+    overrides = _consume_positional(
+        "aabft_matmul", args, ["block_size", "p", "omega", "fma", "epsilon_floor"]
+    )
+    overrides.update(
+        block_size=block_size if block_size is not None else overrides.get("block_size"),
+        p=p if p is not None else overrides.get("p"),
+        omega=omega if omega is not None else overrides.get("omega"),
+        fma=fma if fma is not None else overrides.get("fma"),
+        epsilon_floor=(
+            epsilon_floor if epsilon_floor is not None else overrides.get("epsilon_floor")
         ),
-        row_tops=row_tops,
-        col_tops=col_tops,
-        row_layout=row_layout,
-        col_layout=col_layout,
-        inner_dim=a_pad.shape[1],
-        epsilon_floor=epsilon_floor,
     )
-    report = check_partitioned(c_fc, row_layout, col_layout, provider)
-    c = _extract_data(c_fc, row_layout, col_layout, rows_added, cols_added)
-    return AbftResult(
-        c=c,
-        c_fc=c_fc,
-        report=report,
-        row_layout=row_layout,
-        col_layout=col_layout,
-        provider=provider,
-    )
+    cfg = _build_config("aabft_matmul", config, "aabft", overrides)
+    from ..engine import default_engine
+
+    return default_engine().matmul(a, b, config=cfg)
 
 
 def sea_abft_matmul(
     a: np.ndarray,
     b: np.ndarray,
-    block_size: int = DEFAULT_BLOCK_SIZE,
+    *args,
+    config: AbftConfig | None = None,
+    block_size: int | None = None,
 ) -> AbftResult:
     """ABFT matmul with simplified-error-analysis bounds (SEA-ABFT baseline)."""
-    a_pad, b_pad, (rows_added, _), (_, cols_added) = _prepare(a, b, block_size)
-    a_cc, row_layout = encode_partitioned_columns(a_pad, block_size)
-    b_rc, col_layout = encode_partitioned_rows(b_pad, block_size)
-
-    a_row_norms = np.linalg.norm(a_cc, axis=1)
-    b_col_norms = np.linalg.norm(b_rc, axis=0)
-
-    c_fc = a_cc @ b_rc
-    provider = SEAEpsilonProvider(
-        scheme=SEABound(fmt=format_for_dtype(c_fc.dtype)),
-        a_row_norms=a_row_norms,
-        b_col_norms=b_col_norms,
-        row_layout=row_layout,
-        col_layout=col_layout,
-        inner_dim=a_pad.shape[1],
+    overrides = _consume_positional("sea_abft_matmul", args, ["block_size"])
+    overrides.update(
+        block_size=block_size if block_size is not None else overrides.get("block_size"),
     )
-    report = check_partitioned(c_fc, row_layout, col_layout, provider)
-    c = _extract_data(c_fc, row_layout, col_layout, rows_added, cols_added)
-    return AbftResult(
-        c=c,
-        c_fc=c_fc,
-        report=report,
-        row_layout=row_layout,
-        col_layout=col_layout,
-        provider=provider,
-    )
+    cfg = _build_config("sea_abft_matmul", config, "sea", overrides)
+    from ..engine import default_engine
+
+    return default_engine().matmul(a, b, config=cfg)
 
 
 def fixed_abft_matmul(
     a: np.ndarray,
     b: np.ndarray,
-    epsilon: float,
-    block_size: int = DEFAULT_BLOCK_SIZE,
+    epsilon: float | None = None,
+    *args,
+    config: AbftConfig | None = None,
+    block_size: int | None = None,
 ) -> AbftResult:
     """ABFT matmul with a manually chosen absolute tolerance (baseline).
 
-    ``epsilon`` must be supplied by the user — the scheme the paper's
-    Table I lists as "ABFT", fast but not autonomous.
+    ``epsilon`` must be supplied by the user (directly or as
+    ``config.fixed_epsilon``) — the scheme the paper's Table I lists as
+    "ABFT", fast but not autonomous.
     """
-    FixedBound(epsilon)  # validate the tolerance eagerly
-    a_pad, b_pad, (rows_added, _), (_, cols_added) = _prepare(a, b, block_size)
-    a_cc, row_layout = encode_partitioned_columns(a_pad, block_size)
-    b_rc, col_layout = encode_partitioned_rows(b_pad, block_size)
-    c_fc = a_cc @ b_rc
-    provider = ConstantEpsilonProvider(epsilon)
-    report = check_partitioned(c_fc, row_layout, col_layout, provider)
-    c = _extract_data(c_fc, row_layout, col_layout, rows_added, cols_added)
-    return AbftResult(
-        c=c,
-        c_fc=c_fc,
-        report=report,
-        row_layout=row_layout,
-        col_layout=col_layout,
-        provider=provider,
+    overrides = _consume_positional("fixed_abft_matmul", args, ["block_size"])
+    overrides.update(
+        block_size=block_size if block_size is not None else overrides.get("block_size"),
     )
+    if epsilon is not None:
+        overrides["fixed_epsilon"] = epsilon
+    elif config is None or config.fixed_epsilon is None:
+        raise TypeError("fixed_abft_matmul() missing required argument: 'epsilon'")
+    cfg = _build_config("fixed_abft_matmul", config, "fixed", overrides)
+    from ..engine import default_engine
+
+    return default_engine().matmul(a, b, config=cfg)

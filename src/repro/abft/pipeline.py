@@ -58,7 +58,13 @@ def _tile_divisor(stride: int, preferred_max: int = 8) -> int:
 
 @dataclass
 class PipelineResult:
-    """Output of one simulated protected multiplication."""
+    """Output of one simulated protected multiplication.
+
+    Exposes the same read-only core (``.c``, ``.detected``, ``.report``) as
+    the host path's :class:`~repro.abft.result.AbftResult`, so it satisfies
+    the :class:`~repro.abft.result.ProtectedResult` protocol and the two
+    paths are interchangeable to downstream code.
+    """
 
     c_fc: np.ndarray
     report: CheckReport

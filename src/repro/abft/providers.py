@@ -13,7 +13,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..bounds.base import BoundContext, BoundScheme
-from ..bounds.upper_bound import TopP, determine_upper_bound
+from ..bounds.sea import SEABound, sea_epsilon_array
+from ..bounds.upper_bound import TopP, determine_upper_bound, upper_bound_grid_arrays
 from .encoding import PartitionedLayout
 
 __all__ = [
@@ -34,6 +35,18 @@ class ConstantEpsilonProvider:
 
     def row_epsilon(self, encoded_row: int, block_col: int) -> float:
         return self.epsilon_value
+
+    def epsilon_grids(
+        self, row_layout: PartitionedLayout, col_layout: PartitionedLayout
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Dense ``(column, row)`` tolerance grids for the fast check path."""
+        col = np.full(
+            (row_layout.num_blocks, col_layout.encoded_rows), self.epsilon_value
+        )
+        row = np.full(
+            (row_layout.encoded_rows, col_layout.num_blocks), self.epsilon_value
+        )
+        return col, row
 
 
 class AABFTEpsilonProvider:
@@ -117,6 +130,51 @@ class AABFTEpsilonProvider:
             self.row_tops[encoded_row], self.col_tops[encoded_col]
         )
 
+    def _stacked_tops(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Top-p data stacked into ``(k, p)`` arrays (cached after first use)."""
+        cached = getattr(self, "_stacked", None)
+        if cached is None:
+            cached = (
+                np.stack([t.values for t in self.row_tops]),
+                np.stack([t.indices for t in self.row_tops]),
+                np.stack([t.values for t in self.col_tops]),
+                np.stack([t.indices for t in self.col_tops]),
+            )
+            self._stacked = cached
+        return cached
+
+    def epsilon_grids(
+        self, row_layout: PartitionedLayout, col_layout: PartitionedLayout
+    ) -> tuple[np.ndarray, np.ndarray] | None:
+        """Dense tolerance grids, vectorised (the engine's fast check path).
+
+        Returns ``(column, row)`` epsilon arrays bitwise equal to looping
+        :meth:`column_epsilon` / :meth:`row_epsilon` over every comparison,
+        or ``None`` when the bound scheme has no array form (the caller then
+        falls back to the scalar check).  The provider's own layouts are
+        authoritative; the arguments are accepted for interface uniformity.
+        """
+        epsilon_array = getattr(self.scheme, "epsilon_array", None)
+        if epsilon_array is None:
+            return None
+        row_vals, row_idx, col_vals, col_idx = self._stacked_tops()
+        cs_rows = self.row_layout.all_checksum_indices()
+        cs_cols = self.col_layout.all_checksum_indices()
+        col_y = upper_bound_grid_arrays(
+            row_vals[cs_rows], row_idx[cs_rows], col_vals, col_idx
+        )
+        row_y = upper_bound_grid_arrays(
+            row_vals, row_idx, col_vals[cs_cols], col_idx[cs_cols]
+        )
+        col_eps = epsilon_array(self.inner_dim, col_y)
+        row_eps = epsilon_array(self.inner_dim, row_y)
+        if self.epsilon_floor > 0.0:
+            col_eps = np.maximum(col_eps, self.epsilon_floor)
+            row_eps = np.maximum(row_eps, self.epsilon_floor)
+        return col_eps, row_eps
+
 
 class SEAEpsilonProvider:
     """Tolerances from the simplified error analysis (SEA-ABFT baseline).
@@ -188,3 +246,46 @@ class SEAEpsilonProvider:
             b_norm=float(self.a_row_norms[encoded_row]),
         )
         return self.scheme.epsilon(ctx)
+
+    def epsilon_grids(
+        self, row_layout: PartitionedLayout, col_layout: PartitionedLayout
+    ) -> tuple[np.ndarray, np.ndarray] | None:
+        """Dense tolerance grids, vectorised (the engine's fast check path).
+
+        Bitwise equal to looping the scalar methods; ``None`` when the bound
+        scheme is not the plain :class:`~repro.bounds.sea.SEABound` (custom
+        schemes fall back to the scalar check).
+        """
+        if type(self.scheme) is not SEABound:
+            return None
+        t = self.scheme.fmt.t
+        n = self.inner_dim
+        col_eps = np.empty((self.row_layout.num_blocks, self.col_layout.encoded_rows))
+        m = self.row_layout.block_size
+        for blk in range(self.row_layout.num_blocks):
+            data_norms = self.a_row_norms[self.row_layout.data_indices(blk)]
+            col_eps[blk, :] = sea_epsilon_array(
+                n=n,
+                m=m,
+                data_norm_sum=float(data_norms.sum()),
+                checksum_row_norm=float(
+                    self.a_row_norms[self.row_layout.checksum_index(blk)]
+                ),
+                b_norms=self.b_col_norms,
+                t=t,
+            )
+        row_eps = np.empty((self.row_layout.encoded_rows, self.col_layout.num_blocks))
+        m_t = self.col_layout.block_size
+        for blk in range(self.col_layout.num_blocks):
+            data_norms = self.b_col_norms[self.col_layout.data_indices(blk)]
+            row_eps[:, blk] = sea_epsilon_array(
+                n=n,
+                m=m_t,
+                data_norm_sum=float(data_norms.sum()),
+                checksum_row_norm=float(
+                    self.b_col_norms[self.col_layout.checksum_index(blk)]
+                ),
+                b_norms=self.a_row_norms,
+                t=t,
+            )
+        return col_eps, row_eps

@@ -1,0 +1,88 @@
+"""Result objects of protected multiplications and their shared surface.
+
+Every protected-multiplication path in the library — the host path
+(:mod:`repro.abft.multiply` / :class:`repro.engine.MatmulEngine`) and the
+simulated GPU pipeline (:mod:`repro.abft.pipeline`) — returns an object with
+the same read-only core: ``.c`` (the data result), ``.detected`` (whether
+any checksum comparison failed) and ``.report`` (the full
+:class:`~repro.abft.checking.CheckReport`).  :class:`ProtectedResult` names
+that contract as a structural protocol, so callers can swap the host path
+and the simulated pipeline without branching::
+
+    def run_protected(mult) -> np.ndarray:
+        result: ProtectedResult = mult()      # host or pipeline, same code
+        if result.detected:
+            raise RuntimeError(result.report.findings)
+        return result.c
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from .checking import CheckReport, EpsilonProvider
+from .encoding import PartitionedLayout
+
+__all__ = ["ProtectedResult", "AbftResult"]
+
+
+@runtime_checkable
+class ProtectedResult(Protocol):
+    """Read-only surface shared by every protected-multiplication result.
+
+    Both :class:`AbftResult` (host path) and
+    :class:`~repro.abft.pipeline.PipelineResult` (simulated GPU pipeline)
+    satisfy this protocol structurally; ``isinstance`` checks work because
+    the protocol is runtime-checkable.
+    """
+
+    @property
+    def c(self) -> np.ndarray:
+        """The data result matrix (checksums and padding stripped)."""
+        ...
+
+    @property
+    def detected(self) -> bool:
+        """Whether the check flagged any comparison."""
+        ...
+
+    @property
+    def report(self) -> CheckReport:
+        """The checksum check report."""
+        ...
+
+
+@dataclass
+class AbftResult:
+    """Everything an ABFT-protected multiplication produced.
+
+    Attributes
+    ----------
+    c:
+        The data result matrix (checksums and padding stripped) — what an
+        unprotected ``a @ b`` would have returned.
+    c_fc:
+        The raw full-checksum result (encoded coordinates).
+    report:
+        The checksum check report.
+    row_layout / col_layout:
+        Layouts of the encoded result (for error location / correction).
+    provider:
+        The epsilon provider used for the check (reusable for re-checks and
+        correction verification).
+    """
+
+    c: np.ndarray
+    c_fc: np.ndarray
+    report: CheckReport
+    row_layout: PartitionedLayout
+    col_layout: PartitionedLayout
+    provider: EpsilonProvider
+
+    @property
+    def detected(self) -> bool:
+        """Whether the check flagged any comparison."""
+        return self.report.error_detected

@@ -23,7 +23,12 @@ from .probabilistic import (
     inner_product_mean_bound,
     inner_product_sigma_bound,
 )
-from .upper_bound import TopP, top_p_of_columns, top_p_of_rows
+from .upper_bound import (
+    TopP,
+    top_p_of_columns,
+    top_p_of_rows,
+    upper_bound_grid_arrays,
+)
 
 __all__ = ["ErrorMap", "upper_bound_grid", "rounding_error_map"]
 
@@ -89,22 +94,7 @@ def upper_bound_grid(row_tops: list[TopP], col_tops: list[TopP]) -> np.ndarray:
     row_idx = np.stack([t.indices for t in row_tops])
     col_vals = np.stack([t.values for t in col_tops])  # (q, p)
     col_idx = np.stack([t.indices for t in col_tops])
-
-    # Cases 2 and 3: max of one side times the p-th largest of the other.
-    y = np.maximum(
-        np.outer(row_vals[:, 0], col_vals[:, -1]),
-        np.outer(row_vals[:, -1], col_vals[:, 0]),
-    )
-    # Case 1: shared indices pair their actual values.
-    p_row = row_vals.shape[1]
-    p_col = col_vals.shape[1]
-    for ri in range(p_row):
-        for ci in range(p_col):
-            match = row_idx[:, ri][:, None] == col_idx[:, ci][None, :]
-            if np.any(match):
-                candidate = np.outer(row_vals[:, ri], col_vals[:, ci])
-                np.maximum(y, np.where(match, candidate, -np.inf), out=y)
-    return y
+    return upper_bound_grid_arrays(row_vals, row_idx, col_vals, col_idx)
 
 
 def rounding_error_map(

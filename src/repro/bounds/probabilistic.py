@@ -26,6 +26,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..errors import BoundSchemeError
 from ..fp.constants import BINARY64, FloatFormat
 from .base import BoundContext, BoundScheme
@@ -188,6 +190,28 @@ class ProbabilisticBound(BoundScheme):
         ev = inner_product_mean_bound(ctx.n, ctx.upper_bound, t, self.fma)
         sigma = inner_product_sigma_bound(ctx.n, ctx.upper_bound, t, self.fma)
         return abs(ev) + self.omega * sigma
+
+    def epsilon_array(self, n: int, y: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`epsilon` over a grid of upper bounds ``y``.
+
+        Evaluates the same closed forms elementwise (identical operation
+        order, so results are bitwise equal to scalar calls); used by the
+        engine's plan-cached fast checking path.
+        """
+        y = np.asarray(y, dtype=np.float64)
+        if np.any(y < 0.0) or not np.all(np.isfinite(y)):
+            raise BoundSchemeError(
+                "upper bound y must be finite and non-negative everywhere"
+            )
+        _require_positive_n(n)
+        t = self.fmt.t
+        poly = n * (n + 1) * (2 * n + 1) / 6.0
+        variance = np.ldexp(poly * y * y / 8.0, -2 * t)
+        if self.fma:
+            return self.omega * np.sqrt(variance)
+        variance = variance + np.ldexp(n * y * y / 12.0, -2 * t)
+        ev = np.ldexp(n * y / 3.0, -2 * t)
+        return ev + self.omega * np.sqrt(variance)
 
     def describe(self) -> str:
         fma = ", fma" if self.fma else ""

@@ -28,7 +28,7 @@ from ..errors import BoundSchemeError
 from ..fp.constants import BINARY64, FloatFormat
 from .base import BoundContext, BoundScheme
 
-__all__ = ["sea_epsilon", "SEABound"]
+__all__ = ["sea_epsilon", "sea_epsilon_array", "SEABound"]
 
 
 def sea_epsilon(
@@ -62,6 +62,32 @@ def sea_epsilon(
     eps_m = math.ldexp(1.0, -t)
     first = (n + 2 * m - 2) * b_norm * float(norms.sum())
     second = n * checksum_row_norm * b_norm
+    return (first + second) * eps_m
+
+
+def sea_epsilon_array(
+    n: int,
+    m: int,
+    data_norm_sum: float,
+    checksum_row_norm: float,
+    b_norms: np.ndarray,
+    t: int,
+) -> np.ndarray:
+    """Vectorised :func:`sea_epsilon` over many checked columns at once.
+
+    ``data_norm_sum`` is the summed Euclidean norm of the ``m`` data rows of
+    one checksum group and ``b_norms`` the norms of all checked columns.
+    Operation order mirrors the scalar form exactly, so results are bitwise
+    equal; used by the engine's plan-cached fast checking path.
+    """
+    if m < 1:
+        raise ValueError("at least one data row norm is required")
+    if n < 1:
+        raise ValueError(f"inner dimension must be >= 1, got {n}")
+    b_norms = np.asarray(b_norms, dtype=np.float64)
+    eps_m = math.ldexp(1.0, -t)
+    first = (n + 2 * m - 2) * b_norms * data_norm_sum
+    second = n * checksum_row_norm * b_norms
     return (first + second) * eps_m
 
 

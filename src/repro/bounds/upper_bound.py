@@ -24,7 +24,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["TopP", "top_p_of_rows", "top_p_of_columns", "determine_upper_bound", "exact_upper_bound"]
+__all__ = [
+    "TopP",
+    "top_p_of_rows",
+    "top_p_of_columns",
+    "top_p_arrays",
+    "determine_upper_bound",
+    "upper_bound_grid_arrays",
+    "exact_upper_bound",
+]
 
 
 @dataclass(frozen=True)
@@ -58,7 +66,18 @@ class TopP:
         return float(self.values[-1])
 
 
-def _top_p_along(matrix: np.ndarray, p: int, axis: int) -> list[TopP]:
+def top_p_arrays(
+    matrix: np.ndarray, p: int, axis: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Stacked top-p values and indices of every vector along ``axis``.
+
+    Returns ``(values, indices)`` of shape ``(k, p)`` where ``k`` is the
+    number of vectors (rows for ``axis=1``, columns for ``axis=0``) and each
+    row holds the vector's ``p`` largest absolute values in descending order.
+    This is the array form of :func:`top_p_of_rows` /
+    :func:`top_p_of_columns`; the engine's vectorised checking path consumes
+    it directly without materialising per-vector :class:`TopP` objects.
+    """
     matrix = np.asarray(matrix, dtype=np.float64)
     if matrix.ndim != 2:
         raise ValueError(f"expected a 2-D matrix, got shape {matrix.shape}")
@@ -74,13 +93,18 @@ def _top_p_along(matrix: np.ndarray, p: int, axis: int) -> list[TopP]:
         order = np.argsort(-vals, axis=1)
         idx = np.take_along_axis(idx, order, axis=1)
         vals = np.take_along_axis(vals, order, axis=1)
-        return [TopP(values=vals[i], indices=idx[i]) for i in range(matrix.shape[0])]
+        return vals, idx
     idx = part[length - p :, :]
     vals = np.take_along_axis(absolute, idx, axis=0)
     order = np.argsort(-vals, axis=0)
     idx = np.take_along_axis(idx, order, axis=0)
     vals = np.take_along_axis(vals, order, axis=0)
-    return [TopP(values=vals[:, j], indices=idx[:, j]) for j in range(matrix.shape[1])]
+    return vals.T, idx.T
+
+
+def _top_p_along(matrix: np.ndarray, p: int, axis: int) -> list[TopP]:
+    vals, idx = top_p_arrays(matrix, p, axis)
+    return [TopP(values=v, indices=i) for v, i in zip(vals, idx)]
 
 
 def top_p_of_rows(matrix: np.ndarray, p: int) -> list[TopP]:
@@ -104,6 +128,35 @@ def determine_upper_bound(row_top: TopP, col_top: TopP) -> float:
     if shared.size:
         candidates.append(float(np.max(row_top.values[a_pos] * col_top.values[b_pos])))
     return max(candidates)
+
+
+def upper_bound_grid_arrays(
+    row_vals: np.ndarray,
+    row_idx: np.ndarray,
+    col_vals: np.ndarray,
+    col_idx: np.ndarray,
+) -> np.ndarray:
+    """Vectorised three-case ``y`` for every (row, column) pair.
+
+    Array form of :func:`determine_upper_bound`: ``row_vals``/``row_idx`` are
+    the stacked ``(k_rows, p)`` top-p data of the row vectors (as produced by
+    :func:`top_p_arrays`), ``col_vals``/``col_idx`` of the column vectors.
+    Returns the ``(k_rows, k_cols)`` grid of upper bounds, bitwise equal to
+    calling :func:`determine_upper_bound` on every pair.
+    """
+    # Cases 2 and 3: max of one side times the p-th largest of the other.
+    y = np.maximum(
+        np.outer(row_vals[:, 0], col_vals[:, -1]),
+        np.outer(row_vals[:, -1], col_vals[:, 0]),
+    )
+    # Case 1: shared indices pair their actual values.
+    for ri in range(row_vals.shape[1]):
+        for ci in range(col_vals.shape[1]):
+            match = row_idx[:, ri][:, None] == col_idx[:, ci][None, :]
+            if np.any(match):
+                candidate = np.outer(row_vals[:, ri], col_vals[:, ci])
+                np.maximum(y, np.where(match, candidate, -np.inf), out=y)
+    return y
 
 
 def exact_upper_bound(a_row: np.ndarray, b_col: np.ndarray) -> float:

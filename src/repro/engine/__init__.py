@@ -1,0 +1,50 @@
+"""Plan-caching batched execution engine for protected multiplications.
+
+The classic one-shot functions (:func:`repro.abft.aabft_matmul` and
+friends) rebuild every piece of shape-dependent state — partitioned
+layouts, padding buffers, bound-scheme objects — on each call, and check
+tolerances one scalar comparison at a time.  This package amortises all of
+that behind a session object:
+
+* :class:`AbftConfig` — every tuning knob (block size, top-p depth, omega,
+  FMA modelling, tolerance floor, bound scheme) in one frozen, hashable
+  value object;
+* :class:`MatmulEngine` — caches execution plans per ``(shape, dtype,
+  config)`` with LRU eviction, encodes operands once for reuse
+  (:meth:`MatmulEngine.encode`), fans batches out across a thread pool
+  (:meth:`MatmulEngine.matmul_many`) and publishes counters
+  (:meth:`MatmulEngine.stats`);
+* :func:`default_engine` — the lazily created module-level engine the
+  classic matmul functions route through, so even legacy call sites
+  benefit from plan caching.
+
+Example
+-------
+>>> import numpy as np
+>>> from repro.engine import AbftConfig, MatmulEngine
+>>> rng = np.random.default_rng(0)
+>>> engine = MatmulEngine(AbftConfig(block_size=32))
+>>> a = rng.uniform(-1, 1, (64, 64)); b = rng.uniform(-1, 1, (64, 64))
+>>> results = engine.matmul_many(a, [b, b + 1.0])
+>>> [r.detected for r in results]
+[False, False]
+>>> engine.stats().plan_hits
+1
+"""
+
+from .config import SCHEMES, AbftConfig
+from .engine import EncodedOperand, MatmulEngine, default_engine
+from .plan import ExecutionPlan, PlanCache, build_plan
+from .stats import EngineStats
+
+__all__ = [
+    "AbftConfig",
+    "SCHEMES",
+    "MatmulEngine",
+    "EncodedOperand",
+    "EngineStats",
+    "ExecutionPlan",
+    "PlanCache",
+    "build_plan",
+    "default_engine",
+]

@@ -1,0 +1,95 @@
+"""The unified configuration object for protected multiplications.
+
+Every tuning knob of the matmul family — encoding block size, top-p depth,
+confidence scale, FMA modelling, tolerance floor, bound scheme — lives in
+one frozen, hashable :class:`AbftConfig`.  Engines key their execution-plan
+caches on ``(shape, dtype, config)``, so two calls with equal configs share
+all shape-dependent setup.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from ..bounds.fixed import FixedBound
+from ..errors import ConfigurationError
+
+__all__ = ["AbftConfig", "SCHEMES"]
+
+#: The bound schemes a config may select (paper Table I rows).
+SCHEMES = ("aabft", "sea", "fixed")
+
+
+@dataclass(frozen=True)
+class AbftConfig:
+    """Immutable tuning parameters of one protected multiplication.
+
+    Parameters
+    ----------
+    block_size:
+        Partitioned-encoding block size ``BS`` (paper Section VI-B: 64).
+    p:
+        Number of tracked largest absolute values per vector (Section IV-E).
+        Only the ``"aabft"`` scheme consumes it.
+    omega:
+        Confidence scale of the probabilistic bound (paper default: 3).
+    fma:
+        Model a fused multiply-add pipeline (Section IV-D).
+    epsilon_floor:
+        Absolute tolerance floor for inputs whose checksum vectors cancel
+        to (near) zero; the default 0 is paper-faithful (see docs/THEORY.md).
+    scheme:
+        ``"aabft"`` (autonomous), ``"sea"`` (norm-based baseline) or
+        ``"fixed"`` (manual tolerance).
+    fixed_epsilon:
+        The manual tolerance; required when ``scheme="fixed"``.
+
+    The dataclass is frozen and hashable, so it can key plan caches and be
+    shared freely between threads.  Use :meth:`replace` to derive variants.
+    """
+
+    block_size: int = 64
+    p: int = 2
+    omega: float = 3.0
+    fma: bool = False
+    epsilon_floor: float = 0.0
+    scheme: str = "aabft"
+    fixed_epsilon: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.scheme not in SCHEMES:
+            raise ConfigurationError(
+                f"unknown scheme {self.scheme!r}; expected one of {SCHEMES}"
+            )
+        if self.block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {self.block_size}")
+        if self.p < 1:
+            raise ValueError(f"p must be >= 1, got {self.p}")
+        if not (self.omega > 0.0 and math.isfinite(self.omega)):
+            raise ValueError(f"omega must be positive and finite, got {self.omega}")
+        if self.epsilon_floor < 0.0 or not math.isfinite(self.epsilon_floor):
+            raise ValueError(
+                f"epsilon_floor must be >= 0, got {self.epsilon_floor}"
+            )
+        if self.scheme == "fixed":
+            if self.fixed_epsilon is None:
+                raise ConfigurationError("scheme='fixed' requires fixed_epsilon")
+            FixedBound(float(self.fixed_epsilon))  # validate eagerly
+
+    def replace(self, **changes) -> "AbftConfig":
+        """A copy with the given fields replaced (validation re-runs)."""
+        return replace(self, **changes)
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        parts = [f"scheme={self.scheme}", f"block_size={self.block_size}"]
+        if self.scheme == "aabft":
+            parts += [f"p={self.p}", f"omega={self.omega:g}"]
+            if self.fma:
+                parts.append("fma")
+            if self.epsilon_floor:
+                parts.append(f"floor={self.epsilon_floor:g}")
+        if self.scheme == "fixed":
+            parts.append(f"epsilon={self.fixed_epsilon:g}")
+        return "AbftConfig(" + ", ".join(parts) + ")"

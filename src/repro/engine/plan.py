@@ -1,0 +1,224 @@
+"""Cached per-(shape, dtype, config) execution plans.
+
+Building a protected multiplication involves shape-dependent setup that is
+identical across repeated same-shape calls: partitioned layouts for both
+encoded axes, padding geometry and workspaces, and the bound-scheme object.
+:class:`ExecutionPlan` bundles that setup; :class:`PlanCache` keeps plans in
+an LRU so iterative solvers and batch campaigns pay for it once.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..abft.encoding import PartitionedLayout
+from ..bounds.base import BoundScheme
+from ..bounds.fixed import FixedBound
+from ..bounds.probabilistic import ProbabilisticBound
+from ..bounds.sea import SEABound
+from ..fp.constants import FloatFormat, format_for_dtype
+from .config import AbftConfig
+
+__all__ = ["PlanKey", "ExecutionPlan", "PlanCache", "build_plan"]
+
+#: ``(m, n, q, dtype-name, config)`` — everything a plan depends on.
+PlanKey = tuple
+
+#: Workspaces above this size are never pooled (a handful of retained
+#: 8192x8192 buffers would pin gigabytes); below it, padding reuses buffers.
+_POOL_BYTE_LIMIT = 1 << 25
+
+
+class _WorkspacePool:
+    """A small thread-safe free-list of equally-shaped scratch buffers."""
+
+    def __init__(self, shape: tuple[int, ...], dtype: np.dtype, limit: int = 4):
+        self.shape = shape
+        self.dtype = dtype
+        self._limit = limit
+        self._free: deque[np.ndarray] = deque()
+        self._lock = threading.Lock()
+        nbytes = int(np.prod(shape)) * np.dtype(dtype).itemsize
+        self._poolable = nbytes <= _POOL_BYTE_LIMIT
+
+    def take(self) -> np.ndarray:
+        with self._lock:
+            if self._free:
+                return self._free.popleft()
+        return np.empty(self.shape, dtype=self.dtype)
+
+    def give(self, buffer: np.ndarray) -> None:
+        if not self._poolable:
+            return
+        with self._lock:
+            if len(self._free) < self._limit:
+                self._free.append(buffer)
+
+
+@dataclass
+class ExecutionPlan:
+    """All shape-dependent state of one ``(m, n) @ (n, q)`` protected matmul.
+
+    Attributes
+    ----------
+    key:
+        The cache key the plan was built for.
+    config:
+        The :class:`~repro.engine.config.AbftConfig` in effect.
+    dtype:
+        Computation dtype (float32 when both operands are float32).
+    m, n, q:
+        Unpadded operand dimensions.
+    rows_added / cols_added:
+        Zero padding appended to reach block multiples.
+    row_layout / col_layout:
+        Partitioned layouts of the encoded result axes.
+    scheme:
+        The reusable bound-scheme object for this dtype/config.
+    fmt:
+        The IEEE format of the computation dtype.
+    """
+
+    key: PlanKey
+    config: AbftConfig
+    dtype: np.dtype
+    m: int
+    n: int
+    q: int
+    rows_added: int
+    cols_added: int
+    row_layout: PartitionedLayout
+    col_layout: PartitionedLayout
+    scheme: BoundScheme
+    fmt: FloatFormat
+    _a_pool: _WorkspacePool = field(repr=False, default=None)
+    _b_pool: _WorkspacePool = field(repr=False, default=None)
+
+    @property
+    def padded_m(self) -> int:
+        return self.m + self.rows_added
+
+    @property
+    def padded_q(self) -> int:
+        return self.q + self.cols_added
+
+    def pad_a(self, a: np.ndarray) -> tuple[np.ndarray, np.ndarray | None]:
+        """Zero-pad ``a`` along axis 0, reusing a pooled workspace.
+
+        Returns ``(padded, workspace)``; pass the workspace to
+        :meth:`release` once the padded view is no longer needed.  When no
+        padding is required the operand is returned as-is.
+        """
+        if self.rows_added == 0:
+            return a, None
+        buf = self._a_pool.take()
+        buf[: self.m] = a
+        buf[self.m :] = 0.0
+        return buf, buf
+
+    def pad_b(self, b: np.ndarray) -> tuple[np.ndarray, np.ndarray | None]:
+        """Zero-pad ``b`` along axis 1, reusing a pooled workspace."""
+        if self.cols_added == 0:
+            return b, None
+        buf = self._b_pool.take()
+        buf[:, : self.q] = b
+        buf[:, self.q :] = 0.0
+        return buf, buf
+
+    def release(self, workspace: np.ndarray | None, side: str) -> None:
+        """Return a padding workspace to its pool."""
+        if workspace is None:
+            return
+        pool = self._a_pool if side == "a" else self._b_pool
+        pool.give(workspace)
+
+
+def build_plan(
+    m: int, n: int, q: int, dtype: np.dtype, config: AbftConfig
+) -> ExecutionPlan:
+    """Construct the execution plan for one shape/dtype/config triple."""
+    bs = config.block_size
+    rows_added = (-m) % bs
+    cols_added = (-q) % bs
+    row_layout = PartitionedLayout(data_rows=m + rows_added, block_size=bs)
+    col_layout = PartitionedLayout(data_rows=q + cols_added, block_size=bs)
+    fmt = format_for_dtype(dtype)
+    if config.scheme == "aabft":
+        scheme: BoundScheme = ProbabilisticBound(
+            omega=config.omega, fma=config.fma, fmt=fmt
+        )
+    elif config.scheme == "sea":
+        scheme = SEABound(fmt=fmt)
+    else:  # fixed — validated by AbftConfig.__post_init__
+        scheme = FixedBound(float(config.fixed_epsilon))
+    plan = ExecutionPlan(
+        key=(m, n, q, np.dtype(dtype).name, config),
+        config=config,
+        dtype=np.dtype(dtype),
+        m=m,
+        n=n,
+        q=q,
+        rows_added=rows_added,
+        cols_added=cols_added,
+        row_layout=row_layout,
+        col_layout=col_layout,
+        scheme=scheme,
+        fmt=fmt,
+    )
+    plan._a_pool = _WorkspacePool((m + rows_added, n), plan.dtype)
+    plan._b_pool = _WorkspacePool((n, q + cols_added), plan.dtype)
+    return plan
+
+
+class PlanCache:
+    """A thread-safe LRU cache of :class:`ExecutionPlan` objects."""
+
+    def __init__(self, maxsize: int = 128):
+        if maxsize < 1:
+            raise ValueError(f"plan cache size must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._plans: OrderedDict[PlanKey, ExecutionPlan] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(
+        self, m: int, n: int, q: int, dtype: np.dtype, config: AbftConfig
+    ) -> tuple[ExecutionPlan, bool]:
+        """The plan for the given key, building it on a miss.
+
+        Returns ``(plan, hit)`` where ``hit`` reports whether the plan was
+        served from cache.
+        """
+        key = (m, n, q, np.dtype(dtype).name, config)
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self._plans.move_to_end(key)
+                self.hits += 1
+                return plan, True
+        # Build outside the lock: plans are deterministic, so a racing
+        # duplicate build is wasteful but harmless.
+        plan = build_plan(m, n, q, dtype, config)
+        with self._lock:
+            self.misses += 1
+            self._plans[key] = plan
+            self._plans.move_to_end(key)
+            while len(self._plans) > self.maxsize:
+                self._plans.popitem(last=False)
+                self.evictions += 1
+        return plan, False
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+    def clear(self) -> None:
+        """Drop every cached plan (counters are retained)."""
+        with self._lock:
+            self._plans.clear()

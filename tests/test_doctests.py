@@ -5,8 +5,9 @@ import doctest
 import pytest
 
 import repro.abft.multiply
+import repro.engine
 
-MODULES_WITH_EXAMPLES = [repro.abft.multiply]
+MODULES_WITH_EXAMPLES = [repro.abft.multiply, repro.engine]
 
 
 @pytest.mark.parametrize(

@@ -1,5 +1,6 @@
 """Every example script must run cleanly (guards against API rot)."""
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -7,6 +8,7 @@ from pathlib import Path
 import pytest
 
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+SRC = EXAMPLES.parent / "src"
 
 #: script -> (argv, snippet that must appear in stdout)
 CASES = {
@@ -26,12 +28,19 @@ def test_example_runs(script, tmp_path):
     argv, snippet = CASES[script]
     if script == "gpu_trace_tour.py":
         argv = [str(tmp_path / "tour.trace.json")]
+    # The scripts import repro; make sure the subprocess finds src/ no
+    # matter how the test session itself was launched.
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(SRC)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
     result = subprocess.run(
         [sys.executable, str(EXAMPLES / script), *argv],
         capture_output=True,
         text=True,
         timeout=600,
         cwd=tmp_path,
+        env=env,
     )
     assert result.returncode == 0, result.stderr[-2000:]
     assert snippet in result.stdout, result.stdout[-2000:]

@@ -10,6 +10,7 @@ SUBPACKAGES = [
     "repro.abft",
     "repro.analysis",
     "repro.bounds",
+    "repro.engine",
     "repro.exact",
     "repro.experiments",
     "repro.faults",
