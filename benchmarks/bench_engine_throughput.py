@@ -14,10 +14,18 @@ Run directly::
     PYTHONPATH=src python benchmarks/bench_engine_throughput.py
 
 Results are written to ``BENCH_engine.json`` at the repository root.
+
+CI runs the smoke variant, which never rewrites the committed baseline —
+it loads it and fails when the warm per-call time regresses past the
+tolerance (generous by default so shared-runner noise doesn't flap)::
+
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py \
+        --quick --compare --tolerance 0.30
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import sys
 import time
@@ -41,8 +49,10 @@ from repro.fp.constants import format_for_dtype
 
 SIZE = 256
 REPEATS = 100
+QUICK_REPEATS = 20
 BLOCK_SIZE = 64
 P = 2
+DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 
 
 def seed_per_call_matmul(a: np.ndarray, b: np.ndarray) -> AbftResult:
@@ -89,39 +99,72 @@ def timed(fn) -> tuple[float, object]:
     return time.perf_counter() - start, out
 
 
-def main() -> int:
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="Warm-engine throughput benchmark (engine vs seed path)"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"reduced scale: {QUICK_REPEATS} repeats instead of {REPEATS}",
+    )
+    parser.add_argument(
+        "--compare",
+        action="store_true",
+        help="smoke mode: compare against the committed baseline instead of "
+        "rewriting it; exits 1 on a warm-path regression past --tolerance",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help="baseline JSON for --compare (default: repo BENCH_engine.json)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed warm per-call slowdown vs the baseline (default 0.30)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    repeats = QUICK_REPEATS if args.quick else REPEATS
+
     rng = np.random.default_rng(20140623)  # DSN 2014
     a = rng.uniform(-1, 1, (SIZE, SIZE))
-    bs = [rng.uniform(-1, 1, (SIZE, SIZE)) for _ in range(REPEATS)]
+    bs = [rng.uniform(-1, 1, (SIZE, SIZE)) for _ in range(repeats)]
 
     config = AbftConfig(block_size=BLOCK_SIZE, p=P)
     engine = MatmulEngine(config)
     engine.matmul(a, bs[0])  # warm the plan cache
 
-    print(f"{REPEATS} x A-ABFT matmul, {SIZE}x{SIZE}, BS={BLOCK_SIZE}, p={P}")
+    print(f"{repeats} x A-ABFT matmul, {SIZE}x{SIZE}, BS={BLOCK_SIZE}, p={P}")
 
     baseline_seconds, baseline_results = timed(
         lambda: [seed_per_call_matmul(a, b) for b in bs]
     )
     print(f"  seed per-call path : {baseline_seconds:8.2f} s "
-          f"({baseline_seconds / REPEATS * 1e3:7.1f} ms/call)")
+          f"({baseline_seconds / repeats * 1e3:7.1f} ms/call)")
 
     engine_seconds, engine_results = timed(
         lambda: [engine.matmul(a, b) for b in bs]
     )
     print(f"  warm engine        : {engine_seconds:8.2f} s "
-          f"({engine_seconds / REPEATS * 1e3:7.1f} ms/call)")
+          f"({engine_seconds / repeats * 1e3:7.1f} ms/call)")
 
     batched_seconds, batched_results = timed(lambda: engine.matmul_many(a, bs))
     print(f"  engine.matmul_many : {batched_seconds:8.2f} s "
-          f"({batched_seconds / REPEATS * 1e3:7.1f} ms/call)")
+          f"({batched_seconds / repeats * 1e3:7.1f} ms/call)")
 
     handle = engine.encode(a, side="a")
     handle_seconds, handle_results = timed(
         lambda: [engine.matmul(handle, b) for b in bs]
     )
     print(f"  encoded handle     : {handle_seconds:8.2f} s "
-          f"({handle_seconds / REPEATS * 1e3:7.1f} ms/call)")
+          f"({handle_seconds / repeats * 1e3:7.1f} ms/call)")
 
     # --- correctness: every path bitwise equal to the seed path ---------
     for name, results in (
@@ -145,9 +188,32 @@ def main() -> int:
     print("  injected single fault detected and located")
 
     speedup = baseline_seconds / engine_seconds
+
+    if args.compare:
+        if not args.baseline.exists():
+            print(f"FAIL: baseline {args.baseline} not found", file=sys.stderr)
+            return 1
+        committed = json.loads(args.baseline.read_text())
+        committed_per_call = committed["engine_seconds"] / committed["repeats"]
+        measured_per_call = engine_seconds / repeats
+        limit = committed_per_call * (1.0 + args.tolerance)
+        print(
+            f"  warm path vs baseline: {measured_per_call * 1e3:.2f} ms/call "
+            f"vs {committed_per_call * 1e3:.2f} ms/call "
+            f"(limit {limit * 1e3:.2f} ms/call = +{args.tolerance:.0%})"
+        )
+        if measured_per_call > limit:
+            print(
+                "FAIL: warm-path throughput regressed past the tolerance",
+                file=sys.stderr,
+            )
+            return 1
+        print("  warm-path throughput within tolerance")
+        return 0
+
     payload = {
         "size": SIZE,
-        "repeats": REPEATS,
+        "repeats": repeats,
         "block_size": BLOCK_SIZE,
         "p": P,
         "baseline_seconds": baseline_seconds,

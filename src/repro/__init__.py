@@ -26,6 +26,8 @@ Package map (see DESIGN.md for the full inventory):
 - :mod:`repro.workloads` — the paper's input-matrix distributions
 - :mod:`repro.perfmodel` / :mod:`repro.experiments` — Table I timing model
   and the per-table/figure experiment drivers
+- :mod:`repro.telemetry` — metrics registry, timing spans and sinks
+  (see docs/OBSERVABILITY.md)
 """
 
 from .abft import (
@@ -84,6 +86,15 @@ from .faults import (
     FaultSpec,
 )
 from .gpusim import K20C, DeviceSpec, GpuSimulator
+from .telemetry import (
+    NULL_REGISTRY,
+    InMemorySink,
+    JsonLinesSink,
+    MetricsRegistry,
+    PrometheusTextSink,
+    get_registry,
+    span,
+)
 
 __version__ = "0.1.0"
 
@@ -115,9 +126,14 @@ __all__ = [
     "FaultSpecError",
     "FixedBound",
     "GpuSimulator",
+    "InMemorySink",
+    "JsonLinesSink",
     "K20C",
     "KernelLaunchError",
     "MatmulEngine",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "PrometheusTextSink",
     "PipelineResult",
     "ProbabilisticBound",
     "ProtectedResult",
@@ -129,12 +145,14 @@ __all__ = [
     "correct_single_error",
     "default_engine",
     "fixed_abft_matmul",
+    "get_registry",
     "online_abft_matmul",
     "protected_lu",
     "protected_qr",
     "protected_solve",
     "rounding_error_map",
     "sea_abft_matmul",
+    "span",
     "weighted_abft_matmul",
     "__version__",
 ]

@@ -33,6 +33,7 @@ from ..kernels.matmul import BlockMatmulKernel
 from ..kernels.matmul_tiled import RegisterTiledMatmulKernel
 from ..kernels.norms import ColumnNormKernel, RowNormKernel
 from ..kernels.reduce import TopPReduceKernel
+from ..telemetry import MetricsRegistry, get_registry, span
 from .checking import CheckReport, build_report
 from .encoding import PartitionedLayout
 from .providers import (
@@ -110,6 +111,11 @@ class AABFTPipeline:
     matmul_kernel:
         ``"block"`` (fast path, default) or ``"tiled"`` (the
         structure-faithful register-tiled Algorithm 3 kernel; slower).
+    registry:
+        Telemetry target of the per-stage spans (``pipeline.encode`` /
+        ``pipeline.multiply`` / ``pipeline.check`` / ``pipeline.correct``
+        under ``pipeline.run``).  Defaults to the process-wide registry;
+        pass :data:`repro.telemetry.NULL_REGISTRY` to run unmetered.
     """
 
     def __init__(
@@ -122,6 +128,7 @@ class AABFTPipeline:
         fixed_epsilon: float | None = None,
         fma: bool = False,
         matmul_kernel: str = "block",
+        registry: MetricsRegistry | None = None,
     ) -> None:
         if scheme not in ("aabft", "sea", "fixed"):
             raise ConfigurationError(
@@ -141,6 +148,7 @@ class AABFTPipeline:
         self.fixed_epsilon = fixed_epsilon
         self.fma = fma
         self.matmul_kernel = matmul_kernel
+        self.registry = registry if registry is not None else get_registry()
 
     # ------------------------------------------------------------------
     def run(
@@ -161,6 +169,16 @@ class AABFTPipeline:
         path) and the check re-runs; the returned report reflects the
         corrected state.
         """
+        with span("pipeline.run", registry=self.registry, scheme=self.scheme):
+            return self._run(a, b, injector, auto_correct)
+
+    def _run(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        injector: FaultInjector | None,
+        auto_correct: bool,
+    ) -> PipelineResult:
         a = np.asarray(a, dtype=np.float64)
         b = np.asarray(b, dtype=np.float64)
         bs = self.block_size
@@ -182,9 +200,10 @@ class AABFTPipeline:
         d_a_cc = sim.alloc((row_layout.encoded_rows, n))
         d_b_rc = sim.alloc((n, col_layout.encoded_rows))
 
-        provider, upload_seconds = self._encode_and_prepare(
-            d_a, d_b, d_a_cc, d_b_rc, row_layout, col_layout, n, inner_blocks
-        )
+        with span("pipeline.encode", registry=self.registry):
+            provider, upload_seconds = self._encode_and_prepare(
+                d_a, d_b, d_a_cc, d_b_rc, row_layout, col_layout, n, inner_blocks
+            )
 
         # Matrix multiplication (stream "compute"), overlapped with the
         # top-p reduction which _encode_and_prepare put on stream "reduce".
@@ -210,54 +229,34 @@ class AABFTPipeline:
                 tile_cols=col_layout.stride,
                 injector=injector,
             )
-        if injector is not None:
-            config = matmul.launch_config()
-            injector.resolve(
-                sim.scheduler.assign(config),
-                (row_layout.stride, col_layout.stride),
-            )
-        sim.launch(matmul, stream="compute")
+        with span("pipeline.multiply", registry=self.registry,
+                  kernel=self.matmul_kernel):
+            if injector is not None:
+                config = matmul.launch_config()
+                injector.resolve(
+                    sim.scheduler.assign(config),
+                    (row_layout.stride, col_layout.stride),
+                )
+            sim.launch(matmul, stream="compute")
 
         # Checking kernel (Algorithm 2).
-        d_col_disc = sim.alloc((row_layout.num_blocks, col_layout.encoded_rows))
-        d_col_eps = sim.alloc((row_layout.num_blocks, col_layout.encoded_rows))
-        d_row_disc = sim.alloc((row_layout.encoded_rows, col_layout.num_blocks))
-        d_row_eps = sim.alloc((row_layout.encoded_rows, col_layout.num_blocks))
-        check = CheckKernel(
-            d_c,
-            row_layout,
-            col_layout,
-            provider,
-            d_col_disc,
-            d_col_eps,
-            d_row_disc,
-            d_row_eps,
-        )
-        sim.launch(check, stream="compute")
-
-        report = build_report(
-            sim.download(d_col_disc),
-            sim.download(d_col_eps),
-            sim.download(d_row_disc),
-            sim.download(d_row_eps),
-            row_layout,
-            col_layout,
-        )
-
-        corrected_blocks: tuple[tuple[int, int], ...] = ()
-        if auto_correct and report.located_errors:
-            d_status = sim.alloc((row_layout.num_blocks, col_layout.num_blocks))
-            sim.launch(
-                CorrectionKernel(
-                    d_c, report.located_errors, row_layout, col_layout, d_status
-                ),
-                stream="compute",
-            )
-            status = sim.download(d_status)
-            corrected_blocks = tuple(
-                (int(i), int(j)) for i, j in np.argwhere(status == 1.0)
+        with span("pipeline.check", registry=self.registry):
+            d_col_disc = sim.alloc((row_layout.num_blocks, col_layout.encoded_rows))
+            d_col_eps = sim.alloc((row_layout.num_blocks, col_layout.encoded_rows))
+            d_row_disc = sim.alloc((row_layout.encoded_rows, col_layout.num_blocks))
+            d_row_eps = sim.alloc((row_layout.encoded_rows, col_layout.num_blocks))
+            check = CheckKernel(
+                d_c,
+                row_layout,
+                col_layout,
+                provider,
+                d_col_disc,
+                d_col_eps,
+                d_row_disc,
+                d_row_eps,
             )
             sim.launch(check, stream="compute")
+
             report = build_report(
                 sim.download(d_col_disc),
                 sim.download(d_col_eps),
@@ -266,6 +265,33 @@ class AABFTPipeline:
                 row_layout,
                 col_layout,
             )
+
+        corrected_blocks: tuple[tuple[int, int], ...] = ()
+        if auto_correct and report.located_errors:
+            with span("pipeline.correct", registry=self.registry):
+                d_status = sim.alloc(
+                    (row_layout.num_blocks, col_layout.num_blocks)
+                )
+                sim.launch(
+                    CorrectionKernel(
+                        d_c, report.located_errors, row_layout, col_layout,
+                        d_status
+                    ),
+                    stream="compute",
+                )
+                status = sim.download(d_status)
+                corrected_blocks = tuple(
+                    (int(i), int(j)) for i, j in np.argwhere(status == 1.0)
+                )
+                sim.launch(check, stream="compute")
+                report = build_report(
+                    sim.download(d_col_disc),
+                    sim.download(d_col_eps),
+                    sim.download(d_row_disc),
+                    sim.download(d_row_eps),
+                    row_layout,
+                    col_layout,
+                )
 
         modelled = sim.concurrent_wall_seconds("compute", "reduce") + upload_seconds
         return PipelineResult(

@@ -1,0 +1,230 @@
+"""CI quality gates: detection coverage and warm-engine throughput.
+
+``aabft ci-gate`` is the machine-checkable contract the CI jobs consume.
+It runs two gates and exits nonzero when either fails:
+
+* **coverage** — a quick fault-injection campaign (mantissa single-bit
+  flips, the paper's Figure 4 setup at reduced scale) must detect at
+  least ``coverage_floor`` of the *critical* errors with the A-ABFT
+  tolerances, and the fault-free workload must pass every scheme's check
+  (no baseline false positives);
+* **throughput** — a warm plan-cached :class:`~repro.engine.MatmulEngine`
+  micro-benchmark must stay within ``throughput_tolerance`` of the
+  committed per-call baseline in ``BENCH_engine.json``.
+
+Both gates publish their measurements as ``abft_ci_gate_*`` gauges, so a
+``--telemetry-out`` JSON-lines artifact records exactly what CI saw.
+Thresholds and the local repro commands are documented in
+``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from .errors import ConfigurationError
+from .telemetry import MetricsRegistry, get_registry, span
+
+__all__ = [
+    "GateResult",
+    "coverage_gate",
+    "throughput_gate",
+    "run_ci_gate",
+    "DEFAULT_COVERAGE_FLOOR",
+    "DEFAULT_THROUGHPUT_TOLERANCE",
+]
+
+#: Minimum fraction of critical errors A-ABFT must detect.  Single-bit
+#: mantissa campaigns measure ~90-91% across sizes (Figure 4 territory);
+#: the floor leaves head room for sampling noise at the quick campaign's
+#: injection count while still catching a broken tolerance path cold.
+DEFAULT_COVERAGE_FLOOR = 0.85
+
+#: Allowed slowdown of the warm per-call time versus the committed
+#: baseline (0.30 = +30%; generous so shared-runner noise doesn't flap).
+DEFAULT_THROUGHPUT_TOLERANCE = 0.30
+
+
+@dataclass(frozen=True)
+class GateResult:
+    """Outcome of one gate."""
+
+    gate: str
+    passed: bool
+    #: The measured quantity (detection rate, or warm seconds per call).
+    measured: float
+    #: The pass threshold the measurement was held against.
+    threshold: float
+    detail: str
+
+    def describe(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        return f"[{status}] {self.gate}: {self.detail}"
+
+
+def _default_baseline() -> Path:
+    """``BENCH_engine.json`` from the cwd, else next to the package."""
+    cwd_candidate = Path.cwd() / "BENCH_engine.json"
+    if cwd_candidate.exists():
+        return cwd_candidate
+    return Path(__file__).resolve().parents[2] / "BENCH_engine.json"
+
+
+def coverage_gate(
+    *,
+    floor: float = DEFAULT_COVERAGE_FLOOR,
+    quick: bool = True,
+    seed: int = 2014,
+    n: int | None = None,
+    num_injections: int | None = None,
+    registry: MetricsRegistry | None = None,
+) -> GateResult:
+    """Run a fault-injection campaign and gate on A-ABFT's detection rate.
+
+    ``n``/``num_injections`` override the quick/full campaign scale (the
+    tests use tiny campaigns; CI uses the defaults).
+    """
+    from .faults.campaign import CampaignConfig, FaultCampaign
+    from .workloads import SUITE_UNIT
+
+    reg = registry if registry is not None else get_registry()
+    if n is None:
+        n = 256 if quick else 512
+    if num_injections is None:
+        num_injections = 400 if quick else 1000
+    config = CampaignConfig(
+        n=n,
+        suite=SUITE_UNIT,
+        num_injections=num_injections,
+        block_size=64,
+        p=2,
+        seed=seed,
+        schemes=("aabft", "sea"),
+    )
+    with span("ci_gate.coverage", registry=reg, n=n, injections=num_injections):
+        result = FaultCampaign(config, registry=reg).run()
+    rate = result.detection_rate("aabft")
+    rate = 0.0 if math.isnan(rate) else rate
+    critical = result.num_critical()
+    baseline_clean = all(result.false_positive_free.values())
+
+    gauges = reg.gauge(
+        "abft_ci_gate_coverage",
+        "Coverage-gate measurements of the last ci-gate run",
+        ("quantity",),
+    )
+    gauges.labels(quantity="detection_rate").set(rate)
+    gauges.labels(quantity="critical_errors").set(critical)
+    gauges.labels(quantity="floor").set(floor)
+    gauges.labels(quantity="baseline_clean").set(1.0 if baseline_clean else 0.0)
+
+    passed = baseline_clean and critical > 0 and rate >= floor
+    detail = (
+        f"A-ABFT detected {rate:.1%} of {critical} critical errors "
+        f"(floor {floor:.1%}, {num_injections} injections at n={n}, "
+        f"fault-free baseline {'clean' if baseline_clean else 'FLAGGED'})"
+    )
+    return GateResult(
+        gate="coverage", passed=passed, measured=rate, threshold=floor,
+        detail=detail,
+    )
+
+
+def throughput_gate(
+    *,
+    tolerance: float = DEFAULT_THROUGHPUT_TOLERANCE,
+    quick: bool = True,
+    seed: int = 20140623,
+    baseline_path: str | Path | None = None,
+    repeats: int | None = None,
+    registry: MetricsRegistry | None = None,
+) -> GateResult:
+    """Micro-benchmark the warm engine and gate on per-call regression.
+
+    The baseline is the ``engine_seconds / repeats`` per-call time in
+    ``BENCH_engine.json`` (same size, block size and ``p``); the gate
+    fails when the measured warm per-call time exceeds it by more than
+    ``tolerance``.
+    """
+    from .engine import AbftConfig, MatmulEngine
+
+    reg = registry if registry is not None else get_registry()
+    path = Path(baseline_path) if baseline_path is not None else _default_baseline()
+    if not path.exists():
+        raise ConfigurationError(
+            f"throughput baseline {path} not found; pass --baseline or run "
+            "benchmarks/bench_engine_throughput.py first"
+        )
+    baseline = json.loads(path.read_text())
+    baseline_per_call = baseline["engine_seconds"] / baseline["repeats"]
+    if repeats is None:
+        repeats = 15 if quick else 50
+
+    rng = np.random.default_rng(seed)
+    size = int(baseline["size"])
+    config = AbftConfig(block_size=int(baseline["block_size"]), p=int(baseline["p"]))
+    a = rng.uniform(-1, 1, (size, size))
+    bs = [rng.uniform(-1, 1, (size, size)) for _ in range(repeats)]
+    with span("ci_gate.throughput", registry=reg, repeats=repeats):
+        with MatmulEngine(config, registry=reg) as engine:
+            engine.matmul(a, bs[0])  # warm the plan cache
+            start = time.perf_counter()
+            for b in bs:
+                engine.matmul(a, b)
+            measured_per_call = (time.perf_counter() - start) / repeats
+
+    threshold = baseline_per_call * (1.0 + tolerance)
+    gauges = reg.gauge(
+        "abft_ci_gate_throughput",
+        "Throughput-gate measurements of the last ci-gate run (seconds/call)",
+        ("quantity",),
+    )
+    gauges.labels(quantity="measured_per_call").set(measured_per_call)
+    gauges.labels(quantity="baseline_per_call").set(baseline_per_call)
+    gauges.labels(quantity="threshold_per_call").set(threshold)
+
+    passed = measured_per_call <= threshold
+    detail = (
+        f"warm engine {measured_per_call * 1e3:.2f} ms/call vs baseline "
+        f"{baseline_per_call * 1e3:.2f} ms/call "
+        f"(limit {threshold * 1e3:.2f} ms/call = +{tolerance:.0%}, "
+        f"{repeats} calls at {size}x{size})"
+    )
+    return GateResult(
+        gate="throughput", passed=passed, measured=measured_per_call,
+        threshold=threshold, detail=detail,
+    )
+
+
+def run_ci_gate(
+    *,
+    quick: bool = True,
+    coverage_floor: float = DEFAULT_COVERAGE_FLOOR,
+    throughput_tolerance: float = DEFAULT_THROUGHPUT_TOLERANCE,
+    baseline_path: str | Path | None = None,
+    seed: int = 2014,
+    registry: MetricsRegistry | None = None,
+) -> tuple[int, list[GateResult]]:
+    """Run both gates; returns ``(exit_code, results)`` with 0 == all pass."""
+    reg = registry if registry is not None else get_registry()
+    results = [
+        coverage_gate(floor=coverage_floor, quick=quick, seed=seed, registry=reg),
+        throughput_gate(
+            tolerance=throughput_tolerance,
+            quick=quick,
+            baseline_path=baseline_path,
+            registry=reg,
+        ),
+    ]
+    pass_gauge = reg.gauge(
+        "abft_ci_gate_pass", "1 when the gate passed, 0 when it failed", ("gate",)
+    )
+    for result in results:
+        pass_gauge.labels(gate=result.gate).set(1.0 if result.passed else 0.0)
+    return (0 if all(r.passed for r in results) else 1), results

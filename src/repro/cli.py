@@ -8,9 +8,15 @@ Commands
 ``aabft coverage``        — confidence-interval coverage validation
 ``aabft all``             — everything, at quick or full scale
 ``aabft demo``            — a protected multiplication with a live fault
+``aabft ci-gate``         — detection-coverage + warm-throughput CI gates
 
 The ``--full`` flag switches to the paper's complete 512..8192 sweeps
 (slow: exact arithmetic and functional simulation on a CPU).
+
+The global ``--telemetry-out PATH`` flag (before the subcommand) streams
+telemetry events — spans, campaign counters, engine metrics — to a
+JSON-lines file, ending with a full metrics snapshot; this is the build
+artifact the ``fault-coverage`` CI job uploads.
 """
 
 from __future__ import annotations
@@ -32,6 +38,12 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument("--seed", type=int, default=2014, help="global RNG seed")
+    parser.add_argument(
+        "--telemetry-out",
+        metavar="PATH",
+        default=None,
+        help="stream telemetry (spans, metrics snapshot) to a JSON-lines file",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("table1", help="modelled performance table (Table I)")
@@ -63,6 +75,32 @@ def build_parser() -> argparse.ArgumentParser:
 
     demo = sub.add_parser("demo", help="protected multiplication with a live fault")
     demo.add_argument("--n", type=int, default=256)
+
+    gate = sub.add_parser(
+        "ci-gate",
+        help="CI gates: fault-detection coverage + warm-engine throughput",
+    )
+    gate.add_argument(
+        "--quick", action="store_true", help="reduced campaign/benchmark scale"
+    )
+    gate.add_argument(
+        "--coverage-floor",
+        type=float,
+        default=None,
+        help="minimum A-ABFT detection rate over critical errors (default 0.85)",
+    )
+    gate.add_argument(
+        "--throughput-tolerance",
+        type=float,
+        default=None,
+        help="allowed warm per-call slowdown vs the baseline (default 0.30)",
+    )
+    gate.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help="throughput baseline JSON (default: BENCH_engine.json)",
+    )
     return parser
 
 
@@ -184,9 +222,37 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
-def main(argv: list[str] | None = None) -> int:
-    """CLI entry point (``aabft`` console script)."""
-    args = build_parser().parse_args(argv)
+def _cmd_ci_gate(args: argparse.Namespace) -> int:
+    from .cigate import (
+        DEFAULT_COVERAGE_FLOOR,
+        DEFAULT_THROUGHPUT_TOLERANCE,
+        run_ci_gate,
+    )
+
+    floor = (
+        args.coverage_floor
+        if args.coverage_floor is not None
+        else DEFAULT_COVERAGE_FLOOR
+    )
+    tolerance = (
+        args.throughput_tolerance
+        if args.throughput_tolerance is not None
+        else DEFAULT_THROUGHPUT_TOLERANCE
+    )
+    code, results = run_ci_gate(
+        quick=args.quick,
+        coverage_floor=floor,
+        throughput_tolerance=tolerance,
+        baseline_path=args.baseline,
+        seed=args.seed,
+    )
+    for result in results:
+        print(result.describe())
+    print("ci-gate:", "all gates passed" if code == 0 else "GATE FAILURE")
+    return code
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "table1":
         return _cmd_table1()
     if args.command == "bounds":
@@ -199,7 +265,27 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_all(args)
     if args.command == "demo":
         return _cmd_demo(args)
+    if args.command == "ci-gate":
+        return _cmd_ci_gate(args)
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point (``aabft`` console script)."""
+    args = build_parser().parse_args(argv)
+    if not args.telemetry_out:
+        return _dispatch(args)
+    from .telemetry import JsonLinesSink, get_registry
+
+    registry = get_registry()
+    sink = JsonLinesSink(args.telemetry_out)
+    registry.attach(sink)
+    try:
+        return _dispatch(args)
+    finally:
+        registry.write_snapshot()
+        registry.detach(sink)
+        sink.close()
 
 
 if __name__ == "__main__":

@@ -17,7 +17,10 @@ scratch:
   3-D array) of products out across a thread pool; numpy's matmul releases
   the GIL, so multi-core hosts overlap the heavy stage.
 
-Counters for all of the above are published via :meth:`MatmulEngine.stats`.
+All of the above is metered through a :class:`~repro.telemetry.
+MetricsRegistry` (``abft_engine_*`` counters, gauges and stage histograms);
+:meth:`MatmulEngine.stats` stays as the backward-compatible
+:class:`~repro.engine.stats.EngineStats` snapshot derived from it.
 """
 
 from __future__ import annotations
@@ -51,6 +54,7 @@ from ..abft.providers import (
 from ..abft.result import AbftResult
 from ..bounds.upper_bound import TopP, top_p_arrays
 from ..errors import ConfigurationError, ShapeError
+from ..telemetry import MetricsRegistry
 from .config import AbftConfig
 from .plan import ExecutionPlan, PlanCache
 from .stats import EngineStats
@@ -150,10 +154,20 @@ class MatmulEngine:
     max_workers:
         Thread-pool width for :meth:`matmul_many`; defaults to the host's
         CPU count.  ``1`` forces sequential batched execution.
+    registry:
+        The :class:`~repro.telemetry.MetricsRegistry` the engine publishes
+        its metrics to.  Defaults to a private registry per engine, which
+        keeps :meth:`stats` engine-local; pass a shared registry (e.g.
+        :func:`repro.telemetry.get_registry`) to fold the engine into a
+        process-wide scrape — engines sharing a registry then share
+        counters.
 
-    The engine is thread-safe: the plan cache, workspace pools and counters
+    The engine is thread-safe: the plan cache, workspace pools and metrics
     are lock-protected, and result objects are independent.
     """
+
+    #: The three instrumented pipeline stages.
+    STAGES = ("encode", "multiply", "check")
 
     def __init__(
         self,
@@ -161,6 +175,7 @@ class MatmulEngine:
         *,
         plan_cache_size: int = 128,
         max_workers: int | None = None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self.config = config if config is not None else AbftConfig()
         if not isinstance(self.config, AbftConfig):
@@ -175,14 +190,39 @@ class MatmulEngine:
         self._max_workers = max_workers
         self._executor: ThreadPoolExecutor | None = None
         self._executor_lock = threading.Lock()
-        self._stats_lock = threading.Lock()
-        self._counts = {
-            "calls": 0,
-            "batched_calls": 0,
-            "encode_reuses": 0,
-            "detections": 0,
-        }
-        self._seconds = {"encode": 0.0, "multiply": 0.0, "check": 0.0}
+        self.registry = registry if registry is not None else MetricsRegistry()
+        reg = self.registry
+        self._m_calls = reg.counter(
+            "abft_engine_calls_total", "Completed protected multiplications"
+        )
+        self._m_batched = reg.counter(
+            "abft_engine_batched_calls_total", "matmul_many invocations"
+        )
+        self._m_reuses = reg.counter(
+            "abft_engine_encode_reuses_total",
+            "Operands served from a pre-encoded handle",
+        )
+        self._m_detections = reg.counter(
+            "abft_engine_detections_total",
+            "Multiplications whose check flagged at least one comparison",
+        )
+        stage_seconds = reg.counter(
+            "abft_engine_stage_seconds_total",
+            "Accumulated wall seconds per pipeline stage",
+            ("stage",),
+        )
+        stage_hist = reg.histogram(
+            "abft_engine_stage_seconds",
+            "Per-call wall seconds of each pipeline stage",
+            ("stage",),
+        )
+        self._m_stage = {s: stage_seconds.labels(stage=s) for s in self.STAGES}
+        self._h_stage = {s: stage_hist.labels(stage=s) for s in self.STAGES}
+        self._g_plans = reg.gauge(
+            "abft_engine_plan_cache",
+            "Plan-cache accounting, refreshed on stats()",
+            ("event",),
+        )
 
     # ------------------------------------------------------------------
     # public API
@@ -253,8 +293,7 @@ class MatmulEngine:
                 f"batch lengths disagree: {len(a_items)} left vs "
                 f"{len(b_items)} right operands"
             )
-        with self._stats_lock:
-            self._counts["batched_calls"] += 1
+        self._m_batched.inc()
         # Encode a shared raw operand once — the amortisation the batched
         # API exists for.  The computation dtype must consider every pairing.
         dtypes = [_operand_dtype(x) for x in a_items + b_items]
@@ -276,30 +315,40 @@ class MatmulEngine:
         return [self._run(x, y, cfg) for x, y in pairs]
 
     def stats(self) -> EngineStats:
-        """An immutable snapshot of the engine's counters."""
-        with self._stats_lock:
-            counts = dict(self._counts)
-            seconds = dict(self._seconds)
+        """An immutable snapshot derived from the engine's registry metrics.
+
+        Counts come straight from the registry counters (so the snapshot
+        and a Prometheus scrape of :attr:`registry` always agree); the
+        plan-cache gauges are refreshed as a side effect.
+        """
+        hits, misses, evictions = (
+            self._plans.hits, self._plans.misses, self._plans.evictions,
+        )
+        self._g_plans.labels(event="hit").set(hits)
+        self._g_plans.labels(event="miss").set(misses)
+        self._g_plans.labels(event="eviction").set(evictions)
+        self._g_plans.labels(event="cached").set(len(self._plans))
         return EngineStats(
-            plan_hits=self._plans.hits,
-            plan_misses=self._plans.misses,
-            plan_evictions=self._plans.evictions,
-            calls=counts["calls"],
-            batched_calls=counts["batched_calls"],
-            encode_reuses=counts["encode_reuses"],
-            detections=counts["detections"],
-            encode_seconds=seconds["encode"],
-            multiply_seconds=seconds["multiply"],
-            check_seconds=seconds["check"],
+            plan_hits=hits,
+            plan_misses=misses,
+            plan_evictions=evictions,
+            calls=int(self._m_calls.get()),
+            batched_calls=int(self._m_batched.get()),
+            encode_reuses=int(self._m_reuses.get()),
+            detections=int(self._m_detections.get()),
+            encode_seconds=self._m_stage["encode"].get(),
+            multiply_seconds=self._m_stage["multiply"].get(),
+            check_seconds=self._m_stage["check"].get(),
         )
 
     def reset_stats(self) -> None:
-        """Zero every counter (cached plans are kept)."""
-        with self._stats_lock:
-            for key in self._counts:
-                self._counts[key] = 0
-            for key in self._seconds:
-                self._seconds[key] = 0.0
+        """Zero the engine's metrics (cached plans are kept)."""
+        for metric in (self._m_calls, self._m_batched, self._m_reuses,
+                       self._m_detections):
+            metric.reset()
+        for stage in self.STAGES:
+            self._m_stage[stage].reset()
+            self._h_stage[stage].reset()
         self._plans.hits = 0
         self._plans.misses = 0
         self._plans.evictions = 0
@@ -348,8 +397,8 @@ class MatmulEngine:
             return self._executor
 
     def _add_seconds(self, stage: str, elapsed: float) -> None:
-        with self._stats_lock:
-            self._seconds[stage] += elapsed
+        self._m_stage[stage].inc(elapsed)
+        self._h_stage[stage].observe(elapsed)
 
     def _encode_array(
         self, arr: np.ndarray, side: str, cfg: AbftConfig
@@ -436,15 +485,13 @@ class MatmulEngine:
         if isinstance(a_raw, EncodedOperand):
             self._check_handle(a_raw, "a", cfg, dtype)
             enc_a = a_raw
-            with self._stats_lock:
-                self._counts["encode_reuses"] += 1
+            self._m_reuses.inc()
         else:
             enc_a = self._encode_with_plan(a_raw.astype(dtype, copy=False), "a", cfg, plan)
         if isinstance(b_raw, EncodedOperand):
             self._check_handle(b_raw, "b", cfg, dtype)
             enc_b = b_raw
-            with self._stats_lock:
-                self._counts["encode_reuses"] += 1
+            self._m_reuses.inc()
         else:
             enc_b = self._encode_with_plan(b_raw.astype(dtype, copy=False), "b", cfg, plan)
         self._add_seconds("encode", time.perf_counter() - t0)
@@ -463,10 +510,9 @@ class MatmulEngine:
         c = strip_encoding(
             c_fc, plan.row_layout, plan.col_layout, enc_a.padding, enc_b.padding
         )
-        with self._stats_lock:
-            self._counts["calls"] += 1
-            if report.error_detected:
-                self._counts["detections"] += 1
+        self._m_calls.inc()
+        if report.error_detected:
+            self._m_detections.inc()
         return AbftResult(
             c=c,
             c_fc=c_fc,

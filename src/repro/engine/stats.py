@@ -1,9 +1,11 @@
 """Per-engine execution counters.
 
-A :class:`~repro.engine.engine.MatmulEngine` accumulates counters and stage
-wall times behind a lock; :meth:`MatmulEngine.stats` returns an immutable
-:class:`EngineStats` snapshot, so monitoring a long-running engine is one
-cheap call with no synchronisation burden on the caller.
+A :class:`~repro.engine.engine.MatmulEngine` accumulates its counters and
+stage wall times in a :class:`~repro.telemetry.MetricsRegistry`;
+:meth:`MatmulEngine.stats` derives an immutable :class:`EngineStats`
+snapshot from those metrics, so monitoring a long-running engine is one
+cheap call with no synchronisation burden on the caller — and the snapshot
+always agrees with a Prometheus scrape of the same registry.
 """
 
 from __future__ import annotations

@@ -42,6 +42,7 @@ from ..gpusim.device import DeviceSpec, K20C
 from ..gpusim.kernel import Dim3, LaunchConfig
 from ..gpusim.scheduler import BlockScheduler
 from ..kernels.matmul import sequential_inner_product
+from ..telemetry import MetricsRegistry, get_registry, span
 from ..workloads.suites import WorkloadSuite
 from .injector import FaultInjector
 from .model import FaultSite, FaultSpec
@@ -179,18 +180,73 @@ class CampaignResult:
         return "\n".join(lines)
 
 
-class FaultCampaign:
-    """Prepares one workload and runs a batch of fault injections against it."""
+def _detection_outcome(detected: bool, is_critical: bool) -> str:
+    """Label one (scheme, injection) pair for the campaign counters.
 
-    def __init__(self, config: CampaignConfig) -> None:
+    ``detected``/``missed`` grade the scheme on critical errors (the
+    Figure 4 numerator/denominator); flagging a non-critical error is a
+    ``false_positive`` (the tolerance was too tight for that element),
+    letting one pass silently is ``tolerated``.
+    """
+    if is_critical:
+        return "detected" if detected else "missed"
+    return "false_positive" if detected else "tolerated"
+
+
+class FaultCampaign:
+    """Prepares one workload and runs a batch of fault injections against it.
+
+    Parameters
+    ----------
+    config:
+        The declarative campaign description.
+    registry:
+        Telemetry target for the per-injection counters
+        (``abft_campaign_*``, labelled by fault site, scheme and
+        classification outcome — see ``docs/OBSERVABILITY.md``).  Defaults
+        to the process-wide registry; pass
+        :data:`repro.telemetry.NULL_REGISTRY` to run unmetered.
+    """
+
+    def __init__(
+        self,
+        config: CampaignConfig,
+        *,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
         self.config = config
         self._rng = np.random.default_rng(config.seed)
         self._prepared = False
+        self.registry = registry if registry is not None else get_registry()
+        self._m_injections = self.registry.counter(
+            "abft_campaign_injections_total",
+            "Faults injected, by struck operation site",
+            ("site",),
+        )
+        self._m_outcomes = self.registry.counter(
+            "abft_campaign_outcomes_total",
+            "Per-scheme detection outcomes of injected faults",
+            ("scheme", "site", "severity", "outcome"),
+        )
+        self._m_false_positive_baseline = self.registry.counter(
+            "abft_campaign_baseline_false_positives_total",
+            "Campaign workloads whose fault-free result failed a scheme's check",
+            ("scheme",),
+        )
 
     # ------------------------------------------------------------------
     def prepare(self) -> None:
         """Generate the workload, encode, multiply fault-free, and derive
         the per-comparison tolerance arrays of every evaluated scheme."""
+        with span(
+            "campaign.prepare",
+            registry=self.registry,
+            n=self.config.n,
+            suite=self.config.suite.name,
+        ):
+            self._prepare()
+
+    def _prepare(self) -> None:
         cfg = self.config
         pair = cfg.suite.generate(cfg.n, self._rng)
         bs = cfg.block_size
@@ -262,6 +318,9 @@ class FaultCampaign:
             )
             for name in providers
         }
+        for name, passed in self.fault_free_pass.items():
+            if not passed:
+                self._m_false_positive_baseline.labels(scheme=name).inc()
 
         self.scheduler = BlockScheduler(cfg.device)
         self.launch = LaunchConfig(
@@ -331,7 +390,7 @@ class FaultCampaign:
             ][r, blk_col]
             detected[name] = bool(col_hit or row_hit)
 
-        return InjectionRecord(
+        record = InjectionRecord(
             spec=spec,
             encoded_row=r,
             encoded_col=c,
@@ -339,6 +398,17 @@ class FaultCampaign:
             classification=classification,
             detected=detected,
         )
+        site = spec.site.value
+        severity = classification.error_class.value
+        self._m_injections.labels(site=site).inc()
+        for scheme, hit in detected.items():
+            self._m_outcomes.labels(
+                scheme=scheme,
+                site=site,
+                severity=severity,
+                outcome=_detection_outcome(hit, record.is_critical),
+            ).inc()
+        return record
 
     # ------------------------------------------------------------------
     def inject_pair(self, spec_a: FaultSpec, spec_b: FaultSpec) -> "PairInjectionRecord":
@@ -419,6 +489,13 @@ class FaultCampaign:
         result = CampaignResult(
             config=self.config, false_positive_free=dict(self.fault_free_pass)
         )
-        for spec in self.sampler.sample_many(self.config.num_injections, self._rng):
-            result.records.append(self.inject_one(spec))
+        with span(
+            "campaign.run",
+            registry=self.registry,
+            injections=self.config.num_injections,
+        ):
+            for spec in self.sampler.sample_many(
+                self.config.num_injections, self._rng
+            ):
+                result.records.append(self.inject_one(spec))
         return result

@@ -1,0 +1,97 @@
+"""Pluggable telemetry sinks.
+
+A sink is anything with ``emit(event: dict)`` and ``close()``; registries
+forward span/snapshot events to every attached sink.  Three are provided:
+
+* :class:`InMemorySink` — collects events in a list (tests, notebooks);
+* :class:`JsonLinesSink` — appends one JSON object per line to a file,
+  flushed per event so a crashed run still leaves its telemetry behind
+  (the CI artifact format);
+* :class:`PrometheusTextSink` — snapshot-oriented: ignores events and
+  writes the registry's text exposition on :meth:`~PrometheusTextSink.export`
+  (point a node-exporter ``textfile`` collector at the output).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+
+from .registry import MetricsRegistry
+
+__all__ = ["InMemorySink", "JsonLinesSink", "PrometheusTextSink"]
+
+
+class InMemorySink:
+    """Keeps every emitted event in an in-process list."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._events: list[dict] = []
+
+    def emit(self, event: dict) -> None:
+        with self._lock:
+            self._events.append(event)
+
+    @property
+    def events(self) -> list[dict]:
+        with self._lock:
+            return list(self._events)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+
+    def close(self) -> None:
+        pass
+
+
+class JsonLinesSink:
+    """Streams events to a JSON-lines file (one object per line)."""
+
+    def __init__(self, path, append: bool = False) -> None:
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._file = self.path.open("a" if append else "w", encoding="utf-8")
+
+    def emit(self, event: dict) -> None:
+        line = json.dumps(event, default=str)
+        with self._lock:
+            if self._file.closed:
+                return
+            self._file.write(line + "\n")
+            self._file.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._file.closed:
+                self._file.close()
+
+    def __enter__(self) -> "JsonLinesSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class PrometheusTextSink:
+    """Writes a registry's Prometheus text exposition to a file on demand."""
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+
+    def emit(self, event: dict) -> None:
+        # Exposition is a point-in-time scrape of registry state; the event
+        # stream carries nothing it needs.
+        pass
+
+    def export(self, registry: MetricsRegistry) -> Path:
+        """Render ``registry`` and atomically replace the output file."""
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        tmp.write_text(registry.prometheus_text(), encoding="utf-8")
+        tmp.replace(self.path)
+        return self.path
+
+    def close(self) -> None:
+        pass

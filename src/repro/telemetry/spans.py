@@ -1,0 +1,106 @@
+"""Nested timing spans.
+
+``span("pipeline.encode")`` measures a code region and publishes it twice:
+
+* as an observation in the ``abft_span_seconds`` histogram of the target
+  registry, labelled by span name (bounded cardinality — the nesting
+  *path* only travels in events, never as a label);
+* as a ``{"type": "span", ...}`` event through the registry's sinks,
+  carrying the full ``parent/child`` path, depth and any extra labels.
+
+Spans nest per thread: a span opened while another is active becomes its
+child, and the emitted path is the ``/``-joined chain.  On a disabled
+registry (:data:`~repro.telemetry.registry.NULL_REGISTRY`) the context
+manager yields ``None`` immediately — one attribute check, no clock reads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from .registry import MetricsRegistry, get_registry
+
+__all__ = ["Span", "span", "current_span"]
+
+#: Histogram every span duration lands in, labelled by span name.
+SPAN_HISTOGRAM = "abft_span_seconds"
+
+_local = threading.local()
+
+
+def _stack() -> list:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = _local.stack = []
+    return stack
+
+
+@dataclass
+class Span:
+    """One live (or finished) timing span."""
+
+    name: str
+    path: str
+    depth: int
+    labels: dict = field(default_factory=dict)
+    seconds: float | None = None
+
+    def annotate(self, **labels) -> None:
+        """Attach extra labels to the span's emitted event."""
+        self.labels.update(labels)
+
+
+def current_span() -> Span | None:
+    """The innermost live span of the calling thread, if any."""
+    stack = _stack()
+    return stack[-1] if stack else None
+
+
+@contextmanager
+def span(name: str, registry: MetricsRegistry | None = None, **labels):
+    """Time a code region as a nested span.
+
+    Parameters
+    ----------
+    name:
+        Span name; keep it a low-cardinality dotted constant
+        (``"pipeline.check"``), since it becomes a histogram label.
+    registry:
+        Target registry; defaults to the process-wide one.  A disabled
+        registry short-circuits to a no-op and the manager yields ``None``.
+    labels:
+        Extra key/values attached to the emitted span event only.
+    """
+    reg = registry if registry is not None else get_registry()
+    if not reg.enabled:
+        yield None
+        return
+    stack = _stack()
+    parent = stack[-1] if stack else None
+    path = f"{parent.path}/{name}" if parent else name
+    sp = Span(name=name, path=path, depth=len(stack), labels=dict(labels))
+    stack.append(sp)
+    start = time.perf_counter()
+    try:
+        yield sp
+    finally:
+        elapsed = time.perf_counter() - start
+        sp.seconds = elapsed
+        stack.pop()
+        reg.histogram(
+            SPAN_HISTOGRAM, "Duration of named timing spans", ("span",)
+        ).labels(span=name).observe(elapsed)
+        reg.emit(
+            {
+                "type": "span",
+                "name": name,
+                "path": path,
+                "depth": sp.depth,
+                "seconds": elapsed,
+                "labels": sp.labels,
+                "time": time.time(),
+            }
+        )

@@ -1,0 +1,108 @@
+"""Sinks: in-memory capture, JSON-lines round-trip, Prometheus exposition."""
+
+from __future__ import annotations
+
+import json
+
+from repro.telemetry import (
+    InMemorySink,
+    JsonLinesSink,
+    MetricsRegistry,
+    PrometheusTextSink,
+    span,
+)
+
+
+class TestInMemorySink:
+    def test_collects_emitted_events(self):
+        reg = MetricsRegistry()
+        sink = InMemorySink()
+        reg.attach(sink)
+        reg.emit({"type": "custom", "x": 1})
+        assert sink.events == [{"type": "custom", "x": 1}]
+        sink.clear()
+        assert sink.events == []
+
+    def test_detach_stops_delivery(self):
+        reg = MetricsRegistry()
+        sink = InMemorySink()
+        reg.attach(sink)
+        reg.detach(sink)
+        reg.emit({"type": "custom"})
+        assert sink.events == []
+
+
+class TestJsonLinesSink:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        reg = MetricsRegistry()
+        with JsonLinesSink(path) as sink:
+            reg.attach(sink)
+            with span("outer", registry=reg):
+                with span("inner", registry=reg, k=3):
+                    pass
+            reg.counter("events_total").inc(2)
+            reg.write_snapshot()
+            reg.detach(sink)
+
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        spans = [ev for ev in lines if ev["type"] == "span"]
+        assert [s["path"] for s in spans] == ["outer/inner", "outer"]
+        assert spans[0]["labels"] == {"k": 3}
+        assert all(s["seconds"] >= 0.0 for s in spans)
+
+        snapshot = [ev for ev in lines if ev["type"] == "snapshot"]
+        assert len(snapshot) == 1
+        metrics = snapshot[0]["metrics"]
+        assert metrics["events_total"]["values"][0]["value"] == 2.0
+        # The span histogram made it into the snapshot too.
+        assert "abft_span_seconds" in metrics
+
+    def test_emit_after_close_is_safe(self, tmp_path):
+        sink = JsonLinesSink(tmp_path / "t.jsonl")
+        sink.close()
+        sink.emit({"type": "late"})  # must not raise
+
+
+class TestPrometheusExposition:
+    def test_counter_and_gauge_lines(self):
+        reg = MetricsRegistry()
+        reg.counter("runs_total", "Total runs", ("site",)).labels(
+            site="inner_add"
+        ).inc(3)
+        reg.gauge("depth", "Current depth").set(2.0)
+        text = reg.prometheus_text()
+        assert "# HELP runs_total Total runs" in text
+        assert "# TYPE runs_total counter" in text
+        assert 'runs_total{site="inner_add"} 3.0' in text
+        assert "# TYPE depth gauge" in text
+        assert "depth 2.0" in text
+        assert text.endswith("\n")
+
+    def test_histogram_exposition_is_cumulative(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat_seconds", "Latency", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            h.observe(value)
+        text = reg.prometheus_text()
+        assert 'lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'lat_seconds_bucket{le="1.0"} 2' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 3' in text
+        assert "lat_seconds_count 3" in text
+        assert "lat_seconds_sum 5.55" in text
+
+    def test_label_values_are_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("esc_total", labelnames=("v",)).labels(
+            v='quo"te\\slash\nline'
+        ).inc()
+        text = reg.prometheus_text()
+        assert r'esc_total{v="quo\"te\\slash\nline"} 1.0' in text
+
+    def test_text_sink_exports_atomically(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("x_total").inc()
+        sink = PrometheusTextSink(tmp_path / "metrics.prom")
+        out = sink.export(reg)
+        assert out.read_text() == reg.prometheus_text()
+        assert not (tmp_path / "metrics.prom.tmp").exists()

@@ -1,0 +1,104 @@
+"""Nested timing spans: paths, histogram landing, disabled path."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.telemetry import (
+    NULL_REGISTRY,
+    InMemorySink,
+    MetricsRegistry,
+    SPAN_HISTOGRAM,
+    current_span,
+    span,
+)
+
+
+@pytest.fixture
+def registry() -> MetricsRegistry:
+    return MetricsRegistry()
+
+
+class TestNesting:
+    def test_paths_nest_and_unwind(self, registry):
+        sink = InMemorySink()
+        registry.attach(sink)
+        with span("a", registry=registry) as outer:
+            assert current_span() is outer
+            with span("b", registry=registry) as inner:
+                assert inner.path == "a/b"
+                assert inner.depth == 1
+        assert current_span() is None
+        # Children close before parents in the event stream.
+        assert [e["path"] for e in sink.events] == ["a/b", "a"]
+
+    def test_sibling_spans_share_parent_path(self, registry):
+        sink = InMemorySink()
+        registry.attach(sink)
+        with span("root", registry=registry):
+            with span("x", registry=registry):
+                pass
+            with span("y", registry=registry):
+                pass
+        assert [e["path"] for e in sink.events] == ["root/x", "root/y", "root"]
+
+    def test_annotate_adds_event_labels(self, registry):
+        sink = InMemorySink()
+        registry.attach(sink)
+        with span("work", registry=registry) as sp:
+            sp.annotate(items=4)
+        assert sink.events[0]["labels"] == {"items": 4}
+
+
+class TestRecording:
+    def test_duration_lands_in_histogram(self, registry):
+        with span("stage", registry=registry):
+            pass
+        fam = registry.histogram(SPAN_HISTOGRAM, labelnames=("span",))
+        child = fam.labels(span="stage")
+        assert child.count == 1
+        assert child.sum >= 0.0
+
+    def test_exception_still_records(self, registry):
+        sink = InMemorySink()
+        registry.attach(sink)
+        with pytest.raises(RuntimeError):
+            with span("boom", registry=registry):
+                raise RuntimeError("inner failure")
+        assert [e["name"] for e in sink.events] == ["boom"]
+
+    def test_span_sets_seconds_on_exit(self, registry):
+        with span("timed", registry=registry) as sp:
+            assert sp.seconds is None
+        assert sp.seconds is not None and sp.seconds >= 0.0
+
+
+class TestDisabled:
+    def test_null_registry_yields_none(self):
+        with span("ignored", registry=NULL_REGISTRY) as sp:
+            assert sp is None
+        assert current_span() is None
+
+    def test_disabled_span_leaves_no_state(self):
+        reg = MetricsRegistry(enabled=False)
+        with span("ignored", registry=reg):
+            pass
+        assert reg.snapshot() == {}
+
+
+class TestThreads:
+    def test_span_stacks_are_per_thread(self, registry):
+        seen = {}
+
+        def worker():
+            with span("thread-span", registry=registry) as sp:
+                seen["child_parentless"] = sp.path == "thread-span"
+
+        with span("main-span", registry=registry):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        # The worker thread must not have inherited main's span as parent.
+        assert seen["child_parentless"] is True

@@ -1,0 +1,148 @@
+"""CI gates: coverage/throughput pass clean and fail on injected regressions."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cigate import (
+    DEFAULT_COVERAGE_FLOOR,
+    coverage_gate,
+    run_ci_gate,
+    throughput_gate,
+)
+from repro.cli import main
+from repro.errors import ConfigurationError
+from repro.telemetry import MetricsRegistry
+
+
+def tiny_baseline(tmp_path, engine_seconds, repeats=100):
+    """A doctored BENCH_engine.json at a fast-to-benchmark size."""
+    path = tmp_path / "BENCH_engine.json"
+    path.write_text(
+        json.dumps(
+            {
+                "size": 128,
+                "block_size": 64,
+                "p": 2,
+                "repeats": repeats,
+                "engine_seconds": engine_seconds,
+            }
+        )
+    )
+    return path
+
+
+class TestCoverageGate:
+    def test_passes_at_default_floor(self):
+        reg = MetricsRegistry()
+        result = coverage_gate(n=128, num_injections=80, registry=reg)
+        assert result.passed
+        assert result.gate == "coverage"
+        assert result.measured >= DEFAULT_COVERAGE_FLOOR
+        assert result.describe().startswith("[PASS] coverage:")
+
+    def test_fails_when_floor_is_unreachable(self):
+        # Injected regression: no campaign detects more than 100%.
+        result = coverage_gate(
+            floor=1.01, n=128, num_injections=80, registry=MetricsRegistry()
+        )
+        assert not result.passed
+        assert result.threshold == 1.01
+        assert result.describe().startswith("[FAIL] coverage:")
+
+    def test_publishes_gauges(self):
+        reg = MetricsRegistry()
+        result = coverage_gate(n=128, num_injections=80, registry=reg)
+        gauges = reg.gauge("abft_ci_gate_coverage", labelnames=("quantity",))
+        assert gauges.labels(quantity="detection_rate").get() == result.measured
+        assert gauges.labels(quantity="baseline_clean").get() == 1.0
+        assert gauges.labels(quantity="critical_errors").get() > 0
+
+
+class TestThroughputGate:
+    def test_passes_against_committed_baseline(self):
+        # BENCH_engine.json at the repo root is the real CI contract.
+        result = throughput_gate(repeats=3, registry=MetricsRegistry())
+        assert result.passed
+        assert result.measured <= result.threshold
+        assert "ms/call" in result.detail
+
+    def test_fails_against_doctored_fast_baseline(self, tmp_path):
+        # Injected regression: the baseline claims 1 microsecond per call.
+        baseline = tiny_baseline(tmp_path, engine_seconds=1e-4)
+        result = throughput_gate(
+            repeats=3, baseline_path=baseline, registry=MetricsRegistry()
+        )
+        assert not result.passed
+        assert result.describe().startswith("[FAIL] throughput:")
+
+    def test_passes_against_generous_baseline(self, tmp_path):
+        baseline = tiny_baseline(tmp_path, engine_seconds=1000.0)
+        result = throughput_gate(
+            repeats=3, baseline_path=baseline, registry=MetricsRegistry()
+        )
+        assert result.passed
+
+    def test_missing_baseline_is_configuration_error(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="baseline"):
+            throughput_gate(
+                baseline_path=tmp_path / "nope.json", registry=MetricsRegistry()
+            )
+
+
+class TestRunCiGate:
+    def test_clean_quick_run_exits_zero(self):
+        reg = MetricsRegistry()
+        code, results = run_ci_gate(quick=True, registry=reg)
+        assert code == 0
+        assert [r.gate for r in results] == ["coverage", "throughput"]
+        assert all(r.passed for r in results)
+        pass_gauge = reg.gauge("abft_ci_gate_pass", labelnames=("gate",))
+        assert pass_gauge.labels(gate="coverage").get() == 1.0
+        assert pass_gauge.labels(gate="throughput").get() == 1.0
+
+    def test_injected_regression_exits_nonzero(self, tmp_path):
+        reg = MetricsRegistry()
+        code, results = run_ci_gate(
+            quick=True,
+            coverage_floor=1.01,
+            baseline_path=tiny_baseline(tmp_path, engine_seconds=1e-4),
+            registry=reg,
+        )
+        assert code == 1
+        assert not any(r.passed for r in results)
+        pass_gauge = reg.gauge("abft_ci_gate_pass", labelnames=("gate",))
+        assert pass_gauge.labels(gate="coverage").get() == 0.0
+        assert pass_gauge.labels(gate="throughput").get() == 0.0
+
+
+class TestCliCommand:
+    def test_quick_gate_exits_zero(self, capsys):
+        assert main(["ci-gate", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "[PASS] coverage:" in out
+        assert "[PASS] throughput:" in out
+        assert "all gates passed" in out
+
+    def test_impossible_floor_exits_nonzero(self, capsys):
+        assert main(["ci-gate", "--quick", "--coverage-floor", "1.01"]) == 1
+        out = capsys.readouterr().out
+        assert "[FAIL] coverage:" in out
+        assert "GATE FAILURE" in out
+
+    def test_telemetry_out_records_the_gates(self, tmp_path, capsys):
+        out_path = tmp_path / "telemetry.jsonl"
+        assert main(["--telemetry-out", str(out_path), "ci-gate", "--quick"]) == 0
+        capsys.readouterr()
+        lines = [json.loads(line) for line in out_path.read_text().splitlines()]
+        span_paths = [ev["path"] for ev in lines if ev["type"] == "span"]
+        assert "ci_gate.coverage" in span_paths
+        assert "ci_gate.throughput" in span_paths
+        snapshots = [ev for ev in lines if ev["type"] == "snapshot"]
+        assert len(snapshots) == 1
+        metrics = snapshots[0]["metrics"]
+        assert "abft_ci_gate_pass" in metrics
+        assert "abft_campaign_injections_total" in metrics
+        assert "abft_engine_calls_total" in metrics

@@ -8,13 +8,46 @@ from repro.cli import build_parser, main
 class TestParser:
     def test_commands_exist(self):
         parser = build_parser()
-        for cmd in ("table1", "bounds", "detect", "coverage", "all", "demo"):
+        for cmd in (
+            "table1",
+            "bounds",
+            "detect",
+            "coverage",
+            "all",
+            "demo",
+            "ci-gate",
+        ):
             args = parser.parse_args([cmd])
             assert args.command == cmd
 
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+    def test_telemetry_out_is_global(self):
+        args = build_parser().parse_args(
+            ["--telemetry-out", "events.jsonl", "demo"]
+        )
+        assert args.telemetry_out == "events.jsonl"
+        assert build_parser().parse_args(["demo"]).telemetry_out is None
+
+    def test_ci_gate_options(self):
+        args = build_parser().parse_args(
+            [
+                "ci-gate",
+                "--quick",
+                "--coverage-floor",
+                "0.9",
+                "--throughput-tolerance",
+                "0.5",
+                "--baseline",
+                "custom.json",
+            ]
+        )
+        assert args.quick is True
+        assert args.coverage_floor == 0.9
+        assert args.throughput_tolerance == 0.5
+        assert args.baseline == "custom.json"
 
     def test_detect_options(self):
         args = build_parser().parse_args(

@@ -18,6 +18,7 @@ SUBPACKAGES = [
     "repro.gpusim",
     "repro.kernels",
     "repro.perfmodel",
+    "repro.telemetry",
     "repro.workloads",
 ]
 
@@ -46,6 +47,9 @@ class TestImports:
             "AABFTPipeline",
             "FaultCampaign",
             "ProbabilisticBound",
+            "MetricsRegistry",
+            "get_registry",
+            "span",
         ):
             assert symbol in repro.__all__
 
