@@ -28,6 +28,8 @@ Package map (see DESIGN.md for the full inventory):
   and the per-table/figure experiment drivers
 - :mod:`repro.telemetry` — metrics registry, timing spans and sinks
   (see docs/OBSERVABILITY.md)
+- :mod:`repro.serve` — micro-batching request scheduler with backpressure
+  and adaptive degradation (``aabft serve`` / ``aabft loadgen``)
 """
 
 from .abft import (
@@ -86,6 +88,14 @@ from .faults import (
     FaultSpec,
 )
 from .gpusim import K20C, DeviceSpec, GpuSimulator
+from .serve import (
+    MatmulRequest,
+    MatmulResponse,
+    MatmulServer,
+    ServeConfig,
+    VerificationStatus,
+    run_loadgen,
+)
 from .telemetry import (
     NULL_REGISTRY,
     InMemorySink,
@@ -131,6 +141,9 @@ __all__ = [
     "K20C",
     "KernelLaunchError",
     "MatmulEngine",
+    "MatmulRequest",
+    "MatmulResponse",
+    "MatmulServer",
     "MetricsRegistry",
     "NULL_REGISTRY",
     "PrometheusTextSink",
@@ -139,7 +152,9 @@ __all__ = [
     "ProtectedResult",
     "ReproError",
     "SEABound",
+    "ServeConfig",
     "ShapeError",
+    "VerificationStatus",
     "ErrorMap",
     "aabft_matmul",
     "correct_single_error",
@@ -151,6 +166,7 @@ __all__ = [
     "protected_qr",
     "protected_solve",
     "rounding_error_map",
+    "run_loadgen",
     "sea_abft_matmul",
     "span",
     "weighted_abft_matmul",

@@ -100,12 +100,79 @@ class AABFTEpsilonProvider:
         if epsilon_floor < 0.0:
             raise ValueError(f"epsilon_floor must be >= 0, got {epsilon_floor}")
         self.scheme = scheme
-        self.row_tops = row_tops
-        self.col_tops = col_tops
+        self._row_tops = list(row_tops)
+        self._col_tops = list(col_tops)
+        self._stacked = None
         self.row_layout = row_layout
         self.col_layout = col_layout
         self.inner_dim = inner_dim
         self.epsilon_floor = epsilon_floor
+
+    @classmethod
+    def from_arrays(
+        cls,
+        scheme: BoundScheme,
+        row_values: np.ndarray,
+        row_indices: np.ndarray,
+        col_values: np.ndarray,
+        col_indices: np.ndarray,
+        row_layout: PartitionedLayout,
+        col_layout: PartitionedLayout,
+        inner_dim: int,
+        epsilon_floor: float = 0.0,
+    ) -> "AABFTEpsilonProvider":
+        """Build a provider directly from stacked ``(k, p)`` top-p arrays.
+
+        This is the array-native fast path: :func:`~repro.bounds.
+        upper_bound.top_p_arrays` output (what :class:`~repro.engine.engine.
+        EncodedOperand` stores) feeds the vectorised grids without ever
+        materialising per-vector :class:`TopP` objects.  The scalar
+        ``row_tops`` / ``col_tops`` views are built lazily on first access,
+        so the hot check path never pays for them.  Tolerances are bitwise
+        identical to the list-based constructor.
+        """
+        if row_values.shape[0] != row_layout.encoded_rows:
+            raise ValueError(
+                f"expected {row_layout.encoded_rows} row top-p sets, "
+                f"got {row_values.shape[0]}"
+            )
+        if col_values.shape[0] != col_layout.encoded_rows:
+            raise ValueError(
+                f"expected {col_layout.encoded_rows} column top-p sets, "
+                f"got {col_values.shape[0]}"
+            )
+        if epsilon_floor < 0.0:
+            raise ValueError(f"epsilon_floor must be >= 0, got {epsilon_floor}")
+        self = cls.__new__(cls)
+        self.scheme = scheme
+        self._row_tops = None
+        self._col_tops = None
+        self._stacked = (row_values, row_indices, col_values, col_indices)
+        self.row_layout = row_layout
+        self.col_layout = col_layout
+        self.inner_dim = inner_dim
+        self.epsilon_floor = epsilon_floor
+        return self
+
+    @property
+    def row_tops(self) -> list[TopP]:
+        """Per-vector top-p of every encoded row (materialised lazily)."""
+        if self._row_tops is None:
+            row_vals, row_idx, _, _ = self._stacked
+            self._row_tops = [
+                TopP(values=v, indices=i) for v, i in zip(row_vals, row_idx)
+            ]
+        return self._row_tops
+
+    @property
+    def col_tops(self) -> list[TopP]:
+        """Per-vector top-p of every encoded column (materialised lazily)."""
+        if self._col_tops is None:
+            _, _, col_vals, col_idx = self._stacked
+            self._col_tops = [
+                TopP(values=v, indices=i) for v, i in zip(col_vals, col_idx)
+            ]
+        return self._col_tops
 
     def _epsilon(self, row_top: TopP, col_top: TopP) -> float:
         y = determine_upper_bound(row_top, col_top)
@@ -134,7 +201,7 @@ class AABFTEpsilonProvider:
         self,
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """Top-p data stacked into ``(k, p)`` arrays (cached after first use)."""
-        cached = getattr(self, "_stacked", None)
+        cached = self._stacked
         if cached is None:
             cached = (
                 np.stack([t.values for t in self.row_tops]),

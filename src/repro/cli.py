@@ -9,6 +9,9 @@ Commands
 ``aabft all``             — everything, at quick or full scale
 ``aabft demo``            — a protected multiplication with a live fault
 ``aabft ci-gate``         — detection-coverage + warm-throughput CI gates
+``aabft serve``           — micro-batching serving worker (JSONL requests)
+``aabft loadgen``         — closed-loop load generator + invariant checks
+``aabft bench``           — serve/engine throughput benchmarks
 
 The ``--full`` flag switches to the paper's complete 512..8192 sweeps
 (slow: exact arithmetic and functional simulation on a CPU).
@@ -100,6 +103,86 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="throughput baseline JSON (default: BENCH_engine.json)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="micro-batching serving worker driven by JSONL request specs",
+    )
+    serve.add_argument(
+        "--requests",
+        metavar="PATH",
+        default="-",
+        help="JSONL request-spec file ('-' = stdin); each line may set "
+        "m, n, q, seed, count, deadline_s, id",
+    )
+    serve.add_argument("--m", type=int, default=256, help="default rows of A")
+    serve.add_argument("--n", type=int, default=256, help="default inner dim")
+    serve.add_argument("--q", type=int, default=16, help="default cols of B")
+    serve.add_argument(
+        "--deadline-s", type=float, default=None, help="default per-request deadline"
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=32, help="micro-batch size limit"
+    )
+    serve.add_argument(
+        "--window-s", type=float, default=0.002, help="batch coalescing window"
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=256, help="admission-queue bound"
+    )
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="closed-loop load generator; exits 1 on accounting violations",
+    )
+    loadgen.add_argument("--requests", type=int, default=200)
+    loadgen.add_argument("--concurrency", type=int, default=16)
+    loadgen.add_argument("--m", type=int, default=128, help="rows of A")
+    loadgen.add_argument("--n", type=int, default=128, help="inner dimension")
+    loadgen.add_argument("--q", type=int, default=16, help="cols of each B")
+    loadgen.add_argument(
+        "--deadline-s",
+        type=float,
+        default=None,
+        help="per-request deadline (drives the degradation ladder)",
+    )
+    loadgen.add_argument(
+        "--fresh-a",
+        action="store_true",
+        help="fresh A per request instead of one shared weight matrix",
+    )
+
+    bench = sub.add_parser(
+        "bench", help="serve/engine throughput benchmarks"
+    )
+    bench.add_argument(
+        "--which",
+        choices=("serve", "engine", "all"),
+        default="serve",
+        help="which benchmark to run (default: serve)",
+    )
+    bench.add_argument(
+        "--quick", action="store_true", help="reduced request count"
+    )
+    bench.add_argument(
+        "--compare",
+        action="store_true",
+        help="smoke mode: compare against the committed baseline instead of "
+        "rewriting it; exits 1 on a regression past --tolerance",
+    )
+    bench.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help="baseline JSON for --compare (default: repo BENCH_serve.json / "
+        "BENCH_engine.json)",
+    )
+    bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed per-request slowdown vs the baseline (default 0.30)",
     )
     return parser
 
@@ -252,6 +335,172 @@ def _cmd_ci_gate(args: argparse.Namespace) -> int:
     return code
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from .serve import MatmulServer, ServeConfig
+    from .workloads import uniform_matrix
+
+    cfg = ServeConfig(
+        max_queue_depth=args.queue_depth,
+        max_batch_size=args.max_batch,
+        batch_window_s=args.window_s,
+        default_deadline_s=args.deadline_s,
+    )
+    stream = sys.stdin if args.requests == "-" else open(args.requests)
+    futures = []
+    try:
+        with MatmulServer(cfg) as server:
+            for line in stream:
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                spec = json.loads(line)
+                m = int(spec.get("m", args.m))
+                n = int(spec.get("n", args.n))
+                q = int(spec.get("q", args.q))
+                count = int(spec.get("count", 1))
+                rng = np.random.default_rng(int(spec.get("seed", args.seed)))
+                a = uniform_matrix(m, n, rng)
+                for i in range(count):
+                    b = uniform_matrix(n, q, rng)
+                    base = spec.get("id")
+                    request_id = (
+                        None if base is None
+                        else (base if count == 1 else f"{base}.{i}")
+                    )
+                    futures.append(
+                        server.submit(
+                            a, b,
+                            deadline_s=spec.get("deadline_s"),
+                            request_id=request_id,
+                        )
+                    )
+            responses = [f.result() for f in futures]
+    finally:
+        if stream is not sys.stdin:
+            stream.close()
+    served = rejected = 0
+    for r in responses:
+        print(json.dumps({
+            "request_id": r.request_id,
+            "status": r.status.value,
+            "detected": r.detected,
+            "corrected": r.corrected,
+            "recomputed": r.recomputed,
+            "rejected_reason": r.rejected_reason,
+            "batch_size": r.batch_size,
+            "queue_wait_s": round(r.queue_wait_s, 6),
+            "service_s": round(r.service_s, 6),
+        }))
+        served += r.ok
+        rejected += not r.ok
+    print(json.dumps({
+        "summary": {"submitted": len(responses), "served": served,
+                    "rejected": rejected},
+    }))
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import json
+
+    from .serve import run_loadgen
+
+    result = run_loadgen(
+        requests=args.requests,
+        concurrency=args.concurrency,
+        m=args.m,
+        n=args.n,
+        q=args.q,
+        shared_a=not args.fresh_a,
+        deadline_s=args.deadline_s,
+        seed=args.seed,
+    )
+    print(json.dumps(result.summary(), indent=2))
+    if not result.ok:
+        for violation in result.violations:
+            print(f"VIOLATION: {violation}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    code = 0
+    if args.which in ("serve", "all"):
+        from .serve.bench import (
+            QUICK_REQUESTS,
+            REQUESTS,
+            SPEEDUP_FLOOR,
+            compare_to_baseline,
+            default_baseline_path,
+            run_serve_benchmark,
+        )
+
+        payload = run_serve_benchmark(
+            requests=QUICK_REQUESTS if args.quick else REQUESTS, seed=args.seed
+        )
+        print(
+            f"serve bench: {payload['requests']} requests "
+            f"{payload['m']}x{payload['n']}x{payload['q']} at "
+            f"concurrency {payload['concurrency']}"
+        )
+        print(
+            f"  serial loop : {payload['serial_seconds']:.2f} s "
+            f"({payload['serial_throughput_rps']:.0f} req/s)"
+        )
+        print(
+            f"  served      : {payload['serve_seconds']:.2f} s "
+            f"({payload['serve_throughput_rps']:.0f} req/s, "
+            f"p50 {payload['latency_p50_ms']:.1f} ms, "
+            f"p99 {payload['latency_p99_ms']:.1f} ms, "
+            f"max batch {payload['max_batch_size']})"
+        )
+        print(f"  speedup     : {payload['speedup']:.2f}x")
+        if args.compare:
+            path = (
+                Path(args.baseline)
+                if args.baseline is not None and args.which != "all"
+                else default_baseline_path()
+            )
+            if not path.exists():
+                print(f"FAIL: baseline {path} not found", file=sys.stderr)
+                return 1
+            passed, detail = compare_to_baseline(
+                payload, json.loads(path.read_text()), args.tolerance
+            )
+            print(f"  {detail}")
+            if not passed:
+                print("FAIL: serve throughput regressed", file=sys.stderr)
+                code = 1
+        else:
+            out = Path.cwd() / "BENCH_serve.json"
+            out.write_text(json.dumps(payload, indent=2) + "\n")
+            print(f"  baseline written -> {out}")
+            if not args.quick and payload["speedup"] < SPEEDUP_FLOOR:
+                print(
+                    f"FAIL: speedup below the {SPEEDUP_FLOOR}x acceptance "
+                    "threshold",
+                    file=sys.stderr,
+                )
+                code = 1
+    if args.which in ("engine", "all"):
+        from .cigate import throughput_gate
+
+        result = throughput_gate(
+            tolerance=args.tolerance,
+            quick=args.quick,
+            baseline_path=args.baseline if args.which != "all" else None,
+        )
+        print(result.describe())
+        if not result.passed:
+            code = 1
+    return code
+
+
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "table1":
         return _cmd_table1()
@@ -267,6 +516,12 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_demo(args)
     if args.command == "ci-gate":
         return _cmd_ci_gate(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "loadgen":
+        return _cmd_loadgen(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -314,6 +314,45 @@ class MatmulEngine:
             )
         return [self._run(x, y, cfg) for x, y in pairs]
 
+    def matmul_fused(
+        self, a, b, *, config: AbftConfig | None = None
+    ) -> list[AbftResult]:
+        """Fused batched execution of same-shape protected multiplications.
+
+        Accepts the same operand forms as :meth:`matmul_many` but runs the
+        whole batch through one vectorised pipeline (see
+        :mod:`repro.engine.fused`): repeated operands are encoded once,
+        distinct right operands are encoded through stacked numpy passes,
+        and tolerance grids are evaluated batched.  Results are bitwise
+        identical to sequential :meth:`matmul` calls.  This is the
+        amortisation micro-batching serving layers rely on — it pays off
+        even on a single core, where :meth:`matmul_many`'s thread pool
+        cannot.
+
+        Batches that do not fit the fused preconditions (non-``aabft``
+        scheme, heterogeneous shapes or dtypes, fewer than two pairs)
+        transparently fall back to :meth:`matmul_many`.
+        """
+        from .fused import fused_supported, run_fused
+
+        cfg = self._resolve_config(config)
+        a_items = _expand_operand(a)
+        b_items = _expand_operand(b)
+        count = max(len(a_items), len(b_items))
+        if len(a_items) not in (1, count) or len(b_items) not in (1, count):
+            raise ShapeError(
+                f"batch lengths disagree: {len(a_items)} left vs "
+                f"{len(b_items)} right operands"
+            )
+        if len(a_items) == 1:
+            a_items = a_items * count
+        if len(b_items) == 1:
+            b_items = b_items * count
+        if not fused_supported(a_items, b_items, cfg):
+            return self.matmul_many(a, b, config=cfg)
+        self._m_batched.inc()
+        return run_fused(self, a_items, b_items, cfg)
+
     def stats(self) -> EngineStats:
         """An immutable snapshot derived from the engine's registry metrics.
 
@@ -562,10 +601,15 @@ class MatmulEngine:
         enc_b: EncodedOperand,
     ):
         if cfg.scheme == "aabft":
-            return AABFTEpsilonProvider(
+            # Array-native path: the stacked top-p data the operands already
+            # carry feeds the vectorised grids directly; per-vector TopP
+            # objects are only materialised if a scalar re-check asks.
+            return AABFTEpsilonProvider.from_arrays(
                 scheme=plan.scheme,
-                row_tops=enc_a.tops(),
-                col_tops=enc_b.tops(),
+                row_values=enc_a.top_values,
+                row_indices=enc_a.top_indices,
+                col_values=enc_b.top_values,
+                col_indices=enc_b.top_indices,
                 row_layout=plan.row_layout,
                 col_layout=plan.col_layout,
                 inner_dim=plan.n,

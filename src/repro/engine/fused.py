@@ -1,0 +1,272 @@
+"""Fused batched execution of same-shape protected multiplications.
+
+:meth:`repro.engine.MatmulEngine.matmul_fused` executes a batch of
+``(a_i, b_i)`` products whose shapes, dtypes and config all agree as *one*
+fused pipeline instead of ``k`` independent calls:
+
+* **operand dedup** — operands appearing in several pairs (the serving
+  pattern: one weight matrix against many activations) are encoded once
+  and reused everywhere, where per-request execution re-encodes them
+  every time;
+* **batched tolerance grids** — upper-bound grids and epsilon arrays for
+  all pairs sharing a left operand are evaluated through single
+  :func:`~repro.bounds.upper_bound.upper_bound_grid_arrays` /
+  ``epsilon_array`` calls over the concatenated column top-p data;
+* **single dispatch** — one plan lookup, one config resolution and one
+  set of stage timers for the whole batch.
+
+Results — data, full-checksum matrices, reports, tolerances — are
+**bitwise identical** to sequential :meth:`~repro.engine.MatmulEngine.
+matmul` calls (asserted by ``tests/serve/test_batch.py``): encoding and
+discrepancy extraction reuse the exact single-call code paths
+(:meth:`~repro.engine.MatmulEngine._encode_with_plan`,
+:func:`~repro.abft.checking.column_discrepancies` /
+:func:`~repro.abft.checking.row_discrepancies`), and the batched grid
+evaluation is elementwise in the concatenated data, so slicing the
+batched grid reproduces the per-pair grid bit for bit.  (Stacking
+operands into 3-D arrays to batch the encode reductions themselves was
+measured slower — the working set falls out of cache — so encoding stays
+per-matrix.)
+
+Batches that do not meet the fast-path preconditions (non-``aabft``
+scheme, heterogeneous shapes or dtypes) fall back to
+:meth:`~repro.engine.MatmulEngine.matmul_many`.
+
+On a single-core host this is where a serving layer's micro-batching
+speedup comes from: the per-call Python overhead is amortised over the
+batch while the BLAS work stays identical.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..abft.checking import (
+    CheckReport,
+    build_report,
+    column_discrepancies,
+    row_discrepancies,
+)
+from ..abft.encoding import strip_encoding
+from ..abft.providers import AABFTEpsilonProvider
+from ..abft.result import AbftResult
+from ..bounds.upper_bound import upper_bound_grid_arrays
+
+__all__ = ["fused_supported", "run_fused"]
+
+
+def fused_supported(a_items, b_items, cfg) -> bool:
+    """Whether the fused fast path applies to this expanded batch."""
+    from .engine import EncodedOperand, _operand_dtype, _resolve_dtype
+
+    if cfg.scheme != "aabft" or len(a_items) < 2:
+        return False
+
+    def shape_of(item):
+        if isinstance(item, EncodedOperand):
+            return item.shape
+        arr = np.asarray(item)
+        return arr.shape if arr.ndim == 2 else None
+
+    a_shapes = {shape_of(x) for x in a_items}
+    b_shapes = {shape_of(x) for x in b_items}
+    if len(a_shapes) != 1 or len(b_shapes) != 1:
+        return False
+    a_shape = next(iter(a_shapes))
+    b_shape = next(iter(b_shapes))
+    if a_shape is None or b_shape is None or a_shape[1] != b_shape[0]:
+        return False
+    # Batched top-p has the same validity window as the per-call path.
+    if not 1 <= cfg.p <= a_shape[1]:
+        return False
+    # The computation dtype must resolve identically for every pair.
+    dtypes = [_operand_dtype(x) for x in a_items + b_items]
+    resolved = _resolve_dtype(*dtypes)
+    return all(
+        _resolve_dtype(_operand_dtype(a), _operand_dtype(b)) == resolved
+        for a, b in zip(a_items, b_items)
+    )
+
+
+def run_fused(engine, a_items, b_items, cfg) -> list:
+    """Execute the expanded batch through the fused pipeline.
+
+    Preconditions (:func:`fused_supported`) must hold.
+    """
+    from .engine import EncodedOperand, _operand_dtype, _resolve_dtype
+
+    dtype = _resolve_dtype(*[_operand_dtype(x) for x in a_items + b_items])
+    first_a, first_b = a_items[0], b_items[0]
+    m, n = (
+        first_a.shape
+        if isinstance(first_a, EncodedOperand)
+        else np.asarray(first_a).shape
+    )
+    q = (
+        first_b.shape[1]
+        if isinstance(first_b, EncodedOperand)
+        else np.asarray(first_b).shape[1]
+    )
+    plan, _hit = engine._plans.get(m, n, q, dtype, cfg)
+
+    # --- encode (deduplicated; distinct right operands batched) ---------
+    t0 = time.perf_counter()
+    enc_a = _resolve_side(engine, a_items, "a", cfg, plan, dtype)
+    enc_b = _resolve_side(engine, b_items, "b", cfg, plan, dtype)
+    engine._add_seconds("encode", time.perf_counter() - t0)
+
+    # --- multiply (one BLAS call per pair: bitwise == the single path) --
+    t0 = time.perf_counter()
+    c_fcs = [ea.array @ eb.array for ea, eb in zip(enc_a, enc_b)]
+    engine._add_seconds("multiply", time.perf_counter() - t0)
+
+    # --- check (tolerance grids batched per distinct pair) --------------
+    t0 = time.perf_counter()
+    col_eps, row_eps = _batch_epsilon_grids(enc_a, enc_b, cfg, plan)
+    reports = [
+        _check_one(c_fc, ce, re_, plan)
+        for c_fc, ce, re_ in zip(c_fcs, col_eps, row_eps)
+    ]
+    engine._add_seconds("check", time.perf_counter() - t0)
+
+    results = []
+    for c_fc, ea, eb, report in zip(c_fcs, enc_a, enc_b, reports):
+        c = strip_encoding(
+            c_fc, plan.row_layout, plan.col_layout, ea.padding, eb.padding
+        )
+        provider = AABFTEpsilonProvider.from_arrays(
+            scheme=plan.scheme,
+            row_values=ea.top_values,
+            row_indices=ea.top_indices,
+            col_values=eb.top_values,
+            col_indices=eb.top_indices,
+            row_layout=plan.row_layout,
+            col_layout=plan.col_layout,
+            inner_dim=plan.n,
+            epsilon_floor=cfg.epsilon_floor,
+        )
+        engine._m_calls.inc()
+        if report.error_detected:
+            engine._m_detections.inc()
+        results.append(
+            AbftResult(
+                c=c,
+                c_fc=c_fc,
+                report=report,
+                row_layout=plan.row_layout,
+                col_layout=plan.col_layout,
+                provider=provider,
+            )
+        )
+    return results
+
+
+def _resolve_side(engine, items, side, cfg, plan, dtype) -> list:
+    """Encoded operands for one side: dedupe, validate handles, batch-encode."""
+    from .engine import EncodedOperand
+
+    encoded: dict[int, object] = {}
+    raw_ids: list[int] = []
+    raw_arrays: list[np.ndarray] = []
+    for item in items:
+        key = id(item)
+        if key in encoded:
+            continue
+        if isinstance(item, EncodedOperand):
+            engine._check_handle(item, side, cfg, dtype)
+            encoded[key] = item
+        else:
+            encoded[key] = None  # placeholder, filled below
+            raw_ids.append(key)
+            raw_arrays.append(np.asarray(item).astype(dtype, copy=False))
+
+    for key, arr in zip(raw_ids, raw_arrays):
+        encoded[key] = engine._encode_with_plan(arr, side, cfg, plan)
+
+    out = []
+    seen: set[int] = set()
+    for item in items:
+        key = id(item)
+        # A pre-encoded handle, or any dedup hit after the first use, is an
+        # operand served without fresh encoding work — an encode reuse.
+        if isinstance(item, EncodedOperand) or key in seen:
+            engine._m_reuses.inc()
+        seen.add(key)
+        out.append(encoded[key])
+    return out
+
+
+def _batch_epsilon_grids(enc_a, enc_b, cfg, plan):
+    """Per-pair tolerance grids, evaluated batched per distinct pair.
+
+    Grid entries are elementwise functions of (row top-p, column top-p)
+    pairs, so evaluating pairs sharing a left operand through one
+    concatenated :func:`upper_bound_grid_arrays` / ``epsilon_array`` call
+    and slicing yields bitwise the per-pair grids.
+    """
+    row_layout, col_layout = plan.row_layout, plan.col_layout
+    cs_rows = row_layout.all_checksum_indices()
+    cs_cols = col_layout.all_checksum_indices()
+
+    pair_keys = [(id(ea), id(eb)) for ea, eb in zip(enc_a, enc_b)]
+    distinct: dict[tuple[int, int], int] = {}
+    d_a, d_b = [], []
+    for key, ea, eb in zip(pair_keys, enc_a, enc_b):
+        if key not in distinct:
+            distinct[key] = len(d_a)
+            d_a.append(ea)
+            d_b.append(eb)
+
+    col_grids: list = [None] * len(d_a)
+    row_grids: list = [None] * len(d_a)
+    by_a: dict[int, list[int]] = {}
+    for di, ea in enumerate(d_a):
+        by_a.setdefault(id(ea), []).append(di)
+    width = col_layout.encoded_rows
+    blocks = col_layout.num_blocks
+    for dis in by_a.values():
+        ea = d_a[dis[0]]
+        col_vals = np.concatenate([d_b[di].top_values for di in dis])
+        col_idx = np.concatenate([d_b[di].top_indices for di in dis])
+        cs_vals = np.concatenate([d_b[di].top_values[cs_cols] for di in dis])
+        cs_idx = np.concatenate([d_b[di].top_indices[cs_cols] for di in dis])
+        col_y = upper_bound_grid_arrays(
+            ea.top_values[cs_rows], ea.top_indices[cs_rows], col_vals, col_idx
+        )
+        row_y = upper_bound_grid_arrays(
+            ea.top_values, ea.top_indices, cs_vals, cs_idx
+        )
+        col_e = plan.scheme.epsilon_array(plan.n, col_y)
+        row_e = plan.scheme.epsilon_array(plan.n, row_y)
+        if cfg.epsilon_floor > 0.0:
+            col_e = np.maximum(col_e, cfg.epsilon_floor)
+            row_e = np.maximum(row_e, cfg.epsilon_floor)
+        for j, di in enumerate(dis):
+            col_grids[di] = col_e[:, j * width : (j + 1) * width]
+            row_grids[di] = row_e[:, j * blocks : (j + 1) * blocks]
+
+    col_eps = [col_grids[distinct[key]] for key in pair_keys]
+    row_eps = [row_grids[distinct[key]] for key in pair_keys]
+    return col_eps, row_eps
+
+
+def _check_one(c_fc, col_eps, row_eps, plan) -> CheckReport:
+    """The engine's vectorised check against precomputed tolerance grids."""
+    col_disc = column_discrepancies(c_fc, plan.row_layout)
+    row_disc = row_discrepancies(c_fc, plan.col_layout)
+    clean = (
+        bool(np.all(col_disc <= col_eps))
+        and bool(np.all(row_disc <= row_eps))
+        and bool(np.all(np.isfinite(col_disc)))
+        and bool(np.all(np.isfinite(row_disc)))
+    )
+    if not clean:
+        return build_report(
+            col_disc, col_eps, row_disc, row_eps,
+            plan.row_layout, plan.col_layout,
+        )
+    report = CheckReport(column_disc=col_disc, row_disc=row_disc)
+    report.num_checks = col_disc.size + row_disc.size
+    return report

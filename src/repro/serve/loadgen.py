@@ -1,0 +1,279 @@
+"""Closed-loop load generator for the serving layer.
+
+:func:`run_loadgen` drives a :class:`~repro.serve.server.MatmulServer`
+with a fixed number of requests at a fixed concurrency window (a closed
+loop: a new request is submitted only when a slot frees up), measures
+client-observed latencies and tallies every response by its
+:class:`~repro.serve.request.VerificationStatus`.
+
+Beyond the numbers, the generator checks the serving layer's
+**accounting invariants** — the properties the ``serve-smoke`` CI job
+gates on:
+
+* every submitted request resolves: ``served + rejected + dropped ==
+  submitted`` and ``dropped == 0``;
+* no response is silently unverified: without deadline pressure every
+  served response is ``FULL``; rejections always carry a reason.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter as _TallyCounter
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..workloads import uniform_matrix
+from .config import ServeConfig
+from .request import MatmulResponse, VerificationStatus
+from .server import MatmulServer
+
+__all__ = ["LoadgenResult", "run_loadgen", "percentile"]
+
+
+def percentile(sorted_values: list[float], pct: float) -> float:
+    """Nearest-rank percentile of an already sorted sample (0 if empty)."""
+    if not sorted_values:
+        return 0.0
+    if not 0 < pct <= 100:
+        raise ValueError(f"pct must lie in (0, 100], got {pct}")
+    rank = max(1, int(np.ceil(pct / 100.0 * len(sorted_values))))
+    return float(sorted_values[rank - 1])
+
+
+@dataclass
+class LoadgenResult:
+    """Everything one load-generation run observed.
+
+    ``latencies_s`` holds the client-observed (submit → resolve) seconds
+    of every *served* response, sorted ascending.
+    """
+
+    submitted: int
+    wall_s: float
+    status_counts: dict[str, int] = field(default_factory=dict)
+    rejection_reasons: dict[str, int] = field(default_factory=dict)
+    detected: int = 0
+    corrected: int = 0
+    recomputed: int = 0
+    dropped: int = 0
+    max_batch_size: int = 0
+    latencies_s: list[float] = field(default_factory=list)
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def served(self) -> int:
+        """Responses that were executed (any non-rejected status)."""
+        return sum(
+            count
+            for status, count in self.status_counts.items()
+            if status != VerificationStatus.REJECTED.value
+        )
+
+    @property
+    def rejected(self) -> int:
+        return self.status_counts.get(VerificationStatus.REJECTED.value, 0)
+
+    @property
+    def throughput_rps(self) -> float:
+        """Served requests per wall-clock second."""
+        return self.served / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def p50_s(self) -> float:
+        return percentile(self.latencies_s, 50)
+
+    @property
+    def p90_s(self) -> float:
+        return percentile(self.latencies_s, 90)
+
+    @property
+    def p99_s(self) -> float:
+        return percentile(self.latencies_s, 99)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every accounting invariant held."""
+        return not self.violations
+
+    def summary(self) -> dict:
+        """A JSON-friendly summary (what ``aabft loadgen`` prints)."""
+        return {
+            "submitted": self.submitted,
+            "served": self.served,
+            "rejected": self.rejected,
+            "dropped": self.dropped,
+            "status_counts": dict(self.status_counts),
+            "rejection_reasons": dict(self.rejection_reasons),
+            "detected": self.detected,
+            "corrected": self.corrected,
+            "recomputed": self.recomputed,
+            "max_batch_size": self.max_batch_size,
+            "wall_s": self.wall_s,
+            "throughput_rps": self.throughput_rps,
+            "latency_s": {
+                "p50": self.p50_s,
+                "p90": self.p90_s,
+                "p99": self.p99_s,
+            },
+            "ok": self.ok,
+            "violations": list(self.violations),
+        }
+
+
+def run_loadgen(
+    server: MatmulServer | None = None,
+    *,
+    requests: int = 200,
+    concurrency: int = 16,
+    m: int = 128,
+    n: int = 128,
+    q: int = 16,
+    shared_a: bool = True,
+    deadline_s: float | None = None,
+    seed: int = 0,
+    serve_config: ServeConfig | None = None,
+    registry=None,
+    timeout_s: float = 120.0,
+) -> LoadgenResult:
+    """Drive a server with a closed-loop uniform-matrix workload.
+
+    Parameters
+    ----------
+    server:
+        The server to drive.  ``None`` builds one from ``serve_config``
+        (and ``registry``) and stops it — drained — when the run ends.
+    requests / concurrency:
+        Total requests and the closed-loop window: at most ``concurrency``
+        requests are outstanding at any moment.
+    m, n, q:
+        Workload shapes: ``A`` is ``m x n``, each ``B_i`` is ``n x q``.
+    shared_a:
+        One shared weight matrix ``A`` across all requests (the serving
+        pattern micro-batching amortises best); ``False`` draws a fresh
+        ``A`` per request.
+    deadline_s:
+        Per-request deadline; drives the degradation ladder under load.
+    seed:
+        Workload RNG seed.
+    timeout_s:
+        Per-future safety timeout — a hung server fails loudly instead of
+        blocking the generator forever.
+    """
+    if requests < 1:
+        raise ValueError(f"requests must be >= 1, got {requests}")
+    if concurrency < 1:
+        raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+    own_server = server is None
+    if own_server:
+        kwargs = {} if registry is None else {"registry": registry}
+        server = MatmulServer(serve_config, **kwargs)
+
+    rng = np.random.default_rng(seed)
+    a_shared = uniform_matrix(m, n, rng) if shared_a else None
+
+    records: list[tuple[object, float]] = []  # (response | exception, latency)
+
+    def _on_done(fut, t0: float) -> None:
+        latency = time.perf_counter() - t0
+        try:
+            records.append((fut.result(), latency))
+        except BaseException as exc:  # noqa: BLE001 - tallied as dropped
+            records.append((exc, latency))
+
+    try:
+        outstanding: deque = deque()
+        submitted = 0
+        t_start = time.perf_counter()
+        while submitted < requests or outstanding:
+            while submitted < requests and len(outstanding) < concurrency:
+                a = a_shared if shared_a else uniform_matrix(m, n, rng)
+                b = uniform_matrix(n, q, rng)
+                t0 = time.perf_counter()
+                fut = server.submit(
+                    a,
+                    b,
+                    deadline_s=deadline_s,
+                    request_id=f"lg{submitted}",
+                )
+                fut.add_done_callback(lambda f, t0=t0: _on_done(f, t0))
+                outstanding.append(fut)
+                submitted += 1
+            fut = outstanding.popleft()
+            try:
+                fut.result(timeout=timeout_s)
+            except Exception:
+                pass  # tallied via the done callback
+        wall = time.perf_counter() - t_start
+    finally:
+        if own_server:
+            server.stop(drain=True)
+
+    return _tally(records, submitted, wall, deadline_s)
+
+
+def _tally(
+    records: list,
+    submitted: int,
+    wall: float,
+    deadline_s: float | None,
+) -> LoadgenResult:
+    statuses: _TallyCounter = _TallyCounter()
+    reasons: _TallyCounter = _TallyCounter()
+    latencies: list[float] = []
+    detected = corrected = recomputed = dropped = 0
+    max_batch = 0
+    violations: list[str] = []
+
+    for outcome, latency in records:
+        if not isinstance(outcome, MatmulResponse):
+            dropped += 1
+            violations.append(f"request died without a response: {outcome!r}")
+            continue
+        statuses[outcome.status.value] += 1
+        if outcome.status is VerificationStatus.REJECTED:
+            if not outcome.rejected_reason:
+                violations.append(
+                    f"{outcome.request_id}: rejected without a reason"
+                )
+            else:
+                reasons[outcome.rejected_reason] += 1
+            continue
+        latencies.append(latency)
+        max_batch = max(max_batch, outcome.batch_size)
+        if outcome.c is None:
+            violations.append(f"{outcome.request_id}: served without a result")
+        if outcome.verified and outcome.report is None:
+            violations.append(
+                f"{outcome.request_id}: verified status without a report"
+            )
+        if deadline_s is None and outcome.status is not VerificationStatus.FULL:
+            violations.append(
+                f"{outcome.request_id}: served {outcome.status.value} "
+                "without deadline pressure"
+            )
+        detected += bool(outcome.detected)
+        corrected += bool(outcome.corrected)
+        recomputed += bool(outcome.recomputed)
+
+    if len(records) != submitted:
+        violations.append(
+            f"{submitted} requests submitted but only {len(records)} resolved"
+        )
+
+    latencies.sort()
+    return LoadgenResult(
+        submitted=submitted,
+        wall_s=wall,
+        status_counts=dict(statuses),
+        rejection_reasons=dict(reasons),
+        detected=detected,
+        corrected=corrected,
+        recomputed=recomputed,
+        dropped=dropped,
+        max_batch_size=max_batch,
+        latencies_s=latencies,
+        violations=violations,
+    )

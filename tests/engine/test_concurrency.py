@@ -1,0 +1,151 @@
+"""Concurrency stress: parallel batches racing plan-cache eviction.
+
+A small LRU plan cache plus many threads issuing different-shape
+``matmul_many`` calls forces constant plan eviction and re-creation while
+results are in flight.  Results must stay bitwise correct and the
+engine's ``abft_engine_*`` counters must add up exactly.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.engine import MatmulEngine
+
+THREADS = 8
+ROUNDS = 6
+# more shapes than cache slots -> guaranteed eviction churn
+SHAPES = [(64, 64, 8), (96, 64, 8), (64, 96, 8), (128, 64, 8), (64, 128, 8)]
+
+
+@pytest.fixture
+def workload():
+    rng = np.random.default_rng(42)
+    pairs = {}
+    for m, n, q in SHAPES:
+        a = rng.uniform(-1, 1, (m, n))
+        bs = [rng.uniform(-1, 1, (n, q)) for _ in range(3)]
+        pairs[(m, n, q)] = (a, bs)
+    reference = {
+        shape: [MatmulEngine().matmul(a, b).c for b in bs]
+        for shape, (a, bs) in pairs.items()
+    }
+    return pairs, reference
+
+
+class TestPlanCacheRaces:
+    def test_parallel_batches_racing_eviction(self, workload):
+        pairs, reference = workload
+        engine = MatmulEngine(plan_cache_size=2)  # far fewer slots than shapes
+        errors = []
+        barrier = threading.Barrier(THREADS)
+
+        def worker(idx):
+            try:
+                barrier.wait(timeout=30)
+                for round_no in range(ROUNDS):
+                    shape = SHAPES[(idx + round_no) % len(SHAPES)]
+                    a, bs = pairs[shape]
+                    results = engine.matmul_many(a, bs)
+                    for res, ref in zip(results, reference[shape]):
+                        if not np.array_equal(res.c, ref):
+                            raise AssertionError(
+                                f"bitwise divergence at shape {shape}"
+                            )
+                        if res.detected:
+                            raise AssertionError(
+                                f"false positive at shape {shape}"
+                            )
+            except Exception as exc:  # noqa: BLE001 - collected for the main thread
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        engine.close()
+        assert not errors, errors[0]
+
+        stats = engine.stats()
+        expected_calls = THREADS * ROUNDS * 3  # 3 products per batch
+        assert stats.calls == expected_calls
+        assert stats.batched_calls == THREADS * ROUNDS
+        # every product looked its plan up exactly once: hit or miss, never
+        # both, never lost — even while other threads evicted concurrently
+        assert stats.plan_hits + stats.plan_misses == expected_calls
+        assert stats.plan_evictions > 0  # the small LRU actually churned
+        assert stats.detections == 0
+
+    def test_counter_totals_consistent_under_races(self, workload):
+        pairs, _ = workload
+        engine = MatmulEngine(plan_cache_size=2)
+        barrier = threading.Barrier(THREADS)
+        errors = []
+
+        def worker(idx):
+            try:
+                barrier.wait(timeout=30)
+                for round_no in range(ROUNDS):
+                    shape = SHAPES[(idx + round_no) % len(SHAPES)]
+                    a, bs = pairs[shape]
+                    engine.matmul_many(a, bs)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        engine.close()
+        assert not errors, errors[0]
+
+        stats = engine.stats()
+        calls = THREADS * ROUNDS * 3
+        assert stats.calls == calls
+        # each batch pre-encodes its shared A once; all 3 products then run
+        # against the handle, so every product counts one encode reuse
+        assert stats.encode_reuses == THREADS * ROUNDS * 3
+        # every plan lookup is accounted exactly once
+        assert stats.plan_hits + stats.plan_misses == calls
+        assert stats.plan_misses >= len(SHAPES)
+
+    def test_fused_batches_race_plan_eviction(self, workload):
+        pairs, reference = workload
+        engine = MatmulEngine(plan_cache_size=2)
+        barrier = threading.Barrier(THREADS)
+        errors = []
+
+        def worker(idx):
+            try:
+                barrier.wait(timeout=30)
+                for round_no in range(ROUNDS):
+                    shape = SHAPES[(idx + round_no) % len(SHAPES)]
+                    a, bs = pairs[shape]
+                    results = engine.matmul_fused(a, bs)
+                    for res, ref in zip(results, reference[shape]):
+                        if not np.array_equal(res.c, ref):
+                            raise AssertionError(
+                                f"bitwise divergence at shape {shape}"
+                            )
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        engine.close()
+        assert not errors, errors[0]
+        stats = engine.stats()
+        assert stats.calls == THREADS * ROUNDS * 3
+        assert stats.plan_evictions > 0

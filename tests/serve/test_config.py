@@ -1,0 +1,77 @@
+"""ServeConfig validation and the degradation-rung helper."""
+
+import pytest
+
+from repro.engine import AbftConfig
+from repro.errors import ConfigurationError
+from repro.serve import DEGRADATION_RUNGS, ServeConfig, rung_for_fraction
+
+
+class TestRungForFraction:
+    def test_full_protection_above_first_threshold(self):
+        assert rung_for_fraction(0.9, (0.5, 0.2)) == 0
+        assert rung_for_fraction(0.5, (0.5, 0.2)) == 0  # at threshold: keep
+
+    def test_each_threshold_crossed_walks_one_rung(self):
+        assert rung_for_fraction(0.4, (0.5, 0.2)) == 1
+        assert rung_for_fraction(0.1, (0.5, 0.2)) == 2
+
+    def test_monotone_in_pressure(self):
+        fractions = (0.5, 0.2)
+        rungs = [
+            rung_for_fraction(f / 100.0, fractions) for f in range(100, 0, -1)
+        ]
+        assert rungs == sorted(rungs)  # never walks back up
+
+    def test_no_thresholds_means_no_degradation(self):
+        assert rung_for_fraction(0.01, ()) == 0
+
+
+class TestServeConfigValidation:
+    def test_defaults_are_valid(self):
+        cfg = ServeConfig()
+        assert cfg.degradation_ladder == DEGRADATION_RUNGS
+        assert cfg.max_queue_depth == 256
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_queue_depth": 0},
+            {"max_batch_size": 0},
+            {"batch_window_s": -0.1},
+            {"default_deadline_s": 0.0},
+            {"max_retries": -1},
+            {"drain_timeout_s": -1.0},
+            {"abft": "not-a-config"},
+            {"degradation_ladder": ()},
+            {"degradation_ladder": ("full", "bogus")},
+            # unordered (weakest first) and duplicate ladders
+            {"degradation_ladder": ("sea", "full"), "degrade_fractions": (0.5,)},
+            {"degradation_ladder": ("full", "full"), "degrade_fractions": (0.5,)},
+            # fraction count must match ladder steps
+            {"degradation_ladder": ("full", "sea"), "degrade_fractions": ()},
+            {"degrade_fractions": (0.5, 0.5)},      # not strictly decreasing
+            {"degrade_fractions": (1.5, 0.2)},      # outside (0, 1)
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises((ConfigurationError, TypeError)):
+            ServeConfig(**kwargs)
+
+    def test_shorter_ladder_allowed(self):
+        cfg = ServeConfig(
+            degradation_ladder=("full", "sea"), degrade_fractions=(0.3,)
+        )
+        assert cfg.rung_name(0) == "full"
+        assert cfg.rung_name(1) == "sea"
+        assert cfg.rung_name(99) == "sea"  # clamped to the last rung
+
+    def test_replace_revalidates(self):
+        cfg = ServeConfig()
+        assert cfg.replace(max_batch_size=8).max_batch_size == 8
+        with pytest.raises(ConfigurationError):
+            cfg.replace(max_batch_size=0)
+
+    def test_carries_abft_config(self):
+        abft = AbftConfig(block_size=32, p=1)
+        assert ServeConfig(abft=abft).abft == abft

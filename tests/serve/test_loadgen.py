@@ -1,0 +1,127 @@
+"""The closed-loop load generator: tallies, percentiles, invariants."""
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    LoadgenResult,
+    MatmulServer,
+    ServeConfig,
+    percentile,
+    run_loadgen,
+)
+from repro.telemetry import MetricsRegistry
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 50) == 2.0
+        assert percentile(values, 100) == 4.0
+        assert percentile(values, 1) == 1.0
+
+    def test_empty_sample(self):
+        assert percentile([], 99) == 0.0
+
+    def test_invalid_pct(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 0)
+
+
+class TestRunLoadgen:
+    def test_clean_run_serves_everything(self):
+        result = run_loadgen(
+            requests=30, concurrency=6, m=64, n=64, q=8, seed=5,
+            registry=MetricsRegistry(),
+        )
+        assert result.ok, result.violations
+        assert result.submitted == 30
+        assert result.served == 30
+        assert result.rejected == 0 and result.dropped == 0
+        assert result.status_counts == {"full": 30}
+        assert result.max_batch_size > 1  # batches formed under concurrency
+        assert len(result.latencies_s) == 30
+        assert result.p50_s <= result.p99_s
+        assert result.throughput_rps > 0
+
+    def test_summary_is_json_friendly(self):
+        import json
+
+        result = run_loadgen(
+            requests=10, concurrency=4, m=64, n=64, q=8,
+            registry=MetricsRegistry(),
+        )
+        summary = json.loads(json.dumps(result.summary()))
+        assert summary["submitted"] == 10
+        assert summary["ok"] is True
+        assert "p99" in summary["latency_s"]
+
+    def test_drives_an_existing_server(self):
+        registry = MetricsRegistry()
+        with MatmulServer(
+            ServeConfig(batch_window_s=0.001), registry=registry
+        ) as server:
+            result = run_loadgen(
+                server, requests=12, concurrency=4, m=64, n=64, q=8
+            )
+        assert result.ok and result.served == 12
+
+    def test_backpressure_counted_not_dropped(self):
+        # queue far smaller than the concurrency window: rejections happen,
+        # but every one is explicit — nothing vanishes
+        cfg = ServeConfig(batch_window_s=0.05, max_queue_depth=2, max_batch_size=2)
+        result = run_loadgen(
+            requests=40, concurrency=20, m=64, n=64, q=8,
+            serve_config=cfg, registry=MetricsRegistry(),
+        )
+        assert result.ok, result.violations
+        assert result.rejected > 0
+        assert result.rejection_reasons.get("queue_full", 0) == result.rejected
+        assert result.served + result.rejected == 40
+        assert result.dropped == 0
+
+    def test_validates_arguments(self):
+        with pytest.raises(ValueError):
+            run_loadgen(requests=0)
+        with pytest.raises(ValueError):
+            run_loadgen(concurrency=0)
+
+
+class TestInvariantDetection:
+    def test_tally_flags_silent_degradation(self):
+        from repro.serve.loadgen import _tally
+        from repro.serve.request import MatmulResponse, VerificationStatus
+
+        response = MatmulResponse(
+            request_id="r1",
+            status=VerificationStatus.DEGRADED,
+            c=np.zeros((2, 2)),
+            report=object(),
+        )
+        result = _tally([(response, 0.01)], 1, 0.1, None)
+        assert not result.ok
+        assert "without deadline pressure" in result.violations[0]
+
+    def test_tally_flags_missing_result(self):
+        from repro.serve.loadgen import _tally
+        from repro.serve.request import MatmulResponse, VerificationStatus
+
+        response = MatmulResponse(
+            request_id="r1", status=VerificationStatus.FULL, c=None
+        )
+        result = _tally([(response, 0.01)], 1, 0.1, None)
+        assert any("without a result" in v for v in result.violations)
+
+    def test_tally_flags_dropped_requests(self):
+        from repro.serve.loadgen import _tally
+
+        result = _tally([(RuntimeError("boom"), 0.01)], 2, 0.1, None)
+        assert result.dropped == 1
+        assert any("died without a response" in v for v in result.violations)
+        assert any("only 1 resolved" in v for v in result.violations)
+
+    def test_loadgen_result_ok_property(self):
+        clean = LoadgenResult(submitted=1, wall_s=0.1)
+        assert clean.ok
+        dirty = LoadgenResult(submitted=1, wall_s=0.1, violations=["x"])
+        assert not dirty.ok

@@ -1,5 +1,7 @@
 """The aabft command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -16,6 +18,9 @@ class TestParser:
             "all",
             "demo",
             "ci-gate",
+            "serve",
+            "loadgen",
+            "bench",
         ):
             args = parser.parse_args([cmd])
             assert args.command == cmd
@@ -57,6 +62,66 @@ class TestParser:
         assert args.flips == 3
         assert args.field == "exponent"
 
+    def test_serve_options(self):
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--requests", "reqs.jsonl",
+                "--m", "128", "--n", "64", "--q", "8",
+                "--deadline-s", "0.5",
+                "--max-batch", "16",
+                "--window-s", "0.01",
+                "--queue-depth", "64",
+            ]
+        )
+        assert args.requests == "reqs.jsonl"
+        assert (args.m, args.n, args.q) == (128, 64, 8)
+        assert args.deadline_s == 0.5
+        assert args.max_batch == 16
+        assert args.window_s == 0.01
+        assert args.queue_depth == 64
+
+    def test_serve_defaults_to_stdin(self):
+        assert build_parser().parse_args(["serve"]).requests == "-"
+
+    def test_loadgen_options(self):
+        args = build_parser().parse_args(
+            [
+                "loadgen",
+                "--requests", "50",
+                "--concurrency", "8",
+                "--m", "64", "--n", "64", "--q", "4",
+                "--deadline-s", "2.0",
+                "--fresh-a",
+            ]
+        )
+        assert args.requests == 50
+        assert args.concurrency == 8
+        assert (args.m, args.n, args.q) == (64, 64, 4)
+        assert args.deadline_s == 2.0
+        assert args.fresh_a is True
+
+    def test_bench_options(self):
+        args = build_parser().parse_args(
+            [
+                "bench",
+                "--which", "all",
+                "--quick",
+                "--compare",
+                "--baseline", "custom.json",
+                "--tolerance", "0.4",
+            ]
+        )
+        assert args.which == "all"
+        assert args.quick and args.compare
+        assert args.baseline == "custom.json"
+        assert args.tolerance == 0.4
+        assert build_parser().parse_args(["bench"]).which == "serve"
+
+    def test_bench_rejects_unknown_target(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "--which", "bogus"])
+
 
 class TestExecution:
     def test_table1(self, capsys):
@@ -70,3 +135,61 @@ class TestExecution:
         out = capsys.readouterr().out
         assert "fault-free run: detected=False" in out
         assert "injected:" in out
+
+    def test_loadgen_end_to_end_with_telemetry(self, capsys, tmp_path):
+        telemetry = tmp_path / "serve.jsonl"
+        assert main(
+            [
+                "--telemetry-out", str(telemetry),
+                "loadgen",
+                "--requests", "20",
+                "--concurrency", "5",
+                "--m", "64", "--n", "64", "--q", "8",
+            ]
+        ) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["ok"] is True
+        assert summary["served"] == 20
+        assert summary["rejected"] == 0 and summary["dropped"] == 0
+        assert summary["status_counts"] == {"full": 20}
+        assert summary["max_batch_size"] > 1
+        # the telemetry stream ends with a metrics snapshot carrying the
+        # serve counters the CI job gates on
+        events = [
+            json.loads(line) for line in telemetry.read_text().splitlines()
+        ]
+        snapshot = events[-1]
+        assert snapshot["type"] == "snapshot"
+        metrics = snapshot["metrics"]
+        assert "abft_serve_requests_total" in metrics
+        assert "abft_serve_batch_size" in metrics
+        completed = [
+            v["value"]
+            for v in metrics["abft_serve_requests_total"]["values"]
+            if v["labels"].get("outcome") == "completed"
+        ]
+        assert completed == [20.0]
+        dropped = metrics["abft_serve_dropped_total"]["values"]
+        assert sum(v["value"] for v in dropped) == 0.0  # no child = never hit
+
+    def test_serve_reads_jsonl_requests(self, capsys, tmp_path):
+        spec = tmp_path / "requests.jsonl"
+        spec.write_text(
+            "# comment lines are skipped\n"
+            '{"m": 64, "n": 64, "q": 8, "count": 3, "seed": 11, "id": "w"}\n'
+            '{"m": 64, "n": 64, "q": 8, "seed": 12}\n'
+        )
+        assert main(
+            ["serve", "--requests", str(spec), "--window-s", "0.001"]
+        ) == 0
+        lines = [
+            json.loads(line)
+            for line in capsys.readouterr().out.strip().splitlines()
+        ]
+        responses, summary = lines[:-1], lines[-1]["summary"]
+        assert summary == {"submitted": 4, "served": 4, "rejected": 0}
+        assert [r["request_id"] for r in responses[:3]] == [
+            "w.0", "w.1", "w.2",
+        ]
+        assert all(r["status"] == "full" for r in responses)
+        assert max(r["batch_size"] for r in responses) > 1

@@ -18,6 +18,7 @@ SUBPACKAGES = [
     "repro.gpusim",
     "repro.kernels",
     "repro.perfmodel",
+    "repro.serve",
     "repro.telemetry",
     "repro.workloads",
 ]
@@ -52,6 +53,48 @@ class TestImports:
             "span",
         ):
             assert symbol in repro.__all__
+
+    def test_top_level_exports_serving_api(self):
+        for symbol in (
+            "MatmulServer",
+            "ServeConfig",
+            "MatmulRequest",
+            "MatmulResponse",
+            "VerificationStatus",
+            "run_loadgen",
+        ):
+            assert symbol in repro.__all__
+
+    def test_serve_exports_locked(self):
+        from repro import serve
+
+        assert set(serve.__all__) == {
+            "DEGRADATION_RUNGS",
+            "LoadgenResult",
+            "MatmulRequest",
+            "MatmulResponse",
+            "MatmulServer",
+            "ServeConfig",
+            "VerificationStatus",
+            "percentile",
+            "rung_for_fraction",
+            "run_loadgen",
+            "run_serve_benchmark",
+        }
+
+    def test_response_satisfies_protected_result(self):
+        import numpy as np
+
+        from repro import MatmulResponse, ProtectedResult, VerificationStatus
+        from repro.abft.checking import CheckReport
+
+        response = MatmulResponse(
+            request_id="r1",
+            status=VerificationStatus.FULL,
+            c=np.zeros((2, 2)),
+            report=CheckReport(),
+        )
+        assert isinstance(response, ProtectedResult)
 
 
 class TestDocstrings:
