@@ -17,8 +17,6 @@ maps them back to data coordinates.
 
 from __future__ import annotations
 
-import math
-
 from dataclasses import dataclass, field
 from typing import Protocol
 
@@ -113,7 +111,10 @@ def column_discrepancies(
     """|reference - original| for every (block-row, encoded column) pair.
 
     ``reference`` is the sum of the block's data rows; ``original`` the
-    checksum row that went through the multiplication (Eq. 4).
+    checksum row that went through the multiplication (Eq. 4).  One
+    block-reshaped reduction over the whole result — bitwise identical to
+    the per-block loop it replaced (same sequential accumulation over each
+    block's data rows).
     """
     c_fc = np.asarray(c_fc, dtype=np.float64)
     if c_fc.shape[0] != row_layout.encoded_rows:
@@ -121,17 +122,38 @@ def column_discrepancies(
             f"result has {c_fc.shape[0]} rows, layout expects "
             f"{row_layout.encoded_rows}"
         )
-    out = np.empty((row_layout.num_blocks, c_fc.shape[1]))
-    for blk in range(row_layout.num_blocks):
-        data = c_fc[row_layout.data_indices(blk), :]
-        original = c_fc[row_layout.checksum_index(blk), :]
-        out[blk, :] = np.abs(data.sum(axis=0) - original)
+    bs = row_layout.block_size
+    cols = c_fc.shape[1]
+    view = c_fc.reshape(row_layout.num_blocks, row_layout.stride, cols)
+    out = np.empty((row_layout.num_blocks, cols))
+    np.sum(view[:, :bs, :], axis=1, out=out)
+    out -= view[:, bs, :]
+    np.abs(out, out=out)
     return out
 
 
 def row_discrepancies(c_fc: np.ndarray, col_layout: PartitionedLayout) -> np.ndarray:
-    """|reference - original| for every (encoded row, block-column) pair."""
-    return column_discrepancies(np.asarray(c_fc, dtype=np.float64).T, col_layout).T
+    """|reference - original| for every (encoded row, block-column) pair.
+
+    Computed directly on the result — the checked sums run along each
+    row's contiguous block columns, the same reduction the GPU check
+    kernel performs — instead of transposing ``c_fc`` into
+    :func:`column_discrepancies` (which forced two full copies).
+    """
+    c_fc = np.asarray(c_fc, dtype=np.float64)
+    if c_fc.shape[1] != col_layout.encoded_rows:
+        raise ShapeError(
+            f"result has {c_fc.shape[1]} columns, layout expects "
+            f"{col_layout.encoded_rows}"
+        )
+    bs = col_layout.block_size
+    rows = c_fc.shape[0]
+    view = c_fc.reshape(rows, col_layout.num_blocks, col_layout.stride)
+    out = np.empty((rows, col_layout.num_blocks))
+    np.sum(view[:, :, :bs], axis=2, out=out)
+    out -= view[:, :, bs]
+    np.abs(out, out=out)
+    return out
 
 
 def check_partitioned(
@@ -139,12 +161,16 @@ def check_partitioned(
     row_layout: PartitionedLayout,
     col_layout: PartitionedLayout,
     epsilons: EpsilonProvider,
+    *,
+    use_grids: bool = True,
 ) -> CheckReport:
     """Full check of a partitioned full-checksum result matrix.
 
     Performs every column and row comparison with tolerances from
     ``epsilons``, collects failures, and intersects them per block to locate
-    erroneous elements.
+    erroneous elements.  ``use_grids=False`` forces the scalar
+    per-comparison tolerance loop even for providers with an array form
+    (the reference path property tests compare against).
     """
     c_fc = np.asarray(c_fc, dtype=np.float64)
     if c_fc.shape != (row_layout.encoded_rows, col_layout.encoded_rows):
@@ -155,14 +181,32 @@ def check_partitioned(
     col_disc = column_discrepancies(c_fc, row_layout)
     row_disc = row_discrepancies(c_fc, col_layout)
 
-    col_eps = np.empty_like(col_disc)
-    for blk_row in range(row_layout.num_blocks):
-        for col in range(col_layout.encoded_rows):
-            col_eps[blk_row, col] = epsilons.column_epsilon(blk_row, col)
-    row_eps = np.empty_like(row_disc)
-    for blk_col in range(col_layout.num_blocks):
-        for row in range(row_layout.encoded_rows):
-            row_eps[row, blk_col] = epsilons.row_epsilon(row, blk_col)
+    # Providers exposing the array form supply both dense tolerance grids in
+    # one vectorised evaluation (bitwise equal to the scalar loops below);
+    # scalar-only providers fall back to one call per comparison.
+    grids = None
+    epsilon_grids = getattr(epsilons, "epsilon_grids", None)
+    if use_grids and epsilon_grids is not None:
+        try:
+            grids = epsilon_grids(row_layout, col_layout)
+        except Exception:
+            # The array form may reject inputs the scalar path tolerates
+            # (e.g. non-finite upper bounds from corrupted operands, where
+            # the scalar loop yields NaN tolerances and the non-finite
+            # discrepancy still fails the comparison).  The scalar loop is
+            # the semantic reference, so fall back to it.
+            grids = None
+    if grids is not None:
+        col_eps, row_eps = grids
+    else:
+        col_eps = np.empty_like(col_disc)
+        for blk_row in range(row_layout.num_blocks):
+            for col in range(col_layout.encoded_rows):
+                col_eps[blk_row, col] = epsilons.column_epsilon(blk_row, col)
+        row_eps = np.empty_like(row_disc)
+        for blk_col in range(col_layout.num_blocks):
+            for row in range(row_layout.encoded_rows):
+                row_eps[row, blk_col] = epsilons.row_epsilon(row, blk_col)
 
     return build_report(col_disc, col_eps, row_disc, row_eps, row_layout, col_layout)
 
@@ -188,43 +232,46 @@ def build_report(
     stride_cols = col_layout.stride
     stride_rows = row_layout.stride
 
-    # Column checks: one per (block-row, encoded column).
-    for blk_row in range(row_layout.num_blocks):
-        cs_row = row_layout.checksum_index(blk_row)
-        for col in range(col_layout.encoded_rows):
-            disc = float(col_disc[blk_row, col])
-            eps = float(col_eps[blk_row, col])
-            if disc > eps or not math.isfinite(disc):
-                report.findings.append(
-                    CheckFinding(
-                        axis="column",
-                        block_row=blk_row,
-                        block_col=col // stride_cols,
-                        encoded_row=cs_row,
-                        encoded_col=col,
-                        discrepancy=disc,
-                        epsilon=eps,
-                    )
+    # Failures are masked out in two vectorised comparisons; CheckFinding
+    # objects are only materialised for the (rare) flagged entries.  The
+    # elementwise ``>`` matches the scalar ``disc > eps`` (NaN compares
+    # false, so the explicit non-finite term keeps NaNs failing loudly).
+    col_bad = (col_disc > col_eps) | ~np.isfinite(col_disc)
+    if col_bad.any():
+        # argwhere walks row-major: block-row outer, column inner — the
+        # order the scalar loop appended findings in.
+        for blk_row, col in np.argwhere(col_bad):
+            blk_row = int(blk_row)
+            col = int(col)
+            report.findings.append(
+                CheckFinding(
+                    axis="column",
+                    block_row=blk_row,
+                    block_col=col // stride_cols,
+                    encoded_row=row_layout.checksum_index(blk_row),
+                    encoded_col=col,
+                    discrepancy=float(col_disc[blk_row, col]),
+                    epsilon=float(col_eps[blk_row, col]),
                 )
+            )
 
-    # Row checks: one per (encoded row, block-column).
-    for blk_col in range(col_layout.num_blocks):
-        cs_col = col_layout.checksum_index(blk_col)
-        for row in range(row_layout.encoded_rows):
-            disc = float(row_disc[row, blk_col])
-            eps = float(row_eps[row, blk_col])
-            if disc > eps or not math.isfinite(disc):
-                report.findings.append(
-                    CheckFinding(
-                        axis="row",
-                        block_row=row // stride_rows,
-                        block_col=blk_col,
-                        encoded_row=row,
-                        encoded_col=cs_col,
-                        discrepancy=disc,
-                        epsilon=eps,
-                    )
+    row_bad = (row_disc > row_eps) | ~np.isfinite(row_disc)
+    if row_bad.any():
+        # Transposed argwhere: block-column outer, encoded row inner.
+        for blk_col, row in np.argwhere(row_bad.T):
+            blk_col = int(blk_col)
+            row = int(row)
+            report.findings.append(
+                CheckFinding(
+                    axis="row",
+                    block_row=row // stride_rows,
+                    block_col=blk_col,
+                    encoded_row=row,
+                    encoded_col=col_layout.checksum_index(blk_col),
+                    discrepancy=float(row_disc[row, blk_col]),
+                    epsilon=float(row_eps[row, blk_col]),
                 )
+            )
 
     report.located_errors = _locate(report, row_layout, col_layout)
     return report

@@ -37,15 +37,28 @@ class ConstantEpsilonProvider:
         return self.epsilon_value
 
     def epsilon_grids(
-        self, row_layout: PartitionedLayout, col_layout: PartitionedLayout
+        self,
+        row_layout: PartitionedLayout,
+        col_layout: PartitionedLayout,
+        *,
+        pool=None,
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Dense ``(column, row)`` tolerance grids for the fast check path."""
-        col = np.full(
-            (row_layout.num_blocks, col_layout.encoded_rows), self.epsilon_value
-        )
-        row = np.full(
-            (row_layout.encoded_rows, col_layout.num_blocks), self.epsilon_value
-        )
+        """Dense ``(column, row)`` tolerance grids for the fast check path.
+
+        ``pool`` (a :class:`~repro.engine.plan.WorkspacePool`) supplies the
+        grid buffers when given; the engine gives them back after checking.
+        """
+        col_shape = (row_layout.num_blocks, col_layout.encoded_rows)
+        row_shape = (row_layout.encoded_rows, col_layout.num_blocks)
+        if pool is None:
+            return (
+                np.full(col_shape, self.epsilon_value),
+                np.full(row_shape, self.epsilon_value),
+            )
+        col = pool.take(col_shape)
+        col.fill(self.epsilon_value)
+        row = pool.take(row_shape)
+        row.fill(self.epsilon_value)
         return col, row
 
 
@@ -213,7 +226,11 @@ class AABFTEpsilonProvider:
         return cached
 
     def epsilon_grids(
-        self, row_layout: PartitionedLayout, col_layout: PartitionedLayout
+        self,
+        row_layout: PartitionedLayout,
+        col_layout: PartitionedLayout,
+        *,
+        pool=None,
     ) -> tuple[np.ndarray, np.ndarray] | None:
         """Dense tolerance grids, vectorised (the engine's fast check path).
 
@@ -222,6 +239,9 @@ class AABFTEpsilonProvider:
         or ``None`` when the bound scheme has no array form (the caller then
         falls back to the scalar check).  The provider's own layouts are
         authoritative; the arguments are accepted for interface uniformity.
+        ``pool`` (a :class:`~repro.engine.plan.WorkspacePool`) recycles the
+        intermediate upper-bound grids; the returned epsilon arrays are
+        freshly owned either way (the engine gives them back itself).
         """
         epsilon_array = getattr(self.scheme, "epsilon_array", None)
         if epsilon_array is None:
@@ -229,17 +249,24 @@ class AABFTEpsilonProvider:
         row_vals, row_idx, col_vals, col_idx = self._stacked_tops()
         cs_rows = self.row_layout.all_checksum_indices()
         cs_cols = self.col_layout.all_checksum_indices()
+        col_y = row_y = None
+        if pool is not None:
+            col_y = pool.take((cs_rows.size, col_vals.shape[0]))
+            row_y = pool.take((row_vals.shape[0], cs_cols.size))
         col_y = upper_bound_grid_arrays(
-            row_vals[cs_rows], row_idx[cs_rows], col_vals, col_idx
+            row_vals[cs_rows], row_idx[cs_rows], col_vals, col_idx, out=col_y
         )
         row_y = upper_bound_grid_arrays(
-            row_vals, row_idx, col_vals[cs_cols], col_idx[cs_cols]
+            row_vals, row_idx, col_vals[cs_cols], col_idx[cs_cols], out=row_y
         )
         col_eps = epsilon_array(self.inner_dim, col_y)
         row_eps = epsilon_array(self.inner_dim, row_y)
+        if pool is not None:
+            pool.give(col_y)
+            pool.give(row_y)
         if self.epsilon_floor > 0.0:
-            col_eps = np.maximum(col_eps, self.epsilon_floor)
-            row_eps = np.maximum(row_eps, self.epsilon_floor)
+            np.maximum(col_eps, self.epsilon_floor, out=col_eps)
+            np.maximum(row_eps, self.epsilon_floor, out=row_eps)
         return col_eps, row_eps
 
 
@@ -315,19 +342,25 @@ class SEAEpsilonProvider:
         return self.scheme.epsilon(ctx)
 
     def epsilon_grids(
-        self, row_layout: PartitionedLayout, col_layout: PartitionedLayout
+        self,
+        row_layout: PartitionedLayout,
+        col_layout: PartitionedLayout,
+        *,
+        pool=None,
     ) -> tuple[np.ndarray, np.ndarray] | None:
         """Dense tolerance grids, vectorised (the engine's fast check path).
 
         Bitwise equal to looping the scalar methods; ``None`` when the bound
         scheme is not the plain :class:`~repro.bounds.sea.SEABound` (custom
-        schemes fall back to the scalar check).
+        schemes fall back to the scalar check).  ``pool`` supplies the grid
+        buffers when given (every element is overwritten below).
         """
         if type(self.scheme) is not SEABound:
             return None
         t = self.scheme.fmt.t
         n = self.inner_dim
-        col_eps = np.empty((self.row_layout.num_blocks, self.col_layout.encoded_rows))
+        col_shape = (self.row_layout.num_blocks, self.col_layout.encoded_rows)
+        col_eps = np.empty(col_shape) if pool is None else pool.take(col_shape)
         m = self.row_layout.block_size
         for blk in range(self.row_layout.num_blocks):
             data_norms = self.a_row_norms[self.row_layout.data_indices(blk)]
@@ -341,7 +374,8 @@ class SEAEpsilonProvider:
                 b_norms=self.b_col_norms,
                 t=t,
             )
-        row_eps = np.empty((self.row_layout.encoded_rows, self.col_layout.num_blocks))
+        row_shape = (self.row_layout.encoded_rows, self.col_layout.num_blocks)
+        row_eps = np.empty(row_shape) if pool is None else pool.take(row_shape)
         m_t = self.col_layout.block_size
         for blk in range(self.col_layout.num_blocks):
             data_norms = self.b_col_norms[self.col_layout.data_indices(blk)]

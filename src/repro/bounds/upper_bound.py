@@ -67,7 +67,7 @@ class TopP:
 
 
 def top_p_arrays(
-    matrix: np.ndarray, p: int, axis: int
+    matrix: np.ndarray, p: int, axis: int, *, pool=None
 ) -> tuple[np.ndarray, np.ndarray]:
     """Stacked top-p values and indices of every vector along ``axis``.
 
@@ -77,6 +77,18 @@ def top_p_arrays(
     This is the array form of :func:`top_p_of_rows` /
     :func:`top_p_of_columns`; the engine's vectorised checking path consumes
     it directly without materialising per-vector :class:`TopP` objects.
+
+    The search runs ``p`` rounds of a strict maximum over all vectors at
+    once — the array analog of Algorithm 1's max search — so ties in
+    absolute value resolve to the *lowest* index, exactly like the
+    reference kernel's ``>`` comparison.  Both axes share one row-major
+    core (``axis=0`` searches a contiguous transpose copy), so
+    :func:`top_p_of_rows` of ``M.T`` and :func:`top_p_of_columns` of ``M``
+    agree bitwise.
+
+    ``pool``, when given, must provide ``take(shape, dtype)`` / ``give(buf)``
+    (see :class:`repro.engine.plan.WorkspacePool`); the absolute-value
+    scratch buffer is then recycled instead of allocated per call.
     """
     matrix = np.asarray(matrix, dtype=np.float64)
     if matrix.ndim != 2:
@@ -84,22 +96,45 @@ def top_p_arrays(
     length = matrix.shape[axis]
     if not 1 <= p <= length:
         raise ValueError(f"p must be in 1..{length}, got {p}")
-    absolute = np.abs(matrix)
-    # argpartition gives the top-p set; a final sort orders it descending.
-    part = np.argpartition(absolute, length - p, axis=axis)
     if axis == 1:
-        idx = part[:, length - p :]
-        vals = np.take_along_axis(absolute, idx, axis=1)
-        order = np.argsort(-vals, axis=1)
-        idx = np.take_along_axis(idx, order, axis=1)
-        vals = np.take_along_axis(vals, order, axis=1)
-        return vals, idx
-    idx = part[length - p :, :]
-    vals = np.take_along_axis(absolute, idx, axis=0)
-    order = np.argsort(-vals, axis=0)
-    idx = np.take_along_axis(idx, order, axis=0)
-    vals = np.take_along_axis(vals, order, axis=0)
-    return vals.T, idx.T
+        work = _take(pool, matrix.shape)
+        np.abs(matrix, out=work)
+    else:
+        # One contiguous transpose copy keeps every search round on the
+        # fast row-major argmax loop (a strided column argmax is ~10x
+        # slower and ufuncs would otherwise propagate the F-order).
+        work = _take(pool, (matrix.shape[1], matrix.shape[0]))
+        np.copyto(work, matrix.T)
+        np.abs(work, out=work)
+    # NaNs are never selected (they lose every strict ``>`` comparison in
+    # the reference kernel), but np.argmax would propagate them — mask them
+    # out.  The probe is a single cheap reduction; work holds |values| >= 0,
+    # so its sum is NaN iff a NaN is present.
+    if np.isnan(np.sum(work)):
+        work[np.isnan(work)] = -np.inf
+    k = work.shape[0]
+    vals = np.empty((k, p))
+    idx = np.empty((k, p), dtype=np.intp)
+    rows = np.arange(k)
+    for j in range(p):
+        best = np.argmax(work, axis=1)
+        idx[:, j] = best
+        vals[:, j] = work[rows, best]
+        if j + 1 < p:
+            work[rows, best] = -np.inf
+    _give(pool, work)
+    return vals, idx
+
+
+def _take(pool, shape: tuple[int, int]) -> np.ndarray:
+    if pool is None:
+        return np.empty(shape)
+    return pool.take(shape, np.float64)
+
+
+def _give(pool, buffer: np.ndarray) -> None:
+    if pool is not None:
+        pool.give(buffer)
 
 
 def _top_p_along(matrix: np.ndarray, p: int, axis: int) -> list[TopP]:
@@ -135,6 +170,7 @@ def upper_bound_grid_arrays(
     row_idx: np.ndarray,
     col_vals: np.ndarray,
     col_idx: np.ndarray,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Vectorised three-case ``y`` for every (row, column) pair.
 
@@ -142,21 +178,32 @@ def upper_bound_grid_arrays(
     the stacked ``(k_rows, p)`` top-p data of the row vectors (as produced by
     :func:`top_p_arrays`), ``col_vals``/``col_idx`` of the column vectors.
     Returns the ``(k_rows, k_cols)`` grid of upper bounds, bitwise equal to
-    calling :func:`determine_upper_bound` on every pair.
+    calling :func:`determine_upper_bound` on every pair.  ``out``, when
+    given, receives the grid in place (it must be float64 of the right
+    shape); two scratch arrays are reused across all ``p x p`` rounds of
+    the shared-index case instead of allocating three per round.
     """
+    shape = (row_vals.shape[0], col_vals.shape[0])
+    if out is None:
+        out = np.empty(shape)
     # Cases 2 and 3: max of one side times the p-th largest of the other.
-    y = np.maximum(
-        np.outer(row_vals[:, 0], col_vals[:, -1]),
-        np.outer(row_vals[:, -1], col_vals[:, 0]),
-    )
-    # Case 1: shared indices pair their actual values.
+    np.multiply(row_vals[:, 0][:, None], col_vals[:, -1][None, :], out=out)
+    np.maximum(out, row_vals[:, -1][:, None] * col_vals[:, 0][None, :], out=out)
+    # Case 1: shared indices pair their actual values.  ``where=match``
+    # leaves non-matching entries untouched — bitwise the old
+    # ``np.where(match, candidate, -inf)`` masking without its temporary.
+    candidate = np.empty(shape)
+    match = np.empty(shape, dtype=bool)
     for ri in range(row_vals.shape[1]):
         for ci in range(col_vals.shape[1]):
-            match = row_idx[:, ri][:, None] == col_idx[:, ci][None, :]
+            np.equal(row_idx[:, ri][:, None], col_idx[:, ci][None, :], out=match)
             if np.any(match):
-                candidate = np.outer(row_vals[:, ri], col_vals[:, ci])
-                np.maximum(y, np.where(match, candidate, -np.inf), out=y)
-    return y
+                np.multiply(
+                    row_vals[:, ri][:, None], col_vals[:, ci][None, :],
+                    out=candidate,
+                )
+                np.maximum(out, candidate, out=out, where=match)
+    return out
 
 
 def exact_upper_bound(a_row: np.ndarray, b_col: np.ndarray) -> float:

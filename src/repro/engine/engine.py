@@ -40,19 +40,15 @@ from ..abft.checking import (
     column_discrepancies,
     row_discrepancies,
 )
-from ..abft.encoding import (
-    PartitionedLayout,
-    encode_partitioned_columns,
-    encode_partitioned_rows,
-    strip_encoding,
-)
+from ..abft.encoding import PartitionedLayout, strip_encoding
+from ..kernels.encode_fused import fused_encode
 from ..abft.providers import (
     AABFTEpsilonProvider,
     ConstantEpsilonProvider,
     SEAEpsilonProvider,
 )
 from ..abft.result import AbftResult
-from ..bounds.upper_bound import TopP, top_p_arrays
+from ..bounds.upper_bound import TopP
 from ..errors import ConfigurationError, ShapeError
 from ..telemetry import MetricsRegistry
 from .config import AbftConfig
@@ -442,37 +438,40 @@ class MatmulEngine:
     def _encode_array(
         self, arr: np.ndarray, side: str, cfg: AbftConfig
     ) -> EncodedOperand:
-        """Encode a dtype-resolved matrix (checksums + scheme preprocessing)."""
+        """Encode a dtype-resolved matrix (checksums + scheme preprocessing).
+
+        This is the *unpooled* path behind the public :meth:`encode`: the
+        returned handle escapes to user code, so its encoded buffer must
+        never come from (or return to) a workspace pool.
+        """
         bs = cfg.block_size
         if side == "a":
             padding = (-arr.shape[0]) % bs
             if padding:
                 arr = np.pad(arr, ((0, padding), (0, 0)), mode="constant")
-            encoded, layout = encode_partitioned_columns(arr, bs)
-            axis = 1
             shape = (arr.shape[0] - padding, arr.shape[1])
         else:
             padding = (-arr.shape[1]) % bs
             if padding:
                 arr = np.pad(arr, ((0, 0), (0, padding)), mode="constant")
-            encoded, layout = encode_partitioned_rows(arr, bs)
-            axis = 0
             shape = (arr.shape[0], arr.shape[1] - padding)
-        top_vals = top_idx = norms = None
-        if cfg.scheme == "aabft":
-            top_vals, top_idx = top_p_arrays(encoded, cfg.p, axis=axis)
-        elif cfg.scheme == "sea":
-            norms = np.linalg.norm(encoded, axis=axis)
+        fused = fused_encode(
+            arr,
+            side,
+            bs,
+            p=cfg.p if cfg.scheme == "aabft" else None,
+            norms=cfg.scheme == "sea",
+        )
         return EncodedOperand(
             side=side,
-            array=encoded,
-            layout=layout,
+            array=fused.encoded,
+            layout=fused.layout,
             shape=shape,
             padding=padding,
             config=cfg,
-            top_values=top_vals,
-            top_indices=top_idx,
-            norms=norms,
+            top_values=fused.top_values,
+            top_indices=fused.top_indices,
+            norms=fused.norms,
         )
 
     def _check_handle(
@@ -521,24 +520,37 @@ class MatmulEngine:
 
         # --- encode (or reuse) ------------------------------------------
         t0 = time.perf_counter()
+        fresh_a = fresh_b = None
         if isinstance(a_raw, EncodedOperand):
             self._check_handle(a_raw, "a", cfg, dtype)
             enc_a = a_raw
             self._m_reuses.inc()
         else:
-            enc_a = self._encode_with_plan(a_raw.astype(dtype, copy=False), "a", cfg, plan)
+            enc_a = fresh_a = self._encode_with_plan(
+                a_raw.astype(dtype, copy=False), "a", cfg, plan
+            )
         if isinstance(b_raw, EncodedOperand):
             self._check_handle(b_raw, "b", cfg, dtype)
             enc_b = b_raw
             self._m_reuses.inc()
         else:
-            enc_b = self._encode_with_plan(b_raw.astype(dtype, copy=False), "b", cfg, plan)
+            enc_b = fresh_b = self._encode_with_plan(
+                b_raw.astype(dtype, copy=False), "b", cfg, plan
+            )
         self._add_seconds("encode", time.perf_counter() - t0)
 
         # --- multiply ----------------------------------------------------
         t0 = time.perf_counter()
         c_fc = enc_a.array @ enc_b.array
         self._add_seconds("multiply", time.perf_counter() - t0)
+        # Internally encoded buffers are fully consumed by the multiply and
+        # never referenced by the result (the provider keeps only top-p /
+        # norm arrays), so they recycle.  User-supplied handles are not
+        # touched.
+        if fresh_a is not None:
+            plan.pool.give(fresh_a.array)
+        if fresh_b is not None:
+            plan.pool.give(fresh_b.array)
 
         # --- check -------------------------------------------------------
         t0 = time.perf_counter()
@@ -564,33 +576,36 @@ class MatmulEngine:
     def _encode_with_plan(
         self, arr: np.ndarray, side: str, cfg: AbftConfig, plan: ExecutionPlan
     ) -> EncodedOperand:
-        """Like :meth:`_encode_array` but pads through the plan's workspaces."""
-        bs = cfg.block_size
+        """Like :meth:`_encode_array` but allocation-free when warm: padding,
+        the encoded buffer and the top-p search workspace all cycle through
+        the plan's pool.  The returned handle is engine-internal — the
+        caller gives ``handle.array`` back to ``plan.pool`` once the
+        multiply has consumed it (it must never escape into results)."""
         if side == "a":
             padded, workspace = plan.pad_a(arr)
-            encoded, layout = encode_partitioned_columns(padded, bs)
-            plan.release(workspace, "a")
-            padding, axis, shape = plan.rows_added, 1, (plan.m, plan.n)
+            padding, shape = plan.rows_added, (plan.m, plan.n)
         else:
             padded, workspace = plan.pad_b(arr)
-            encoded, layout = encode_partitioned_rows(padded, bs)
-            plan.release(workspace, "b")
-            padding, axis, shape = plan.cols_added, 0, (plan.n, plan.q)
-        top_vals = top_idx = norms = None
-        if cfg.scheme == "aabft":
-            top_vals, top_idx = top_p_arrays(encoded, cfg.p, axis=axis)
-        elif cfg.scheme == "sea":
-            norms = np.linalg.norm(encoded, axis=axis)
+            padding, shape = plan.cols_added, (plan.n, plan.q)
+        fused = fused_encode(
+            padded,
+            side,
+            cfg.block_size,
+            p=cfg.p if cfg.scheme == "aabft" else None,
+            norms=cfg.scheme == "sea",
+            pool=plan.pool,
+        )
+        plan.release(workspace, side)
         return EncodedOperand(
             side=side,
-            array=encoded,
-            layout=layout,
+            array=fused.encoded,
+            layout=fused.layout,
             shape=shape,
             padding=padding,
             config=cfg,
-            top_values=top_vals,
-            top_indices=top_idx,
-            norms=norms,
+            top_values=fused.top_values,
+            top_indices=fused.top_indices,
+            norms=fused.norms,
         )
 
     def _make_provider(
@@ -634,7 +649,13 @@ class MatmulEngine:
         grids = None
         epsilon_grids = getattr(provider, "epsilon_grids", None)
         if epsilon_grids is not None:
-            grids = epsilon_grids(plan.row_layout, plan.col_layout)
+            try:
+                grids = epsilon_grids(
+                    plan.row_layout, plan.col_layout, pool=plan.pool
+                )
+            except TypeError:
+                # Third-party providers predating the pool keyword.
+                grids = epsilon_grids(plan.row_layout, plan.col_layout)
         if grids is None:
             return check_partitioned(
                 c_fc, plan.row_layout, plan.col_layout, provider
@@ -651,12 +672,17 @@ class MatmulEngine:
         if not clean:
             # Rare path: delegate to the reference report builder so finding
             # order, located-error intersection etc. match exactly.
-            return build_report(
+            report = build_report(
                 col_disc, col_eps, row_disc, row_eps,
                 plan.row_layout, plan.col_layout,
             )
-        report = CheckReport(column_disc=col_disc, row_disc=row_disc)
-        report.num_checks = col_disc.size + row_disc.size
+        else:
+            report = CheckReport(column_disc=col_disc, row_disc=row_disc)
+            report.num_checks = col_disc.size + row_disc.size
+        # Reports keep only the discrepancy arrays (and scalar epsilons on
+        # findings), so the dense tolerance grids recycle.
+        plan.pool.give(col_eps)
+        plan.pool.give(row_eps)
         return report
 
 

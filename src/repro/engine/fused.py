@@ -113,22 +113,32 @@ def run_fused(engine, a_items, b_items, cfg) -> list:
 
     # --- encode (deduplicated; distinct right operands batched) ---------
     t0 = time.perf_counter()
-    enc_a = _resolve_side(engine, a_items, "a", cfg, plan, dtype)
-    enc_b = _resolve_side(engine, b_items, "b", cfg, plan, dtype)
+    enc_a, fresh_a = _resolve_side(engine, a_items, "a", cfg, plan, dtype)
+    enc_b, fresh_b = _resolve_side(engine, b_items, "b", cfg, plan, dtype)
     engine._add_seconds("encode", time.perf_counter() - t0)
 
     # --- multiply (one BLAS call per pair: bitwise == the single path) --
     t0 = time.perf_counter()
     c_fcs = [ea.array @ eb.array for ea, eb in zip(enc_a, enc_b)]
     engine._add_seconds("multiply", time.perf_counter() - t0)
+    # Freshly encoded buffers are consumed by the multiplies; results keep
+    # only top-p arrays, so they recycle (user handles are untouched).
+    for enc in fresh_a + fresh_b:
+        plan.pool.give(enc.array)
 
     # --- check (tolerance grids batched per distinct pair) --------------
     t0 = time.perf_counter()
-    col_eps, row_eps = _batch_epsilon_grids(enc_a, enc_b, cfg, plan)
+    col_eps, row_eps, grid_backing = _batch_epsilon_grids(
+        enc_a, enc_b, cfg, plan
+    )
     reports = [
         _check_one(c_fc, ce, re_, plan)
         for c_fc, ce, re_ in zip(c_fcs, col_eps, row_eps)
     ]
+    # Reports keep only discrepancy arrays; the batched tolerance grids
+    # (the backing stores of the per-pair slices) recycle.
+    for buf in grid_backing:
+        plan.pool.give(buf)
     engine._add_seconds("check", time.perf_counter() - t0)
 
     results = []
@@ -163,8 +173,13 @@ def run_fused(engine, a_items, b_items, cfg) -> list:
     return results
 
 
-def _resolve_side(engine, items, side, cfg, plan, dtype) -> list:
-    """Encoded operands for one side: dedupe, validate handles, batch-encode."""
+def _resolve_side(engine, items, side, cfg, plan, dtype) -> tuple[list, list]:
+    """Encoded operands for one side: dedupe, validate handles, batch-encode.
+
+    Returns ``(operands, fresh)`` where ``fresh`` lists each *internally*
+    encoded operand once — their buffers are pool-recyclable after the
+    multiply, unlike user-supplied handles.
+    """
     from .engine import EncodedOperand
 
     encoded: dict[int, object] = {}
@@ -182,8 +197,10 @@ def _resolve_side(engine, items, side, cfg, plan, dtype) -> list:
             raw_ids.append(key)
             raw_arrays.append(np.asarray(item).astype(dtype, copy=False))
 
+    fresh = []
     for key, arr in zip(raw_ids, raw_arrays):
         encoded[key] = engine._encode_with_plan(arr, side, cfg, plan)
+        fresh.append(encoded[key])
 
     out = []
     seen: set[int] = set()
@@ -195,7 +212,7 @@ def _resolve_side(engine, items, side, cfg, plan, dtype) -> list:
             engine._m_reuses.inc()
         seen.add(key)
         out.append(encoded[key])
-    return out
+    return out, fresh
 
 
 def _batch_epsilon_grids(enc_a, enc_b, cfg, plan):
@@ -221,35 +238,43 @@ def _batch_epsilon_grids(enc_a, enc_b, cfg, plan):
 
     col_grids: list = [None] * len(d_a)
     row_grids: list = [None] * len(d_a)
+    backing: list[np.ndarray] = []
     by_a: dict[int, list[int]] = {}
     for di, ea in enumerate(d_a):
         by_a.setdefault(id(ea), []).append(di)
     width = col_layout.encoded_rows
     blocks = col_layout.num_blocks
+    pool = plan.pool
     for dis in by_a.values():
         ea = d_a[dis[0]]
         col_vals = np.concatenate([d_b[di].top_values for di in dis])
         col_idx = np.concatenate([d_b[di].top_indices for di in dis])
         cs_vals = np.concatenate([d_b[di].top_values[cs_cols] for di in dis])
         cs_idx = np.concatenate([d_b[di].top_indices[cs_cols] for di in dis])
-        col_y = upper_bound_grid_arrays(
-            ea.top_values[cs_rows], ea.top_indices[cs_rows], col_vals, col_idx
+        col_y = pool.take((cs_rows.size, col_vals.shape[0]))
+        upper_bound_grid_arrays(
+            ea.top_values[cs_rows], ea.top_indices[cs_rows],
+            col_vals, col_idx, out=col_y,
         )
-        row_y = upper_bound_grid_arrays(
-            ea.top_values, ea.top_indices, cs_vals, cs_idx
+        row_y = pool.take((ea.top_values.shape[0], cs_vals.shape[0]))
+        upper_bound_grid_arrays(
+            ea.top_values, ea.top_indices, cs_vals, cs_idx, out=row_y
         )
         col_e = plan.scheme.epsilon_array(plan.n, col_y)
         row_e = plan.scheme.epsilon_array(plan.n, row_y)
+        pool.give(col_y)
+        pool.give(row_y)
+        backing.extend((col_e, row_e))
         if cfg.epsilon_floor > 0.0:
-            col_e = np.maximum(col_e, cfg.epsilon_floor)
-            row_e = np.maximum(row_e, cfg.epsilon_floor)
+            np.maximum(col_e, cfg.epsilon_floor, out=col_e)
+            np.maximum(row_e, cfg.epsilon_floor, out=row_e)
         for j, di in enumerate(dis):
             col_grids[di] = col_e[:, j * width : (j + 1) * width]
             row_grids[di] = row_e[:, j * blocks : (j + 1) * blocks]
 
     col_eps = [col_grids[distinct[key]] for key in pair_keys]
     row_eps = [row_grids[distinct[key]] for key in pair_keys]
-    return col_eps, row_eps
+    return col_eps, row_eps, backing
 
 
 def _check_one(c_fc, col_eps, row_eps, plan) -> CheckReport:

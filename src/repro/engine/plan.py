@@ -23,7 +23,7 @@ from ..bounds.sea import SEABound
 from ..fp.constants import FloatFormat, format_for_dtype
 from .config import AbftConfig
 
-__all__ = ["PlanKey", "ExecutionPlan", "PlanCache", "build_plan"]
+__all__ = ["PlanKey", "ExecutionPlan", "PlanCache", "WorkspacePool", "build_plan"]
 
 #: ``(m, n, q, dtype-name, config)`` — everything a plan depends on.
 PlanKey = tuple
@@ -33,30 +33,65 @@ PlanKey = tuple
 _POOL_BYTE_LIMIT = 1 << 25
 
 
-class _WorkspacePool:
-    """A small thread-safe free-list of equally-shaped scratch buffers."""
+class WorkspacePool:
+    """Thread-safe free-lists of scratch buffers keyed by ``(shape, dtype)``.
 
-    def __init__(self, shape: tuple[int, ...], dtype: np.dtype, limit: int = 4):
-        self.shape = shape
-        self.dtype = dtype
-        self._limit = limit
-        self._free: deque[np.ndarray] = deque()
+    Every :class:`ExecutionPlan` owns one pool; the engine recycles its
+    internal scratch arrays — padding workspaces, encoded-operand buffers
+    (after the multiply has consumed them), top-p search workspaces and
+    tolerance grids — through it across warm calls and fused batches.
+
+    Safety rules the engine observes (see ``docs/API.md``):
+
+    * only buffers that never escape into user-visible objects are given
+      back — :class:`~repro.engine.engine.EncodedOperand` handles from the
+      public ``encode()``, discrepancy arrays stored on reports, and result
+      matrices are never pooled;
+    * :meth:`give` silently rejects views (``base is not None``),
+      non-contiguous arrays and buffers above ``_POOL_BYTE_LIMIT``, so a
+      sliced or oversized workspace can never resurface;
+    * :meth:`take` returns buffers with *undefined contents* — callers must
+      overwrite every element.
+
+    Concurrent :meth:`take` calls simply receive distinct buffers (a miss
+    allocates outside the lock), so the pool is safe under
+    ``matmul_many``'s thread pool.
+    """
+
+    def __init__(self, limit_per_key: int = 4, byte_limit: int = _POOL_BYTE_LIMIT):
+        self._limit = limit_per_key
+        self._byte_limit = byte_limit
+        self._free: dict[tuple, deque[np.ndarray]] = {}
         self._lock = threading.Lock()
-        nbytes = int(np.prod(shape)) * np.dtype(dtype).itemsize
-        self._poolable = nbytes <= _POOL_BYTE_LIMIT
+        self.takes = 0
+        self.hits = 0
 
-    def take(self) -> np.ndarray:
+    def take(self, shape: tuple[int, ...], dtype=np.float64) -> np.ndarray:
+        """A C-contiguous scratch array of the requested shape and dtype."""
+        key = (tuple(int(s) for s in shape), np.dtype(dtype))
         with self._lock:
-            if self._free:
-                return self._free.popleft()
-        return np.empty(self.shape, dtype=self.dtype)
+            self.takes += 1
+            bucket = self._free.get(key)
+            if bucket:
+                self.hits += 1
+                return bucket.pop()
+        return np.empty(key[0], dtype=key[1])
 
-    def give(self, buffer: np.ndarray) -> None:
-        if not self._poolable:
+    def give(self, buffer: np.ndarray | None) -> None:
+        """Return a scratch array for reuse (no-op when not poolable)."""
+        if buffer is None:
             return
+        if buffer.base is not None or not buffer.flags.c_contiguous:
+            return
+        if buffer.nbytes > self._byte_limit:
+            return
+        key = (buffer.shape, buffer.dtype)
         with self._lock:
-            if len(self._free) < self._limit:
-                self._free.append(buffer)
+            bucket = self._free.get(key)
+            if bucket is None:
+                bucket = self._free.setdefault(key, deque())
+            if len(bucket) < self._limit:
+                bucket.append(buffer)
 
 
 @dataclass
@@ -81,6 +116,9 @@ class ExecutionPlan:
         The reusable bound-scheme object for this dtype/config.
     fmt:
         The IEEE format of the computation dtype.
+    pool:
+        The plan's :class:`WorkspacePool` — every scratch buffer of a call
+        executed under this plan is taken from and given back to it.
     """
 
     key: PlanKey
@@ -95,8 +133,7 @@ class ExecutionPlan:
     col_layout: PartitionedLayout
     scheme: BoundScheme
     fmt: FloatFormat
-    _a_pool: _WorkspacePool = field(repr=False, default=None)
-    _b_pool: _WorkspacePool = field(repr=False, default=None)
+    pool: WorkspacePool = field(repr=False, default=None)
 
     @property
     def padded_m(self) -> int:
@@ -115,7 +152,7 @@ class ExecutionPlan:
         """
         if self.rows_added == 0:
             return a, None
-        buf = self._a_pool.take()
+        buf = self.pool.take((self.padded_m, self.n), self.dtype)
         buf[: self.m] = a
         buf[self.m :] = 0.0
         return buf, buf
@@ -124,7 +161,7 @@ class ExecutionPlan:
         """Zero-pad ``b`` along axis 1, reusing a pooled workspace."""
         if self.cols_added == 0:
             return b, None
-        buf = self._b_pool.take()
+        buf = self.pool.take((self.n, self.padded_q), self.dtype)
         buf[:, : self.q] = b
         buf[:, self.q :] = 0.0
         return buf, buf
@@ -133,8 +170,7 @@ class ExecutionPlan:
         """Return a padding workspace to its pool."""
         if workspace is None:
             return
-        pool = self._a_pool if side == "a" else self._b_pool
-        pool.give(workspace)
+        self.pool.give(workspace)
 
 
 def build_plan(
@@ -169,8 +205,7 @@ def build_plan(
         scheme=scheme,
         fmt=fmt,
     )
-    plan._a_pool = _WorkspacePool((m + rows_added, n), plan.dtype)
-    plan._b_pool = _WorkspacePool((n, q + cols_added), plan.dtype)
+    plan.pool = WorkspacePool()
     return plan
 
 

@@ -41,7 +41,10 @@ from ..errors import ConfigurationError
 from ..gpusim.device import DeviceSpec, K20C
 from ..gpusim.kernel import Dim3, LaunchConfig
 from ..gpusim.scheduler import BlockScheduler
-from ..kernels.matmul import sequential_inner_product
+# Module (not name) import: repro.kernels may still be mid-initialisation
+# when this module loads through kernels.matmul -> faults.injector; the
+# attribute is resolved lazily at call time instead.
+from ..kernels import matmul as _matmul_kernels
 from ..telemetry import MetricsRegistry, get_registry, span
 from ..workloads.suites import WorkloadSuite
 from .injector import FaultInjector
@@ -365,8 +368,8 @@ class FaultCampaign:
 
         a_vec = self.a_cc[r, :]
         b_vec = self.b_rc[:, c]
-        baseline = sequential_inner_product(a_vec, b_vec)
-        faulty = sequential_inner_product(a_vec, b_vec, injector)
+        baseline = _matmul_kernels.sequential_inner_product(a_vec, b_vec)
+        faulty = _matmul_kernels.sequential_inner_product(a_vec, b_vec, injector)
         delta = faulty - baseline
 
         y_elem = determine_upper_bound(self.row_tops[r], self.col_tops[c])

@@ -8,6 +8,7 @@ kernels and the TMR baseline driver.
 from .check import CheckKernel
 from .correct import CorrectionKernel
 from .encode import EncodeColumnChecksumsKernel, EncodeRowChecksumsKernel
+from .encode_fused import FusedEncodeResult, fused_encode
 from .matmul import BlockMatmulKernel, sequential_inner_product
 from .matmul_tiled import RegisterTiledMatmulKernel
 from .norms import ColumnNormKernel, RowNormKernel
@@ -22,6 +23,8 @@ __all__ = [
     "ColumnNormKernel",
     "EncodeColumnChecksumsKernel",
     "EncodeRowChecksumsKernel",
+    "FusedEncodeResult",
+    "fused_encode",
     "RowNormKernel",
     "TmrCompareKernel",
     "TmrOutcome",

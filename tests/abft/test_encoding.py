@@ -13,6 +13,8 @@ from repro.abft.encoding import (
     encode_partitioned_rows,
     encode_row_checksums,
     pad_to_block_multiple,
+    strip_data_columns,
+    strip_data_rows,
 )
 from repro.errors import EncodingError, ShapeError
 
@@ -171,3 +173,36 @@ class TestPadding:
         b_pad, _ = pad_to_block_multiple(b, 16, axis=1)
         c_pad = a_pad @ b_pad
         assert np.allclose(c_pad[:30, :45], a @ b)
+
+
+class TestStripDataHelpers:
+    """Block-view strips of one encoded axis (the serving layer's path)."""
+
+    def test_strip_data_rows_roundtrip(self, rng):
+        a = rng.uniform(-1, 1, (96, 40))
+        encoded, layout = encode_partitioned_columns(a, 32)
+        stripped = strip_data_rows(encoded, layout)
+        assert np.array_equal(stripped, a)
+        assert stripped.flags.c_contiguous
+        # Bitwise the fancy-index gather it replaced.
+        assert np.array_equal(stripped, encoded[layout.all_data_indices()])
+
+    def test_strip_data_columns_roundtrip(self, rng):
+        b = rng.uniform(-1, 1, (40, 96))
+        encoded, layout = encode_partitioned_rows(b, 32)
+        stripped = strip_data_columns(encoded, layout)
+        assert np.array_equal(stripped, b)
+        assert np.array_equal(stripped, encoded[:, layout.all_data_indices()])
+
+    def test_strip_preserves_dtype(self, rng):
+        a = rng.uniform(-1, 1, (64, 8)).astype(np.float32)
+        encoded, layout = encode_partitioned_columns(a, 32)
+        assert strip_data_rows(encoded, layout).dtype == np.float32
+
+    def test_shape_validation(self, rng):
+        a = rng.uniform(-1, 1, (96, 40))
+        encoded, layout = encode_partitioned_columns(a, 32)
+        with pytest.raises(ShapeError):
+            strip_data_rows(encoded[:-1], layout)
+        with pytest.raises(ShapeError):
+            strip_data_columns(encoded, layout)

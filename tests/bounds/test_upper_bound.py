@@ -9,9 +9,29 @@ from repro.bounds.upper_bound import (
     TopP,
     determine_upper_bound,
     exact_upper_bound,
+    top_p_arrays,
     top_p_of_columns,
     top_p_of_rows,
 )
+
+
+def naive_top_p(vector, p):
+    """Algorithm 1's max search, literally: p rounds of a strict ``>`` scan.
+
+    The first occurrence of the maximum wins every round (ties resolve to
+    the lowest index), exactly the semantics ``top_p_arrays`` must keep.
+    """
+    work = [abs(float(v)) for v in vector]
+    vals, ids = [], []
+    for _ in range(p):
+        best = 0
+        for j in range(1, len(work)):
+            if work[j] > work[best]:
+                best = j
+        vals.append(work[best])
+        ids.append(best)
+        work[best] = -np.inf
+    return np.array(vals), np.array(ids, dtype=np.intp)
 
 
 class TestTopP:
@@ -54,6 +74,96 @@ class TestTopP:
     def test_shape_validation(self):
         with pytest.raises(ValueError):
             TopP(values=np.array([1.0, 2.0]), indices=np.array([0]))
+
+
+class TestTopPArrays:
+    """Edge cases of the stacked array form vs the per-vector TopP path."""
+
+    def assert_matches_per_vector(self, matrix, p, axis):
+        vals, idx = top_p_arrays(matrix, p, axis)
+        tops = top_p_of_rows(matrix, p) if axis == 1 else top_p_of_columns(matrix, p)
+        assert vals.shape == idx.shape == (len(tops), p)
+        for k, top in enumerate(tops):
+            assert np.array_equal(vals[k], top.values)
+            assert np.array_equal(idx[k], top.indices)
+        vectors = matrix if axis == 1 else matrix.T
+        for k, vec in enumerate(vectors):
+            ref_vals, ref_ids = naive_top_p(vec, p)
+            assert np.array_equal(vals[k], ref_vals)
+            assert np.array_equal(idx[k], ref_ids)
+
+    def test_ties_resolve_to_lowest_index(self):
+        # |3| appears at indices 0, 2 and 3 (once negated): the strict max
+        # search must pick them in index order, like Algorithm 1's ``>``.
+        m = np.array([[3.0, 1.0, -3.0, 3.0], [-2.0, 2.0, 0.5, 2.0]])
+        vals, idx = top_p_arrays(m, 3, axis=1)
+        assert np.array_equal(idx, [[0, 2, 3], [0, 1, 3]])
+        assert np.array_equal(vals, [[3.0, 3.0, 3.0], [2.0, 2.0, 2.0]])
+        self.assert_matches_per_vector(m, 3, axis=1)
+        self.assert_matches_per_vector(m.T, 3, axis=0)
+
+    def test_p_equals_n(self, rng):
+        m = rng.uniform(-5, 5, (6, 9))
+        self.assert_matches_per_vector(m, 9, axis=1)
+        self.assert_matches_per_vector(m, 6, axis=0)
+        vals, _ = top_p_arrays(m, 9, axis=1)
+        # Every element selected exactly once: the rows are permutations.
+        assert np.array_equal(np.sort(vals, axis=1), np.sort(np.abs(m), axis=1))
+
+    def test_p_equals_one(self, rng):
+        m = rng.uniform(-5, 5, (7, 11))
+        vals, idx = top_p_arrays(m, 1, axis=1)
+        assert np.array_equal(vals[:, 0], np.max(np.abs(m), axis=1))
+        assert np.array_equal(idx[:, 0], np.argmax(np.abs(m), axis=1))
+        self.assert_matches_per_vector(m, 1, axis=1)
+        self.assert_matches_per_vector(m, 1, axis=0)
+
+    def test_negative_dominated_vectors(self, rng):
+        # All-negative vectors: the search runs on |values|, so the most
+        # negative entry must win, not the algebraic maximum.
+        m = -np.abs(rng.uniform(1, 10, (5, 8)))
+        vals, idx = top_p_arrays(m, 2, axis=1)
+        assert np.array_equal(vals[:, 0], np.abs(m).max(axis=1))
+        assert np.all(vals > 0)
+        self.assert_matches_per_vector(m, 2, axis=1)
+        self.assert_matches_per_vector(m, 2, axis=0)
+
+    def test_nan_entries_never_selected(self):
+        # NaN loses every strict ``>`` comparison in the reference kernel,
+        # so finite values must win; the input matrix is left untouched.
+        m = np.array([[np.nan, 2.0, 5.0, 1.0], [4.0, np.nan, np.nan, 3.0]])
+        snapshot = m.copy()
+        vals, idx = top_p_arrays(m, 2, axis=1)
+        assert np.array_equal(vals, [[5.0, 2.0], [4.0, 3.0]])
+        assert np.array_equal(idx, [[2, 1], [0, 3]])
+        assert np.array_equal(m, snapshot, equal_nan=True)
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        st.integers(1, 12),
+        st.integers(1, 12),
+        st.integers(1, 12),
+        st.integers(0, 2**32 - 1),
+    )
+    def test_matches_naive_reference_with_ties(self, k, n, p, seed):
+        """Integer-valued entries force frequent |value| ties."""
+        rng = np.random.default_rng(seed)
+        m = rng.integers(-3, 4, (k, n)).astype(np.float64)
+        self.assert_matches_per_vector(m, min(p, n), axis=1)
+        self.assert_matches_per_vector(m, min(p, k), axis=0)
+
+    def test_axes_agree_bitwise(self, rng):
+        m = rng.uniform(-5, 5, (10, 13))
+        v1, i1 = top_p_arrays(m, 3, axis=1)
+        v0, i0 = top_p_arrays(m.T, 3, axis=0)
+        assert np.array_equal(v1, v0)
+        assert np.array_equal(i1, i0)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            top_p_arrays(rng.uniform(-1, 1, (3, 4)), 5, axis=1)
+        with pytest.raises(ValueError):
+            top_p_arrays(np.ones(4), 1, axis=0)
 
 
 class TestThreeCaseRule:
