@@ -30,6 +30,9 @@ Package map (see DESIGN.md for the full inventory):
   (see docs/OBSERVABILITY.md)
 - :mod:`repro.serve` — micro-batching request scheduler with backpressure
   and adaptive degradation (``aabft serve`` / ``aabft loadgen``)
+- :mod:`repro.backends` — pluggable compute backends (numpy / blocked /
+  cupy) with capability negotiation and a backend/tile autotuner
+  (``aabft backends`` / ``aabft autotune``)
 """
 
 from .abft import (
@@ -49,6 +52,16 @@ from .abft import (
     protected_solve,
     sea_abft_matmul,
     weighted_abft_matmul,
+)
+from .backends import (
+    Autotuner,
+    AutotuneCache,
+    Backend,
+    BackendCapabilities,
+    BackendRegistry,
+    TunedChoice,
+    default_registry,
+    get_backend,
 )
 from .engine import (
     AbftConfig,
@@ -113,6 +126,11 @@ __all__ = [
     "AbftConfig",
     "AbftResult",
     "AnalyticalBound",
+    "Autotuner",
+    "AutotuneCache",
+    "Backend",
+    "BackendCapabilities",
+    "BackendRegistry",
     "BoundContext",
     "BoundScheme",
     "BoundSchemeError",
@@ -154,11 +172,14 @@ __all__ = [
     "SEABound",
     "ServeConfig",
     "ShapeError",
+    "TunedChoice",
     "VerificationStatus",
     "ErrorMap",
     "aabft_matmul",
     "correct_single_error",
     "default_engine",
+    "default_registry",
+    "get_backend",
     "fixed_abft_matmul",
     "get_registry",
     "online_abft_matmul",

@@ -73,6 +73,13 @@ class AbftResult:
     provider:
         The epsilon provider used for the check (reusable for re-checks and
         correction verification).
+    backend:
+        The compute backend that executed the GEMM stage (``None`` for
+        paths predating backend dispatch, e.g. fabricated results).
+    backend_fallback:
+        ``None`` when the selected backend served the call; otherwise the
+        never-silent record of why execution fell back to ``numpy``
+        (selection-time rejection or dispatch-time failure).
     """
 
     c: np.ndarray
@@ -81,6 +88,8 @@ class AbftResult:
     row_layout: PartitionedLayout
     col_layout: PartitionedLayout
     provider: EpsilonProvider
+    backend: str | None = None
+    backend_fallback: str | None = None
 
     @property
     def detected(self) -> bool:

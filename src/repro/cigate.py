@@ -7,7 +7,9 @@ It runs two gates and exits nonzero when either fails:
   flips, the paper's Figure 4 setup at reduced scale) must detect at
   least ``coverage_floor`` of the *critical* errors with the A-ABFT
   tolerances, and the fault-free workload must pass every scheme's check
-  (no baseline false positives);
+  (no baseline false positives).  The gate runs once per compute backend
+  (numpy plus every available non-numpy backend by default) so the
+  detection floor holds inside backend-dispatched tile compute too;
 * **throughput** — a warm plan-cached :class:`~repro.engine.MatmulEngine`
   micro-benchmark must stay within ``throughput_tolerance`` of the
   committed per-call baseline in ``BENCH_engine.json``.
@@ -34,6 +36,7 @@ from .telemetry import MetricsRegistry, get_registry, span
 __all__ = [
     "GateResult",
     "coverage_gate",
+    "default_gate_backends",
     "throughput_gate",
     "run_ci_gate",
     "DEFAULT_COVERAGE_FLOOR",
@@ -83,12 +86,17 @@ def coverage_gate(
     seed: int = 2014,
     n: int | None = None,
     num_injections: int | None = None,
+    backend: str = "numpy",
     registry: MetricsRegistry | None = None,
 ) -> GateResult:
     """Run a fault-injection campaign and gate on A-ABFT's detection rate.
 
     ``n``/``num_injections`` override the quick/full campaign scale (the
-    tests use tiny campaigns; CI uses the defaults).
+    tests use tiny campaigns; CI uses the defaults).  ``backend`` routes
+    the campaign's reference multiplication through a named compute
+    backend so injection sites land inside backend tile compute; the gate
+    is named ``coverage`` for numpy and ``coverage[<backend>]``
+    otherwise.
     """
     from .faults.campaign import CampaignConfig, FaultCampaign
     from .workloads import SUITE_UNIT
@@ -106,32 +114,62 @@ def coverage_gate(
         p=2,
         seed=seed,
         schemes=("aabft", "sea"),
+        backend=backend,
     )
-    with span("ci_gate.coverage", registry=reg, n=n, injections=num_injections):
-        result = FaultCampaign(config, registry=reg).run()
+    with span(
+        "ci_gate.coverage",
+        registry=reg,
+        n=n,
+        injections=num_injections,
+        backend=backend,
+    ):
+        campaign = FaultCampaign(config, registry=reg)
+        result = campaign.run()
     rate = result.detection_rate("aabft")
     rate = 0.0 if math.isnan(rate) else rate
     critical = result.num_critical()
     baseline_clean = all(result.false_positive_free.values())
+    backend_used = campaign.backend_used
 
-    gauges = reg.gauge(
-        "abft_ci_gate_coverage",
-        "Coverage-gate measurements of the last ci-gate run",
-        ("quantity",),
+    if backend == "numpy":
+        gauges = reg.gauge(
+            "abft_ci_gate_coverage",
+            "Coverage-gate measurements of the last ci-gate run",
+            ("quantity",),
+        )
+        gauges.labels(quantity="detection_rate").set(rate)
+        gauges.labels(quantity="critical_errors").set(critical)
+        gauges.labels(quantity="floor").set(floor)
+        gauges.labels(quantity="baseline_clean").set(
+            1.0 if baseline_clean else 0.0
+        )
+    by_backend = reg.gauge(
+        "abft_ci_gate_coverage_by_backend",
+        "Coverage-gate measurements per compute backend",
+        ("backend", "quantity"),
     )
-    gauges.labels(quantity="detection_rate").set(rate)
-    gauges.labels(quantity="critical_errors").set(critical)
-    gauges.labels(quantity="floor").set(floor)
-    gauges.labels(quantity="baseline_clean").set(1.0 if baseline_clean else 0.0)
+    by_backend.labels(backend=backend, quantity="detection_rate").set(rate)
+    by_backend.labels(backend=backend, quantity="critical_errors").set(critical)
+    by_backend.labels(backend=backend, quantity="floor").set(floor)
+    by_backend.labels(backend=backend, quantity="baseline_clean").set(
+        1.0 if baseline_clean else 0.0
+    )
 
-    passed = baseline_clean and critical > 0 and rate >= floor
+    # The per-backend gate exists to exercise that backend's tile compute;
+    # a fallback means it silently re-measured numpy, so fail loudly.
+    fell_back = backend_used != backend
+    passed = baseline_clean and critical > 0 and rate >= floor and not fell_back
     detail = (
         f"A-ABFT detected {rate:.1%} of {critical} critical errors "
         f"(floor {floor:.1%}, {num_injections} injections at n={n}, "
+        f"backend {backend_used!r}, "
         f"fault-free baseline {'clean' if baseline_clean else 'FLAGGED'})"
     )
+    if fell_back:
+        detail += f"; backend fell back: {campaign.backend_fallback}"
+    gate_name = "coverage" if backend == "numpy" else f"coverage[{backend}]"
     return GateResult(
-        gate="coverage", passed=passed, measured=rate, threshold=floor,
+        gate=gate_name, passed=passed, measured=rate, threshold=floor,
         detail=detail,
     )
 
@@ -202,6 +240,22 @@ def throughput_gate(
     )
 
 
+def default_gate_backends() -> tuple[str, ...]:
+    """``numpy`` plus every available deterministic non-numpy backend."""
+    from .backends import default_registry
+
+    registry = default_registry()
+    names = ["numpy"]
+    for name in registry.names():
+        if name == "numpy":
+            continue
+        backend = registry.get(name)
+        available, _ = backend.availability()
+        if available and backend.capabilities().deterministic:
+            names.append(name)
+    return tuple(names)
+
+
 def run_ci_gate(
     *,
     quick: bool = True,
@@ -209,19 +263,37 @@ def run_ci_gate(
     throughput_tolerance: float = DEFAULT_THROUGHPUT_TOLERANCE,
     baseline_path: str | Path | None = None,
     seed: int = 2014,
+    backends: tuple[str, ...] | None = None,
     registry: MetricsRegistry | None = None,
 ) -> tuple[int, list[GateResult]]:
-    """Run both gates; returns ``(exit_code, results)`` with 0 == all pass."""
+    """Run all gates; returns ``(exit_code, results)`` with 0 == all pass.
+
+    The coverage gate runs once per entry of ``backends`` (default:
+    :func:`default_gate_backends` — numpy plus every available
+    deterministic backend), so the detection floor is held inside each
+    backend's dispatched tile compute, not just the serial path.
+    """
     reg = registry if registry is not None else get_registry()
+    if backends is None:
+        backends = default_gate_backends()
     results = [
-        coverage_gate(floor=coverage_floor, quick=quick, seed=seed, registry=reg),
+        coverage_gate(
+            floor=coverage_floor,
+            quick=quick,
+            seed=seed,
+            backend=backend,
+            registry=reg,
+        )
+        for backend in backends
+    ]
+    results.append(
         throughput_gate(
             tolerance=throughput_tolerance,
             quick=quick,
             baseline_path=baseline_path,
             registry=reg,
-        ),
-    ]
+        )
+    )
     pass_gauge = reg.gauge(
         "abft_ci_gate_pass", "1 when the gate passed, 0 when it failed", ("gate",)
     )

@@ -44,6 +44,22 @@ class AbftConfig:
         ``"fixed"`` (manual tolerance).
     fixed_epsilon:
         The manual tolerance; required when ``scheme="fixed"``.
+    backend:
+        Compute backend for the GEMM stage: a registered backend name to
+        pin it, or ``"auto"`` (default) to let capability negotiation
+        choose (``AABFT_BACKEND`` env pin > autotuned winner > ``numpy``).
+        Automatic selection only picks bitwise-deterministic backends.
+    gemm_tile:
+        Result-tile edge of the canonical tile decomposition every
+        backend executes (see
+        :func:`repro.kernels.matmul_tiled.plan_tiles`).  ``None``
+        (default) is one full-result tile — the historical single-BLAS
+        behaviour.  The tile is a *plan* property: changing it changes
+        result bytes identically across deterministic backends.
+    exclude_backends:
+        Backend names capability negotiation must never select for this
+        config.  ``"numpy"`` cannot be excluded — it is the terminal
+        fallback that keeps failures never-silent.
 
     The dataclass is frozen and hashable, so it can key plan caches and be
     shared freely between threads.  Use :meth:`replace` to derive variants.
@@ -56,6 +72,9 @@ class AbftConfig:
     epsilon_floor: float = 0.0
     scheme: str = "aabft"
     fixed_epsilon: float | None = None
+    backend: str = "auto"
+    gemm_tile: int | None = None
+    exclude_backends: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.scheme not in SCHEMES:
@@ -76,6 +95,27 @@ class AbftConfig:
             if self.fixed_epsilon is None:
                 raise ConfigurationError("scheme='fixed' requires fixed_epsilon")
             FixedBound(float(self.fixed_epsilon))  # validate eagerly
+        if not self.backend or not isinstance(self.backend, str):
+            raise ConfigurationError(
+                f"backend must be a non-empty str, got {self.backend!r}"
+            )
+        if self.gemm_tile is not None and self.gemm_tile < 1:
+            raise ValueError(f"gemm_tile must be >= 1, got {self.gemm_tile}")
+        if not isinstance(self.exclude_backends, tuple):
+            # Accept any iterable of names; the stored form must be
+            # hashable for plan-cache keys.
+            object.__setattr__(
+                self, "exclude_backends", tuple(self.exclude_backends)
+            )
+        if "numpy" in self.exclude_backends:
+            raise ConfigurationError(
+                "the 'numpy' backend cannot be excluded: it is the terminal "
+                "fallback of the never-silent fallback chain"
+            )
+        if self.backend != "auto" and self.backend in self.exclude_backends:
+            raise ConfigurationError(
+                f"backend {self.backend!r} is pinned and excluded at once"
+            )
 
     def replace(self, **changes) -> "AbftConfig":
         """A copy with the given fields replaced (validation re-runs)."""
@@ -92,4 +132,10 @@ class AbftConfig:
                 parts.append(f"floor={self.epsilon_floor:g}")
         if self.scheme == "fixed":
             parts.append(f"epsilon={self.fixed_epsilon:g}")
+        if self.backend != "auto":
+            parts.append(f"backend={self.backend}")
+        if self.gemm_tile is not None:
+            parts.append(f"gemm_tile={self.gemm_tile}")
+        if self.exclude_backends:
+            parts.append(f"exclude={','.join(self.exclude_backends)}")
         return "AbftConfig(" + ", ".join(parts) + ")"

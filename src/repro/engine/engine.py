@@ -48,6 +48,13 @@ from ..abft.providers import (
     SEAEpsilonProvider,
 )
 from ..abft.result import AbftResult
+from ..backends.autotune import Autotuner, AutotuneCache
+from ..backends.registry import (
+    BackendRegistry,
+    BackendSelection,
+    default_registry,
+    negotiate,
+)
 from ..bounds.upper_bound import TopP
 from ..errors import ConfigurationError, ShapeError
 from ..telemetry import MetricsRegistry
@@ -157,6 +164,16 @@ class MatmulEngine:
         :func:`repro.telemetry.get_registry`) to fold the engine into a
         process-wide scrape — engines sharing a registry then share
         counters.
+    backends:
+        The :class:`~repro.backends.registry.BackendRegistry` the GEMM
+        stage dispatches through; defaults to the process-wide registry
+        with the ``numpy``/``blocked``/``cupy`` backends.
+    autotuner:
+        The :class:`~repro.backends.autotune.Autotuner` consulted when a
+        config's backend is ``"auto"`` and neither a config nor an
+        ``AABFT_BACKEND`` pin applies.  Defaults to one reading the
+        on-disk winner cache (lookups only — timing trials never run
+        inline; use :meth:`autotune` or ``aabft autotune``).
 
     The engine is thread-safe: the plan cache, workspace pools and metrics
     are lock-protected, and result objects are independent.
@@ -172,6 +189,8 @@ class MatmulEngine:
         plan_cache_size: int = 128,
         max_workers: int | None = None,
         registry: MetricsRegistry | None = None,
+        backends: BackendRegistry | None = None,
+        autotuner: Autotuner | None = None,
     ) -> None:
         self.config = config if config is not None else AbftConfig()
         if not isinstance(self.config, AbftConfig):
@@ -219,10 +238,40 @@ class MatmulEngine:
             "Plan-cache accounting, refreshed on stats()",
             ("event",),
         )
+        self._backends = backends if backends is not None else default_registry()
+        self._autotuner = (
+            autotuner
+            if autotuner is not None
+            else Autotuner(
+                AutotuneCache(),
+                registry=self._backends,
+                metrics_registry=reg,
+            )
+        )
+        self._m_backend_dispatch = reg.counter(
+            "abft_backend_dispatch_total",
+            "GEMM-stage dispatches per compute backend",
+            ("backend",),
+        )
+        self._m_backend_fallbacks = reg.counter(
+            "abft_backend_fallbacks_total",
+            "Never-silent fallbacks to the numpy backend",
+            ("backend", "reason"),
+        )
 
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
+    @property
+    def backends(self) -> BackendRegistry:
+        """The compute-backend registry this engine negotiates against."""
+        return self._backends
+
+    @property
+    def autotuner(self) -> Autotuner:
+        """The autotuner consulted for ``backend="auto"`` configs."""
+        return self._autotuner
+
     def matmul(self, a, b, *, config: AbftConfig | None = None) -> AbftResult:
         """One protected multiplication ``a @ b``.
 
@@ -348,6 +397,30 @@ class MatmulEngine:
             return self.matmul_many(a, b, config=cfg)
         self._m_batched.inc()
         return run_fused(self, a_items, b_items, cfg)
+
+    def autotune(
+        self,
+        m: int,
+        n: int,
+        q: int,
+        *,
+        dtype=np.float64,
+        config: AbftConfig | None = None,
+        force: bool = False,
+    ):
+        """Run backend/tile timing trials for one call signature.
+
+        Times every available deterministic backend over the candidate
+        tile set on operands of the *encoded* GEMM shapes, persists the
+        winner to the autotune cache, and returns the
+        :class:`~repro.backends.autotune.TunedChoice`.  Subsequent
+        ``backend="auto"`` calls with this signature pick the winner up
+        through capability negotiation.
+        """
+        cfg = self._resolve_config(config)
+        return self._autotuner.tune(
+            m, n, q, dtype=dtype, config=cfg, force=force
+        )
 
     def stats(self) -> EngineStats:
         """An immutable snapshot derived from the engine's registry metrics.
@@ -516,6 +589,7 @@ class MatmulEngine:
             )
         m, n = a_shape
         q = b_shape[1]
+        cfg, selection_fallback = self._negotiate(cfg, m, n, q, dtype)
         plan, _hit = self._plans.get(m, n, q, dtype, cfg)
 
         # --- encode (or reuse) ------------------------------------------
@@ -539,9 +613,11 @@ class MatmulEngine:
             )
         self._add_seconds("encode", time.perf_counter() - t0)
 
-        # --- multiply ----------------------------------------------------
+        # --- multiply (dispatched through the plan's compute backend) ----
         t0 = time.perf_counter()
-        c_fc = enc_a.array @ enc_b.array
+        c_fc, used_backend, dispatch_fallback = self._dispatch_gemm(
+            plan, enc_a.array, enc_b.array
+        )
         self._add_seconds("multiply", time.perf_counter() - t0)
         # Internally encoded buffers are fully consumed by the multiply and
         # never referenced by the result (the provider keeps only top-p /
@@ -571,7 +647,74 @@ class MatmulEngine:
             row_layout=plan.row_layout,
             col_layout=plan.col_layout,
             provider=provider,
+            backend=used_backend,
+            backend_fallback=selection_fallback or dispatch_fallback,
         )
+
+    def _negotiate(
+        self, cfg: AbftConfig, m: int, n: int, q: int, dtype: np.dtype
+    ) -> tuple[AbftConfig, str | None]:
+        """Resolve ``backend="auto"`` (and the tile) for one call.
+
+        Returns the *effective* config — carrying a concrete backend and
+        tile, so it keys the plan cache — plus the never-silent fallback
+        text (``None`` when the requested backend was selected).  A
+        rejected candidate (excluded, unknown, unavailable, capability
+        mismatch, non-deterministic under auto) falls back to ``numpy``
+        and is counted in ``abft_backend_fallbacks_total``.
+        """
+        selection: BackendSelection = negotiate(
+            cfg, m, n, q, dtype,
+            registry=self._backends,
+            autotuner=self._autotuner,
+        )
+        fallback_text = None
+        if selection.fallback_from is not None:
+            self._m_backend_fallbacks.labels(
+                backend=selection.fallback_from, reason="selection"
+            ).inc()
+            fallback_text = (
+                f"selection fell back from {selection.fallback_from!r} "
+                f"to 'numpy': {selection.fallback_reason}"
+            )
+        if cfg.backend != selection.backend or cfg.gemm_tile != selection.tile:
+            cfg = cfg.replace(
+                backend=selection.backend, gemm_tile=selection.tile
+            )
+        return cfg, fallback_text
+
+    def _dispatch_gemm(
+        self, plan: ExecutionPlan, a_arr: np.ndarray, b_arr: np.ndarray
+    ) -> tuple[np.ndarray, str, str | None]:
+        """Execute the GEMM stage on the plan's backend.
+
+        Returns ``(c_fc, backend_used, fallback_text)``.  A dispatch-time
+        backend failure (import error, OOM, failed self-check) retries on
+        ``numpy`` with the *same* tile geometry — result bytes stay the
+        plan's canonical bytes — and is recorded, never swallowed.
+        """
+        name = plan.backend_name
+        self._m_backend_dispatch.labels(backend=name).inc()
+        try:
+            # Resolve through the engine's registry (plan.backend() uses
+            # the process-wide one) so custom registries dispatch too.
+            c_fc = self._backends.get(name).matmul(
+                a_arr, b_arr, tile=plan.tile, pool=plan.pool
+            )
+            return c_fc, name, None
+        except Exception as exc:
+            if name == "numpy":
+                raise
+            self._m_backend_fallbacks.labels(
+                backend=name, reason="dispatch"
+            ).inc()
+            c_fc = self._backends.get("numpy").matmul(
+                a_arr, b_arr, tile=plan.tile, pool=plan.pool
+            )
+            return c_fc, "numpy", (
+                f"dispatch on {name!r} failed "
+                f"({type(exc).__name__}: {exc}); recomputed on 'numpy'"
+            )
 
     def _encode_with_plan(
         self, arr: np.ndarray, side: str, cfg: AbftConfig, plan: ExecutionPlan

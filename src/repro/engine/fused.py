@@ -109,6 +109,7 @@ def run_fused(engine, a_items, b_items, cfg) -> list:
         if isinstance(first_b, EncodedOperand)
         else np.asarray(first_b).shape[1]
     )
+    cfg, selection_fallback = engine._negotiate(cfg, m, n, q, dtype)
     plan, _hit = engine._plans.get(m, n, q, dtype, cfg)
 
     # --- encode (deduplicated; distinct right operands batched) ---------
@@ -117,9 +118,16 @@ def run_fused(engine, a_items, b_items, cfg) -> list:
     enc_b, fresh_b = _resolve_side(engine, b_items, "b", cfg, plan, dtype)
     engine._add_seconds("encode", time.perf_counter() - t0)
 
-    # --- multiply (one BLAS call per pair: bitwise == the single path) --
+    # --- multiply (backend-dispatched per pair: bitwise == single path) --
     t0 = time.perf_counter()
-    c_fcs = [ea.array @ eb.array for ea, eb in zip(enc_a, enc_b)]
+    c_fcs = []
+    backends_used = []
+    dispatch_fallbacks = []
+    for ea, eb in zip(enc_a, enc_b):
+        c_fc, used, fallback = engine._dispatch_gemm(plan, ea.array, eb.array)
+        c_fcs.append(c_fc)
+        backends_used.append(used)
+        dispatch_fallbacks.append(fallback)
     engine._add_seconds("multiply", time.perf_counter() - t0)
     # Freshly encoded buffers are consumed by the multiplies; results keep
     # only top-p arrays, so they recycle (user handles are untouched).
@@ -142,7 +150,9 @@ def run_fused(engine, a_items, b_items, cfg) -> list:
     engine._add_seconds("check", time.perf_counter() - t0)
 
     results = []
-    for c_fc, ea, eb, report in zip(c_fcs, enc_a, enc_b, reports):
+    for c_fc, ea, eb, report, used, dispatch_fb in zip(
+        c_fcs, enc_a, enc_b, reports, backends_used, dispatch_fallbacks
+    ):
         c = strip_encoding(
             c_fc, plan.row_layout, plan.col_layout, ea.padding, eb.padding
         )
@@ -168,6 +178,8 @@ def run_fused(engine, a_items, b_items, cfg) -> list:
                 row_layout=plan.row_layout,
                 col_layout=plan.col_layout,
                 provider=provider,
+                backend=used,
+                backend_fallback=selection_fallback or dispatch_fb,
             )
         )
     return results

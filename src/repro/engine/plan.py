@@ -119,6 +119,12 @@ class ExecutionPlan:
     pool:
         The plan's :class:`WorkspacePool` — every scratch buffer of a call
         executed under this plan is taken from and given back to it.
+    backend_name / tile:
+        The compute backend the GEMM stage dispatches through and the
+        result-tile edge of the canonical tile list it executes
+        (``None`` = one full-result tile).  The engine resolves
+        ``backend="auto"`` through capability negotiation *before* the
+        plan lookup, so plans always carry a concrete backend.
     """
 
     key: PlanKey
@@ -134,6 +140,14 @@ class ExecutionPlan:
     scheme: BoundScheme
     fmt: FloatFormat
     pool: WorkspacePool = field(repr=False, default=None)
+    backend_name: str = "numpy"
+    tile: int | None = None
+
+    def backend(self):
+        """The shared :class:`~repro.backends.base.Backend` instance."""
+        from ..backends import get_backend
+
+        return get_backend(self.backend_name)
 
     @property
     def padded_m(self) -> int:
@@ -204,6 +218,12 @@ def build_plan(
         col_layout=col_layout,
         scheme=scheme,
         fmt=fmt,
+        # Plans built outside the engine's negotiation step (tests, direct
+        # build_plan calls) treat an unresolved "auto" as the reference.
+        backend_name=(
+            "numpy" if config.backend == "auto" else config.backend
+        ),
+        tile=config.gemm_tile,
     )
     plan.pool = WorkspacePool()
     return plan

@@ -102,3 +102,71 @@ class TestHandleSafety:
         before = plan.pool.hits
         engine.matmul(a, b)
         assert plan.pool.hits > before
+
+
+class TestConcurrency:
+    """The pool is shared by concurrent tile workers of the blocked
+    backend: takes/gives race, but a buffer must never be handed to two
+    owners at once."""
+
+    def test_racing_take_give_never_aliases(self):
+        import threading
+
+        pool = WorkspacePool()
+        shapes = [(16, 16), (16, 16), (8, 32)]
+        owners: set[int] = set()
+        owners_lock = threading.Lock()
+        errors: list[str] = []
+        start = threading.Barrier(8)
+
+        def worker(seed: int) -> None:
+            rng = np.random.default_rng(seed)
+            start.wait()
+            for _ in range(200):
+                shape = shapes[rng.integers(len(shapes))]
+                buf = pool.take(shape)
+                ident = id(buf)
+                with owners_lock:
+                    if ident in owners:
+                        errors.append(f"buffer {ident:#x} owned twice")
+                        return
+                    owners.add(ident)
+                buf.fill(seed)  # touch while owned
+                if not np.all(buf == seed):
+                    errors.append("buffer mutated by another owner")
+                    return
+                with owners_lock:
+                    owners.remove(ident)
+                pool.give(buf)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert pool.takes == 8 * 200
+
+    def test_blocked_backend_under_threaded_engine_calls(self):
+        import threading
+
+        engine = MatmulEngine()
+        cfg = AbftConfig(backend="blocked", gemm_tile=32)
+        rng = np.random.default_rng(11)
+        a = rng.uniform(-1, 1, (96, 64))
+        b = rng.uniform(-1, 1, (64, 80))
+        expected = engine.matmul(a, b, config=cfg).c_fc.tobytes()
+        failures: list[str] = []
+
+        def caller() -> None:
+            for _ in range(5):
+                result = engine.matmul(a, b, config=cfg)
+                if result.c_fc.tobytes() != expected:
+                    failures.append("bytes diverged under concurrency")
+
+        threads = [threading.Thread(target=caller) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert failures == []

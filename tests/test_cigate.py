@@ -9,6 +9,7 @@ import pytest
 from repro.cigate import (
     DEFAULT_COVERAGE_FLOOR,
     coverage_gate,
+    default_gate_backends,
     run_ci_gate,
     throughput_gate,
 )
@@ -60,6 +61,46 @@ class TestCoverageGate:
         assert gauges.labels(quantity="baseline_clean").get() == 1.0
         assert gauges.labels(quantity="critical_errors").get() > 0
 
+    def test_publishes_per_backend_gauges(self):
+        reg = MetricsRegistry()
+        result = coverage_gate(n=128, num_injections=80, registry=reg)
+        by_backend = reg.gauge(
+            "abft_ci_gate_coverage_by_backend",
+            labelnames=("backend", "quantity"),
+        )
+        assert (
+            by_backend.labels(backend="numpy", quantity="detection_rate").get()
+            == result.measured
+        )
+
+    def test_blocked_backend_gate(self):
+        reg = MetricsRegistry()
+        result = coverage_gate(
+            n=128, num_injections=80, backend="blocked", registry=reg
+        )
+        assert result.gate == "coverage[blocked]"
+        assert result.passed
+        assert "backend 'blocked'" in result.detail
+        by_backend = reg.gauge(
+            "abft_ci_gate_coverage_by_backend",
+            labelnames=("backend", "quantity"),
+        )
+        assert (
+            by_backend.labels(
+                backend="blocked", quantity="detection_rate"
+            ).get()
+            == result.measured
+        )
+
+    def test_unavailable_backend_fails_instead_of_remeasuring_numpy(self):
+        result = coverage_gate(
+            n=128, num_injections=80, backend="cupy", registry=MetricsRegistry()
+        )
+        if result.passed:  # pragma: no cover - only on a CUDA machine
+            pytest.skip("cupy is available here")
+        assert result.gate == "coverage[cupy]"
+        assert "fell back" in result.detail
+
 
 class TestThroughputGate:
     def test_passes_against_committed_baseline(self):
@@ -93,21 +134,46 @@ class TestThroughputGate:
 
 
 class TestRunCiGate:
+    def test_default_backends_start_with_numpy(self):
+        backends = default_gate_backends()
+        assert backends[0] == "numpy"
+        assert "cupy" not in backends  # non-deterministic, never auto-gated
+
     def test_clean_quick_run_exits_zero(self):
         reg = MetricsRegistry()
         code, results = run_ci_gate(quick=True, registry=reg)
         assert code == 0
-        assert [r.gate for r in results] == ["coverage", "throughput"]
+        expected = [
+            "coverage" if b == "numpy" else f"coverage[{b}]"
+            for b in default_gate_backends()
+        ] + ["throughput"]
+        assert [r.gate for r in results] == expected
         assert all(r.passed for r in results)
         pass_gauge = reg.gauge("abft_ci_gate_pass", labelnames=("gate",))
         assert pass_gauge.labels(gate="coverage").get() == 1.0
         assert pass_gauge.labels(gate="throughput").get() == 1.0
+
+    def test_explicit_backend_list(self, tmp_path):
+        reg = MetricsRegistry()
+        code, results = run_ci_gate(
+            quick=True,
+            backends=("numpy", "blocked"),
+            baseline_path=tiny_baseline(tmp_path, engine_seconds=1000.0),
+            registry=reg,
+        )
+        assert code == 0
+        assert [r.gate for r in results] == [
+            "coverage",
+            "coverage[blocked]",
+            "throughput",
+        ]
 
     def test_injected_regression_exits_nonzero(self, tmp_path):
         reg = MetricsRegistry()
         code, results = run_ci_gate(
             quick=True,
             coverage_floor=1.01,
+            backends=("numpy",),
             baseline_path=tiny_baseline(tmp_path, engine_seconds=1e-4),
             registry=reg,
         )

@@ -9,6 +9,7 @@ import repro
 SUBPACKAGES = [
     "repro.abft",
     "repro.analysis",
+    "repro.backends",
     "repro.bounds",
     "repro.engine",
     "repro.exact",
