@@ -4,8 +4,8 @@ The perf PR's acceptance benchmark.  The committed ``BENCH_engine.json``
 baseline spent ``encode_seconds = 2.47`` and ``check_seconds = 0.81``
 against ``multiply_seconds = 0.30`` — the ABFT bookkeeping cost 10x the
 BLAS work it protects.  This benchmark replays the exact engine workload
-of ``bench_engine_throughput.py`` (warm per-call loop, ``matmul_many``
-batch, encoded-handle loop) and reads the encode/check stage seconds off
+of ``bench_engine_throughput.py`` (warm per-call loop, serial
+``execute_batch``, encoded-handle loop) and reads the stage seconds off
 the engine's own ``abft_engine_stage_seconds_total`` counters, then
 verifies the fast kernels bitwise against the reference implementations:
 
@@ -51,7 +51,7 @@ from repro.abft.encoding import (
 from repro.abft.providers import AABFTEpsilonProvider
 from repro.bounds.probabilistic import ProbabilisticBound
 from repro.bounds.upper_bound import top_p_of_columns, top_p_of_rows
-from repro.engine import AbftConfig, MatmulEngine
+from repro.engine import AbftConfig, ExecutionPolicy, MatmulEngine
 from repro.fp.constants import format_for_dtype
 from repro.kernels import fused_encode
 
@@ -199,11 +199,13 @@ def main(argv: list[str] | None = None) -> int:
 
     # The same engine workload bench_engine_throughput.py times, so the
     # stage counters are comparable to the BENCH_engine.json baseline:
-    # warm per-call loop, matmul_many batch, encoded-handle loop.
+    # warm per-call loop, serial execute_batch, encoded-handle loop.
     before = engine.stats().as_dict()
     for b in bs:
         engine.matmul(a, b)
-    engine.matmul_many(a, bs)
+    engine.execute_batch(
+        [(a, b) for b in bs], policy=ExecutionPolicy(mode="serial")
+    )
     handle = engine.encode(a, side="a")
     for b in bs:
         engine.matmul(handle, b)

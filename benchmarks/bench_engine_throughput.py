@@ -44,7 +44,7 @@ from repro.abft.providers import AABFTEpsilonProvider
 from repro.abft.result import AbftResult
 from repro.bounds.probabilistic import ProbabilisticBound
 from repro.bounds.upper_bound import top_p_of_columns, top_p_of_rows
-from repro.engine import AbftConfig, MatmulEngine
+from repro.engine import AbftConfig, ExecutionPolicy, MatmulEngine
 from repro.fp.constants import format_for_dtype
 
 SIZE = 256
@@ -155,9 +155,22 @@ def main(argv: list[str] | None = None) -> int:
     print(f"  warm engine        : {engine_seconds:8.2f} s "
           f"({engine_seconds / repeats * 1e3:7.1f} ms/call)")
 
-    batched_seconds, batched_results = timed(lambda: engine.matmul_many(a, bs))
-    print(f"  engine.matmul_many : {batched_seconds:8.2f} s "
+    pairs = [(a, b) for b in bs]
+    batched_seconds, batched_results = timed(
+        lambda: engine.execute_batch(
+            pairs, policy=ExecutionPolicy(mode="serial")
+        )
+    )
+    print(f"  serial batch       : {batched_seconds:8.2f} s "
           f"({batched_seconds / repeats * 1e3:7.1f} ms/call)")
+
+    pipelined_seconds, pipelined_results = timed(
+        lambda: engine.execute_batch(
+            pairs, policy=ExecutionPolicy(mode="pipelined")
+        )
+    )
+    print(f"  pipelined batch    : {pipelined_seconds:8.2f} s "
+          f"({pipelined_seconds / repeats * 1e3:7.1f} ms/call)")
 
     handle = engine.encode(a, side="a")
     handle_seconds, handle_results = timed(
@@ -170,6 +183,7 @@ def main(argv: list[str] | None = None) -> int:
     for name, results in (
         ("engine", engine_results),
         ("batched", batched_results),
+        ("pipelined", pipelined_results),
         ("handle", handle_results),
     ):
         for ref, res in zip(baseline_results, results):
@@ -219,9 +233,11 @@ def main(argv: list[str] | None = None) -> int:
         "baseline_seconds": baseline_seconds,
         "engine_seconds": engine_seconds,
         "batched_seconds": batched_seconds,
+        "pipelined_seconds": pipelined_seconds,
         "handle_seconds": handle_seconds,
         "speedup_engine": speedup,
         "speedup_batched": baseline_seconds / batched_seconds,
+        "speedup_pipelined": baseline_seconds / pipelined_seconds,
         "speedup_handle": baseline_seconds / handle_seconds,
         "engine_stats": engine.stats().as_dict(),
         "bitwise_identical": True,

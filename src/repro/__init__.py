@@ -64,10 +64,15 @@ from .backends import (
     get_backend,
 )
 from .engine import (
+    EXECUTION_MODES,
     AbftConfig,
     EncodedOperand,
     EngineStats,
+    ExecutionPolicy,
     MatmulEngine,
+    PipelineSchedule,
+    StageCost,
+    StageCosts,
     default_engine,
 )
 from .bounds import (
@@ -147,6 +152,8 @@ __all__ = [
     "EngineStats",
     "ErrorClass",
     "ErrorClassifier",
+    "ExecutionPolicy",
+    "EXECUTION_MODES",
     "FaultCampaign",
     "FaultInjector",
     "FaultSite",
@@ -166,12 +173,15 @@ __all__ = [
     "NULL_REGISTRY",
     "PrometheusTextSink",
     "PipelineResult",
+    "PipelineSchedule",
     "ProbabilisticBound",
     "ProtectedResult",
     "ReproError",
     "SEABound",
     "ServeConfig",
     "ShapeError",
+    "StageCost",
+    "StageCosts",
     "TunedChoice",
     "VerificationStatus",
     "ErrorMap",

@@ -10,6 +10,11 @@ It runs two gates and exits nonzero when either fails:
   (no baseline false positives).  The gate runs once per compute backend
   (numpy plus every available non-numpy backend by default) so the
   detection floor holds inside backend-dispatched tile compute too;
+* **pipeline-coverage** — faults injected into results produced by the
+  stage-pipelined ``execute_batch`` executor must be detected by the
+  results' own providers at the same ``coverage_floor``: the pipelined
+  fast path shares the serial path's bytes, so its detection coverage
+  must not regress either;
 * **throughput** — a warm plan-cached :class:`~repro.engine.MatmulEngine`
   micro-benchmark must stay within ``throughput_tolerance`` of the
   committed per-call baseline in ``BENCH_engine.json``.
@@ -37,6 +42,7 @@ __all__ = [
     "GateResult",
     "coverage_gate",
     "default_gate_backends",
+    "pipeline_coverage_gate",
     "throughput_gate",
     "run_ci_gate",
     "DEFAULT_COVERAGE_FLOOR",
@@ -174,6 +180,122 @@ def coverage_gate(
     )
 
 
+def pipeline_coverage_gate(
+    *,
+    floor: float = DEFAULT_COVERAGE_FLOOR,
+    quick: bool = True,
+    seed: int = 2014,
+    n: int | None = None,
+    num_injections: int | None = None,
+    registry: MetricsRegistry | None = None,
+) -> GateResult:
+    """Gate detection coverage of the stage-pipelined batch executor.
+
+    Runs a shared-weight batch through ``execute_batch`` under
+    ``ExecutionPolicy(mode="pipelined")``, then injects single-bit
+    mantissa flips into copies of the full-checksum results and re-checks
+    each with the result's *own* provider (the tolerances the pipelined
+    path computed).  Injections whose induced element error is critical
+    under the probabilistic rounding-error model must be detected at
+    ``floor`` — the same bar the serial campaign is held to — and the
+    fault-free batch must be clean.  Fails loudly if the batch did not
+    actually run pipelined (a silent fallback would gate nothing).
+    """
+    from .abft.checking import check_partitioned
+    from .abft.classify import ErrorClassifier
+    from .engine import AbftConfig, ExecutionPolicy, MatmulEngine
+
+    reg = registry if registry is not None else get_registry()
+    if n is None:
+        n = 128 if quick else 256
+    q = 64
+    batch = 8
+    if num_injections is None:
+        num_injections = 200 if quick else 500
+    rng = np.random.default_rng(seed)
+    a = rng.uniform(-1.0, 1.0, (n, n))
+    bs = [rng.uniform(-1.0, 1.0, (n, q)) for _ in range(batch)]
+    config = AbftConfig(block_size=64, p=2)
+
+    with span(
+        "ci_gate.pipeline_coverage",
+        registry=reg,
+        n=n,
+        injections=num_injections,
+    ):
+        with MatmulEngine(config) as engine:
+            results = engine.execute_batch(
+                [(a, b) for b in bs],
+                policy=ExecutionPolicy(mode="pipelined"),
+            )
+            modes = engine.registry.counter(
+                "abft_engine_execute_batch_total", labelnames=("mode",)
+            )
+            pipelined_ran = modes.labels(mode="pipelined").get() >= 1.0
+        baseline_clean = all(not r.detected for r in results)
+
+        classifier = ErrorClassifier(omega=config.omega)
+        # conservative per-element product bound: overestimating y shrinks
+        # the critical set to the strongest errors, never inflates it
+        y = float(np.abs(a).max()) * max(
+            float(np.abs(b).max()) for b in bs
+        )
+        critical = detected_critical = 0
+        for _ in range(num_injections):
+            res = results[int(rng.integers(len(results)))]
+            c_fc = res.c_fc.copy()
+            # restrict to data elements so the inner-product length and
+            # the y bound of the classifier apply to the flipped value
+            while True:
+                r = int(rng.integers(c_fc.shape[0]))
+                c = int(rng.integers(c_fc.shape[1]))
+                if not res.row_layout.is_checksum_index(
+                    r
+                ) and not res.col_layout.is_checksum_index(c):
+                    break
+            bit = int(rng.integers(52))  # binary64 mantissa bits
+            bits = c_fc[r, c : c + 1].view(np.uint64)
+            bits ^= np.uint64(1) << np.uint64(bit)
+            delta = float(c_fc[r, c]) - float(res.c_fc[r, c])
+            if not classifier.classify(delta, n, y).is_critical:
+                continue
+            critical += 1
+            report = check_partitioned(
+                c_fc, res.row_layout, res.col_layout, res.provider
+            )
+            if report.error_detected:
+                detected_critical += 1
+    rate = detected_critical / critical if critical else 0.0
+
+    gauges = reg.gauge(
+        "abft_ci_gate_pipeline_coverage",
+        "Pipeline-coverage-gate measurements of the last ci-gate run",
+        ("quantity",),
+    )
+    gauges.labels(quantity="detection_rate").set(rate)
+    gauges.labels(quantity="critical_errors").set(critical)
+    gauges.labels(quantity="floor").set(floor)
+    gauges.labels(quantity="baseline_clean").set(
+        1.0 if baseline_clean else 0.0
+    )
+    gauges.labels(quantity="pipelined_ran").set(1.0 if pipelined_ran else 0.0)
+
+    passed = (
+        baseline_clean and pipelined_ran and critical > 0 and rate >= floor
+    )
+    detail = (
+        f"pipelined batch detected {rate:.1%} of {critical} critical "
+        f"errors (floor {floor:.1%}, {num_injections} injections at "
+        f"n={n}, batch {batch}, "
+        f"fault-free batch {'clean' if baseline_clean else 'FLAGGED'}"
+        f"{'' if pipelined_ran else ', did NOT run pipelined'})"
+    )
+    return GateResult(
+        gate="pipeline-coverage", passed=passed, measured=rate,
+        threshold=floor, detail=detail,
+    )
+
+
 def throughput_gate(
     *,
     tolerance: float = DEFAULT_THROUGHPUT_TOLERANCE,
@@ -286,6 +408,14 @@ def run_ci_gate(
         )
         for backend in backends
     ]
+    results.append(
+        pipeline_coverage_gate(
+            floor=coverage_floor,
+            quick=quick,
+            seed=seed,
+            registry=reg,
+        )
+    )
     results.append(
         throughput_gate(
             tolerance=throughput_tolerance,

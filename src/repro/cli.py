@@ -193,6 +193,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.30,
         help="allowed per-request slowdown vs the baseline (default 0.30)",
     )
+    bench.add_argument(
+        "--policy",
+        choices=("fused", "pipelined", "serial", "auto"),
+        default=None,
+        help="serve bench: measure only this execution policy (default: "
+        "fused AND pipelined, pipelined primary)",
+    )
 
     backends = sub.add_parser(
         "backends",
@@ -517,8 +524,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             run_serve_benchmark,
         )
 
+        bench_kwargs = {}
+        if getattr(args, "policy", None) is not None:
+            bench_kwargs["policies"] = (args.policy,)
         payload = run_serve_benchmark(
-            requests=QUICK_REQUESTS if args.quick else REQUESTS, seed=args.seed
+            requests=QUICK_REQUESTS if args.quick else REQUESTS,
+            seed=args.seed,
+            **bench_kwargs,
         )
         print(
             f"serve bench: {payload['requests']} requests "
@@ -529,14 +541,22 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"  serial loop : {payload['serial_seconds']:.2f} s "
             f"({payload['serial_throughput_rps']:.0f} req/s)"
         )
-        print(
-            f"  served      : {payload['serve_seconds']:.2f} s "
-            f"({payload['serve_throughput_rps']:.0f} req/s, "
-            f"p50 {payload['latency_p50_ms']:.1f} ms, "
-            f"p99 {payload['latency_p99_ms']:.1f} ms, "
-            f"max batch {payload['max_batch_size']})"
-        )
-        print(f"  speedup     : {payload['speedup']:.2f}x")
+        for mode, row in payload["policies"].items():
+            print(
+                f"  served [{mode:>9s}]: {row['serve_seconds']:.2f} s "
+                f"({row['serve_throughput_rps']:.0f} req/s, "
+                f"p50 {row['latency_p50_ms']:.1f} ms, "
+                f"p99 {row['latency_p99_ms']:.1f} ms, "
+                f"max batch {row['max_batch_size']})"
+            )
+        print(f"  speedup     : {payload['speedup']:.2f}x "
+              f"({payload['primary_policy']} vs serial)")
+        if "pipelined_speedup_vs_fused" in payload:
+            print(
+                f"  pipelined vs fused: "
+                f"{payload['pipelined_speedup_vs_fused']:.2f}x, "
+                f"bubble fraction {payload['bubble_fraction']:.3f}"
+            )
         if args.compare:
             path = (
                 Path(args.baseline)

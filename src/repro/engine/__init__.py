@@ -11,9 +11,11 @@ that behind a session object:
   value object;
 * :class:`MatmulEngine` — caches execution plans per ``(shape, dtype,
   config)`` with LRU eviction, encodes operands once for reuse
-  (:meth:`MatmulEngine.encode`), fans batches out across a thread pool
-  (:meth:`MatmulEngine.matmul_many`) and publishes counters
-  (:meth:`MatmulEngine.stats`);
+  (:meth:`MatmulEngine.encode`), runs batches of pairs under one
+  declarative :class:`ExecutionPolicy`
+  (:meth:`MatmulEngine.execute_batch`: serial thread fan-out, the fused
+  single-pass pipeline, or the stage-pipelined chunk executor) and
+  publishes counters (:meth:`MatmulEngine.stats`);
 * :func:`default_engine` — the lazily created module-level engine the
   classic matmul functions route through, so even legacy call sites
   benefit from plan caching.
@@ -25,17 +27,19 @@ Example
 >>> rng = np.random.default_rng(0)
 >>> engine = MatmulEngine(AbftConfig(block_size=32))
 >>> a = rng.uniform(-1, 1, (64, 64)); b = rng.uniform(-1, 1, (64, 64))
->>> results = engine.matmul_many(a, [b, b + 1.0])
+>>> results = engine.execute_batch([(a, b), (a, b + 1.0)])
 >>> [r.detected for r in results]
 [False, False]
->>> engine.stats().plan_hits
-1
+>>> engine.stats().calls
+2
 """
 
 from .config import SCHEMES, AbftConfig
 from .engine import EncodedOperand, MatmulEngine, default_engine
+from .pipeline import PipelineSchedule, pipeline_supported, plan_schedule
 from .plan import ExecutionPlan, PlanCache, build_plan
-from .stats import EngineStats
+from .policy import EXECUTION_MODES, ExecutionPolicy
+from .stats import EngineStats, StageCost, StageCosts
 
 __all__ = [
     "AbftConfig",
@@ -43,8 +47,15 @@ __all__ = [
     "MatmulEngine",
     "EncodedOperand",
     "EngineStats",
+    "StageCost",
+    "StageCosts",
     "ExecutionPlan",
+    "ExecutionPolicy",
+    "EXECUTION_MODES",
+    "PipelineSchedule",
     "PlanCache",
     "build_plan",
     "default_engine",
+    "pipeline_supported",
+    "plan_schedule",
 ]

@@ -13,9 +13,14 @@ scratch:
 * **checking** — tolerances are evaluated on dense grids through the
   vectorised provider paths (bitwise equal to the scalar per-comparison
   loop, an order of magnitude faster);
-* **batching** — :meth:`MatmulEngine.matmul_many` fans a list (or stacked
-  3-D array) of products out across a thread pool; numpy's matmul releases
-  the GIL, so multi-core hosts overlap the heavy stage.
+* **batching** — :meth:`MatmulEngine.execute_batch` runs a list of operand
+  pairs under one :class:`~repro.engine.policy.ExecutionPolicy`: ``serial``
+  fans pairs across a thread pool, ``fused`` runs the vectorised
+  single-pass batch pipeline, ``pipelined`` runs the chunked stage-slot
+  executor (:mod:`repro.engine.pipeline`), and ``auto`` (the default)
+  picks the strongest mode the batch supports.  The legacy
+  ``matmul_many``/``matmul_fused`` entry points remain as deprecation
+  shims over it.
 
 All of the above is metered through a :class:`~repro.telemetry.
 MetricsRegistry` (``abft_engine_*`` counters, gauges and stage histograms);
@@ -28,6 +33,7 @@ from __future__ import annotations
 import os
 import threading
 import time
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
@@ -60,7 +66,8 @@ from ..errors import ConfigurationError, ShapeError
 from ..telemetry import MetricsRegistry
 from .config import AbftConfig
 from .plan import ExecutionPlan, PlanCache
-from .stats import EngineStats
+from .policy import ExecutionPolicy
+from .stats import EngineStats, StageCost, StageCosts
 
 __all__ = ["EncodedOperand", "MatmulEngine", "default_engine"]
 
@@ -70,9 +77,9 @@ class EncodedOperand:
     """A reusable encoded operand (checksums + bound-scheme preprocessing).
 
     Produced by :meth:`MatmulEngine.encode`; pass it to
-    :meth:`MatmulEngine.matmul` / :meth:`MatmulEngine.matmul_many` in place
-    of the raw matrix.  The handle is immutable and safe to share across
-    threads.
+    :meth:`MatmulEngine.matmul` / :meth:`MatmulEngine.execute_batch` in
+    place of the raw matrix.  The handle is immutable and safe to share
+    across threads.
 
     Attributes
     ----------
@@ -155,8 +162,8 @@ class MatmulEngine:
     plan_cache_size:
         Maximum number of cached execution plans (LRU eviction beyond it).
     max_workers:
-        Thread-pool width for :meth:`matmul_many`; defaults to the host's
-        CPU count.  ``1`` forces sequential batched execution.
+        Thread-pool width for :meth:`execute_batch`; defaults to the
+        host's CPU count.  ``1`` forces sequential batched execution.
     registry:
         The :class:`~repro.telemetry.MetricsRegistry` the engine publishes
         its metrics to.  Defaults to a private registry per engine, which
@@ -211,7 +218,13 @@ class MatmulEngine:
             "abft_engine_calls_total", "Completed protected multiplications"
         )
         self._m_batched = reg.counter(
-            "abft_engine_batched_calls_total", "matmul_many invocations"
+            "abft_engine_batched_calls_total",
+            "Batched submissions through execute_batch",
+        )
+        self._m_exec_mode = reg.counter(
+            "abft_engine_execute_batch_total",
+            "execute_batch submissions per resolved execution mode",
+            ("mode",),
         )
         self._m_reuses = reg.counter(
             "abft_engine_encode_reuses_total",
@@ -258,6 +271,44 @@ class MatmulEngine:
             "Never-silent fallbacks to the numpy backend",
             ("backend", "reason"),
         )
+        self._m_pipe_batches = reg.counter(
+            "abft_pipeline_batches_total",
+            "Batches executed by the stage-pipelined executor",
+        )
+        self._m_pipe_chunks = reg.counter(
+            "abft_pipeline_chunks_total",
+            "Chunks executed by the stage-pipelined executor",
+        )
+        self._m_pipe_fallbacks = reg.counter(
+            "abft_pipeline_fallbacks_total",
+            "Batched execution-mode fallbacks by reason (never silent)",
+            ("reason",),
+        )
+        pipe_busy = reg.counter(
+            "abft_pipeline_stage_busy_seconds_total",
+            "Busy wall seconds accumulated per pipeline stage lane",
+            ("stage",),
+        )
+        self._m_pipe_busy = {
+            s: pipe_busy.labels(stage=s) for s in self.STAGES
+        }
+        self._g_pipe_bubble = reg.gauge(
+            "abft_pipeline_bubble_fraction",
+            "Bubble fraction of the last pipelined batch "
+            "(1 - busy / (3 * wall))",
+        )
+        pipe_occupancy = reg.gauge(
+            "abft_pipeline_stage_occupancy",
+            "Stage busy fraction of the wall time of the last pipelined batch",
+            ("stage",),
+        )
+        self._g_pipe_occupancy = {
+            s: pipe_occupancy.labels(stage=s) for s in self.STAGES
+        }
+        # Bitwise-probe verdicts of the pipelined executor's concatenated
+        # fast path, keyed by (plan key, chunk width).
+        self._stacked_ok: dict = {}
+        self._stacked_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # public API
@@ -317,86 +368,134 @@ class MatmulEngine:
         self._add_seconds("encode", time.perf_counter() - t0)
         return encoded
 
+    def execute_batch(
+        self,
+        requests,
+        *,
+        policy: ExecutionPolicy | None = None,
+        config: AbftConfig | None = None,
+    ) -> list[AbftResult]:
+        """Protected multiplications of many operand pairs under one policy.
+
+        Parameters
+        ----------
+        requests:
+            A sequence of ``(a, b)`` operand pairs.  Each operand may be a
+            raw matrix or an :class:`EncodedOperand` handle.
+        policy:
+            The :class:`~repro.engine.policy.ExecutionPolicy` selecting the
+            execution mode (``auto`` | ``serial`` | ``fused`` |
+            ``pipelined``) plus backend pin, deadline budget and pipeline
+            chunking knobs.  Defaults to ``ExecutionPolicy()`` (mode
+            ``auto``: the strongest mode whose preconditions the batch
+            meets).
+        config:
+            Overrides the engine's default :class:`AbftConfig`.
+
+        Results come back in request order and are **bitwise identical**
+        to sequential :meth:`matmul` calls regardless of the mode chosen —
+        modes only trade scheduling overhead against amortisation.  A
+        requested batched mode whose preconditions the batch does not meet
+        falls down the chain (pipelined → fused → serial), counted in
+        ``abft_pipeline_fallbacks_total`` — never silent.
+        """
+        from .fused import fused_supported, run_fused
+        from .pipeline import pipeline_supported, run_pipelined
+
+        cfg = self._resolve_config(config)
+        if policy is None:
+            policy = ExecutionPolicy()
+        elif not isinstance(policy, ExecutionPolicy):
+            raise ConfigurationError(
+                f"policy must be an ExecutionPolicy, got "
+                f"{type(policy).__name__}"
+            )
+        pairs = []
+        for request in requests:
+            pair = tuple(request) if not isinstance(request, tuple) else request
+            if len(pair) != 2:
+                raise ShapeError(
+                    f"each request must be an (a, b) pair, got "
+                    f"{len(pair)} operands"
+                )
+            pairs.append(pair)
+        if policy.backend is not None:
+            cfg = cfg.replace(backend=policy.backend)
+        if policy.exclude_backends:
+            merged = dict.fromkeys(
+                cfg.exclude_backends + policy.exclude_backends
+            )
+            cfg = cfg.replace(exclude_backends=tuple(merged))
+        self._m_batched.inc()
+        if not pairs:
+            self._m_exec_mode.labels(mode="serial").inc()
+            return []
+        a_items = [a for a, _b in pairs]
+        b_items = [b for _a, b in pairs]
+
+        mode = policy.mode
+        if mode in ("auto", "pipelined"):
+            if pipeline_supported(a_items, b_items, cfg):
+                mode = "pipelined"
+            else:
+                if mode == "pipelined":
+                    self._m_pipe_fallbacks.labels(reason="unsupported").inc()
+                mode = "fused"
+        if mode == "fused" and not fused_supported(a_items, b_items, cfg):
+            if policy.mode == "fused":
+                self._m_pipe_fallbacks.labels(reason="unsupported").inc()
+            mode = "serial"
+        self._m_exec_mode.labels(mode=mode).inc()
+        if mode == "pipelined":
+            return run_pipelined(self, a_items, b_items, cfg, policy)
+        if mode == "fused":
+            return run_fused(self, a_items, b_items, cfg)
+        return self._run_serial_batch(pairs, cfg)
+
     def matmul_many(
         self, a, b, *, config: AbftConfig | None = None
     ) -> list[AbftResult]:
-        """Protected multiplications of many operand pairs.
+        """Deprecated: use :meth:`execute_batch` with ``mode="serial"``.
 
         ``a`` and ``b`` each accept a list of matrices, a stacked 3-D array,
         a single matrix, or an :class:`EncodedOperand`; single operands are
-        broadcast against the other side's length.  A raw operand broadcast
-        across several products is encoded once automatically.  Results come
-        back in order and are bitwise identical to sequential
-        :meth:`matmul` calls.
+        broadcast against the other side's length.  This shim expands the
+        legacy operand forms and delegates to :meth:`execute_batch` under
+        ``ExecutionPolicy(mode="serial")``.
         """
-        cfg = self._resolve_config(config)
-        a_items = _expand_operand(a)
-        b_items = _expand_operand(b)
-        count = max(len(a_items), len(b_items))
-        if len(a_items) not in (1, count) or len(b_items) not in (1, count):
-            raise ShapeError(
-                f"batch lengths disagree: {len(a_items)} left vs "
-                f"{len(b_items)} right operands"
-            )
-        self._m_batched.inc()
-        # Encode a shared raw operand once — the amortisation the batched
-        # API exists for.  The computation dtype must consider every pairing.
-        dtypes = [_operand_dtype(x) for x in a_items + b_items]
-        resolved = _resolve_dtype(*dtypes)
-        if len(a_items) == 1 and count > 1 and not isinstance(a_items[0], EncodedOperand):
-            a_items = [self.encode(a_items[0], side="a", config=cfg, dtype=resolved)]
-        if len(b_items) == 1 and count > 1 and not isinstance(b_items[0], EncodedOperand):
-            b_items = [self.encode(b_items[0], side="b", config=cfg, dtype=resolved)]
-        if len(a_items) == 1:
-            a_items = a_items * count
-        if len(b_items) == 1:
-            b_items = b_items * count
-        pairs = list(zip(a_items, b_items))
-        if self._max_workers > 1 and count > 1:
-            executor = self._get_executor()
-            return list(
-                executor.map(lambda pair: self._run(pair[0], pair[1], cfg), pairs)
-            )
-        return [self._run(x, y, cfg) for x, y in pairs]
+        warnings.warn(
+            "MatmulEngine.matmul_many is deprecated; use "
+            "execute_batch(requests, policy=ExecutionPolicy(mode='serial'))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.execute_batch(
+            _legacy_pairs(a, b),
+            policy=ExecutionPolicy(mode="serial"),
+            config=config,
+        )
 
     def matmul_fused(
         self, a, b, *, config: AbftConfig | None = None
     ) -> list[AbftResult]:
-        """Fused batched execution of same-shape protected multiplications.
+        """Deprecated: use :meth:`execute_batch` with ``mode="fused"``.
 
-        Accepts the same operand forms as :meth:`matmul_many` but runs the
-        whole batch through one vectorised pipeline (see
-        :mod:`repro.engine.fused`): repeated operands are encoded once,
-        distinct right operands are encoded through stacked numpy passes,
-        and tolerance grids are evaluated batched.  Results are bitwise
-        identical to sequential :meth:`matmul` calls.  This is the
-        amortisation micro-batching serving layers rely on — it pays off
-        even on a single core, where :meth:`matmul_many`'s thread pool
-        cannot.
-
-        Batches that do not fit the fused preconditions (non-``aabft``
-        scheme, heterogeneous shapes or dtypes, fewer than two pairs)
-        transparently fall back to :meth:`matmul_many`.
+        This shim expands the legacy operand forms and delegates to
+        :meth:`execute_batch` under ``ExecutionPolicy(mode="fused")``
+        (which still falls back to serial execution for batches the fused
+        preconditions reject).
         """
-        from .fused import fused_supported, run_fused
-
-        cfg = self._resolve_config(config)
-        a_items = _expand_operand(a)
-        b_items = _expand_operand(b)
-        count = max(len(a_items), len(b_items))
-        if len(a_items) not in (1, count) or len(b_items) not in (1, count):
-            raise ShapeError(
-                f"batch lengths disagree: {len(a_items)} left vs "
-                f"{len(b_items)} right operands"
-            )
-        if len(a_items) == 1:
-            a_items = a_items * count
-        if len(b_items) == 1:
-            b_items = b_items * count
-        if not fused_supported(a_items, b_items, cfg):
-            return self.matmul_many(a, b, config=cfg)
-        self._m_batched.inc()
-        return run_fused(self, a_items, b_items, cfg)
+        warnings.warn(
+            "MatmulEngine.matmul_fused is deprecated; use "
+            "execute_batch(requests, policy=ExecutionPolicy(mode='fused'))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.execute_batch(
+            _legacy_pairs(a, b),
+            policy=ExecutionPolicy(mode="fused"),
+            config=config,
+        )
 
     def autotune(
         self,
@@ -447,16 +546,21 @@ class MatmulEngine:
             encode_seconds=self._m_stage["encode"].get(),
             multiply_seconds=self._m_stage["multiply"].get(),
             check_seconds=self._m_stage["check"].get(),
+            stage_costs=self._stage_costs(),
         )
 
     def reset_stats(self) -> None:
         """Zero the engine's metrics (cached plans are kept)."""
         for metric in (self._m_calls, self._m_batched, self._m_reuses,
-                       self._m_detections):
+                       self._m_detections, self._m_exec_mode,
+                       self._m_pipe_batches, self._m_pipe_chunks,
+                       self._m_pipe_fallbacks, self._g_pipe_bubble):
             metric.reset()
         for stage in self.STAGES:
             self._m_stage[stage].reset()
             self._h_stage[stage].reset()
+            self._m_pipe_busy[stage].reset()
+            self._g_pipe_occupancy[stage].reset()
         self._plans.hits = 0
         self._plans.misses = 0
         self._plans.evictions = 0
@@ -507,6 +611,67 @@ class MatmulEngine:
     def _add_seconds(self, stage: str, elapsed: float) -> None:
         self._m_stage[stage].inc(elapsed)
         self._h_stage[stage].observe(elapsed)
+
+    def _stage_costs(self) -> StageCosts:
+        """The measured per-stage costs (the pipeline cost model's seed)."""
+        def cost(stage: str) -> StageCost:
+            return StageCost(
+                seconds=self._m_stage[stage].get(),
+                observations=int(self._h_stage[stage].count),
+            )
+
+        return StageCosts(
+            encode=cost("encode"),
+            multiply=cost("multiply"),
+            check=cost("check"),
+        )
+
+    def _run_serial_batch(self, pairs, cfg: AbftConfig) -> list[AbftResult]:
+        """The ``serial`` execution mode: per-pair runs, thread-fanned.
+
+        A raw operand appearing in several pairs is encoded once up front
+        — but only when every pairing it participates in resolves to the
+        same computation dtype, so results stay bitwise identical to
+        sequential :meth:`matmul` calls.
+        """
+        a_items = [a for a, _b in pairs]
+        b_items = [b for _a, b in pairs]
+        for side, items, others in (
+            ("a", a_items, b_items),
+            ("b", b_items, a_items),
+        ):
+            by_id: dict[int, list[int]] = {}
+            for i, item in enumerate(items):
+                if not isinstance(item, EncodedOperand):
+                    by_id.setdefault(id(item), []).append(i)
+            for indices in by_id.values():
+                if len(indices) < 2:
+                    continue
+                pair_dtypes = {
+                    _resolve_dtype(
+                        _operand_dtype(items[i]), _operand_dtype(others[i])
+                    )
+                    for i in indices
+                }
+                if len(pair_dtypes) != 1:
+                    continue
+                handle = self.encode(
+                    items[indices[0]],
+                    side=side,
+                    config=cfg,
+                    dtype=next(iter(pair_dtypes)),
+                )
+                for i in indices:
+                    items[i] = handle
+        pairs = list(zip(a_items, b_items))
+        if self._max_workers > 1 and len(pairs) > 1:
+            executor = self._get_executor()
+            return list(
+                executor.map(
+                    lambda pair: self._run(pair[0], pair[1], cfg), pairs
+                )
+            )
+        return [self._run(x, y, cfg) for x, y in pairs]
 
     def _encode_array(
         self, arr: np.ndarray, side: str, cfg: AbftConfig
@@ -851,6 +1016,30 @@ def _expand_operand(operand) -> list:
     if isinstance(operand, (list, tuple)):
         return list(operand)
     return [_as_matrix(operand)]
+
+
+def _legacy_pairs(a, b) -> list[tuple]:
+    """Expand the legacy two-sided batch arguments into request pairs.
+
+    Implements the ``matmul_many``/``matmul_fused`` operand forms: lists,
+    stacked 3-D arrays, single matrices and :class:`EncodedOperand`
+    handles, with single operands broadcast against the other side's
+    length.  A broadcast raw operand repeats as the *same* object, so the
+    batched executors' id-dedup still encodes it exactly once.
+    """
+    a_items = _expand_operand(a)
+    b_items = _expand_operand(b)
+    count = max(len(a_items), len(b_items))
+    if len(a_items) not in (1, count) or len(b_items) not in (1, count):
+        raise ShapeError(
+            f"batch lengths disagree: {len(a_items)} left vs "
+            f"{len(b_items)} right operands"
+        )
+    if len(a_items) == 1:
+        a_items = a_items * count
+    if len(b_items) == 1:
+        b_items = b_items * count
+    return list(zip(a_items, b_items))
 
 
 _default_engine: MatmulEngine | None = None

@@ -1,6 +1,7 @@
 """Fused batched execution of same-shape protected multiplications.
 
-:meth:`repro.engine.MatmulEngine.matmul_fused` executes a batch of
+``execute_batch(..., policy=ExecutionPolicy(mode="fused"))`` executes a
+batch of
 ``(a_i, b_i)`` products whose shapes, dtypes and config all agree as *one*
 fused pipeline instead of ``k`` independent calls:
 
@@ -29,8 +30,8 @@ measured slower — the working set falls out of cache — so encoding stays
 per-matrix.)
 
 Batches that do not meet the fast-path preconditions (non-``aabft``
-scheme, heterogeneous shapes or dtypes) fall back to
-:meth:`~repro.engine.MatmulEngine.matmul_many`.
+scheme, heterogeneous shapes or dtypes) fall back to the serial
+thread-fanned path of :meth:`~repro.engine.MatmulEngine.execute_batch`.
 
 On a single-core host this is where a serving layer's micro-batching
 speedup comes from: the per-call Python overhead is amortised over the

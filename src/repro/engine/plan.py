@@ -55,7 +55,7 @@ class WorkspacePool:
 
     Concurrent :meth:`take` calls simply receive distinct buffers (a miss
     allocates outside the lock), so the pool is safe under
-    ``matmul_many``'s thread pool.
+    ``execute_batch``'s thread pool.
     """
 
     def __init__(self, limit_per_key: int = 4, byte_limit: int = _POOL_BYTE_LIMIT):

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace as _dc_replace
 
 from ..engine.config import AbftConfig
+from ..engine.policy import ExecutionPolicy
 from ..errors import ConfigurationError
 
 __all__ = ["ServeConfig", "DEGRADATION_RUNGS", "rung_for_fraction"]
@@ -48,6 +49,12 @@ class ServeConfig:
     abft:
         Default :class:`~repro.engine.config.AbftConfig` for requests that
         do not carry their own.
+    execution:
+        The :class:`~repro.engine.policy.ExecutionPolicy` coalesced batches
+        are dispatched under (default: mode ``"auto"``).  The dispatcher
+        threads each batch's tightest remaining deadline through the
+        policy's ``deadline_s`` so the pipelined executor can bound its
+        speculative prefetch window.
     max_queue_depth:
         Bound of the admission queue.  Submissions beyond it are rejected
         immediately with reason ``"queue_full"`` (explicit backpressure —
@@ -84,6 +91,7 @@ class ServeConfig:
     """
 
     abft: AbftConfig = field(default_factory=AbftConfig)
+    execution: ExecutionPolicy = field(default_factory=ExecutionPolicy)
     max_queue_depth: int = 256
     max_batch_size: int = 32
     batch_window_s: float = 0.002
@@ -99,6 +107,11 @@ class ServeConfig:
         if not isinstance(self.abft, AbftConfig):
             raise ConfigurationError(
                 f"abft must be an AbftConfig, got {type(self.abft).__name__}"
+            )
+        if not isinstance(self.execution, ExecutionPolicy):
+            raise ConfigurationError(
+                f"execution must be an ExecutionPolicy, got "
+                f"{type(self.execution).__name__}"
             )
         if self.max_queue_depth < 1:
             raise ConfigurationError(

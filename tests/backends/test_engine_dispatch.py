@@ -73,15 +73,19 @@ class TestBitwiseIdentity:
         assert r_default.backend == "numpy"
         assert r_default.c_fc.tobytes() == r_blocked.c_fc.tobytes()
 
-    def test_fused_and_many_match_backend_dispatch(self):
+    def test_batch_modes_match_backend_dispatch(self):
+        from repro.engine import ExecutionPolicy
+
         a, b = operands(96, 64, 80, np.float64)
         cfg = AbftConfig(backend="blocked", gemm_tile=32)
         engine = fresh_engine()
         single = engine.matmul(a, b, config=cfg)
-        for results in (
-            engine.matmul_many([a, a], [b, b], config=cfg),
-            engine.matmul_fused([a, a], [b, b], config=cfg),
-        ):
+        for mode in ("serial", "fused", "pipelined"):
+            results = engine.execute_batch(
+                [(a, b), (a, b)],
+                policy=ExecutionPolicy(mode=mode),
+                config=cfg,
+            )
             assert [r.backend for r in results] == ["blocked", "blocked"]
             assert all(
                 r.c_fc.tobytes() == single.c_fc.tobytes() for r in results

@@ -1,8 +1,8 @@
 """Concurrency stress: parallel batches racing plan-cache eviction.
 
 A small LRU plan cache plus many threads issuing different-shape
-``matmul_many`` calls forces constant plan eviction and re-creation while
-results are in flight.  Results must stay bitwise correct and the
+``execute_batch`` calls forces constant plan eviction and re-creation
+while results are in flight.  Results must stay bitwise correct and the
 engine's ``abft_engine_*`` counters must add up exactly.
 """
 
@@ -11,7 +11,11 @@ import threading
 import numpy as np
 import pytest
 
-from repro.engine import MatmulEngine
+from repro.engine import ExecutionPolicy, MatmulEngine
+
+SERIAL = ExecutionPolicy(mode="serial")
+FUSED = ExecutionPolicy(mode="fused")
+PIPELINED = ExecutionPolicy(mode="pipelined")
 
 THREADS = 8
 ROUNDS = 6
@@ -47,7 +51,9 @@ class TestPlanCacheRaces:
                 for round_no in range(ROUNDS):
                     shape = SHAPES[(idx + round_no) % len(SHAPES)]
                     a, bs = pairs[shape]
-                    results = engine.matmul_many(a, bs)
+                    results = engine.execute_batch(
+                        [(a, b) for b in bs], policy=SERIAL
+                    )
                     for res, ref in zip(results, reference[shape]):
                         if not np.array_equal(res.c, ref):
                             raise AssertionError(
@@ -92,7 +98,7 @@ class TestPlanCacheRaces:
                 for round_no in range(ROUNDS):
                     shape = SHAPES[(idx + round_no) % len(SHAPES)]
                     a, bs = pairs[shape]
-                    engine.matmul_many(a, bs)
+                    engine.execute_batch([(a, b) for b in bs], policy=SERIAL)
             except Exception as exc:  # noqa: BLE001
                 errors.append(exc)
 
@@ -128,7 +134,9 @@ class TestPlanCacheRaces:
                 for round_no in range(ROUNDS):
                     shape = SHAPES[(idx + round_no) % len(SHAPES)]
                     a, bs = pairs[shape]
-                    results = engine.matmul_fused(a, bs)
+                    results = engine.execute_batch(
+                        [(a, b) for b in bs], policy=FUSED
+                    )
                     for res, ref in zip(results, reference[shape]):
                         if not np.array_equal(res.c, ref):
                             raise AssertionError(
@@ -149,3 +157,50 @@ class TestPlanCacheRaces:
         stats = engine.stats()
         assert stats.calls == THREADS * ROUNDS * 3
         assert stats.plan_evictions > 0
+
+    def test_pipelined_batches_race_plan_eviction(self, workload):
+        """Pipelined slots race eviction and workspace-pool recycling.
+
+        Every thread walks a different shape sequence, so chunk states,
+        the bitwise-probe verdict cache and pooled chunk buffers are all
+        exercised while the tiny LRU is evicting plans under them.
+        """
+        pairs, reference = workload
+        engine = MatmulEngine(plan_cache_size=2)
+        barrier = threading.Barrier(THREADS)
+        errors = []
+
+        def worker(idx):
+            try:
+                barrier.wait(timeout=30)
+                for round_no in range(ROUNDS):
+                    shape = SHAPES[(idx + round_no) % len(SHAPES)]
+                    a, bs = pairs[shape]
+                    results = engine.execute_batch(
+                        [(a, b) for b in bs], policy=PIPELINED
+                    )
+                    for res, ref in zip(results, reference[shape]):
+                        if not np.array_equal(res.c, ref):
+                            raise AssertionError(
+                                f"bitwise divergence at shape {shape}"
+                            )
+                        if res.detected:
+                            raise AssertionError(
+                                f"false positive at shape {shape}"
+                            )
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        engine.close()
+        assert not errors, errors[0]
+        stats = engine.stats()
+        assert stats.calls == THREADS * ROUNDS * 3
+        assert stats.plan_evictions > 0
+        assert stats.detections == 0

@@ -6,7 +6,13 @@ import pytest
 from repro import ProtectedResult
 from repro.abft import aabft_matmul, fixed_abft_matmul, sea_abft_matmul
 from repro.abft.checking import check_partitioned
-from repro.engine import AbftConfig, EncodedOperand, MatmulEngine, default_engine
+from repro.engine import (
+    AbftConfig,
+    EncodedOperand,
+    ExecutionPolicy,
+    MatmulEngine,
+    default_engine,
+)
 from repro.errors import ConfigurationError, ShapeError
 
 
@@ -83,30 +89,32 @@ class TestBitwiseEquivalence:
         a = rng.uniform(-1, 1, (32, 32))
         bs = [rng.uniform(-1, 1, (32, 32)) for _ in range(4)]
         sequential = [engine.matmul(a, b) for b in bs]
-        batched = engine.matmul_many(a, bs)
+        batched = engine.execute_batch([(a, b) for b in bs])
         assert len(batched) == 4
         for s, r in zip(sequential, batched):
             assert np.array_equal(s.c, r.c)
             assert np.array_equal(s.c_fc, r.c_fc)
 
-    def test_stacked_3d_input(self, rng, engine):
+    def test_stacked_3d_input_via_shim(self, rng, engine):
         a = rng.uniform(-1, 1, (32, 32))
         stack = rng.uniform(-1, 1, (3, 32, 32))
-        batched = engine.matmul_many(a, stack)
+        with pytest.warns(DeprecationWarning):
+            batched = engine.matmul_many(a, stack)
         for i, r in enumerate(batched):
             assert np.array_equal(r.c, engine.matmul(a, stack[i]).c)
 
     def test_pairwise_lists(self, rng, engine):
         As = [rng.uniform(-1, 1, (16, 16)) for _ in range(3)]
         Bs = [rng.uniform(-1, 1, (16, 16)) for _ in range(3)]
-        batched = engine.matmul_many(As, Bs)
+        batched = engine.execute_batch(list(zip(As, Bs)))
         for a, b, r in zip(As, Bs, batched):
             assert np.array_equal(r.c, engine.matmul(a, b).c)
 
     def test_mismatched_batch_lengths_rejected(self, rng, engine):
         a = rng.uniform(-1, 1, (16, 16))
-        with pytest.raises(ShapeError, match="batch lengths"):
-            engine.matmul_many([a, a], [a, a, a])
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ShapeError, match="batch lengths"):
+                engine.matmul_many([a, a], [a, a, a])
 
     def test_sea_and_fixed_schemes_match(self, rng):
         a = rng.uniform(-1, 1, (32, 32))
@@ -180,10 +188,12 @@ class TestEncodedHandles:
         with pytest.raises(ConfigurationError, match="re-encode"):
             engine.matmul(handle, b64)  # pairing resolves to float64
 
-    def test_broadcast_raw_operand_encoded_once(self, rng, engine):
+    def test_shared_raw_operand_encoded_once(self, rng, engine):
         a = rng.uniform(-1, 1, (32, 32))
         bs = [rng.uniform(-1, 1, (32, 32)) for _ in range(4)]
-        engine.matmul_many(a, bs)
+        engine.execute_batch(
+            [(a, b) for b in bs], policy=ExecutionPolicy(mode="serial")
+        )
         assert engine.stats().encode_reuses == 4
 
 
@@ -191,7 +201,7 @@ class TestStatsAndLifecycle:
     def test_counters(self, rng, engine):
         a = rng.uniform(-1, 1, (32, 32))
         engine.matmul(a, a)
-        engine.matmul_many(a, [a, a])
+        engine.execute_batch([(a, a), (a, a)])
         stats = engine.stats()
         assert stats.calls == 3
         assert stats.batched_calls == 1

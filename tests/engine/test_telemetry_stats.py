@@ -15,7 +15,7 @@ from repro.abft.encoding import (
 from repro.abft.providers import AABFTEpsilonProvider
 from repro.bounds.probabilistic import ProbabilisticBound
 from repro.bounds.upper_bound import top_p_of_columns, top_p_of_rows
-from repro.engine import AbftConfig, MatmulEngine
+from repro.engine import AbftConfig, ExecutionPolicy, MatmulEngine
 from repro.fp.constants import format_for_dtype
 from repro.telemetry import MetricsRegistry
 
@@ -58,14 +58,17 @@ class TestStatsEquivalence:
         engine.matmul(a, b)
         handle = engine.encode(a, side="a")
         engine.matmul(handle, b)
-        engine.matmul_many(a, [b, b, b])
+        engine.execute_batch(
+            [(a, b)] * 3, policy=ExecutionPolicy(mode="serial")
+        )
 
         stats = engine.stats()
         assert stats.calls == 6
         assert stats.batched_calls == 1
-        # one explicit handle reuse + three broadcast reuses in matmul_many
-        # (the shared `a` is auto-encoded once and reused per pair).
-        assert stats.encode_reuses == 4
+        # one explicit handle reuse + six batch reuses: the serial batch
+        # dedups *both* repeated operands (`a` and `b` each appear three
+        # times), pre-encodes each once and reuses it per pair.
+        assert stats.encode_reuses == 7
         assert stats.detections == 0
         assert stats.plan_misses == 1
         assert stats.plan_hits == 5
@@ -144,15 +147,18 @@ class TestSharedRegistry:
 
 
 class TestConcurrentMetering:
-    """Registry counters stay exact under threaded matmul_many."""
+    """Registry counters stay exact under threaded serial batches."""
 
-    def test_concurrent_matmul_many(self, config, rng):
+    def test_concurrent_serial_batch(self, config, rng):
         pairs = 12
         a_items = [rng.uniform(-1, 1, (64, 64)) for _ in range(pairs)]
         b_items = [rng.uniform(-1, 1, (64, 64)) for _ in range(pairs)]
+        serial = ExecutionPolicy(mode="serial")
 
         threaded = MatmulEngine(config, max_workers=4)
-        results = threaded.matmul_many(a_items, b_items)
+        results = threaded.execute_batch(
+            list(zip(a_items, b_items)), policy=serial
+        )
         stats = threaded.stats()
         assert stats.calls == pairs
         assert stats.batched_calls == 1
@@ -163,6 +169,8 @@ class TestConcurrentMetering:
         assert hist.labels(stage="check").count == pairs
 
         sequential = MatmulEngine(config, max_workers=1)
-        expected = sequential.matmul_many(a_items, b_items)
+        expected = sequential.execute_batch(
+            list(zip(a_items, b_items)), policy=serial
+        )
         for res, exp in zip(results, expected):
             assert np.array_equal(res.c, exp.c)

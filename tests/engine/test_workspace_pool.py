@@ -87,9 +87,11 @@ class TestHandleSafety:
         a, b = small_pair
         engine = MatmulEngine(AbftConfig(block_size=32, p=2))
         bs = [rng.uniform(-1, 1, b.shape) for _ in range(4)]
-        results = engine.matmul_fused(a, bs)
+        results = engine.execute_batch([(a, x) for x in bs])
         snapshots = [(r.c.copy(), r.c_fc.copy()) for r in results]
-        engine.matmul_fused(a, [rng.uniform(-1, 1, b.shape) for _ in range(4)])
+        engine.execute_batch(
+            [(a, rng.uniform(-1, 1, b.shape)) for _ in range(4)]
+        )
         for r, (c, c_fc) in zip(results, snapshots):
             assert np.array_equal(r.c, c)
             assert np.array_equal(r.c_fc, c_fc)

@@ -1,11 +1,14 @@
-"""matmul_fused: bitwise identity with the serial path, fallbacks, metrics."""
+"""Fused execute_batch: bitwise identity with the serial path, fallbacks,
+metrics, and the deprecated matmul_many/matmul_fused shims."""
 
 import numpy as np
 import pytest
 
-from repro.engine import AbftConfig, MatmulEngine
+from repro.engine import AbftConfig, ExecutionPolicy, MatmulEngine
 from repro.engine.fused import fused_supported
 from repro.errors import ShapeError
+
+FUSED = ExecutionPolicy(mode="fused")
 
 
 @pytest.fixture
@@ -27,7 +30,7 @@ class TestBitwiseIdentity:
         a = rng.uniform(-1, 1, (64, 64))
         bs = [rng.uniform(-1, 1, (64, 8)) for _ in range(4)]
         serial = [MatmulEngine().matmul(a, b) for b in bs]
-        fused = engine.matmul_fused(a, bs)
+        fused = engine.execute_batch([(a, b) for b in bs], policy=FUSED)
         assert_results_bitwise_equal(fused, serial)
 
     def test_distinct_pairs(self, engine):
@@ -37,7 +40,7 @@ class TestBitwiseIdentity:
             for _ in range(3)
         ]
         serial = [MatmulEngine().matmul(a, b) for a, b in pairs]
-        fused = engine.matmul_fused([a for a, _ in pairs], [b for _, b in pairs])
+        fused = engine.execute_batch(pairs, policy=FUSED)
         assert_results_bitwise_equal(fused, serial)
 
     def test_padded_shapes(self, engine):
@@ -45,7 +48,7 @@ class TestBitwiseIdentity:
         a = rng.uniform(-1, 1, (100, 130))  # non-multiples of block size
         bs = [rng.uniform(-1, 1, (130, 70)) for _ in range(3)]
         serial = [MatmulEngine().matmul(a, b) for b in bs]
-        fused = engine.matmul_fused(a, bs)
+        fused = engine.execute_batch([(a, b) for b in bs], policy=FUSED)
         assert_results_bitwise_equal(fused, serial)
 
     def test_float32_batch(self, engine):
@@ -53,7 +56,7 @@ class TestBitwiseIdentity:
         a = rng.uniform(-1, 1, (64, 64)).astype(np.float32)
         bs = [rng.uniform(-1, 1, (64, 8)).astype(np.float32) for _ in range(3)]
         serial = [MatmulEngine().matmul(a, b) for b in bs]
-        fused = engine.matmul_fused(a, bs)
+        fused = engine.execute_batch([(a, b) for b in bs], policy=FUSED)
         assert fused[0].c.dtype == np.float32
         assert_results_bitwise_equal(fused, serial)
 
@@ -63,7 +66,9 @@ class TestBitwiseIdentity:
         bs = [rng.uniform(-1, 1, (64, 8)) for _ in range(3)]
         cfg = AbftConfig(epsilon_floor=1e-10)
         serial = [MatmulEngine().matmul(a, b, config=cfg) for b in bs]
-        fused = engine.matmul_fused(a, bs, config=cfg)
+        fused = engine.execute_batch(
+            [(a, b) for b in bs], policy=FUSED, config=cfg
+        )
         assert_results_bitwise_equal(fused, serial)
 
     def test_encoded_handles_reused(self, engine):
@@ -73,7 +78,7 @@ class TestBitwiseIdentity:
         handle = engine.encode(a, side="a")
         serial = [MatmulEngine().matmul(a, b) for b in bs]
         before = engine.stats().encode_reuses
-        fused = engine.matmul_fused(handle, bs)
+        fused = engine.execute_batch([(handle, b) for b in bs], policy=FUSED)
         assert_results_bitwise_equal(fused, serial)
         assert engine.stats().encode_reuses - before == 3
 
@@ -81,7 +86,7 @@ class TestBitwiseIdentity:
         rng = np.random.default_rng(6)
         a = rng.uniform(-1, 1, (64, 64))
         bs = [rng.uniform(-1, 1, (64, 8)) for _ in range(3)]
-        fused = engine.matmul_fused(a, bs)
+        fused = engine.execute_batch([(a, b) for b in bs], policy=FUSED)
         assert all(not r.detected for r in fused)
         # inject into a fused result; its provider must still locate it
         from repro.abft.checking import check_partitioned
@@ -96,12 +101,14 @@ class TestBitwiseIdentity:
 
 
 class TestFallbacks:
-    def test_sea_scheme_falls_back_to_matmul_many(self, engine):
+    def test_sea_scheme_falls_back_to_serial(self, engine):
         rng = np.random.default_rng(7)
         a = rng.uniform(-1, 1, (64, 64))
         bs = [rng.uniform(-1, 1, (64, 8)) for _ in range(3)]
         cfg = AbftConfig(scheme="sea")
-        results = engine.matmul_fused(a, bs, config=cfg)
+        results = engine.execute_batch(
+            [(a, b) for b in bs], policy=FUSED, config=cfg
+        )
         serial = [MatmulEngine().matmul(a, b, config=cfg) for b in bs]
         assert_results_bitwise_equal(results, serial)
 
@@ -112,7 +119,7 @@ class TestFallbacks:
         b2 = rng.uniform(-1, 1, (64, 16))
         cfg = engine.config
         assert not fused_supported([a, a], [b1, b2], cfg)
-        results = engine.matmul_fused([a, a], [b1, b2])
+        results = engine.execute_batch([(a, b1), (a, b2)], policy=FUSED)
         assert results[0].c.shape == (64, 8)
         assert results[1].c.shape == (64, 16)
 
@@ -121,7 +128,7 @@ class TestFallbacks:
         a = rng.uniform(-1, 1, (64, 64))
         b = rng.uniform(-1, 1, (64, 8))
         assert not fused_supported([a], [b], engine.config)
-        results = engine.matmul_fused([a], [b])
+        results = engine.execute_batch([(a, b)], policy=FUSED)
         assert len(results) == 1 and not results[0].detected
 
     def test_mixed_precision_pairs_fall_back(self, engine):
@@ -133,7 +140,7 @@ class TestFallbacks:
         a32 = a64.astype(np.float32)
         b32 = b64.astype(np.float32)
         assert not fused_supported([a32, a64], [b32, b64], engine.config)
-        results = engine.matmul_fused([a32, a64], [b32, b64])
+        results = engine.execute_batch([(a32, b32), (a64, b64)], policy=FUSED)
         assert results[0].c.dtype == np.float32
         assert results[1].c.dtype == np.float64
 
@@ -145,15 +152,15 @@ class TestFallbacks:
         bs = [rng.uniform(-1, 1, (64, 8)).astype(np.float32) for _ in range(2)]
         assert fused_supported([a, a], bs, engine.config)
         serial = [MatmulEngine().matmul(a, b) for b in bs]
-        fused = engine.matmul_fused(a, bs)
+        fused = engine.execute_batch([(a, b) for b in bs], policy=FUSED)
         assert_results_bitwise_equal(fused, serial)
 
-    def test_length_mismatch_raises(self, engine):
+    def test_malformed_request_raises(self, engine):
         rng = np.random.default_rng(11)
-        a = [rng.uniform(-1, 1, (64, 64)) for _ in range(2)]
-        b = [rng.uniform(-1, 1, (64, 8)) for _ in range(3)]
+        a = rng.uniform(-1, 1, (64, 64))
+        b = rng.uniform(-1, 1, (64, 8))
         with pytest.raises(ShapeError):
-            engine.matmul_fused(a, b)
+            engine.execute_batch([(a, b), (a, b, b)], policy=FUSED)
 
 
 class TestMetrics:
@@ -161,7 +168,7 @@ class TestMetrics:
         rng = np.random.default_rng(12)
         a = rng.uniform(-1, 1, (64, 64))
         bs = [rng.uniform(-1, 1, (64, 8)) for _ in range(4)]
-        engine.matmul_fused(a, bs)
+        engine.execute_batch([(a, b) for b in bs], policy=FUSED)
         stats = engine.stats()
         assert stats.calls == 4
         assert stats.batched_calls == 1
@@ -172,8 +179,36 @@ class TestMetrics:
         rng = np.random.default_rng(13)
         a = rng.uniform(-1, 1, (64, 64))
         bs = [rng.uniform(-1, 1, (64, 8)) for _ in range(3)]
-        engine.matmul_fused(a, bs)
+        engine.execute_batch([(a, b) for b in bs], policy=FUSED)
         stats = engine.stats()
         assert stats.encode_seconds > 0
         assert stats.multiply_seconds > 0
         assert stats.check_seconds > 0
+
+
+class TestDeprecatedShims:
+    def test_matmul_many_warns_and_matches(self, engine):
+        rng = np.random.default_rng(15)
+        a = rng.uniform(-1, 1, (64, 64))
+        bs = [rng.uniform(-1, 1, (64, 8)) for _ in range(2)]
+        serial = [MatmulEngine().matmul(a, b) for b in bs]
+        with pytest.warns(DeprecationWarning, match="matmul_many"):
+            results = engine.matmul_many(a, bs)
+        assert_results_bitwise_equal(results, serial)
+
+    def test_matmul_fused_warns_and_matches(self, engine):
+        rng = np.random.default_rng(16)
+        a = rng.uniform(-1, 1, (64, 64))
+        bs = [rng.uniform(-1, 1, (64, 8)) for _ in range(2)]
+        serial = [MatmulEngine().matmul(a, b) for b in bs]
+        with pytest.warns(DeprecationWarning, match="matmul_fused"):
+            results = engine.matmul_fused(a, bs)
+        assert_results_bitwise_equal(results, serial)
+
+    def test_shim_length_mismatch_raises(self, engine):
+        rng = np.random.default_rng(17)
+        a = [rng.uniform(-1, 1, (64, 64)) for _ in range(2)]
+        b = [rng.uniform(-1, 1, (64, 8)) for _ in range(3)]
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ShapeError):
+                engine.matmul_fused(a, b)

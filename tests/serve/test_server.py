@@ -45,9 +45,10 @@ class FaultyEngine(MatmulEngine):
             col_layout=res.col_layout, provider=res.provider,
         )
 
-    def matmul_fused(self, a, b, **kwargs):
-        results = super().matmul_fused(a, b, **kwargs)
-        results[0] = self._corrupt(results[0])
+    def execute_batch(self, requests, **kwargs):
+        results = super().execute_batch(requests, **kwargs)
+        if results:
+            results[0] = self._corrupt(results[0])
         return results
 
     def matmul(self, a, b, **kwargs):

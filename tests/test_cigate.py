@@ -10,6 +10,7 @@ from repro.cigate import (
     DEFAULT_COVERAGE_FLOOR,
     coverage_gate,
     default_gate_backends,
+    pipeline_coverage_gate,
     run_ci_gate,
     throughput_gate,
 )
@@ -102,6 +103,40 @@ class TestCoverageGate:
         assert "fell back" in result.detail
 
 
+class TestPipelineCoverageGate:
+    def test_passes_at_default_floor(self):
+        reg = MetricsRegistry()
+        result = pipeline_coverage_gate(
+            n=128, num_injections=80, registry=reg
+        )
+        assert result.passed
+        assert result.gate == "pipeline-coverage"
+        assert result.measured >= DEFAULT_COVERAGE_FLOOR
+        assert result.describe().startswith("[PASS] pipeline-coverage:")
+
+    def test_fails_when_floor_is_unreachable(self):
+        result = pipeline_coverage_gate(
+            floor=1.01, n=128, num_injections=80, registry=MetricsRegistry()
+        )
+        assert not result.passed
+        assert result.describe().startswith("[FAIL] pipeline-coverage:")
+
+    def test_publishes_gauges(self):
+        reg = MetricsRegistry()
+        result = pipeline_coverage_gate(
+            n=128, num_injections=80, registry=reg
+        )
+        gauges = reg.gauge(
+            "abft_ci_gate_pipeline_coverage", labelnames=("quantity",)
+        )
+        assert (
+            gauges.labels(quantity="detection_rate").get() == result.measured
+        )
+        assert gauges.labels(quantity="baseline_clean").get() == 1.0
+        assert gauges.labels(quantity="pipelined_ran").get() == 1.0
+        assert gauges.labels(quantity="critical_errors").get() > 0
+
+
 class TestThroughputGate:
     def test_passes_against_committed_baseline(self):
         # BENCH_engine.json at the repo root is the real CI contract.
@@ -146,7 +181,7 @@ class TestRunCiGate:
         expected = [
             "coverage" if b == "numpy" else f"coverage[{b}]"
             for b in default_gate_backends()
-        ] + ["throughput"]
+        ] + ["pipeline-coverage", "throughput"]
         assert [r.gate for r in results] == expected
         assert all(r.passed for r in results)
         pass_gauge = reg.gauge("abft_ci_gate_pass", labelnames=("gate",))
@@ -165,6 +200,7 @@ class TestRunCiGate:
         assert [r.gate for r in results] == [
             "coverage",
             "coverage[blocked]",
+            "pipeline-coverage",
             "throughput",
         ]
 
@@ -189,6 +225,7 @@ class TestCliCommand:
         assert main(["ci-gate", "--quick"]) == 0
         out = capsys.readouterr().out
         assert "[PASS] coverage:" in out
+        assert "[PASS] pipeline-coverage:" in out
         assert "[PASS] throughput:" in out
         assert "all gates passed" in out
 
@@ -205,6 +242,7 @@ class TestCliCommand:
         lines = [json.loads(line) for line in out_path.read_text().splitlines()]
         span_paths = [ev["path"] for ev in lines if ev["type"] == "span"]
         assert "ci_gate.coverage" in span_paths
+        assert "ci_gate.pipeline_coverage" in span_paths
         assert "ci_gate.throughput" in span_paths
         snapshots = [ev for ev in lines if ev["type"] == "snapshot"]
         assert len(snapshots) == 1

@@ -66,6 +66,45 @@ class TestImports:
         ):
             assert symbol in repro.__all__
 
+    def test_top_level_exports_batch_execution_api(self):
+        for symbol in (
+            "MatmulEngine",
+            "ExecutionPolicy",
+            "EXECUTION_MODES",
+            "PipelineSchedule",
+            "StageCost",
+            "StageCosts",
+            "EngineStats",
+        ):
+            assert symbol in repro.__all__
+
+    def test_engine_exports_locked(self):
+        from repro import engine
+
+        assert set(engine.__all__) == {
+            "AbftConfig",
+            "SCHEMES",
+            "MatmulEngine",
+            "EncodedOperand",
+            "EngineStats",
+            "StageCost",
+            "StageCosts",
+            "ExecutionPlan",
+            "ExecutionPolicy",
+            "EXECUTION_MODES",
+            "PipelineSchedule",
+            "PlanCache",
+            "build_plan",
+            "default_engine",
+            "pipeline_supported",
+            "plan_schedule",
+        }
+
+    def test_execution_modes_locked(self):
+        from repro import EXECUTION_MODES
+
+        assert EXECUTION_MODES == ("auto", "serial", "fused", "pipelined")
+
     def test_serve_exports_locked(self):
         from repro import serve
 
