@@ -33,6 +33,8 @@ Package map (see DESIGN.md for the full inventory):
 - :mod:`repro.backends` — pluggable compute backends (numpy / blocked /
   cupy) with capability negotiation and a backend/tile autotuner
   (``aabft backends`` / ``aabft autotune``)
+- :mod:`repro.chaos` — declarative chaos recipes + SLO harness over the
+  serving layer (``aabft chaos run``, the ``chaos-slo`` CI gate)
 """
 
 from .abft import (
@@ -84,6 +86,13 @@ from .bounds import (
     ProbabilisticBound,
     SEABound,
     rounding_error_map,
+)
+from .chaos import (
+    ChaosRecipe,
+    ChaosReport,
+    SLOSpec,
+    default_quick_suite,
+    run_chaos,
 )
 from .errors import (
     BoundSchemeError,
@@ -141,6 +150,8 @@ __all__ = [
     "BoundSchemeError",
     "CampaignConfig",
     "CampaignResult",
+    "ChaosRecipe",
+    "ChaosReport",
     "CheckReport",
     "ChecksumMismatchError",
     "ConfigurationError",
@@ -178,6 +189,7 @@ __all__ = [
     "ProtectedResult",
     "ReproError",
     "SEABound",
+    "SLOSpec",
     "ServeConfig",
     "ShapeError",
     "StageCost",
@@ -188,6 +200,7 @@ __all__ = [
     "aabft_matmul",
     "correct_single_error",
     "default_engine",
+    "default_quick_suite",
     "default_registry",
     "get_backend",
     "fixed_abft_matmul",
@@ -197,6 +210,7 @@ __all__ = [
     "protected_qr",
     "protected_solve",
     "rounding_error_map",
+    "run_chaos",
     "run_loadgen",
     "sea_abft_matmul",
     "span",

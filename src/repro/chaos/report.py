@@ -1,0 +1,148 @@
+"""Chaos run reports: machine-readable JSON plus a markdown narrative.
+
+A :class:`ChaosReport` bundles everything one :func:`~repro.chaos.harness.run_chaos`
+invocation observed — per-recipe injection counts, the merged traffic
+tally, burn-rate extrema, reconciliation diffs and SLO breaches — and
+writes the pair of dated ``VALIDATION_REPORT_<date>.{json,md}`` files
+the ``chaos-soak`` CI job uploads as artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from datetime import date
+from pathlib import Path
+
+from ..serve.loadgen import LoadgenResult
+from .recipe import ChaosRecipe
+from .slo import SLOBreach, SLOSpec
+
+__all__ = ["RecipeOutcome", "ChaosReport"]
+
+
+@dataclass(frozen=True)
+class RecipeOutcome:
+    """One recipe after the run: the plan plus how often it actually fired."""
+
+    recipe: ChaosRecipe
+    injections: int
+
+    def to_dict(self) -> dict:
+        return {"recipe": self.recipe.to_dict(), "injections": self.injections}
+
+
+@dataclass
+class ChaosReport:
+    """Everything one chaos run observed, ready to gate or publish."""
+
+    recipes: list[RecipeOutcome]
+    slo: SLOSpec
+    result: LoadgenResult
+    breaches: list[SLOBreach]
+    reconciliation_diffs: list[str] = field(default_factory=list)
+    burn: dict = field(default_factory=dict)
+    wall_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """Whether every SLO held and the books balanced."""
+        return not self.breaches
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "wall_s": self.wall_s,
+            "slo": self.slo.to_dict(),
+            "recipes": [o.to_dict() for o in self.recipes],
+            "traffic": self.result.summary(),
+            "burn": dict(self.burn),
+            "breaches": [b.to_dict() for b in self.breaches],
+            "reconciliation_diffs": list(self.reconciliation_diffs),
+        }
+
+    def to_markdown(self, *, run_date: str | None = None) -> str:
+        run_date = run_date or date.today().isoformat()
+        r = self.result
+        verdict = "**PASS**" if self.ok else "**FAIL**"
+        lines = [
+            f"# Chaos validation report — {run_date}",
+            "",
+            f"Verdict: {verdict} ({len(self.breaches)} SLO breach(es), "
+            f"{r.submitted} requests over {self.wall_s:.2f}s)",
+            "",
+            "## Recipes",
+            "",
+            "| recipe | kind | site | intensity | window (s) | injections |",
+            "|---|---|---|---|---|---|",
+        ]
+        for outcome in self.recipes:
+            rec = outcome.recipe
+            lines.append(
+                f"| {rec.name} | {rec.kind} | {rec.site} | "
+                f"{rec.intensity:g} | {rec.start_s:g}–{rec.end_s:g} | "
+                f"{outcome.injections} |"
+            )
+        lines += [
+            "",
+            "## Traffic",
+            "",
+            f"- submitted {r.submitted}, served {r.served}, "
+            f"rejected {r.rejected}, dropped {r.dropped}",
+            f"- statuses: {r.status_counts or {}}",
+            f"- rejections: {r.rejection_reasons or {}}",
+            f"- detections {r.detected}, corrected {r.corrected}, "
+            f"recomputed {r.recomputed} ({r.retry_attempts} attempt(s))",
+            f"- wrong-but-honest results {r.honest_wrong}, "
+            f"silent wrong answers {r.silent_wrong}",
+            f"- latency p50/p90/p99: {r.p50_s * 1e3:.1f} / "
+            f"{r.p90_s * 1e3:.1f} / {r.p99_s * 1e3:.1f} ms "
+            f"(ceiling {self.slo.p99_latency_s * 1e3:.1f} ms)",
+            "",
+            "## Error budget",
+            "",
+            f"- budget {self.slo.error_budget:g}, "
+            f"multi-window limit {self.slo.burn_rate_limit:g} "
+            f"({self.slo.short_window_s:g}s / {self.slo.long_window_s:g}s)",
+            f"- worst short-window burn {self.burn.get('worst_short', 0.0):.2f}, "
+            f"worst long-window burn {self.burn.get('worst_long', 0.0):.2f}, "
+            f"worst sustained (multi-window) "
+            f"{self.burn.get('worst_multi_window', 0.0):.2f}",
+            "",
+            "## SLO breaches",
+            "",
+        ]
+        if self.breaches:
+            lines += [
+                "| objective | measured | threshold | detail |",
+                "|---|---|---|---|",
+            ]
+            lines += [
+                f"| {b.slo} | {b.measured:g} | {b.threshold:g} | {b.detail} |"
+                for b in self.breaches
+            ]
+        else:
+            lines.append("None — every declared objective held.")
+        lines += ["", "## Accounting reconciliation", ""]
+        if self.reconciliation_diffs:
+            lines += [f"- {diff}" for diff in self.reconciliation_diffs]
+        else:
+            lines.append(
+                "Client tally and `abft_serve_*` counters reconcile exactly."
+            )
+        return "\n".join(lines) + "\n"
+
+    def write(self, directory: str | Path, *, run_date: str | None = None) -> dict:
+        """Write the dated report pair into ``directory``.
+
+        Returns ``{"json": path, "markdown": path}``.
+        """
+        run_date = run_date or date.today().isoformat()
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        json_path = directory / f"VALIDATION_REPORT_{run_date}.json"
+        md_path = directory / f"VALIDATION_REPORT_{run_date}.md"
+        payload = dict(self.to_dict(), date=run_date)
+        json_path.write_text(json.dumps(payload, indent=2) + "\n")
+        md_path.write_text(self.to_markdown(run_date=run_date))
+        return {"json": str(json_path), "markdown": str(md_path)}

@@ -1,0 +1,256 @@
+"""Service-level objectives the chaos harness asserts.
+
+An :class:`SLOSpec` declares what "survived the chaos" means:
+
+* a **p99 latency ceiling** over client-observed served latencies;
+* the **zero-silent-wrong-answer invariant** — every response that
+  differs from the reference product must be honestly flagged
+  (``detected=True`` or an ``UNCHECKED`` status), and the client-side
+  tally must reconcile against the ``abft_serve_*`` counters;
+* a **multi-window burn rate** on the error budget: the fraction of bad
+  requests (rejected + dropped), normalised by ``error_budget``, must
+  not exceed ``burn_rate_limit`` *simultaneously* over a short and a
+  long trailing window.  The two-window rule is the standard SRE
+  fast-burn alert shape: the short window catches the spike, the long
+  window confirms it is sustained rather than a blip.
+
+:func:`evaluate_slo` turns an observed run into a list of
+:class:`SLOBreach` findings — an empty list is a pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+__all__ = ["SLOSpec", "SLOBreach", "BurnSample", "burn_rates", "evaluate_slo"]
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """Declared serving objectives for one chaos run.
+
+    Attributes
+    ----------
+    p99_latency_s:
+        Ceiling on the p99 of client-observed served latencies.
+    error_budget:
+        Tolerated bad-request fraction (rejected + dropped over
+        submitted).  The burn rate is the observed bad fraction divided
+        by this budget, so a run burning exactly its budget has rate 1.
+    burn_rate_limit:
+        Maximum tolerated burn rate sustained over *both* windows.
+    short_window_s / long_window_s:
+        Trailing multi-window lengths; the short window must be strictly
+        shorter than the long one.
+    max_dropped:
+        Ceiling on requests that died without a response (default 0 —
+        a drop is an accounting bug, not load shedding).
+    """
+
+    p99_latency_s: float = 0.5
+    error_budget: float = 0.35
+    burn_rate_limit: float = 2.0
+    short_window_s: float = 0.5
+    long_window_s: float = 2.0
+    max_dropped: int = 0
+
+    def __post_init__(self) -> None:
+        if self.p99_latency_s <= 0:
+            raise ConfigurationError(
+                f"p99_latency_s must be positive, got {self.p99_latency_s}"
+            )
+        if not 0 < self.error_budget <= 1:
+            raise ConfigurationError(
+                f"error_budget must lie in (0, 1], got {self.error_budget}"
+            )
+        if self.burn_rate_limit <= 0:
+            raise ConfigurationError(
+                f"burn_rate_limit must be positive, got {self.burn_rate_limit}"
+            )
+        if self.short_window_s <= 0 or self.long_window_s <= 0:
+            raise ConfigurationError("SLO windows must be positive seconds")
+        if self.short_window_s >= self.long_window_s:
+            raise ConfigurationError(
+                f"short_window_s ({self.short_window_s}) must be shorter "
+                f"than long_window_s ({self.long_window_s})"
+            )
+        if self.max_dropped < 0:
+            raise ConfigurationError(
+                f"max_dropped must be >= 0, got {self.max_dropped}"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "p99_latency_s": self.p99_latency_s,
+            "error_budget": self.error_budget,
+            "burn_rate_limit": self.burn_rate_limit,
+            "short_window_s": self.short_window_s,
+            "long_window_s": self.long_window_s,
+            "max_dropped": self.max_dropped,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SLOSpec":
+        known = set(cls.__dataclass_fields__)
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown SLO fields: {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class BurnSample:
+    """One cumulative accounting sample: totals observed by time ``t_s``."""
+
+    t_s: float
+    good: int
+    bad: int
+
+
+@dataclass(frozen=True)
+class SLOBreach:
+    """One violated objective (``slo``), with the measured value and the
+    declared threshold it crossed."""
+
+    slo: str
+    measured: float
+    threshold: float
+    detail: str
+
+    def to_dict(self) -> dict:
+        return {
+            "slo": self.slo,
+            "measured": self.measured,
+            "threshold": self.threshold,
+            "detail": self.detail,
+        }
+
+
+def _window_rate(
+    samples: list[BurnSample], idx: int, window_s: float, budget: float
+) -> float:
+    """Budget-normalised bad fraction over the trailing window at sample
+    ``idx`` (0 when the window saw no traffic)."""
+    end = samples[idx]
+    start_t = end.t_s - window_s
+    base = BurnSample(0.0, 0, 0)
+    for sample in samples[:idx]:
+        if sample.t_s <= start_t:
+            base = sample
+        else:
+            break
+    good = end.good - base.good
+    bad = end.bad - base.bad
+    total = good + bad
+    if total <= 0:
+        return 0.0
+    return (bad / total) / budget
+
+
+def burn_rates(samples: list[BurnSample], spec: SLOSpec) -> list[dict]:
+    """Per-sample short/long burn rates for a cumulative sample series.
+
+    Returns one ``{"t_s", "short", "long", "burn"}`` row per sample,
+    where ``burn = min(short, long)`` — the multi-window rate that must
+    stay under :attr:`SLOSpec.burn_rate_limit`.
+    """
+    ordered = sorted(samples, key=lambda s: s.t_s)
+    rows = []
+    for idx in range(len(ordered)):
+        short = _window_rate(
+            ordered, idx, spec.short_window_s, spec.error_budget
+        )
+        long_ = _window_rate(ordered, idx, spec.long_window_s, spec.error_budget)
+        rows.append(
+            {
+                "t_s": ordered[idx].t_s,
+                "short": short,
+                "long": long_,
+                "burn": min(short, long_),
+            }
+        )
+    return rows
+
+
+def evaluate_slo(
+    spec: SLOSpec,
+    *,
+    p99_s: float,
+    served: int,
+    silent_wrong: int,
+    dropped: int,
+    reconciliation_diffs: list[str],
+    samples: list[BurnSample],
+) -> list[SLOBreach]:
+    """Check one observed run against ``spec``; empty list == pass."""
+    breaches: list[SLOBreach] = []
+    if p99_s > spec.p99_latency_s:
+        breaches.append(
+            SLOBreach(
+                slo="p99_latency",
+                measured=p99_s,
+                threshold=spec.p99_latency_s,
+                detail=(
+                    f"served p99 latency {p99_s * 1e3:.1f} ms exceeds the "
+                    f"{spec.p99_latency_s * 1e3:.1f} ms ceiling "
+                    f"({served} served)"
+                ),
+            )
+        )
+    if silent_wrong > 0:
+        breaches.append(
+            SLOBreach(
+                slo="silent_wrong",
+                measured=float(silent_wrong),
+                threshold=0.0,
+                detail=(
+                    f"{silent_wrong} response(s) returned a wrong result "
+                    "while claiming clean verification — the zero-silent-"
+                    "wrong-answer invariant is absolute"
+                ),
+            )
+        )
+    if dropped > spec.max_dropped:
+        breaches.append(
+            SLOBreach(
+                slo="dropped",
+                measured=float(dropped),
+                threshold=float(spec.max_dropped),
+                detail=(
+                    f"{dropped} request(s) died without a response "
+                    f"(ceiling {spec.max_dropped})"
+                ),
+            )
+        )
+    if reconciliation_diffs:
+        breaches.append(
+            SLOBreach(
+                slo="accounting",
+                measured=float(len(reconciliation_diffs)),
+                threshold=0.0,
+                detail="; ".join(reconciliation_diffs[:5])
+                + ("; ..." if len(reconciliation_diffs) > 5 else ""),
+            )
+        )
+    rows = burn_rates(samples, spec)
+    worst = max(rows, key=lambda r: r["burn"], default=None)
+    if worst is not None and worst["burn"] > spec.burn_rate_limit:
+        breaches.append(
+            SLOBreach(
+                slo="burn_rate",
+                measured=worst["burn"],
+                threshold=spec.burn_rate_limit,
+                detail=(
+                    f"error-budget burn rate {worst['burn']:.2f} sustained "
+                    f"over both the {spec.short_window_s:g}s and "
+                    f"{spec.long_window_s:g}s windows at "
+                    f"t={worst['t_s']:.2f}s (limit {spec.burn_rate_limit:g})"
+                ),
+            )
+        )
+    return breaches

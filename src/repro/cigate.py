@@ -17,9 +17,15 @@ It runs two gates and exits nonzero when either fails:
   must not regress either;
 * **throughput** — a warm plan-cached :class:`~repro.engine.MatmulEngine`
   micro-benchmark must stay within ``throughput_tolerance`` of the
-  committed per-call baseline in ``BENCH_engine.json``.
+  committed per-call baseline in ``BENCH_engine.json``;
+* **chaos-slo** — a quick chaos-recipe suite (stage stalls, backend
+  dispatch failures, queue bursts, kernel bit-flips, deadline clock
+  skew) runs against a live server under closed-loop load and every
+  declared SLO must hold: the p99 ceiling, the zero-silent-wrong-answer
+  invariant, exact ``abft_serve_*`` counter reconciliation and the
+  multi-window error-budget burn-rate limit.
 
-Both gates publish their measurements as ``abft_ci_gate_*`` gauges, so a
+All gates publish their measurements as ``abft_ci_gate_*`` gauges, so a
 ``--telemetry-out`` JSON-lines artifact records exactly what CI saw.
 Thresholds and the local repro commands are documented in
 ``docs/OBSERVABILITY.md``.
@@ -44,6 +50,7 @@ __all__ = [
     "default_gate_backends",
     "pipeline_coverage_gate",
     "throughput_gate",
+    "chaos_slo_gate",
     "run_ci_gate",
     "DEFAULT_COVERAGE_FLOOR",
     "DEFAULT_THROUGHPUT_TOLERANCE",
@@ -362,6 +369,96 @@ def throughput_gate(
     )
 
 
+def chaos_slo_gate(
+    *,
+    quick: bool = True,
+    recipes_path: str | Path | None = None,
+    slo=None,
+    seed: int = 2014,
+    report_dir: str | Path | None = None,
+    registry: MetricsRegistry | None = None,
+) -> GateResult:
+    """Run a chaos-recipe suite under live load and gate on the SLOs.
+
+    Replays ``recipes_path`` (default: the built-in quick suite — one
+    recipe per fault kind) against a private server via
+    :func:`repro.chaos.run_chaos` and fails on **any** SLO breach: a p99
+    past the ceiling, a silent wrong answer, a client/counter accounting
+    mismatch, a dropped request or a sustained multi-window burn-rate
+    overrun.  The suite must also actually inject faults — a run with
+    zero injections gates nothing and fails.  ``report_dir`` additionally
+    writes the dated VALIDATION_REPORT pair there (what the
+    ``chaos-soak`` CI job uploads).
+    """
+    from .chaos import SLOSpec, default_quick_suite, load_recipes, run_chaos
+
+    reg = registry if registry is not None else get_registry()
+    recipes = (
+        load_recipes(recipes_path)
+        if recipes_path is not None
+        else default_quick_suite()
+    )
+    slo = slo if slo is not None else SLOSpec()
+    requests_per_wave = 24 if quick else 64
+    with span("ci_gate.chaos", registry=reg, recipes=len(recipes)):
+        report = run_chaos(
+            recipes,
+            slo,
+            seed=seed,
+            requests_per_wave=requests_per_wave,
+            registry=reg,
+        )
+    if report_dir is not None:
+        report.write(report_dir)
+
+    injections = sum(o.injections for o in report.recipes)
+    traffic = report.result
+    gauges = reg.gauge(
+        "abft_ci_gate_chaos",
+        "Chaos-SLO-gate measurements of the last ci-gate run",
+        ("quantity",),
+    )
+    gauges.labels(quantity="p99_s").set(traffic.p99_s)
+    gauges.labels(quantity="p99_ceiling_s").set(slo.p99_latency_s)
+    gauges.labels(quantity="breaches").set(len(report.breaches))
+    gauges.labels(quantity="silent_wrong").set(traffic.silent_wrong)
+    gauges.labels(quantity="dropped").set(traffic.dropped)
+    gauges.labels(quantity="reconciled").set(
+        0.0 if report.reconciliation_diffs else 1.0
+    )
+    gauges.labels(quantity="burn_worst").set(
+        report.burn.get("worst_multi_window", 0.0)
+    )
+    gauges.labels(quantity="burn_limit").set(slo.burn_rate_limit)
+    gauges.labels(quantity="injections").set(injections)
+
+    passed = report.ok and injections > 0
+    detail = (
+        f"{len(recipes)} recipes / {injections} injections over "
+        f"{traffic.submitted} requests in {report.wall_s:.1f}s: "
+        f"p99 {traffic.p99_s * 1e3:.1f} ms "
+        f"(ceiling {slo.p99_latency_s * 1e3:.1f} ms), "
+        f"silent wrong {traffic.silent_wrong}, dropped {traffic.dropped}, "
+        f"worst burn {report.burn.get('worst_multi_window', 0.0):.2f} "
+        f"(limit {slo.burn_rate_limit:g}), "
+        f"accounting {'reconciled' if not report.reconciliation_diffs else 'MISMATCH'}"
+    )
+    if not injections:
+        detail += "; suite injected NOTHING — gate cannot attest anything"
+    if report.breaches:
+        detail += "; breaches: " + "; ".join(
+            f"{b.slo} ({b.measured:g} vs {b.threshold:g})"
+            for b in report.breaches
+        )
+    return GateResult(
+        gate="chaos-slo",
+        passed=passed,
+        measured=float(len(report.breaches)),
+        threshold=0.0,
+        detail=detail,
+    )
+
+
 def default_gate_backends() -> tuple[str, ...]:
     """``numpy`` plus every available deterministic non-numpy backend."""
     from .backends import default_registry
@@ -386,6 +483,10 @@ def run_ci_gate(
     baseline_path: str | Path | None = None,
     seed: int = 2014,
     backends: tuple[str, ...] | None = None,
+    chaos: bool = True,
+    chaos_recipes_path: str | Path | None = None,
+    chaos_slo=None,
+    chaos_report_dir: str | Path | None = None,
     registry: MetricsRegistry | None = None,
 ) -> tuple[int, list[GateResult]]:
     """Run all gates; returns ``(exit_code, results)`` with 0 == all pass.
@@ -393,7 +494,10 @@ def run_ci_gate(
     The coverage gate runs once per entry of ``backends`` (default:
     :func:`default_gate_backends` — numpy plus every available
     deterministic backend), so the detection floor is held inside each
-    backend's dispatched tile compute, not just the serial path.
+    backend's dispatched tile compute, not just the serial path.  The
+    chaos-SLO gate runs last (``chaos=False`` skips it; pass
+    ``chaos_recipes_path`` / ``chaos_slo`` to override the built-in quick
+    suite and default :class:`~repro.chaos.SLOSpec`).
     """
     reg = registry if registry is not None else get_registry()
     if backends is None:
@@ -424,6 +528,17 @@ def run_ci_gate(
             registry=reg,
         )
     )
+    if chaos:
+        results.append(
+            chaos_slo_gate(
+                quick=quick,
+                recipes_path=chaos_recipes_path,
+                slo=chaos_slo,
+                seed=seed,
+                report_dir=chaos_report_dir,
+                registry=reg,
+            )
+        )
     pass_gauge = reg.gauge(
         "abft_ci_gate_pass", "1 when the gate passed, 0 when it failed", ("gate",)
     )

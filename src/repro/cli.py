@@ -8,9 +8,10 @@ Commands
 ``aabft coverage``        — confidence-interval coverage validation
 ``aabft all``             — everything, at quick or full scale
 ``aabft demo``            — a protected multiplication with a live fault
-``aabft ci-gate``         — detection-coverage + warm-throughput CI gates
+``aabft ci-gate``         — detection-coverage + throughput + chaos-SLO gates
 ``aabft serve``           — micro-batching serving worker (JSONL requests)
 ``aabft loadgen``         — closed-loop load generator + invariant checks
+``aabft chaos run``       — chaos recipes against a live server, SLO verdict
 ``aabft bench``           — serve/engine throughput benchmarks
 ``aabft backends``        — registered compute backends + availability
 ``aabft autotune``        — time backend/tile candidates, cache the winners
@@ -113,6 +114,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated backends the coverage gate must hold on "
         "(default: numpy plus every available deterministic backend)",
     )
+    gate.add_argument(
+        "--chaos-recipes",
+        metavar="PATH",
+        default=None,
+        help="chaos recipe suite JSON for the chaos-SLO gate "
+        "(default: the built-in quick suite)",
+    )
+    gate.add_argument(
+        "--chaos-report",
+        metavar="DIR",
+        default=None,
+        help="also write the dated chaos VALIDATION_REPORT pair here",
+    )
+    gate.add_argument(
+        "--skip-chaos",
+        action="store_true",
+        help="skip the chaos-SLO gate (coverage/throughput gates only)",
+    )
 
     serve = sub.add_parser(
         "serve",
@@ -160,6 +179,70 @@ def build_parser() -> argparse.ArgumentParser:
         "--fresh-a",
         action="store_true",
         help="fresh A per request instead of one shared weight matrix",
+    )
+    loadgen.add_argument(
+        "--verify-results",
+        action="store_true",
+        help="compare every served result against the reference product "
+        "(a silent wrong answer becomes an accounting violation)",
+    )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="chaos harness: fault recipes against a live server under load",
+    )
+    chaos_sub = chaos.add_subparsers(dest="chaos_command", required=True)
+    chaos_run = chaos_sub.add_parser(
+        "run",
+        help="run a recipe suite and assert the SLOs; exits 1 on any breach",
+    )
+    chaos_run.add_argument(
+        "--recipes",
+        metavar="PATH",
+        default=None,
+        help="recipe suite JSON (default: the built-in quick suite, one "
+        "recipe per fault kind)",
+    )
+    chaos_run.add_argument(
+        "--report",
+        metavar="DIR",
+        default=None,
+        help="write the dated VALIDATION_REPORT_<date>.{json,md} pair here",
+    )
+    chaos_run.add_argument(
+        "--p99-ms",
+        type=float,
+        default=None,
+        help="p99 latency ceiling in milliseconds (default 500)",
+    )
+    chaos_run.add_argument(
+        "--error-budget",
+        type=float,
+        default=None,
+        help="tolerated bad-request fraction (default 0.35)",
+    )
+    chaos_run.add_argument(
+        "--burn-limit",
+        type=float,
+        default=None,
+        help="multi-window error-budget burn-rate limit (default 2.0)",
+    )
+    chaos_run.add_argument(
+        "--requests-per-wave", type=int, default=24,
+        help="background-traffic wave size (default 24)",
+    )
+    chaos_run.add_argument(
+        "--concurrency", type=int, default=8,
+        help="closed-loop concurrency of the background traffic (default 8)",
+    )
+    chaos_run.add_argument("--m", type=int, default=96, help="rows of A")
+    chaos_run.add_argument("--n", type=int, default=96, help="inner dimension")
+    chaos_run.add_argument("--q", type=int, default=12, help="cols of each B")
+    chaos_run.add_argument(
+        "--deadline-s",
+        type=float,
+        default=0.5,
+        help="per-request deadline of the background traffic (default 0.5)",
     )
 
     bench = sub.add_parser(
@@ -402,6 +485,9 @@ def _cmd_ci_gate(args: argparse.Namespace) -> int:
         baseline_path=args.baseline,
         seed=args.seed,
         backends=backends,
+        chaos=not args.skip_chaos,
+        chaos_recipes_path=args.chaos_recipes,
+        chaos_report_dir=args.chaos_report,
     )
     for result in results:
         print(result.describe())
@@ -490,11 +576,55 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         shared_a=not args.fresh_a,
         deadline_s=args.deadline_s,
         seed=args.seed,
+        verify_results=args.verify_results,
     )
     print(json.dumps(result.summary(), indent=2))
     if not result.ok:
         for violation in result.violations:
             print(f"VIOLATION: {violation}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from .chaos import SLOSpec, default_quick_suite, load_recipes, run_chaos
+    from .telemetry import get_registry
+
+    recipes = (
+        load_recipes(args.recipes)
+        if args.recipes is not None
+        else default_quick_suite()
+    )
+    slo_kwargs = {}
+    if args.p99_ms is not None:
+        slo_kwargs["p99_latency_s"] = args.p99_ms / 1e3
+    if args.error_budget is not None:
+        slo_kwargs["error_budget"] = args.error_budget
+    if args.burn_limit is not None:
+        slo_kwargs["burn_rate_limit"] = args.burn_limit
+    slo = SLOSpec(**slo_kwargs)
+
+    report = run_chaos(
+        recipes,
+        slo,
+        requests_per_wave=args.requests_per_wave,
+        concurrency=args.concurrency,
+        m=args.m,
+        n=args.n,
+        q=args.q,
+        deadline_s=args.deadline_s,
+        seed=args.seed,
+        registry=get_registry(),
+    )
+    print(json.dumps(report.to_dict(), indent=2))
+    if args.report is not None:
+        paths = report.write(args.report)
+        print(f"report written -> {paths['markdown']}", file=sys.stderr)
+    if not report.ok:
+        for breach in report.breaches:
+            print(f"SLO BREACH [{breach.slo}]: {breach.detail}", file=sys.stderr)
         return 1
     return 0
 
@@ -711,6 +841,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_serve(args)
     if args.command == "loadgen":
         return _cmd_loadgen(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     if args.command == "bench":
         return _cmd_bench(args)
     if args.command == "backends":

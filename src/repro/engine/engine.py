@@ -309,6 +309,8 @@ class MatmulEngine:
         # fast path, keyed by (plan key, chunk width).
         self._stacked_ok: dict = {}
         self._stacked_lock = threading.Lock()
+        # Chaos/test seam (see set_chaos_hook); None == no instrumentation.
+        self._chaos_hook = None
 
     # ------------------------------------------------------------------
     # public API
@@ -521,6 +523,38 @@ class MatmulEngine:
             m, n, q, dtype=dtype, config=cfg, force=force
         )
 
+    def set_chaos_hook(self, hook) -> None:
+        """Install (or clear, with ``None``) the chaos/test-injection seam.
+
+        The hook is invoked from whichever thread executes the work, as
+        ``hook(event, *, backend=None, c_fc=None)``:
+
+        * ``event in ("encode", "multiply", "check")`` — fired when a
+          pipeline stage completes, on every execution path (serial,
+          fused and pipelined).  Sleeping here injects a stage stall; the
+          stall is *not* charged to the stage timers, so the pipeline
+          cost model keeps seeing real stage costs.  Stage hooks must not
+          raise.
+        * ``event == "dispatch"`` (``backend=<name>``) — fired just
+          before the GEMM stage executes on a compute backend.  An
+          exception raised here flows through the engine's never-silent
+          numpy fallback exactly like a real backend failure (the numpy
+          retry does not re-fire the hook).
+        * ``event == "result"`` (``backend=<name>``, ``c_fc=<array>``) —
+          fired with the full-checksum GEMM result; mutating ``c_fc`` in
+          place emulates a kernel-level fault that the check stage must
+          catch.
+
+        This is the seam :mod:`repro.chaos` drives; it exists so system-
+        level fault campaigns never need to monkeypatch engine internals.
+        """
+        if hook is not None and not callable(hook):
+            raise ConfigurationError(
+                f"chaos hook must be callable or None, got "
+                f"{type(hook).__name__}"
+            )
+        self._chaos_hook = hook
+
     def stats(self) -> EngineStats:
         """An immutable snapshot derived from the engine's registry metrics.
 
@@ -611,6 +645,11 @@ class MatmulEngine:
     def _add_seconds(self, stage: str, elapsed: float) -> None:
         self._m_stage[stage].inc(elapsed)
         self._h_stage[stage].observe(elapsed)
+        hook = self._chaos_hook
+        if hook is not None:
+            # After the timers, so injected stalls never pollute the
+            # measured stage costs the pipeline scheduler feeds on.
+            hook(stage)
 
     def _stage_costs(self) -> StageCosts:
         """The measured per-stage costs (the pipeline cost model's seed)."""
@@ -860,13 +899,17 @@ class MatmulEngine:
         """
         name = plan.backend_name
         self._m_backend_dispatch.labels(backend=name).inc()
+        hook = self._chaos_hook
         try:
+            if hook is not None:
+                # Chaos seam: a raising hook emulates a backend failure
+                # and rides the real never-silent fallback below.
+                hook("dispatch", backend=name)
             # Resolve through the engine's registry (plan.backend() uses
             # the process-wide one) so custom registries dispatch too.
             c_fc = self._backends.get(name).matmul(
                 a_arr, b_arr, tile=plan.tile, pool=plan.pool
             )
-            return c_fc, name, None
         except Exception as exc:
             if name == "numpy":
                 raise
@@ -876,10 +919,15 @@ class MatmulEngine:
             c_fc = self._backends.get("numpy").matmul(
                 a_arr, b_arr, tile=plan.tile, pool=plan.pool
             )
+            if hook is not None:
+                hook("result", backend="numpy", c_fc=c_fc)
             return c_fc, "numpy", (
                 f"dispatch on {name!r} failed "
                 f"({type(exc).__name__}: {exc}); recomputed on 'numpy'"
             )
+        if hook is not None:
+            hook("result", backend=name, c_fc=c_fc)
+        return c_fc, name, None
 
     def _encode_with_plan(
         self, arr: np.ndarray, side: str, cfg: AbftConfig, plan: ExecutionPlan

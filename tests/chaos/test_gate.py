@@ -1,0 +1,91 @@
+"""The ``chaos-slo`` CI gate: clean suites pass, forced breaches fail."""
+
+import pytest
+
+from repro.chaos import ChaosRecipe, SLOSpec, dump_recipes
+from repro.cigate import chaos_slo_gate
+from repro.telemetry import MetricsRegistry
+
+
+def write_suite(tmp_path, recipes):
+    path = tmp_path / "recipes.json"
+    dump_recipes(recipes, path)
+    return path
+
+
+def gauge_value(registry, name, **labels):
+    for row in registry.snapshot()[name]["values"]:
+        if row["labels"] == labels:
+            return row["value"]
+    return None
+
+
+@pytest.fixture
+def clean_suite(tmp_path):
+    return write_suite(
+        tmp_path,
+        [
+            ChaosRecipe(
+                kind="bitflip", site="gemm", intensity=0.5, duration_s=0.4,
+                seed=7, name="flip",
+            )
+        ],
+    )
+
+
+@pytest.fixture
+def stall_suite(tmp_path):
+    return write_suite(
+        tmp_path,
+        [
+            ChaosRecipe(
+                kind="stage_stall", site="multiply", intensity=0.05,
+                duration_s=0.4, name="tarpit",
+            )
+        ],
+    )
+
+
+class TestGate:
+    def test_clean_suite_passes(self, clean_suite):
+        registry = MetricsRegistry()
+        result = chaos_slo_gate(
+            recipes_path=clean_suite, seed=11, registry=registry
+        )
+        assert result.gate == "chaos-slo"
+        assert result.passed, result.detail
+        assert result.measured == 0.0  # zero breaches
+        assert "accounting reconciled" in result.detail
+        assert gauge_value(
+            registry, "abft_ci_gate_chaos", quantity="injections"
+        ) > 0
+        assert gauge_value(
+            registry, "abft_ci_gate_chaos", quantity="silent_wrong"
+        ) == 0
+
+    def test_forced_stall_past_ceiling_fails(self, stall_suite):
+        # The ISSUE-mandated regression: a stall recipe pushing p99 past
+        # the declared ceiling must fail the gate (nonzero CI exit).
+        result = chaos_slo_gate(
+            recipes_path=stall_suite,
+            slo=SLOSpec(p99_latency_s=0.005),
+            seed=12,
+            registry=MetricsRegistry(),
+        )
+        assert not result.passed
+        assert result.measured >= 1.0
+        assert "p99_latency" in result.detail
+
+    def test_report_dir_gets_the_dated_pair(self, clean_suite, tmp_path):
+        out = tmp_path / "chaos-report"
+        chaos_slo_gate(
+            recipes_path=clean_suite,
+            seed=13,
+            registry=MetricsRegistry(),
+            report_dir=out,
+        )
+        names = sorted(p.name for p in out.iterdir())
+        assert len(names) == 2
+        assert names[0].startswith("VALIDATION_REPORT_")
+        assert names[0].endswith(".json")
+        assert names[1].endswith(".md")

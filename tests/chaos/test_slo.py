@@ -1,0 +1,119 @@
+"""SLOSpec validation, multi-window burn-rate math, breach evaluation."""
+
+import pytest
+
+from repro.chaos import BurnSample, SLOSpec, burn_rates, evaluate_slo
+from repro.errors import ConfigurationError
+
+
+def spec(**overrides):
+    base = dict(
+        p99_latency_s=0.1,
+        error_budget=0.2,
+        burn_rate_limit=2.0,
+        short_window_s=1.0,
+        long_window_s=4.0,
+    )
+    base.update(overrides)
+    return SLOSpec(**base)
+
+
+class TestValidation:
+    def test_windows_must_be_ordered(self):
+        with pytest.raises(ConfigurationError, match="shorter"):
+            spec(short_window_s=4.0, long_window_s=1.0)
+
+    def test_budget_bounded(self):
+        with pytest.raises(ConfigurationError, match="error_budget"):
+            spec(error_budget=0.0)
+
+    def test_round_trip(self):
+        s = spec()
+        assert SLOSpec.from_dict(s.to_dict()) == s
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown SLO"):
+            SLOSpec.from_dict({"p99_latency_ms": 100})
+
+
+def cumulative(series):
+    """Build BurnSamples from per-second (good, bad) increments."""
+    samples, good, bad = [], 0, 0
+    for t, (dg, db) in enumerate(series, start=1):
+        good += dg
+        bad += db
+        samples.append(BurnSample(t_s=float(t), good=good, bad=bad))
+    return samples
+
+
+class TestBurnRates:
+    def test_steady_traffic_at_budget_burns_one(self):
+        # 20% bad forever == exactly the declared budget -> burn rate 1.
+        samples = cumulative([(80, 20)] * 6)
+        rows = burn_rates(samples, spec())
+        assert rows[-1]["short"] == pytest.approx(1.0)
+        assert rows[-1]["long"] == pytest.approx(1.0)
+        assert rows[-1]["burn"] == pytest.approx(1.0)
+
+    def test_short_spike_alone_does_not_sustain(self):
+        # One bad second in a long clean run: the short window screams,
+        # the long window stays low -> the multi-window burn stays low.
+        samples = cumulative([(100, 0)] * 4 + [(0, 100)] + [(100, 0)] * 1)
+        rows = burn_rates(samples, spec())
+        spike = rows[4]
+        assert spike["short"] == pytest.approx(5.0)  # 100% bad / 0.2 budget
+        assert spike["long"] < spike["short"]
+        assert spike["burn"] == spike["long"]
+
+    def test_sustained_burn_raises_both_windows(self):
+        samples = cumulative([(20, 80)] * 6)
+        rows = burn_rates(samples, spec())
+        assert rows[-1]["burn"] == pytest.approx(0.8 / 0.2)
+
+    def test_empty_window_burns_zero(self):
+        rows = burn_rates([BurnSample(1.0, 0, 0)], spec())
+        assert rows[0]["burn"] == 0.0
+
+
+def evaluate(samples=None, **overrides):
+    kwargs = dict(
+        p99_s=0.05,
+        served=100,
+        silent_wrong=0,
+        dropped=0,
+        reconciliation_diffs=[],
+        samples=samples if samples is not None else cumulative([(100, 0)] * 4),
+    )
+    kwargs.update(overrides)
+    return evaluate_slo(spec(), **kwargs)
+
+
+class TestEvaluate:
+    def test_clean_run_passes(self):
+        assert evaluate() == []
+
+    def test_p99_breach(self):
+        [breach] = evaluate(p99_s=0.5)
+        assert breach.slo == "p99_latency"
+        assert breach.measured == 0.5
+
+    def test_silent_wrong_is_absolute(self):
+        [breach] = evaluate(silent_wrong=1)
+        assert breach.slo == "silent_wrong"
+        assert breach.threshold == 0.0
+
+    def test_dropped_breach(self):
+        [breach] = evaluate(dropped=1)
+        assert breach.slo == "dropped"
+
+    def test_accounting_breach_carries_the_diff(self):
+        [breach] = evaluate(
+            reconciliation_diffs=["counter x: moved 3, client tallied 2 (+1)"]
+        )
+        assert breach.slo == "accounting"
+        assert "moved 3" in breach.detail
+
+    def test_sustained_burn_breach(self):
+        [breach] = evaluate(samples=cumulative([(10, 90)] * 6))
+        assert breach.slo == "burn_rate"
+        assert breach.measured > 2.0

@@ -98,7 +98,7 @@ class TestInvariantDetection:
             c=np.zeros((2, 2)),
             report=object(),
         )
-        result = _tally([(response, 0.01)], 1, 0.1, None)
+        result = _tally([(response, 0.01, None)], 1, 0.1, None)
         assert not result.ok
         assert "without deadline pressure" in result.violations[0]
 
@@ -109,13 +109,13 @@ class TestInvariantDetection:
         response = MatmulResponse(
             request_id="r1", status=VerificationStatus.FULL, c=None
         )
-        result = _tally([(response, 0.01)], 1, 0.1, None)
+        result = _tally([(response, 0.01, None)], 1, 0.1, None)
         assert any("without a result" in v for v in result.violations)
 
     def test_tally_flags_dropped_requests(self):
         from repro.serve.loadgen import _tally
 
-        result = _tally([(RuntimeError("boom"), 0.01)], 2, 0.1, None)
+        result = _tally([(RuntimeError("boom"), 0.01, None)], 2, 0.1, None)
         assert result.dropped == 1
         assert any("died without a response" in v for v in result.violations)
         assert any("only 1 resolved" in v for v in result.violations)
@@ -125,3 +125,131 @@ class TestInvariantDetection:
         assert clean.ok
         dirty = LoadgenResult(submitted=1, wall_s=0.1, violations=["x"])
         assert not dirty.ok
+
+
+class TestResultVerification:
+    def _response(self, status, **overrides):
+        from repro.serve.request import MatmulResponse
+
+        fields = dict(
+            request_id="r1",
+            status=status,
+            c=np.zeros((2, 2)),
+            report=object(),
+        )
+        fields.update(overrides)
+        return MatmulResponse(**fields)
+
+    def test_silent_wrong_answer_is_a_violation(self):
+        from repro.serve.loadgen import _tally
+        from repro.serve.request import VerificationStatus
+
+        response = self._response(VerificationStatus.FULL)
+        result = _tally([(response, 0.01, True)], 1, 0.1, None)
+        assert result.silent_wrong == 1
+        assert result.honest_wrong == 0
+        assert any("SILENT WRONG ANSWER" in v for v in result.violations)
+
+    def test_detected_wrong_answer_is_honest(self):
+        from repro.serve.loadgen import _tally
+        from repro.serve.request import VerificationStatus
+
+        response = self._response(VerificationStatus.FULL, detected=True)
+        result = _tally([(response, 0.01, True)], 1, 0.1, None)
+        assert result.silent_wrong == 0
+        assert result.honest_wrong == 1
+        assert result.ok, result.violations
+
+    def test_unchecked_wrong_answer_is_honest(self):
+        from repro.serve.loadgen import _tally
+        from repro.serve.request import VerificationStatus
+
+        response = self._response(VerificationStatus.UNCHECKED, report=None)
+        result = _tally([(response, 0.01, True)], 1, 0.1, 1.0)
+        assert result.silent_wrong == 0
+        assert result.honest_wrong == 1
+        assert result.ok, result.violations
+
+    def test_loadgen_verifies_clean_traffic(self):
+        result = run_loadgen(
+            requests=12, concurrency=4, m=64, n=64, q=8, seed=2,
+            registry=MetricsRegistry(), verify_results=True,
+        )
+        assert result.ok, result.violations
+        assert result.silent_wrong == 0
+        assert result.honest_wrong == 0
+
+
+class TestCounterReconciliation:
+    def _tally_for(self, **overrides):
+        fields = dict(
+            submitted=3,
+            wall_s=0.1,
+            status_counts={"full": 2, "rejected": 1},
+            rejection_reasons={"deadline": 1},
+        )
+        fields.update(overrides)
+        return LoadgenResult(**fields)
+
+    def _delta_for(self):
+        return {
+            ("abft_serve_requests_total", ("outcome", "completed")): 2,
+            ("abft_serve_requests_total", ("outcome", "rejected")): 1,
+            ("abft_serve_rejections_total", ("reason", "deadline")): 1,
+        }
+
+    def test_balanced_books_produce_no_diffs(self):
+        from repro.serve.loadgen import reconcile_counters
+
+        assert reconcile_counters(self._tally_for(), self._delta_for()) == []
+
+    def test_mismatch_is_a_labelled_diff_not_a_bare_assert(self):
+        from repro.serve.loadgen import reconcile_counters
+
+        delta = self._delta_for()
+        delta[("abft_serve_requests_total", ("outcome", "completed"))] = 3
+        [diff] = reconcile_counters(self._tally_for(), delta)
+        assert "abft_serve_requests_total{outcome=completed}" in diff
+        assert "moved 3" in diff and "client tallied 2" in diff and "+1" in diff
+
+    def test_unexplained_movement_is_reported(self):
+        from repro.serve.loadgen import reconcile_counters
+
+        delta = self._delta_for()
+        delta[("abft_serve_rejections_total", ("reason", "shutdown"))] = 2
+        [diff] = reconcile_counters(self._tally_for(), delta)
+        assert "shutdown" in diff
+        assert "moved 2" in diff or "unexplained" in diff
+
+    def test_degradation_ladder_rungs_map_to_statuses(self):
+        from repro.serve.loadgen import reconcile_counters
+
+        tally = self._tally_for(
+            status_counts={"full": 1, "degraded": 1, "unchecked": 1},
+            rejection_reasons={},
+        )
+        delta = {
+            ("abft_serve_requests_total", ("outcome", "completed")): 3,
+            ("abft_serve_degradations_total", ("rung", "sea")): 1,
+            ("abft_serve_degradations_total", ("rung", "unchecked")): 1,
+        }
+        assert reconcile_counters(tally, delta) == []
+
+    def test_snapshot_round_trip_against_a_live_registry(self):
+        from repro.serve.loadgen import (
+            counter_delta,
+            serve_counter_snapshot,
+        )
+
+        registry = MetricsRegistry()
+        before = serve_counter_snapshot(registry)
+        run_loadgen(
+            requests=8, concurrency=4, m=64, n=64, q=8,
+            registry=registry, reconcile=False,
+        )
+        delta = counter_delta(
+            before, serve_counter_snapshot(registry)
+        )
+        assert delta[
+            ("abft_serve_requests_total", ("outcome", "completed"))
+        ] == 8

@@ -175,14 +175,17 @@ class TestRunCiGate:
         assert "cupy" not in backends  # non-deterministic, never auto-gated
 
     def test_clean_quick_run_exits_zero(self):
+        # chaos=False: the chaos-slo gate has its own live-traffic suite
+        # in tests/chaos/test_gate.py; this also pins the skip behaviour.
         reg = MetricsRegistry()
-        code, results = run_ci_gate(quick=True, registry=reg)
+        code, results = run_ci_gate(quick=True, chaos=False, registry=reg)
         assert code == 0
         expected = [
             "coverage" if b == "numpy" else f"coverage[{b}]"
             for b in default_gate_backends()
         ] + ["pipeline-coverage", "throughput"]
         assert [r.gate for r in results] == expected
+        assert "chaos-slo" not in [r.gate for r in results]
         assert all(r.passed for r in results)
         pass_gauge = reg.gauge("abft_ci_gate_pass", labelnames=("gate",))
         assert pass_gauge.labels(gate="coverage").get() == 1.0
@@ -192,6 +195,7 @@ class TestRunCiGate:
         reg = MetricsRegistry()
         code, results = run_ci_gate(
             quick=True,
+            chaos=False,
             backends=("numpy", "blocked"),
             baseline_path=tiny_baseline(tmp_path, engine_seconds=1000.0),
             registry=reg,
@@ -208,6 +212,7 @@ class TestRunCiGate:
         reg = MetricsRegistry()
         code, results = run_ci_gate(
             quick=True,
+            chaos=False,
             coverage_floor=1.01,
             backends=("numpy",),
             baseline_path=tiny_baseline(tmp_path, engine_seconds=1e-4),
@@ -221,23 +226,40 @@ class TestRunCiGate:
 
 
 class TestCliCommand:
+    @pytest.fixture(autouse=True)
+    def fresh_global_registry(self):
+        # main() runs against the process-global registry; the chaos gate
+        # drives real serve traffic through it, so isolate these tests
+        # from CLI tests that assert absolute global-counter values.
+        from repro.telemetry import get_registry, set_registry
+
+        previous = get_registry()
+        set_registry(MetricsRegistry())
+        yield
+        set_registry(previous)
+
     def test_quick_gate_exits_zero(self, capsys):
         assert main(["ci-gate", "--quick"]) == 0
         out = capsys.readouterr().out
         assert "[PASS] coverage:" in out
         assert "[PASS] pipeline-coverage:" in out
         assert "[PASS] throughput:" in out
+        assert "[PASS] chaos-slo:" in out
         assert "all gates passed" in out
 
     def test_impossible_floor_exits_nonzero(self, capsys):
-        assert main(["ci-gate", "--quick", "--coverage-floor", "1.01"]) == 1
+        assert main(
+            ["ci-gate", "--quick", "--coverage-floor", "1.01", "--skip-chaos"]
+        ) == 1
         out = capsys.readouterr().out
         assert "[FAIL] coverage:" in out
         assert "GATE FAILURE" in out
 
     def test_telemetry_out_records_the_gates(self, tmp_path, capsys):
         out_path = tmp_path / "telemetry.jsonl"
-        assert main(["--telemetry-out", str(out_path), "ci-gate", "--quick"]) == 0
+        assert main(
+            ["--telemetry-out", str(out_path), "ci-gate", "--quick", "--skip-chaos"]
+        ) == 0
         capsys.readouterr()
         lines = [json.loads(line) for line in out_path.read_text().splitlines()]
         span_paths = [ev["path"] for ev in lines if ev["type"] == "span"]

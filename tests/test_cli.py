@@ -55,6 +55,59 @@ class TestParser:
         assert args.coverage_floor == 0.9
         assert args.throughput_tolerance == 0.5
         assert args.baseline == "custom.json"
+        assert args.skip_chaos is False
+        assert args.chaos_recipes is None
+        assert args.chaos_report is None
+
+    def test_ci_gate_chaos_options(self):
+        args = build_parser().parse_args(
+            [
+                "ci-gate",
+                "--chaos-recipes",
+                "suite.json",
+                "--chaos-report",
+                "report-dir",
+                "--skip-chaos",
+            ]
+        )
+        assert args.chaos_recipes == "suite.json"
+        assert args.chaos_report == "report-dir"
+        assert args.skip_chaos is True
+
+    def test_chaos_run_options(self):
+        args = build_parser().parse_args(
+            [
+                "chaos",
+                "run",
+                "--recipes",
+                "suite.json",
+                "--report",
+                "out-dir",
+                "--p99-ms",
+                "100",
+                "--error-budget",
+                "0.25",
+                "--burn-limit",
+                "3.0",
+            ]
+        )
+        assert args.command == "chaos"
+        assert args.chaos_command == "run"
+        assert args.recipes == "suite.json"
+        assert args.report == "out-dir"
+        assert args.p99_ms == 100
+        assert args.error_budget == 0.25
+        assert args.burn_limit == 3.0
+
+    def test_chaos_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos"])
+
+    def test_loadgen_verify_results_flag(self):
+        assert build_parser().parse_args(
+            ["loadgen", "--verify-results"]
+        ).verify_results is True
+        assert build_parser().parse_args(["loadgen"]).verify_results is False
 
     def test_detect_options(self):
         args = build_parser().parse_args(

@@ -11,6 +11,7 @@ SUBPACKAGES = [
     "repro.analysis",
     "repro.backends",
     "repro.bounds",
+    "repro.chaos",
     "repro.engine",
     "repro.exact",
     "repro.experiments",
