@@ -35,6 +35,10 @@ Package map (see DESIGN.md for the full inventory):
   (``aabft backends`` / ``aabft autotune``)
 - :mod:`repro.chaos` — declarative chaos recipes + SLO harness over the
   serving layer (``aabft chaos run``, the ``chaos-slo`` CI gate)
+- :mod:`repro.cluster` — sharded multi-process serving cluster with
+  consistent-hash plan routing, shared-memory operand transport and
+  worker supervision (``aabft cluster serve`` / ``aabft loadgen
+  --cluster``)
 """
 
 from .abft import (
@@ -94,6 +98,7 @@ from .chaos import (
     default_quick_suite,
     run_chaos,
 )
+from .cluster import ClusterConfig, ClusterFrontend
 from .errors import (
     BoundSchemeError,
     ChecksumMismatchError,
@@ -154,6 +159,8 @@ __all__ = [
     "ChaosReport",
     "CheckReport",
     "ChecksumMismatchError",
+    "ClusterConfig",
+    "ClusterFrontend",
     "ConfigurationError",
     "CorrectionError",
     "DeviceError",

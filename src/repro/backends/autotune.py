@@ -87,12 +87,76 @@ class TunedChoice:
         return self.baseline_per_call_s / self.per_call_s
 
 
-class AutotuneCache:
-    """Thread-safe, crash-tolerant JSON store of autotune winners.
+class _FileLock:
+    """An advisory ``flock`` over ``<path>.lock`` (no-op without fcntl).
 
-    Writes are atomic (temp file + rename); a corrupt or missing file
-    reads as empty instead of failing, so a broken cache can only cost
-    re-tuning, never correctness.
+    Serialises cross-process cache writers.  Platforms without ``fcntl``
+    (or filesystems refusing locks) degrade to the old last-writer-wins
+    behaviour instead of failing — the cache is a performance artefact,
+    never a correctness one.
+    """
+
+    def __init__(self, path: Path) -> None:
+        self.path = path
+        self._handle = None
+
+    def __enter__(self) -> "_FileLock":
+        try:
+            import fcntl
+
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "a+")
+            fcntl.flock(self._handle.fileno(), fcntl.LOCK_EX)
+        except (ImportError, OSError):
+            if self._handle is not None:
+                self._handle.close()
+            self._handle = None
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._handle is not None:
+            try:
+                import fcntl
+
+                fcntl.flock(self._handle.fileno(), fcntl.LOCK_UN)
+            except (ImportError, OSError):
+                pass
+            self._handle.close()
+            self._handle = None
+
+
+def _parse_entries(text: str) -> dict[str, TunedChoice]:
+    """Decode a cache file's entries; corrupt or missing data reads empty."""
+    entries: dict[str, TunedChoice] = {}
+    try:
+        raw = json.loads(text)
+        for key, payload in raw.get("entries", {}).items():
+            entries[key] = TunedChoice(
+                backend=str(payload["backend"]),
+                tile=(
+                    None
+                    if payload.get("tile") is None
+                    else int(payload["tile"])
+                ),
+                per_call_s=float(payload["per_call_s"]),
+                baseline_per_call_s=float(payload["baseline_per_call_s"]),
+            )
+    except (ValueError, KeyError, TypeError):
+        entries = {}
+    return entries
+
+
+class AutotuneCache:
+    """Thread- and process-safe, crash-tolerant JSON store of winners.
+
+    Writes are atomic (temp file + rename) and **merge-on-write** under
+    an advisory file lock: a writer re-reads the file inside the lock,
+    folds its new winner into whatever other processes persisted since
+    this process last looked, and only then rewrites — so concurrent
+    workers (e.g. cluster shards sharing one cache) cannot clobber each
+    other's winners.  A corrupt or missing file reads as empty instead of
+    failing, so a broken cache can only cost re-tuning, never
+    correctness.
     """
 
     def __init__(self, path: str | Path | None = None) -> None:
@@ -100,27 +164,16 @@ class AutotuneCache:
         self._lock = threading.Lock()
         self._entries: dict[str, TunedChoice] | None = None
 
+    def _read_disk(self) -> dict[str, TunedChoice]:
+        try:
+            text = self.path.read_text()
+        except OSError:
+            return {}
+        return _parse_entries(text)
+
     def _load_locked(self) -> dict[str, TunedChoice]:
         if self._entries is None:
-            entries: dict[str, TunedChoice] = {}
-            try:
-                raw = json.loads(self.path.read_text())
-                for key, payload in raw.get("entries", {}).items():
-                    entries[key] = TunedChoice(
-                        backend=str(payload["backend"]),
-                        tile=(
-                            None
-                            if payload.get("tile") is None
-                            else int(payload["tile"])
-                        ),
-                        per_call_s=float(payload["per_call_s"]),
-                        baseline_per_call_s=float(
-                            payload["baseline_per_call_s"]
-                        ),
-                    )
-            except (OSError, ValueError, KeyError, TypeError):
-                entries = {}
-            self._entries = entries
+            self._entries = self._read_disk()
         return self._entries
 
     def get(self, key: str) -> TunedChoice | None:
@@ -129,22 +182,30 @@ class AutotuneCache:
             return self._load_locked().get(key)
 
     def put(self, key: str, choice: TunedChoice) -> None:
-        """Store a winner and persist the cache atomically."""
+        """Store a winner; persist atomically via read-merge-write."""
         with self._lock:
-            entries = self._load_locked()
-            entries[key] = choice
-            payload = {
-                "version": 1,
-                "entries": {k: asdict(v) for k, v in sorted(entries.items())},
-            }
-            try:
-                self.path.parent.mkdir(parents=True, exist_ok=True)
-                tmp = self.path.with_name(self.path.name + ".tmp")
-                tmp.write_text(json.dumps(payload, indent=2) + "\n")
-                os.replace(tmp, self.path)
-            except OSError:
-                # An unwritable cache degrades to in-memory only.
-                pass
+            self._load_locked()
+            with _FileLock(self.path.with_name(self.path.name + ".lock")):
+                # Fold in winners other processes persisted since our
+                # last read — their keys survive, ours lands on top.
+                merged = self._read_disk()
+                merged.update(self._entries)
+                merged[key] = choice
+                self._entries = merged
+                payload = {
+                    "version": 1,
+                    "entries": {
+                        k: asdict(v) for k, v in sorted(merged.items())
+                    },
+                }
+                try:
+                    self.path.parent.mkdir(parents=True, exist_ok=True)
+                    tmp = self.path.with_name(self.path.name + ".tmp")
+                    tmp.write_text(json.dumps(payload, indent=2) + "\n")
+                    os.replace(tmp, self.path)
+                except OSError:
+                    # An unwritable cache degrades to in-memory only.
+                    pass
 
     def keys(self) -> list[str]:
         """All cached keys (sorted)."""

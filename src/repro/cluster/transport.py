@@ -1,0 +1,224 @@
+"""Operand transport between the cluster frontend and its workers.
+
+Large operands move **zero-copy** through
+:mod:`multiprocessing.shared_memory`: the frontend copies the array into
+a shared segment once (and reuses the segment for every request that
+carries the *same* array object — the shared-weight serving pattern),
+and the worker maps the segment and hands the engine a read-only view —
+no pickling of matrix bytes through the request pipe on either side.
+Operands below the configured threshold are simply pickled with the
+envelope; a segment per tiny array would cost more than it saves.
+
+Lifetime protocol: the frontend owns every segment it publishes and
+unlinks it when no in-flight request references it *and* the source
+array has been garbage-collected (or the frontend shuts down).  Workers
+only ever attach and read; a worker cache keeps recently mapped segments
+alive so repeated requests against a shared weight matrix cost zero
+copies after the first.  POSIX keeps a mapped segment valid after
+unlink, so a worker still holding a view is never invalidated.
+"""
+
+from __future__ import annotations
+
+import secrets
+import threading
+import weakref
+from collections import OrderedDict
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = ["OperandPublisher", "OperandReceiver", "attach_shared_memory"]
+
+
+def attach_shared_memory(name: str) -> shared_memory.SharedMemory:
+    """Attach an existing segment without this process tracking it.
+
+    Attaching processes must not register the segment with their
+    ``resource_tracker``: the tracker would unlink it at process exit,
+    yanking it from under the owning frontend (bpo-39959).  Python 3.13+
+    exposes ``track=False``; earlier versions need the unregister
+    workaround.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track parameter
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+
+        def _skip_shm(name_, rtype):
+            if rtype != "shared_memory":
+                original(name_, rtype)
+
+        # Suppressing (rather than undoing) the registration avoids
+        # unbalanced unregister noise when several workers attach the
+        # same segment; callers serialise attaches, so the patch window
+        # is safe.
+        resource_tracker.register = _skip_shm
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+class _Published:
+    """One shared segment the frontend currently exposes."""
+
+    __slots__ = ("shm", "ref", "inflight", "source_dead")
+
+    def __init__(self, shm, ref) -> None:
+        self.shm = shm
+        self.ref = ref
+        self.inflight = 0
+        self.source_dead = False
+
+
+class OperandPublisher:
+    """Frontend-side operand encoder (shared memory above a threshold).
+
+    :meth:`publish` turns a numpy array into a picklable payload tuple —
+    ``("inline", array)`` below ``min_bytes``, else
+    ``("shm", name, shape, dtype_str)`` backed by a segment that is
+    created once per distinct array object and reference-counted per
+    in-flight request via :meth:`release`.
+    """
+
+    def __init__(self, min_bytes: int, *, metrics=None) -> None:
+        self.min_bytes = min_bytes
+        self._lock = threading.Lock()
+        self._by_source: dict[int, _Published] = {}
+        self._by_name: dict[str, _Published] = {}
+        self._m_transfers = metrics
+
+    def publish(self, array: np.ndarray):
+        """Payload for one operand; retains a shared segment if used."""
+        array = np.ascontiguousarray(array)
+        if array.nbytes < self.min_bytes:
+            if self._m_transfers is not None:
+                self._m_transfers.labels(mode="inline").inc()
+            return ("inline", array)
+        with self._lock:
+            entry = self._by_source.get(id(array))
+            if entry is None or entry.ref() is not array:
+                name = f"aabft-{secrets.token_hex(8)}"
+                shm = shared_memory.SharedMemory(
+                    name=name, create=True, size=array.nbytes
+                )
+                np.ndarray(
+                    array.shape, dtype=array.dtype, buffer=shm.buf
+                )[...] = array
+                entry = _Published(shm, self._make_ref(array, name))
+                self._by_source[id(array)] = entry
+                self._by_name[name] = entry
+            entry.inflight += 1
+            if self._m_transfers is not None:
+                self._m_transfers.labels(mode="shm").inc()
+            return ("shm", entry.shm.name, array.shape, str(array.dtype))
+
+    def _make_ref(self, array: np.ndarray, name: str):
+        def _on_collect(_ref) -> None:
+            with self._lock:
+                entry = self._by_name.get(name)
+                if entry is None:
+                    return
+                entry.source_dead = True
+                if entry.inflight == 0:
+                    self._destroy_locked(name)
+
+        return weakref.ref(array, _on_collect)
+
+    def release(self, payload) -> None:
+        """Drop one in-flight reference of a published payload."""
+        if not (isinstance(payload, tuple) and payload[0] == "shm"):
+            return
+        name = payload[1]
+        with self._lock:
+            entry = self._by_name.get(name)
+            if entry is None:
+                return
+            entry.inflight = max(0, entry.inflight - 1)
+            if entry.inflight == 0 and entry.source_dead:
+                self._destroy_locked(name)
+
+    def _destroy_locked(self, name: str) -> None:
+        entry = self._by_name.pop(name, None)
+        if entry is None:
+            return
+        source = entry.ref()
+        if source is not None:
+            self._by_source.pop(id(source), None)
+        else:
+            # id() keys of collected arrays can be reused; sweep by entry.
+            stale = [k for k, v in self._by_source.items() if v is entry]
+            for k in stale:
+                del self._by_source[k]
+        try:
+            entry.shm.close()
+            entry.shm.unlink()
+        except OSError:
+            pass
+
+    @property
+    def active_segments(self) -> int:
+        with self._lock:
+            return len(self._by_name)
+
+    def close(self) -> None:
+        """Unlink every published segment (frontend shutdown)."""
+        with self._lock:
+            for name in list(self._by_name):
+                self._destroy_locked(name)
+
+
+class OperandReceiver:
+    """Worker-side operand decoder with a mapped-segment cache.
+
+    Shared-memory payloads resolve to a **read-only** numpy view over the
+    mapped segment — no copy.  The cache pins the most recently used
+    segments so the shared-weight pattern maps each distinct operand
+    once; evicted segments close their local mapping only (the frontend
+    owns unlinking).
+    """
+
+    def __init__(self, max_entries: int = 64) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._cache: OrderedDict[str, tuple] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def fetch(self, payload) -> np.ndarray:
+        """The operand array described by a transport payload."""
+        kind = payload[0]
+        if kind == "inline":
+            return payload[1]
+        if kind != "shm":
+            raise ValueError(f"unknown operand payload kind {kind!r}")
+        _, name, shape, dtype = payload
+        with self._lock:
+            cached = self._cache.get(name)
+            if cached is not None:
+                self._cache.move_to_end(name)
+                return cached[1]
+            shm = attach_shared_memory(name)
+            view = np.ndarray(tuple(shape), dtype=np.dtype(dtype), buffer=shm.buf)
+            view.flags.writeable = False
+            self._cache[name] = (shm, view)
+            while len(self._cache) > self.max_entries:
+                _, (old_shm, _view) = self._cache.popitem(last=False)
+                try:
+                    old_shm.close()
+                except OSError:
+                    pass
+            return view
+
+    def close(self) -> None:
+        """Close every cached mapping (worker shutdown)."""
+        with self._lock:
+            while self._cache:
+                _, (shm, _view) = self._cache.popitem()
+                try:
+                    shm.close()
+                except OSError:
+                    pass

@@ -1,0 +1,50 @@
+"""ClusterConfig validation."""
+
+import pytest
+
+from repro.cluster import ClusterConfig
+from repro.errors import ConfigurationError
+from repro.serve import ServeConfig
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        cfg = ClusterConfig()
+        assert cfg.num_workers == 2
+        assert isinstance(cfg.serve, ServeConfig)
+
+    def test_serve_must_be_a_serve_config(self):
+        with pytest.raises(ConfigurationError, match="ServeConfig"):
+            ClusterConfig(serve={"max_batch_size": 8})
+
+    @pytest.mark.parametrize(
+        ("field", "value", "match"),
+        [
+            ("num_workers", 0, "num_workers"),
+            ("vnodes", 0, "vnodes"),
+            ("max_shard_inflight", 0, "max_shard_inflight"),
+            ("shm_min_bytes", -1, "shm_min_bytes"),
+            ("heartbeat_interval_s", 0.0, "heartbeat_interval_s"),
+            ("max_restarts", -1, "max_restarts"),
+            ("start_method", "threads", "start_method"),
+            ("drain_timeout_s", -1.0, "drain_timeout_s"),
+        ],
+    )
+    def test_field_bounds(self, field, value, match):
+        with pytest.raises(ConfigurationError, match=match):
+            ClusterConfig(**{field: value})
+
+    def test_heartbeat_timeout_must_exceed_interval(self):
+        with pytest.raises(ConfigurationError, match="exceed"):
+            ClusterConfig(heartbeat_interval_s=1.0, heartbeat_timeout_s=1.0)
+
+    @pytest.mark.parametrize("depth", [0, 513])
+    def test_spill_depth_bounded_by_inflight(self, depth):
+        with pytest.raises(ConfigurationError, match="spill_queue_depth"):
+            ClusterConfig(max_shard_inflight=512, spill_queue_depth=depth)
+
+    def test_replace_revalidates(self):
+        cfg = ClusterConfig()
+        assert cfg.replace(num_workers=5).num_workers == 5
+        with pytest.raises(ConfigurationError, match="num_workers"):
+            cfg.replace(num_workers=0)

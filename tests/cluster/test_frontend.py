@@ -1,0 +1,163 @@
+"""ClusterFrontend end-to-end: routing, accounting, worker-death recovery.
+
+These tests spawn real worker processes (``spawn`` start method), so the
+shapes are small and one warm cluster is shared per module where the
+test does not need to damage it.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterConfig, ClusterFrontend
+from repro.serve import ServeConfig, VerificationStatus, run_loadgen
+from repro.telemetry import MetricsRegistry
+
+
+def counter_total(registry, name):
+    snapshot = registry.snapshot()
+    if name not in snapshot:
+        return 0.0
+    return sum(row["value"] for row in snapshot[name]["values"])
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    registry = MetricsRegistry()
+    config = ClusterConfig(
+        serve=ServeConfig(),
+        num_workers=2,
+        heartbeat_interval_s=0.05,
+        heartbeat_timeout_s=0.5,
+    )
+    frontend = ClusterFrontend(config, registry=registry)
+    frontend.wait_ready(timeout=60.0)
+    yield frontend
+    frontend.stop(drain=True)
+
+
+class TestServing:
+    def test_results_are_correct_and_fully_verified(self, cluster):
+        rng = np.random.default_rng(11)
+        a = rng.uniform(-1, 1, (48, 48))
+        pairs = []
+        for _ in range(24):
+            b = rng.uniform(-1, 1, (48, 8))
+            pairs.append((cluster.submit(a, b), a @ b))
+        for fut, ref in pairs:
+            response = fut.result(timeout=60.0)
+            assert response.status is VerificationStatus.FULL
+            assert np.allclose(response.c, ref)
+
+    def test_routing_and_liveness_telemetry(self, cluster):
+        assert cluster.alive_workers == 2
+        routed = counter_total(cluster.registry, "abft_cluster_routing_total")
+        assert routed >= 24
+        transfers = counter_total(
+            cluster.registry, "abft_cluster_operand_transfers_total"
+        )
+        assert transfers >= 2 * 24
+
+    def test_mirrored_serve_counters_move(self, cluster):
+        served = counter_total(cluster.registry, "abft_serve_requests_total")
+        assert served >= 24
+        assert counter_total(cluster.registry, "abft_serve_dropped_total") == 0
+
+    def test_distinct_plan_shapes_exercise_the_ring(self, cluster):
+        rng = np.random.default_rng(13)
+        futures = []
+        for m in (32, 40, 48, 56, 64):
+            a = rng.uniform(-1, 1, (m, 32))
+            b = rng.uniform(-1, 1, (32, 8))
+            futures.append((cluster.submit(a, b), a @ b))
+        for fut, ref in futures:
+            response = fut.result(timeout=60.0)
+            assert response.ok
+            assert np.allclose(response.c, ref)
+
+
+class TestShutdown:
+    def test_post_shutdown_submissions_reject_explicitly(self):
+        config = ClusterConfig(
+            num_workers=1,
+            heartbeat_interval_s=0.05,
+            heartbeat_timeout_s=0.5,
+        )
+        frontend = ClusterFrontend(config, registry=MetricsRegistry())
+        frontend.wait_ready(timeout=60.0)
+        frontend.stop(drain=True)
+        response = frontend.submit(np.ones((8, 8)), np.ones((8, 2))).result(
+            timeout=10.0
+        )
+        assert response.status is VerificationStatus.REJECTED
+        assert response.rejected_reason == "shutdown"
+
+
+class TestWorkerDeathRecovery:
+    def test_mid_load_kill_loses_nothing(self):
+        """A worker SIGKILLed mid-load must cost zero requests.
+
+        In-flight work re-queues to survivors, the worker restarts, the
+        loadgen's closed-loop accounting reconciles, and not a single
+        response is silently wrong.
+        """
+        registry = MetricsRegistry()
+        config = ClusterConfig(
+            serve=ServeConfig(max_queue_depth=256),
+            num_workers=2,
+            heartbeat_interval_s=0.05,
+            heartbeat_timeout_s=0.5,
+        )
+        built = {}
+
+        def factory():
+            frontend = ClusterFrontend(config, registry=registry)
+            frontend.wait_ready(timeout=60.0)
+            built["frontend"] = frontend
+            return frontend
+
+        killed = {}
+
+        def killer():
+            deadline = time.monotonic() + 60.0
+            while "frontend" not in built and time.monotonic() < deadline:
+                time.sleep(0.002)
+            frontend = built.get("frontend")
+            if frontend is None:
+                return
+            # Wait for real in-flight work so the kill actually strands
+            # requests on the victim.
+            while frontend.pending_count < 4 and time.monotonic() < deadline:
+                time.sleep(0.002)
+            killed["shard"] = frontend.kill_worker()
+
+        thread = threading.Thread(target=killer)
+        thread.start()
+        try:
+            result = run_loadgen(
+                client_factory=factory,
+                requests=192,
+                concurrency=16,
+                m=64,
+                n=64,
+                q=8,
+                seed=5,
+                verify_results=True,
+            )
+        finally:
+            thread.join(timeout=60.0)
+
+        assert killed.get("shard") is not None, "kill never fired"
+        assert result.ok, result.violations
+        assert result.dropped == 0
+        assert result.silent_wrong == 0
+        assert result.served + result.rejected == result.submitted
+        restarts = counter_total(
+            registry, "abft_cluster_worker_restarts_total"
+        )
+        assert restarts >= 1
+        assert result.requeued == counter_total(
+            registry, "abft_cluster_requeued_total"
+        )

@@ -1,0 +1,79 @@
+"""Consistent-hash ring: determinism, walk semantics, rehoming."""
+
+import pytest
+
+from repro.cluster import HashRing
+
+KEYS = [((64, 64), (64, 8), "float64", None, i) for i in range(200)]
+
+
+class TestValidation:
+    def test_vnodes_must_be_positive(self):
+        with pytest.raises(ValueError, match="vnodes"):
+            HashRing(vnodes=0)
+
+    def test_empty_ring(self):
+        ring = HashRing()
+        assert ring.node_for("anything") is None
+        assert ring.preference("anything") == []
+        assert len(ring) == 0
+
+
+class TestPlacement:
+    def test_deterministic_across_instances(self):
+        a = HashRing(range(4))
+        b = HashRing(range(4))
+        for key in KEYS:
+            assert a.node_for(key) == b.node_for(key)
+
+    def test_preference_walk_covers_all_nodes_once(self):
+        ring = HashRing(range(4))
+        for key in KEYS[:50]:
+            walk = ring.preference(key)
+            assert sorted(walk) == [0, 1, 2, 3]
+            assert walk[0] == ring.node_for(key)
+
+    def test_add_is_idempotent(self):
+        ring = HashRing([0, 1])
+        before = [ring.node_for(k) for k in KEYS]
+        ring.add(1)
+        assert [ring.node_for(k) for k in KEYS] == before
+        assert len(ring) == 2
+
+    def test_keys_spread_across_nodes(self):
+        ring = HashRing(range(4))
+        owners = {ring.node_for(k) for k in KEYS}
+        assert owners == {0, 1, 2, 3}
+
+
+class TestRehoming:
+    def test_removal_only_moves_the_dead_nodes_keys(self):
+        ring = HashRing(range(4))
+        before = {k: ring.node_for(k) for k in KEYS}
+        ring.remove(2)
+        for key, owner in before.items():
+            if owner != 2:
+                assert ring.node_for(key) == owner
+            else:
+                assert ring.node_for(key) != 2
+
+    def test_dead_node_keys_move_to_next_walk_entry(self):
+        ring = HashRing(range(4))
+        walks = {k: ring.preference(k) for k in KEYS}
+        ring.remove(2)
+        for key, walk in walks.items():
+            if walk[0] == 2:
+                assert ring.node_for(key) == walk[1]
+
+    def test_restart_restores_original_placement(self):
+        ring = HashRing(range(4))
+        before = {k: ring.node_for(k) for k in KEYS}
+        ring.remove(1)
+        ring.add(1)
+        assert {k: ring.node_for(k) for k in KEYS} == before
+
+    def test_remove_unknown_node_is_a_noop(self):
+        ring = HashRing(range(2))
+        before = {k: ring.node_for(k) for k in KEYS}
+        ring.remove(99)
+        assert {k: ring.node_for(k) for k in KEYS} == before

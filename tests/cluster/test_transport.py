@@ -1,0 +1,113 @@
+"""Shared-memory operand transport: publish/fetch, reuse, lifetime."""
+
+import gc
+
+import numpy as np
+import pytest
+
+from repro.cluster.transport import OperandPublisher, OperandReceiver
+
+THRESHOLD = 1024
+
+
+@pytest.fixture
+def publisher():
+    pub = OperandPublisher(THRESHOLD)
+    yield pub
+    pub.close()
+
+
+@pytest.fixture
+def receiver():
+    rec = OperandReceiver()
+    yield rec
+    rec.close()
+
+
+class TestPublish:
+    def test_small_operands_travel_inline(self, publisher, receiver):
+        small = np.arange(8, dtype=np.float64).reshape(2, 4)
+        payload = publisher.publish(small)
+        assert payload[0] == "inline"
+        assert publisher.active_segments == 0
+        np.testing.assert_array_equal(receiver.fetch(payload), small)
+
+    def test_large_operands_travel_via_shared_memory(self, publisher, receiver):
+        large = np.random.default_rng(0).uniform(-1, 1, (64, 64))
+        payload = publisher.publish(large)
+        assert payload[0] == "shm"
+        assert publisher.active_segments == 1
+        view = receiver.fetch(payload)
+        np.testing.assert_array_equal(view, large)
+        assert not view.flags.writeable
+
+    def test_same_array_object_reuses_one_segment(self, publisher):
+        shared = np.random.default_rng(1).uniform(-1, 1, (64, 64))
+        p1 = publisher.publish(shared)
+        p2 = publisher.publish(shared)
+        assert p1[1] == p2[1]
+        assert publisher.active_segments == 1
+
+    def test_distinct_arrays_get_distinct_segments(self, publisher):
+        rng = np.random.default_rng(2)
+        p1 = publisher.publish(rng.uniform(-1, 1, (64, 64)))
+        p2 = publisher.publish(rng.uniform(-1, 1, (64, 64)))
+        assert p1[1] != p2[1]
+
+
+class TestLifetime:
+    def test_segment_freed_after_release_and_collection(self, publisher):
+        array = np.random.default_rng(3).uniform(-1, 1, (64, 64))
+        payload = publisher.publish(array)
+        publisher.release(payload)
+        assert publisher.active_segments == 1  # source still alive
+        del array
+        gc.collect()
+        assert publisher.active_segments == 0
+
+    def test_inflight_reference_pins_segment(self, publisher):
+        array = np.random.default_rng(4).uniform(-1, 1, (64, 64))
+        payload = publisher.publish(array)
+        del array
+        gc.collect()
+        assert publisher.active_segments == 1  # one in-flight reference
+        publisher.release(payload)
+        assert publisher.active_segments == 0
+
+    def test_release_of_inline_payload_is_a_noop(self, publisher):
+        publisher.release(("inline", np.zeros(2)))
+
+    def test_close_unlinks_everything(self):
+        pub = OperandPublisher(THRESHOLD)
+        keep = np.random.default_rng(5).uniform(-1, 1, (64, 64))
+        pub.publish(keep)
+        pub.close()
+        assert pub.active_segments == 0
+
+
+class TestReceiverCache:
+    def test_cache_hit_returns_same_view(self, publisher, receiver):
+        shared = np.random.default_rng(6).uniform(-1, 1, (64, 64))
+        payload = publisher.publish(shared)
+        assert receiver.fetch(payload) is receiver.fetch(payload)
+
+    def test_eviction_keeps_most_recent(self, publisher):
+        rec = OperandReceiver(max_entries=1)
+        try:
+            rng = np.random.default_rng(7)
+            a = rng.uniform(-1, 1, (64, 64))
+            b = rng.uniform(-1, 1, (64, 64))
+            pa, pb = publisher.publish(a), publisher.publish(b)
+            rec.fetch(pa)
+            rec.fetch(pb)
+            np.testing.assert_array_equal(rec.fetch(pb), b)
+        finally:
+            rec.close()
+
+    def test_unknown_payload_kind_rejected(self, receiver):
+        with pytest.raises(ValueError, match="unknown operand payload"):
+            receiver.fetch(("carrier_pigeon", "x"))
+
+    def test_max_entries_must_be_positive(self):
+        with pytest.raises(ValueError, match="max_entries"):
+            OperandReceiver(max_entries=0)

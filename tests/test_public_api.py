@@ -12,6 +12,7 @@ SUBPACKAGES = [
     "repro.backends",
     "repro.bounds",
     "repro.chaos",
+    "repro.cluster",
     "repro.engine",
     "repro.exact",
     "repro.experiments",
@@ -122,6 +123,17 @@ class TestImports:
             "run_loadgen",
             "run_serve_benchmark",
         }
+
+    def test_cluster_exports_locked(self):
+        from repro import cluster
+
+        assert set(cluster.__all__) == {
+            "ClusterConfig",
+            "ClusterFrontend",
+            "HashRing",
+        }
+        for symbol in ("ClusterConfig", "ClusterFrontend"):
+            assert symbol in repro.__all__
 
     def test_response_satisfies_protected_result(self):
         import numpy as np
