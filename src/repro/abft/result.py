@@ -80,6 +80,13 @@ class AbftResult:
         ``None`` when the selected backend served the call; otherwise the
         never-silent record of why execution fell back to ``numpy``
         (selection-time rejection or dispatch-time failure).
+    fused:
+        Whether the multiply+check ran through the fused online-ABFT tile
+        loop (per-tile checks, early abort, tile-granular recompute)
+        instead of the separate passes.
+    fused_fallback:
+        ``None`` when the requested fusion strategy ran; otherwise the
+        never-silent record of why a fused request executed separately.
     """
 
     c: np.ndarray
@@ -90,6 +97,8 @@ class AbftResult:
     provider: EpsilonProvider
     backend: str | None = None
     backend_fallback: str | None = None
+    fused: bool = False
+    fused_fallback: str | None = None
 
     @property
     def detected(self) -> bool:

@@ -48,6 +48,7 @@ from .numpy_backend import NumpyBackend
 from .registry import (
     DEFAULT_BACKEND,
     ENV_BACKEND,
+    ENV_FUSION,
     BackendRegistry,
     BackendSelection,
     default_registry,
@@ -70,6 +71,7 @@ __all__ = [
     "DEFAULT_BACKEND",
     "ENV_BACKEND",
     "ENV_AUTOTUNE_CACHE",
+    "ENV_FUSION",
     "default_cache_path",
     "default_registry",
     "get_backend",

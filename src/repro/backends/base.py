@@ -53,6 +53,13 @@ class BackendCapabilities:
         tile loop.  Automatic selection ("auto") only ever picks
         deterministic backends; non-deterministic ones must be pinned
         explicitly.
+    fused_online:
+        Whether the backend can execute the fused online-ABFT tile loop
+        (:func:`repro.kernels.online_fused.online_fused_matmul`): per-tile
+        checksum checks interleaved with the GEMM, early abort and
+        tile-granular recompute.  Host-memory backends whose tiles the
+        kernel can check in place qualify; a device backend would need a
+        device-side check kernel.
     description:
         One line for ``aabft backends``.
     """
@@ -62,6 +69,7 @@ class BackendCapabilities:
     max_elements: int | None = None
     fused_encode: bool = True
     deterministic: bool = True
+    fused_online: bool = False
     description: str = ""
 
     def supports_dtype(self, dtype) -> bool:
@@ -124,6 +132,16 @@ class Backend(abc.ABC):
         that cannot run raises :class:`BackendUnavailable` (the engine
         falls back to ``numpy`` and records it).
         """
+
+    def tile_executor(self):
+        """Executor for fused online tile lookahead, or ``None``.
+
+        Backends advertising ``fused_online`` may return their worker
+        pool here so :func:`~repro.kernels.online_fused.online_fused_matmul`
+        can speculatively run the next tile's GEMM while the current tile
+        is being checked.  ``None`` means strictly serial tiles.
+        """
+        return None
 
     def close(self) -> None:
         """Release backend resources (thread pools, device handles)."""

@@ -60,6 +60,7 @@ class BlockedBackend(Backend):
             max_elements=None,
             fused_encode=True,
             deterministic=True,
+            fused_online=True,
             description=(
                 f"tile-parallel host BLAS over {self._max_workers} worker "
                 f"thread{'s' if self._max_workers != 1 else ''} "
@@ -67,8 +68,37 @@ class BlockedBackend(Backend):
             ),
         )
 
+    @property
+    def max_workers(self) -> int:
+        """Current worker-thread count."""
+        return self._max_workers
+
+    @max_workers.setter
+    def max_workers(self, value: int) -> None:
+        """Resize the pool; re-arms the determinism self-check.
+
+        The cached self-check verdict describes one executor
+        configuration — changing the worker count tears down the pool and
+        clears the verdict so the next :meth:`availability` call re-probes
+        the new configuration instead of trusting a stale one.
+        """
+        if value < 1:
+            raise ValueError(f"max_workers must be >= 1, got {value}")
+        with self._lock:
+            if value == self._max_workers:
+                return
+            if self._executor is not None:
+                self._executor.shutdown(wait=True)
+                self._executor = None
+            self._max_workers = value
+            self._self_check = None
+
     def availability(self) -> tuple[bool, str | None]:
-        """Available once the determinism self-check has passed (cached)."""
+        """Available once the determinism self-check has passed.
+
+        The verdict is cached per executor configuration; resizing
+        :attr:`max_workers` re-arms the probe.
+        """
         with self._lock:
             if self._self_check is None:
                 self._self_check = self._probe()
@@ -113,6 +143,13 @@ class BlockedBackend(Backend):
         return tiled_matmul(
             a, b, tile=tile, out=out, pool=pool, executor=self._get_executor()
         )
+
+    def tile_executor(self):
+        """The worker pool, for fused online tile lookahead."""
+        available, _ = self.availability()
+        if not available:
+            return None
+        return self._get_executor()
 
     def close(self) -> None:
         with self._lock:

@@ -44,6 +44,9 @@ class CupyBackend(Backend):
             # transfer staging; keep the fused path off this backend.
             fused_encode=False,
             deterministic=False,
+            # Per-tile host-side checks would force a device sync per
+            # tile; fused online needs a device-side check kernel first.
+            fused_online=False,
             description="CUDA device GEMM via cupy (pin explicitly; "
             "not bitwise vs the host reference)",
         )

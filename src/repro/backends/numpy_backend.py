@@ -29,6 +29,7 @@ class NumpyBackend(Backend):
             max_elements=None,
             fused_encode=True,
             deterministic=True,
+            fused_online=True,
             description="serial host BLAS (bitwise reference, terminal fallback)",
         )
 

@@ -48,6 +48,7 @@ from ..abft.checking import (
 )
 from ..abft.encoding import PartitionedLayout, strip_encoding
 from ..kernels.encode_fused import fused_encode
+from ..kernels.online_fused import OnlineFusedOutcome, online_fused_matmul
 from ..abft.providers import (
     AABFTEpsilonProvider,
     ConstantEpsilonProvider,
@@ -284,6 +285,28 @@ class MatmulEngine:
             "Batched execution-mode fallbacks by reason (never silent)",
             ("reason",),
         )
+        self._m_fused_calls = reg.counter(
+            "abft_fused_calls_total",
+            "Protected multiplications executed through the fused "
+            "online-ABFT tile loop",
+        )
+        self._m_fused_tiles = reg.counter(
+            "abft_fused_tiles_checked_total",
+            "Result tiles checked in-loop by the fused online path",
+        )
+        self._m_fused_aborts = reg.counter(
+            "abft_fused_early_aborts_total",
+            "Fused online runs aborted early on a persistently failing tile",
+        )
+        self._m_fused_recomputes = reg.counter(
+            "abft_fused_tile_recomputes_total",
+            "Tile-granular recomputes performed by the fused online path",
+        )
+        self._m_fused_fallbacks = reg.counter(
+            "abft_fused_fallbacks_total",
+            "Never-silent fused-online fallbacks to the separate path",
+            ("reason",),
+        )
         pipe_busy = reg.counter(
             "abft_pipeline_stage_busy_seconds_total",
             "Busy wall seconds accumulated per pipeline stage lane",
@@ -423,6 +446,8 @@ class MatmulEngine:
             pairs.append(pair)
         if policy.backend is not None:
             cfg = cfg.replace(backend=policy.backend)
+        if policy.fusion is not None:
+            cfg = cfg.replace(fusion=policy.fusion)
         if policy.exclude_backends:
             merged = dict.fromkeys(
                 cfg.exclude_backends + policy.exclude_backends
@@ -543,7 +568,18 @@ class MatmulEngine:
         * ``event == "result"`` (``backend=<name>``, ``c_fc=<array>``) —
           fired with the full-checksum GEMM result; mutating ``c_fc`` in
           place emulates a kernel-level fault that the check stage must
-          catch.
+          catch.  (On the fused online path the in-loop per-tile checks
+          have already run by then, so whenever a chaos hook is
+          installed the fused path re-derives the full discrepancy
+          grids after this hook fires — bitwise identical in clean
+          runs — keeping ``result``-site injections detectable.)
+        * ``event == "tile_result"`` (``tile_index=<int>``,
+          ``attempt=<int>``, ``c_tile=<array view>``) — fired by the
+          fused online path after each tile's GEMM (and after each
+          tile recompute, with ``attempt`` incremented); mutating
+          ``c_tile`` in place emulates a fault inside the tile loop that
+          the *in-loop* check must catch — the early-abort /
+          tile-recompute injection site.
 
         This is the seam :mod:`repro.chaos` drives; it exists so system-
         level fault campaigns never need to monkeypatch engine internals.
@@ -588,7 +624,10 @@ class MatmulEngine:
         for metric in (self._m_calls, self._m_batched, self._m_reuses,
                        self._m_detections, self._m_exec_mode,
                        self._m_pipe_batches, self._m_pipe_chunks,
-                       self._m_pipe_fallbacks, self._g_pipe_bubble):
+                       self._m_pipe_fallbacks, self._g_pipe_bubble,
+                       self._m_fused_calls, self._m_fused_tiles,
+                       self._m_fused_aborts, self._m_fused_recomputes,
+                       self._m_fused_fallbacks):
             metric.reset()
         for stage in self.STAGES:
             self._m_stage[stage].reset()
@@ -793,7 +832,9 @@ class MatmulEngine:
             )
         m, n = a_shape
         q = b_shape[1]
-        cfg, selection_fallback = self._negotiate(cfg, m, n, q, dtype)
+        cfg, selection_fallback, fused_fallback = self._negotiate(
+            cfg, m, n, q, dtype
+        )
         plan, _hit = self._plans.get(m, n, q, dtype, cfg)
 
         # --- encode (or reuse) ------------------------------------------
@@ -817,26 +858,77 @@ class MatmulEngine:
             )
         self._add_seconds("encode", time.perf_counter() - t0)
 
-        # --- multiply (dispatched through the plan's compute backend) ----
-        t0 = time.perf_counter()
-        c_fc, used_backend, dispatch_fallback = self._dispatch_gemm(
-            plan, enc_a.array, enc_b.array
-        )
-        self._add_seconds("multiply", time.perf_counter() - t0)
-        # Internally encoded buffers are fully consumed by the multiply and
-        # never referenced by the result (the provider keeps only top-p /
-        # norm arrays), so they recycle.  User-supplied handles are not
-        # touched.
-        if fresh_a is not None:
-            plan.pool.give(fresh_a.array)
-        if fresh_b is not None:
-            plan.pool.give(fresh_b.array)
+        # --- fused online multiply+check (one pass over the tiles) -------
+        fused_ran = False
+        provider = report = c_fc = None
+        used_backend = dispatch_fallback = None
+        if cfg.fusion == "fused":
+            t0 = time.perf_counter()
+            provider = self._make_provider(cfg, plan, enc_a, enc_b)
+            grids = self._provider_grids(provider, plan)
+            grid_seconds = time.perf_counter() - t0  # check-stage work
+            if grids is None:
+                self._m_fused_fallbacks.labels(reason="no_epsilon_grids").inc()
+                fused_fallback = (
+                    "fused online fell back to separate: provider has no "
+                    "epsilon grids (tolerances must exist before the tiles "
+                    "run)"
+                )
+            else:
+                col_eps, row_eps = grids
+                t0 = time.perf_counter()
+                outcome, used_backend, dispatch_fallback = (
+                    self._fused_online_gemm(
+                        plan, cfg, enc_a.array, enc_b.array, col_eps, row_eps
+                    )
+                )
+                # The kernel self-times its in-loop checks; what is left
+                # of the wall time is the multiply.
+                self._add_seconds(
+                    "multiply",
+                    max(0.0, time.perf_counter() - t0 - outcome.check_seconds),
+                )
+                if fresh_a is not None:
+                    plan.pool.give(fresh_a.array)
+                    fresh_a = None
+                if fresh_b is not None:
+                    plan.pool.give(fresh_b.array)
+                    fresh_b = None
+                t0 = time.perf_counter()
+                report = self._fused_report(outcome, col_eps, row_eps, plan)
+                plan.pool.give(col_eps)
+                plan.pool.give(row_eps)
+                self._add_seconds(
+                    "check",
+                    grid_seconds
+                    + outcome.check_seconds
+                    + (time.perf_counter() - t0),
+                )
+                c_fc = outcome.out
+                fused_ran = True
 
-        # --- check -------------------------------------------------------
-        t0 = time.perf_counter()
-        provider = self._make_provider(cfg, plan, enc_a, enc_b)
-        report = self._check(c_fc, plan, provider)
-        self._add_seconds("check", time.perf_counter() - t0)
+        if not fused_ran:
+            # --- multiply (dispatched through the plan's backend) --------
+            t0 = time.perf_counter()
+            c_fc, used_backend, dispatch_fallback = self._dispatch_gemm(
+                plan, enc_a.array, enc_b.array
+            )
+            self._add_seconds("multiply", time.perf_counter() - t0)
+            # Internally encoded buffers are fully consumed by the multiply
+            # and never referenced by the result (the provider keeps only
+            # top-p / norm arrays), so they recycle.  User-supplied handles
+            # are not touched.
+            if fresh_a is not None:
+                plan.pool.give(fresh_a.array)
+            if fresh_b is not None:
+                plan.pool.give(fresh_b.array)
+
+            # --- check ---------------------------------------------------
+            t0 = time.perf_counter()
+            if provider is None:
+                provider = self._make_provider(cfg, plan, enc_a, enc_b)
+            report = self._check(c_fc, plan, provider)
+            self._add_seconds("check", time.perf_counter() - t0)
 
         c = strip_encoding(
             c_fc, plan.row_layout, plan.col_layout, enc_a.padding, enc_b.padding
@@ -853,19 +945,25 @@ class MatmulEngine:
             provider=provider,
             backend=used_backend,
             backend_fallback=selection_fallback or dispatch_fallback,
+            fused=fused_ran,
+            fused_fallback=fused_fallback,
         )
 
     def _negotiate(
         self, cfg: AbftConfig, m: int, n: int, q: int, dtype: np.dtype
-    ) -> tuple[AbftConfig, str | None]:
-        """Resolve ``backend="auto"`` (and the tile) for one call.
+    ) -> tuple[AbftConfig, str | None, str | None]:
+        """Resolve ``backend="auto"`` / ``fusion="auto"`` for one call.
 
-        Returns the *effective* config — carrying a concrete backend and
-        tile, so it keys the plan cache — plus the never-silent fallback
-        text (``None`` when the requested backend was selected).  A
-        rejected candidate (excluded, unknown, unavailable, capability
-        mismatch, non-deterministic under auto) falls back to ``numpy``
-        and is counted in ``abft_backend_fallbacks_total``.
+        Returns the *effective* config — carrying a concrete backend,
+        tile and fusion strategy (``"fused"`` or ``"separate"``, never
+        ``"auto"``), so it keys the plan cache — plus two never-silent
+        fallback texts: the backend-selection fallback (``None`` when the
+        requested backend was selected) and the fusion-negotiation
+        fallback (``None`` when the requested fusion strategy ran).  A
+        rejected backend candidate falls back to ``numpy`` and is counted
+        in ``abft_backend_fallbacks_total``; a rejected fused request
+        falls back to separate and is counted in
+        ``abft_fused_fallbacks_total``.
         """
         selection: BackendSelection = negotiate(
             cfg, m, n, q, dtype,
@@ -881,11 +979,29 @@ class MatmulEngine:
                 f"selection fell back from {selection.fallback_from!r} "
                 f"to 'numpy': {selection.fallback_reason}"
             )
-        if cfg.backend != selection.backend or cfg.gemm_tile != selection.tile:
-            cfg = cfg.replace(
-                backend=selection.backend, gemm_tile=selection.tile
+        fused_fallback_text = None
+        if selection.fusion_fallback_reason is not None:
+            self._m_fused_fallbacks.labels(reason="negotiation").inc()
+            fused_fallback_text = (
+                "fused online fell back to separate: "
+                f"{selection.fusion_fallback_reason}"
             )
-        return cfg, fallback_text
+        fused_tb = (
+            selection.fused_tile_blocks if selection.fusion == "fused" else None
+        )
+        if (
+            cfg.backend != selection.backend
+            or cfg.gemm_tile != selection.tile
+            or cfg.fusion != selection.fusion
+            or cfg.fused_tile_blocks != fused_tb
+        ):
+            cfg = cfg.replace(
+                backend=selection.backend,
+                gemm_tile=selection.tile,
+                fusion=selection.fusion,
+                fused_tile_blocks=fused_tb,
+            )
+        return cfg, fallback_text, fused_fallback_text
 
     def _dispatch_gemm(
         self, plan: ExecutionPlan, a_arr: np.ndarray, b_arr: np.ndarray
@@ -1039,6 +1155,139 @@ class MatmulEngine:
         # findings), so the dense tolerance grids recycle.
         plan.pool.give(col_eps)
         plan.pool.give(row_eps)
+        return report
+
+    def _provider_grids(self, provider, plan: ExecutionPlan):
+        """The provider's dense tolerance grids, or ``None`` without them.
+
+        Factored out of :meth:`_check` because the fused online path needs
+        the grids *before* the multiply runs (the per-tile checks consume
+        them in-loop).  Same contract: ``pool=`` is offered first, with a
+        TypeError fallback for third-party providers predating it.
+        """
+        epsilon_grids = getattr(provider, "epsilon_grids", None)
+        if epsilon_grids is None:
+            return None
+        try:
+            return epsilon_grids(
+                plan.row_layout, plan.col_layout, pool=plan.pool
+            )
+        except TypeError:
+            return epsilon_grids(plan.row_layout, plan.col_layout)
+
+    def _fused_online_gemm(
+        self,
+        plan: ExecutionPlan,
+        cfg: AbftConfig,
+        a_arr: np.ndarray,
+        b_arr: np.ndarray,
+        col_eps: np.ndarray,
+        row_eps: np.ndarray,
+    ) -> tuple[OnlineFusedOutcome, str, str | None]:
+        """Run the fused online multiply+check on the plan's backend.
+
+        Returns ``(outcome, backend_used, fallback_text)``.  Mirrors
+        :meth:`_dispatch_gemm`'s never-silent contract: a dispatch-time
+        failure retries the whole fused call on ``numpy`` with the same
+        tile geometry, counted in ``abft_backend_fallbacks_total``.
+        """
+        name = plan.backend_name
+        self._m_backend_dispatch.labels(backend=name).inc()
+        hook = self._chaos_hook
+        inject_hook = None
+        if hook is not None:
+            def inject_hook(tile_index, attempt, tile_view):
+                hook(
+                    "tile_result",
+                    tile_index=tile_index,
+                    attempt=attempt,
+                    c_tile=tile_view,
+                )
+
+        def run(backend_name: str) -> OnlineFusedOutcome:
+            backend = self._backends.get(backend_name)
+            executor = getattr(backend, "tile_executor", lambda: None)()
+            return online_fused_matmul(
+                a_arr,
+                b_arr,
+                row_layout=plan.row_layout,
+                col_layout=plan.col_layout,
+                col_eps=col_eps,
+                row_eps=row_eps,
+                tile_blocks=cfg.fused_tile_blocks,
+                gemm_tile=plan.tile,
+                pool=plan.pool,
+                executor=executor,
+                inject_hook=inject_hook,
+            )
+
+        fallback_text = None
+        try:
+            if hook is not None:
+                # Chaos seam: a raising hook emulates a backend failure
+                # and rides the real never-silent fallback below.
+                hook("dispatch", backend=name)
+            outcome = run(name)
+        except Exception as exc:
+            if name == "numpy":
+                raise
+            self._m_backend_fallbacks.labels(
+                backend=name, reason="dispatch"
+            ).inc()
+            outcome = run("numpy")
+            name = "numpy"
+            fallback_text = (
+                f"dispatch on {plan.backend_name!r} failed "
+                f"({type(exc).__name__}: {exc}); recomputed on 'numpy'"
+            )
+        self._m_fused_calls.inc()
+        self._m_fused_tiles.inc(outcome.tiles_checked)
+        if outcome.recomputed_tiles:
+            self._m_fused_recomputes.inc(len(outcome.recomputed_tiles))
+        if outcome.early_abort:
+            self._m_fused_aborts.inc()
+        if hook is not None:
+            hook("result", backend=name, c_fc=outcome.out)
+        return outcome, name, fallback_text
+
+    def _fused_report(
+        self,
+        outcome: OnlineFusedOutcome,
+        col_eps: np.ndarray,
+        row_eps: np.ndarray,
+        plan: ExecutionPlan,
+    ) -> CheckReport:
+        """Build the canonical check report from a fused online outcome.
+
+        The clean fast path reuses the kernel's per-tile discrepancy
+        accumulators directly — they are bitwise equal to
+        :func:`~repro.abft.checking.column_discrepancies` /
+        :func:`~repro.abft.checking.row_discrepancies` of the full result.
+        After an early abort (tiles past the failure were never checked)
+        or whenever a chaos hook is installed (the ``result`` hook may
+        have mutated ``c_fc`` after the in-loop checks ran), the full
+        grids are recomputed from the final bytes so the report stays the
+        separate path's canonical oracle.
+        """
+        if outcome.early_abort or self._chaos_hook is not None:
+            col_disc = column_discrepancies(outcome.out, plan.row_layout)
+            row_disc = row_discrepancies(outcome.out, plan.col_layout)
+        else:
+            col_disc = outcome.col_disc
+            row_disc = outcome.row_disc
+        clean = (
+            bool(np.all(col_disc <= col_eps))
+            and bool(np.all(row_disc <= row_eps))
+            and bool(np.all(np.isfinite(col_disc)))
+            and bool(np.all(np.isfinite(row_disc)))
+        )
+        if not clean:
+            return build_report(
+                col_disc, col_eps, row_disc, row_eps,
+                plan.row_layout, plan.col_layout,
+            )
+        report = CheckReport(column_disc=col_disc, row_disc=row_disc)
+        report.num_checks = col_disc.size + row_disc.size
         return report
 
 

@@ -110,7 +110,9 @@ def run_fused(engine, a_items, b_items, cfg) -> list:
         if isinstance(first_b, EncodedOperand)
         else np.asarray(first_b).shape[1]
     )
-    cfg, selection_fallback = engine._negotiate(cfg, m, n, q, dtype)
+    cfg, selection_fallback, fused_fallback = engine._negotiate(
+        cfg, m, n, q, dtype
+    )
     plan, _hit = engine._plans.get(m, n, q, dtype, cfg)
 
     # --- encode (deduplicated; distinct right operands batched) ---------
@@ -119,36 +121,67 @@ def run_fused(engine, a_items, b_items, cfg) -> list:
     enc_b, fresh_b = _resolve_side(engine, b_items, "b", cfg, plan, dtype)
     engine._add_seconds("encode", time.perf_counter() - t0)
 
-    # --- multiply (backend-dispatched per pair: bitwise == single path) --
-    t0 = time.perf_counter()
     c_fcs = []
     backends_used = []
     dispatch_fallbacks = []
-    for ea, eb in zip(enc_a, enc_b):
-        c_fc, used, fallback = engine._dispatch_gemm(plan, ea.array, eb.array)
-        c_fcs.append(c_fc)
-        backends_used.append(used)
-        dispatch_fallbacks.append(fallback)
-    engine._add_seconds("multiply", time.perf_counter() - t0)
-    # Freshly encoded buffers are consumed by the multiplies; results keep
-    # only top-p arrays, so they recycle (user handles are untouched).
-    for enc in fresh_a + fresh_b:
-        plan.pool.give(enc.array)
+    if cfg.fusion == "fused":
+        # --- fused online multiply+check (grids first, then the tile
+        # loops; reports come straight out of the in-loop accumulators) --
+        t0 = time.perf_counter()
+        col_eps, row_eps, grid_backing = _batch_epsilon_grids(
+            enc_a, enc_b, cfg, plan
+        )
+        check_s = time.perf_counter() - t0  # grid build is check work
+        reports = []
+        for ea, eb, ce, re_ in zip(enc_a, enc_b, col_eps, row_eps):
+            outcome, used, fallback = engine._fused_online_gemm(
+                plan, cfg, ea.array, eb.array, ce, re_
+            )
+            t1 = time.perf_counter()
+            reports.append(engine._fused_report(outcome, ce, re_, plan))
+            check_s += outcome.check_seconds + (time.perf_counter() - t1)
+            c_fcs.append(outcome.out)
+            backends_used.append(used)
+            dispatch_fallbacks.append(fallback)
+        for buf in grid_backing:
+            plan.pool.give(buf)
+        for enc in fresh_a + fresh_b:
+            plan.pool.give(enc.array)
+        engine._add_seconds(
+            "multiply", max(0.0, time.perf_counter() - t0 - check_s)
+        )
+        engine._add_seconds("check", check_s)
+    else:
+        # --- multiply (backend-dispatched per pair: bitwise == single) --
+        t0 = time.perf_counter()
+        for ea, eb in zip(enc_a, enc_b):
+            c_fc, used, fallback = engine._dispatch_gemm(
+                plan, ea.array, eb.array
+            )
+            c_fcs.append(c_fc)
+            backends_used.append(used)
+            dispatch_fallbacks.append(fallback)
+        engine._add_seconds("multiply", time.perf_counter() - t0)
+        # Freshly encoded buffers are consumed by the multiplies; results
+        # keep only top-p arrays, so they recycle (user handles are
+        # untouched).
+        for enc in fresh_a + fresh_b:
+            plan.pool.give(enc.array)
 
-    # --- check (tolerance grids batched per distinct pair) --------------
-    t0 = time.perf_counter()
-    col_eps, row_eps, grid_backing = _batch_epsilon_grids(
-        enc_a, enc_b, cfg, plan
-    )
-    reports = [
-        _check_one(c_fc, ce, re_, plan)
-        for c_fc, ce, re_ in zip(c_fcs, col_eps, row_eps)
-    ]
-    # Reports keep only discrepancy arrays; the batched tolerance grids
-    # (the backing stores of the per-pair slices) recycle.
-    for buf in grid_backing:
-        plan.pool.give(buf)
-    engine._add_seconds("check", time.perf_counter() - t0)
+        # --- check (tolerance grids batched per distinct pair) ----------
+        t0 = time.perf_counter()
+        col_eps, row_eps, grid_backing = _batch_epsilon_grids(
+            enc_a, enc_b, cfg, plan
+        )
+        reports = [
+            _check_one(c_fc, ce, re_, plan)
+            for c_fc, ce, re_ in zip(c_fcs, col_eps, row_eps)
+        ]
+        # Reports keep only discrepancy arrays; the batched tolerance
+        # grids (the backing stores of the per-pair slices) recycle.
+        for buf in grid_backing:
+            plan.pool.give(buf)
+        engine._add_seconds("check", time.perf_counter() - t0)
 
     results = []
     for c_fc, ea, eb, report, used, dispatch_fb in zip(
@@ -181,6 +214,8 @@ def run_fused(engine, a_items, b_items, cfg) -> list:
                 provider=provider,
                 backend=used,
                 backend_fallback=selection_fallback or dispatch_fb,
+                fused=cfg.fusion == "fused",
+                fused_fallback=fused_fallback,
             )
         )
     return results

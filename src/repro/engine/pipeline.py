@@ -147,6 +147,8 @@ def plan_schedule(
     stage_costs: StageCosts,
     workers: int,
     policy: ExecutionPolicy,
+    *,
+    fused_online: bool = False,
 ) -> PipelineSchedule:
     """Build the stage-slot schedule for one batch.
 
@@ -157,6 +159,12 @@ def plan_schedule(
     the encode/check side lane, plus per-slot dispatch overhead — beats
     the serial slot order.  A cold engine (no timings yet) stays serial;
     the measurements its first batches produce seed later decisions.
+
+    ``fused_online=True`` models the fused online-ABFT chunk, which
+    collapses multiply+check into one stage slot: the check lane is
+    empty (its cost rides the multiply lane), so the pipeline can only
+    overlap encode prefetch against the fused multiplies and there is no
+    check drain after the last chunk.
     """
     total = sum(group_sizes)
     if policy.chunk_size is not None:
@@ -179,6 +187,10 @@ def plan_schedule(
         stage_costs.check.mean,
     )
     observed = enc > 0.0 and mul > 0.0 and chk > 0.0
+    if fused_online:
+        # The fused chunk runs its checks inside the multiply slot; the
+        # check lane contributes nothing on its own.
+        mul, chk = mul + chk, 0.0
     counts = [count for _gi, count in chunks]
     serial_s = sum((enc + mul + chk) * k for k in counts)
     fill = enc * counts[0] if counts else 0.0
@@ -259,7 +271,10 @@ def run_pipelined(engine, a_items, b_items, cfg, policy) -> list:
         else np.asarray(first_a).shape
     )
     q = np.asarray(first_b).shape[1]
-    cfg, selection_fallback = engine._negotiate(cfg, m, n, q, dtype)
+    cfg, selection_fallback, fused_fallback = engine._negotiate(
+        cfg, m, n, q, dtype
+    )
+    fused_online = cfg.fusion == "fused"
     plan, _hit = engine._plans.get(m, n, q, dtype, cfg)
     busy = {"encode": 0.0, "multiply": 0.0, "check": 0.0}
 
@@ -296,6 +311,7 @@ def run_pipelined(engine, a_items, b_items, cfg, policy) -> list:
         engine._stage_costs(),
         engine._max_workers,
         policy,
+        fused_online=fused_online,
     )
 
     # --- materialise chunk states in schedule order ---------------------
@@ -344,11 +360,18 @@ def run_pipelined(engine, a_items, b_items, cfg, policy) -> list:
             if state.encode_future is not None:
                 _res, elapsed = state.encode_future.result()
                 busy["encode"] += elapsed
+            if fused_online:
+                mul_s, chk_s = _fused_chunk(engine, plan, cfg, state)
+                busy["multiply"] += mul_s
+                busy["check"] += chk_s
+                continue
             _res, elapsed = _timed(
                 "multiply", _multiply_chunk, engine, plan, cfg, state, busy
             )
             busy["multiply"] += elapsed
         else:  # check
+            if fused_online:
+                continue  # fused chunks report inside their multiply slot
             if executor is not None:
                 state.check_future = executor.submit(_check_slot, state)
             else:
@@ -403,6 +426,8 @@ def run_pipelined(engine, a_items, b_items, cfg, policy) -> list:
                 provider=provider,
                 backend=state.backends[j],
                 backend_fallback=selection_fallback or state.fallbacks[j],
+                fused=fused_online,
+                fused_fallback=fused_fallback,
             )
 
     # --- pipeline telemetry: bubble fraction and stage occupancy --------
@@ -434,11 +459,19 @@ def _stacked_verdict(engine, plan, count) -> bool | None:
 
 
 def _encode_chunk(engine, plan, cfg, state: _ChunkState, dtype) -> None:
-    """Encode slot: concatenated fast path or per-item reference path."""
+    """Encode slot: concatenated fast path or per-item reference path.
+
+    Fused-online chunks always take the per-item path: their multiply
+    slot runs one fused tile loop per pair against per-pair tolerance
+    grids, so there is no concatenated GEMM to feed.
+    """
     items = [
         np.asarray(b).astype(dtype, copy=False) for _idx, b in state.items
     ]
-    if _stacked_verdict(engine, plan, len(items)) is False:
+    if (
+        cfg.fusion == "fused"
+        or _stacked_verdict(engine, plan, len(items)) is False
+    ):
         state.encoded = [
             engine._encode_with_plan(item, "b", cfg, plan) for item in items
         ]
@@ -561,6 +594,46 @@ def _probe_chunk(engine, plan, cfg, state: _ChunkState, busy) -> None:
     state.item_tops = [(ref.top_values, ref.top_indices) for ref in ref_enc]
     state.encoded = ref_enc
     plan.pool.give(enc.encoded)
+
+
+def _fused_chunk(engine, plan, cfg, state: _ChunkState) -> tuple[float, float]:
+    """Fused-online chunk: multiply and in-loop check in one stage slot.
+
+    Builds the per-pair tolerance grids (check work — they must exist
+    before the tiles run), walks one fused tile loop per pair, and
+    produces the chunk's reports on the spot; the schedule's check slot
+    for this chunk is a no-op.  Returns the slot's
+    ``(multiply_seconds, check_seconds)`` split — the kernel self-times
+    its in-loop checks, so the split stays honest for the cost model.
+    """
+    ea = state.group.enc_a
+    enc_b = state.encoded
+    t0 = time.perf_counter()
+    col_eps, row_eps, backing = _batch_epsilon_grids(
+        [ea] * len(enc_b), enc_b, cfg, plan
+    )
+    check_s = time.perf_counter() - t0  # grid build is check work
+    state.c_fcs, state.backends, state.fallbacks = [], [], []
+    state.item_tops, state.reports = [], []
+    for eb, ce, re_ in zip(enc_b, col_eps, row_eps):
+        outcome, used, fallback = engine._fused_online_gemm(
+            plan, cfg, ea.array, eb.array, ce, re_
+        )
+        t1 = time.perf_counter()
+        state.reports.append(engine._fused_report(outcome, ce, re_, plan))
+        check_s += outcome.check_seconds + (time.perf_counter() - t1)
+        state.c_fcs.append(outcome.out)
+        state.backends.append(used)
+        state.fallbacks.append(fallback)
+        state.item_tops.append((eb.top_values, eb.top_indices))
+    for buf in backing:
+        plan.pool.give(buf)
+    for eb in enc_b:
+        plan.pool.give(eb.array)
+    mul_s = max(0.0, time.perf_counter() - t0 - check_s)
+    engine._add_seconds("multiply", mul_s)
+    engine._add_seconds("check", check_s)
+    return mul_s, check_s
 
 
 def _check_chunk(engine, plan, cfg, state: _ChunkState) -> None:

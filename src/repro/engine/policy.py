@@ -66,6 +66,10 @@ class ExecutionPolicy:
     max_inflight:
         Upper bound on encode-prefetched chunks the pipelined executor
         keeps in flight ahead of the multiply stage.
+    fusion:
+        Online-ABFT fusion strategy for this batch: ``"fused"``,
+        ``"separate"`` or ``"auto"`` (negotiated).  ``None`` keeps the
+        config's own ``fusion`` knob.
     """
 
     mode: str = "auto"
@@ -74,6 +78,7 @@ class ExecutionPolicy:
     deadline_s: float | None = None
     chunk_size: int | None = None
     max_inflight: int = 3
+    fusion: str | None = None
 
     def __post_init__(self) -> None:
         if self.mode not in EXECUTION_MODES:
@@ -99,6 +104,11 @@ class ExecutionPolicy:
         if self.max_inflight < 1:
             raise ConfigurationError(
                 f"max_inflight must be >= 1, got {self.max_inflight}"
+            )
+        if self.fusion not in (None, "auto", "fused", "separate"):
+            raise ConfigurationError(
+                f"fusion must be None, 'auto', 'fused' or 'separate', got "
+                f"{self.fusion!r}"
             )
 
     def replace(self, **changes) -> "ExecutionPolicy":

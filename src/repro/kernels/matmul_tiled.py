@@ -54,6 +54,10 @@ def plan_tiles(m: int, q: int, tile: int | None) -> list[tuple[int, int, int, in
         return [(0, m, 0, q)]
     if tile < 1:
         raise ValueError(f"tile must be >= 1, got {tile}")
+    if tile >= m and tile >= q:
+        # Fast path: a tile covering the whole result is the full-result
+        # tile — identical to tile=None, skipping the staging machinery.
+        return [(0, m, 0, q)]
     return [
         (i0, min(i0 + tile, m), j0, min(j0 + tile, q))
         for i0 in range(0, m, tile)

@@ -136,3 +136,53 @@ class TestAutotuner:
             Autotuner(cache, repeats=0)
         with pytest.raises(ValueError):
             Autotuner(cache, hysteresis=1.5)
+
+
+class TestFusionTuning:
+    def test_fusion_fields_survive_cache_round_trip(self, tmp_path):
+        path = tmp_path / "autotune.json"
+        cache = AutotuneCache(path)
+        planted = TunedChoice(
+            backend="numpy", tile=None, per_call_s=1.0,
+            baseline_per_call_s=1.0, fusion="fused", fused_tile_blocks=None,
+            fused_per_call_s=0.8, separate_check_s=0.3,
+        )
+        cache.put("k", planted)
+        reloaded = AutotuneCache(path).get("k")
+        assert reloaded == planted
+        assert reloaded.fusion == "fused"
+        assert reloaded.fused_tile_blocks is None
+
+    def test_decision_carries_timed_evidence(self, cache):
+        tuner = Autotuner(cache, repeats=1)
+        choice = tuner.tune(96, 64, 96)
+        assert choice.fusion in ("fused", "separate")
+        assert choice.fused_per_call_s is not None
+        assert choice.separate_check_s is not None
+        if choice.fusion == "fused":
+            # Only where it wins: the fused evidence must beat the
+            # separate GEMM + grid-check total.
+            assert choice.fused_per_call_s < (
+                choice.per_call_s + choice.separate_check_s
+            )
+
+    def test_total_hysteresis_keeps_separate(self, cache):
+        tuner = Autotuner(cache, repeats=1, hysteresis=0.999)
+        choice = tuner.tune(96, 64, 96)
+        assert choice.fusion == "separate"
+        assert choice.fused_tile_blocks is None
+
+    def test_candidate_tile_blocks_subdivide_the_encoded_result(self, cache):
+        tuner = Autotuner(cache, repeats=1)
+        blocks = tuner.candidate_tile_blocks(256, 256, 64)
+        assert blocks == [2]  # 2*65 < 260; 4*65 does not subdivide
+        assert tuner.candidate_tile_blocks(64, 64, 64) == []
+
+    def test_fusion_decisions_are_counted(self, cache):
+        registry = MetricsRegistry()
+        tuner = Autotuner(cache, repeats=1, metrics_registry=registry)
+        tuner.tune(96, 64, 96)
+        snap = registry.snapshot()["abft_fused_autotune_total"]
+        decided = {v["labels"]["decision"]: v["value"] for v in snap["values"]}
+        assert sum(decided.values()) == 1.0
+        assert set(decided) <= {"fused", "separate", "unsupported"}

@@ -1,0 +1,45 @@
+"""The blocked backend's determinism self-check re-arms on pool resize.
+
+The cached verdict describes one executor configuration; resizing
+``max_workers`` must tear down the pool and clear the verdict so the next
+``availability()`` call probes the new configuration instead of trusting
+a stale one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends.blocked import BlockedBackend
+
+
+class TestSelfCheckRearm:
+    def test_resize_clears_the_cached_verdict_and_reprobes(self):
+        backend = BlockedBackend(max_workers=2)
+        ok, reason = backend.availability()
+        assert ok and reason is None
+        assert backend._self_check is not None
+        backend.max_workers = 3
+        assert backend._self_check is None  # re-armed
+        ok, reason = backend.availability()
+        assert ok and reason is None
+
+    def test_same_value_keeps_the_verdict(self):
+        backend = BlockedBackend(max_workers=2)
+        backend.availability()
+        sentinel = backend._self_check
+        backend.max_workers = 2
+        assert backend._self_check is sentinel
+
+    def test_resize_tears_down_the_executor(self):
+        backend = BlockedBackend(max_workers=2)
+        backend.availability()
+        assert backend._executor is not None
+        backend.max_workers = 4
+        assert backend._executor is None
+        assert backend.max_workers == 4
+
+    def test_invalid_resize_rejected(self):
+        backend = BlockedBackend(max_workers=2)
+        with pytest.raises(ValueError):
+            backend.max_workers = 0

@@ -40,6 +40,10 @@ class TestPlanTiles:
     def test_oversized_tile_degenerates_to_full(self):
         assert plan_tiles(5, 5, 100) == [(0, 5, 0, 5)]
 
+    def test_oversized_tile_matches_only_one_long_axis(self):
+        # tile covers the rows but not the columns: still a real grid.
+        assert plan_tiles(5, 12, 8) == [(0, 5, 0, 8), (0, 5, 8, 12)]
+
     def test_row_major_order_is_canonical(self):
         tiles = plan_tiles(8, 8, 4)
         assert tiles == [(0, 4, 0, 4), (0, 4, 4, 8), (4, 8, 0, 4), (4, 8, 4, 8)]
@@ -53,6 +57,21 @@ class TestTiledMatmul:
     def test_single_tile_equals_blas_call(self):
         a, b = operands()
         assert tiled_matmul(a, b).tobytes() == (a @ b).tobytes()
+
+    def test_oversized_tile_is_bitwise_the_full_call_and_skips_staging(self):
+        # The plan_tiles fast path: a tile covering the whole result must
+        # behave exactly like tile=None — one BLAS call, no staging
+        # buffers taken from the pool.
+        class PoisonPool:
+            def take(self, shape, dtype=None):
+                raise AssertionError("fast path must not stage tiles")
+
+            def give(self, buffer):
+                raise AssertionError("fast path must not stage tiles")
+
+        a, b = operands()
+        result = tiled_matmul(a, b, tile=10_000, pool=PoisonPool())
+        assert result.tobytes() == tiled_matmul(a, b, tile=None).tobytes()
 
     @pytest.mark.parametrize("tile", [16, 33, 64, 200])
     def test_serial_parallel_and_staged_agree_bitwise(self, tile):

@@ -10,6 +10,7 @@ from repro.cigate import (
     DEFAULT_COVERAGE_FLOOR,
     coverage_gate,
     default_gate_backends,
+    fused_coverage_gate,
     pipeline_coverage_gate,
     run_ci_gate,
     throughput_gate,
@@ -137,6 +138,40 @@ class TestPipelineCoverageGate:
         assert gauges.labels(quantity="critical_errors").get() > 0
 
 
+class TestFusedCoverageGate:
+    def test_passes_at_default_floor(self):
+        reg = MetricsRegistry()
+        result = fused_coverage_gate(n=128, num_injections=40, registry=reg)
+        assert result.passed
+        assert result.gate == "fused-coverage"
+        assert result.measured >= DEFAULT_COVERAGE_FLOOR
+        assert result.describe().startswith("[PASS] fused-coverage:")
+
+    def test_fails_when_floor_is_unreachable(self):
+        result = fused_coverage_gate(
+            floor=1.01, n=128, num_injections=40, registry=MetricsRegistry()
+        )
+        assert not result.passed
+        assert result.threshold == 1.01
+
+    def test_publishes_gauges_including_early_abort_proof(self):
+        reg = MetricsRegistry()
+        result = fused_coverage_gate(n=128, num_injections=40, registry=reg)
+        gauges = reg.gauge(
+            "abft_ci_gate_fused_coverage", labelnames=("quantity",)
+        )
+        assert gauges.labels(quantity="detection_rate").get() == result.measured
+        assert gauges.labels(quantity="baseline_clean").get() == 1.0
+        assert gauges.labels(quantity="fused_ran").get() == 1.0
+        assert gauges.labels(quantity="critical_errors").get() > 0
+        # Every detection must have been an early abort (proven by the
+        # tile scan stopping before the last tile), so the abort rate
+        # equals the detection rate exactly.
+        assert (
+            gauges.labels(quantity="early_abort_rate").get() == result.measured
+        )
+
+
 class TestThroughputGate:
     def test_passes_against_committed_baseline(self):
         # BENCH_engine.json at the repo root is the real CI contract.
@@ -183,7 +218,7 @@ class TestRunCiGate:
         expected = [
             "coverage" if b == "numpy" else f"coverage[{b}]"
             for b in default_gate_backends()
-        ] + ["pipeline-coverage", "throughput"]
+        ] + ["pipeline-coverage", "fused-coverage", "throughput"]
         assert [r.gate for r in results] == expected
         assert "chaos-slo" not in [r.gate for r in results]
         assert all(r.passed for r in results)
@@ -205,6 +240,7 @@ class TestRunCiGate:
             "coverage",
             "coverage[blocked]",
             "pipeline-coverage",
+            "fused-coverage",
             "throughput",
         ]
 
@@ -243,6 +279,7 @@ class TestCliCommand:
         out = capsys.readouterr().out
         assert "[PASS] coverage:" in out
         assert "[PASS] pipeline-coverage:" in out
+        assert "[PASS] fused-coverage:" in out
         assert "[PASS] throughput:" in out
         assert "[PASS] chaos-slo:" in out
         assert "all gates passed" in out
@@ -265,6 +302,7 @@ class TestCliCommand:
         span_paths = [ev["path"] for ev in lines if ev["type"] == "span"]
         assert "ci_gate.coverage" in span_paths
         assert "ci_gate.pipeline_coverage" in span_paths
+        assert "ci_gate.fused_coverage" in span_paths
         assert "ci_gate.throughput" in span_paths
         snapshots = [ev for ev in lines if ev["type"] == "snapshot"]
         assert len(snapshots) == 1
