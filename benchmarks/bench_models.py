@@ -1,0 +1,117 @@
+"""Model-workload benchmark: planner-mixed vs all-full vs unchecked ABFT.
+
+The acceptance benchmark for per-layer protection planning: a 6-layer MLP
+is executed through :class:`repro.models.ModelRunner` three times — under
+the intensity-mixed :class:`repro.models.ProtectionPlanner` plan, under an
+all-full-A-ABFT plan, and fully unchecked — and the committed
+``BENCH_models.json`` records that the mixed plan is measurably faster
+than all-full while still meeting its end-to-end coverage target.
+
+Run directly (rewrites the committed baseline)::
+
+    PYTHONPATH=src python benchmarks/bench_models.py
+
+CI runs the smoke variant, which never rewrites the baseline — it loads
+it and fails when the mixed-plan pass time regresses past the tolerance,
+or when the mixed plan is no longer faster than all-full::
+
+    PYTHONPATH=src python benchmarks/bench_models.py \
+        --quick --compare --tolerance 0.50
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.models.bench import (
+    QUICK_REPEATS,
+    REPEATS,
+    compare_to_baseline,
+    run_model_benchmark,
+)
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_models.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="Model-workload benchmark (mixed vs all-full vs unchecked)"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"reduced scale: {QUICK_REPEATS} repeats instead of {REPEATS}",
+    )
+    parser.add_argument(
+        "--compare",
+        action="store_true",
+        help="smoke mode: compare against the committed baseline instead of "
+        "rewriting it; exits 1 on regression past --tolerance",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help="baseline JSON for --compare (default: repo BENCH_models.json)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.50,
+        help="allowed mixed-plan pass slowdown vs the baseline (default 0.50)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    repeats = QUICK_REPEATS if args.quick else REPEATS
+
+    payload = run_model_benchmark(repeats=repeats)
+    model = payload["model"]
+    print(
+        f"{repeats} x forward pass, {model['name']} "
+        f"({len(model['layers'])} layers, batch={model['batch']})"
+    )
+    print(f"  mixed plan    : {payload['mixed_seconds'] * 1e3:8.2f} ms/pass "
+          f"(coverage {payload['coverage']['mixed']:.2%})")
+    print(f"  all-full plan : {payload['full_seconds'] * 1e3:8.2f} ms/pass")
+    print(f"  unchecked     : {payload['unchecked_seconds'] * 1e3:8.2f} ms/pass")
+    print(f"  mixed/full latency ratio: {payload['mixed_vs_full_ratio']:.2f}")
+
+    if args.compare:
+        if not args.baseline.exists():
+            print(f"FAIL: baseline {args.baseline} not found", file=sys.stderr)
+            return 1
+        baseline = json.loads(args.baseline.read_text())
+        passed, detail = compare_to_baseline(payload, baseline, args.tolerance)
+        print(f"  {detail}")
+        if not passed:
+            print("FAIL: model benchmark regressed", file=sys.stderr)
+            return 1
+        print("  model benchmark within tolerance")
+        return 0
+
+    if payload["mixed_vs_full_ratio"] >= 1.0:
+        print(
+            "FAIL: mixed plan not faster than all-full protection",
+            file=sys.stderr,
+        )
+        return 1
+    if payload["coverage"]["mixed"] < payload["coverage"]["target"]:
+        print("FAIL: mixed plan misses its coverage target", file=sys.stderr)
+        return 1
+
+    DEFAULT_BASELINE.write_text(json.dumps(payload, indent=2) + "\n")
+    print(
+        f"  mixed plan {1 - payload['mixed_vs_full_ratio']:.0%} faster than "
+        f"all-full -> {DEFAULT_BASELINE.name}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

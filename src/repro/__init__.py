@@ -39,6 +39,9 @@ Package map (see DESIGN.md for the full inventory):
   consistent-hash plan routing, shared-memory operand transport and
   worker supervision (``aabft cluster serve`` / ``aabft loadgen
   --cluster``)
+- :mod:`repro.models` — chained-GEMM model-inference workloads with
+  arithmetic-intensity-planned per-layer protection and mixed-precision
+  (fp16/bf16) adaptive bounds (``aabft model plan|run|bench``)
 """
 
 from .abft import (
@@ -120,10 +123,22 @@ from .faults import (
     FaultSpec,
 )
 from .gpusim import K20C, DeviceSpec, GpuSimulator
+from .models import (
+    LayerSpec,
+    ModelCampaign,
+    ModelPlan,
+    ModelRunner,
+    ModelSpec,
+    ProtectionPlanner,
+    attention,
+    mlp,
+)
 from .serve import (
     MatmulRequest,
     MatmulResponse,
     MatmulServer,
+    ModelRequest,
+    ModelResponse,
     ServeConfig,
     VerificationStatus,
     run_loadgen,
@@ -183,11 +198,19 @@ __all__ = [
     "JsonLinesSink",
     "K20C",
     "KernelLaunchError",
+    "LayerSpec",
     "MatmulEngine",
     "MatmulRequest",
     "MatmulResponse",
     "MatmulServer",
     "MetricsRegistry",
+    "ModelCampaign",
+    "ModelPlan",
+    "ModelRequest",
+    "ModelResponse",
+    "ModelRunner",
+    "ModelSpec",
+    "ProtectionPlanner",
     "NULL_REGISTRY",
     "PrometheusTextSink",
     "PipelineResult",
@@ -205,6 +228,8 @@ __all__ = [
     "VerificationStatus",
     "ErrorMap",
     "aabft_matmul",
+    "attention",
+    "mlp",
     "correct_single_error",
     "default_engine",
     "default_quick_suite",

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..bounds.adaptive import AdaptiveBound, adaptive_epsilon_array
 from ..bounds.base import BoundContext, BoundScheme
 from ..bounds.sea import SEABound, sea_epsilon_array
 from ..bounds.upper_bound import TopP, determine_upper_bound, upper_bound_grid_arrays
@@ -21,6 +22,7 @@ __all__ = [
     "ConstantEpsilonProvider",
     "AABFTEpsilonProvider",
     "SEAEpsilonProvider",
+    "AdaptiveEpsilonProvider",
 ]
 
 
@@ -388,5 +390,72 @@ class SEAEpsilonProvider:
                 ),
                 b_norms=self.a_row_norms,
                 t=t,
+            )
+        return col_eps, row_eps
+
+
+class AdaptiveEpsilonProvider(SEAEpsilonProvider):
+    """Variance-adaptive tolerances for low-precision storage (V-ABFT).
+
+    Owns the same encoded-vector norms as :class:`SEAEpsilonProvider` and
+    produces the SEA compute-dtype tolerance *plus* the per-block
+    quantisation term of :class:`~repro.bounds.adaptive.AdaptiveBound`.
+    The scalar methods are inherited — they delegate to the bound scheme,
+    which reads the same context fields — so only the dense grid path is
+    specialised here.
+    """
+
+    def epsilon_grids(
+        self,
+        row_layout: PartitionedLayout,
+        col_layout: PartitionedLayout,
+        *,
+        pool=None,
+    ) -> tuple[np.ndarray, np.ndarray] | None:
+        """Dense tolerance grids, vectorised (the engine's fast check path).
+
+        Bitwise equal to looping the scalar methods; ``None`` when the
+        bound scheme is not the plain
+        :class:`~repro.bounds.adaptive.AdaptiveBound`.
+        """
+        if type(self.scheme) is not AdaptiveBound:
+            return None
+        t = self.scheme.fmt.t
+        u_s = self.scheme.storage_fmt.unit_roundoff
+        k = self.scheme.effective_k
+        n = self.inner_dim
+        col_shape = (self.row_layout.num_blocks, self.col_layout.encoded_rows)
+        col_eps = np.empty(col_shape) if pool is None else pool.take(col_shape)
+        m = self.row_layout.block_size
+        for blk in range(self.row_layout.num_blocks):
+            data_norms = self.a_row_norms[self.row_layout.data_indices(blk)]
+            col_eps[blk, :] = adaptive_epsilon_array(
+                n=n,
+                m=m,
+                data_norm_sum=float(data_norms.sum()),
+                checksum_row_norm=float(
+                    self.a_row_norms[self.row_layout.checksum_index(blk)]
+                ),
+                b_norms=self.b_col_norms,
+                t_compute=t,
+                u_storage=u_s,
+                k=k,
+            )
+        row_shape = (self.row_layout.encoded_rows, self.col_layout.num_blocks)
+        row_eps = np.empty(row_shape) if pool is None else pool.take(row_shape)
+        m_t = self.col_layout.block_size
+        for blk in range(self.col_layout.num_blocks):
+            data_norms = self.b_col_norms[self.col_layout.data_indices(blk)]
+            row_eps[:, blk] = adaptive_epsilon_array(
+                n=n,
+                m=m_t,
+                data_norm_sum=float(data_norms.sum()),
+                checksum_row_norm=float(
+                    self.b_col_norms[self.col_layout.checksum_index(blk)]
+                ),
+                b_norms=self.a_row_norms,
+                t_compute=t,
+                u_storage=u_s,
+                k=k,
             )
         return col_eps, row_eps

@@ -22,6 +22,14 @@ It runs two gates and exits nonzero when either fails:
   ``abft_fused_early_aborts_total`` increment and an in-loop
   tiles-checked count strictly below the tile total — evidence the
   corrupted tile was flagged before the remaining tiles were checked;
+* **model-coverage** — named-layer fault campaigns over the
+  :mod:`repro.models` workloads (a mixed-plan float32 MLP and a float16
+  attention block) must detect at least ``coverage_floor`` of the faults
+  injected into *protected* layers, fault-free passes — including every
+  float16 layer under the variance-adaptive tolerance — must report zero
+  false positives, and the planner-mixed plan must run the model
+  measurably faster than protecting every layer with full A-ABFT
+  (otherwise per-layer planning buys nothing);
 * **throughput** — a warm plan-cached :class:`~repro.engine.MatmulEngine`
   micro-benchmark must stay within ``throughput_tolerance`` of the
   committed per-call baseline in ``BENCH_engine.json``;
@@ -57,6 +65,7 @@ __all__ = [
     "coverage_gate",
     "default_gate_backends",
     "fused_coverage_gate",
+    "model_coverage_gate",
     "pipeline_coverage_gate",
     "throughput_gate",
     "chaos_slo_gate",
@@ -470,6 +479,132 @@ def fused_coverage_gate(
     )
 
 
+def model_coverage_gate(
+    *,
+    floor: float = DEFAULT_COVERAGE_FLOOR,
+    quick: bool = True,
+    seed: int = 2014,
+    trials_per_layer: int | None = None,
+    clean_trials: int | None = None,
+    latency_repeats: int | None = None,
+    registry: MetricsRegistry | None = None,
+) -> GateResult:
+    """Gate the model workloads' per-layer detection, false positives and
+    the planner's latency advantage.
+
+    Three checks, all of which must hold:
+
+    * faults injected at named *protected* layers of a mixed-plan float32
+      MLP and a float16 attention block are detected at ``floor``
+      (unchecked layers are an explicit planner-accepted hole, accounted
+      separately, never averaged in);
+    * every fault-free pass is clean — for the float16 model this pins
+      the variance-adaptive tolerance's zero-false-positive calibration;
+    * the planner-mixed plan runs the MLP measurably faster (median over
+      ``latency_repeats`` warm passes) than an all-full-A-ABFT plan of
+      the same model — the roofline argument the planner exists for.
+    """
+    from .engine import AbftConfig, MatmulEngine
+    from .models import ModelCampaign, ModelRunner, ProtectionPlanner, attention, mlp
+
+    reg = registry if registry is not None else get_registry()
+    if trials_per_layer is None:
+        trials_per_layer = 6 if quick else 16
+    if clean_trials is None:
+        clean_trials = 3 if quick else 8
+    if latency_repeats is None:
+        latency_repeats = 7 if quick else 15
+
+    cfg = AbftConfig(block_size=32, p=2)
+    model32 = mlp(
+        name="gate-mlp", batch=96, d_in=192, hidden=384, depth=6, d_out=48
+    )
+    model16 = attention(
+        name="gate-attn16", batch=64, d_model=128, dtype="float16"
+    )
+    # ``floor`` is the *detection-rate* threshold and may deliberately be
+    # set unreachable (> 1) to exercise the failure path; the planner's
+    # flop-coverage target is a fraction by definition, so clamp it.
+    planner = ProtectionPlanner(
+        cfg, coverage_target=min(max(floor, 0.0), 1.0)
+    )
+    full_planner = ProtectionPlanner(
+        cfg, coverage_target=1.0, full_intensity=0.0, sea_intensity=0.0
+    )
+
+    with span(
+        "ci_gate.model_coverage",
+        registry=reg,
+        trials_per_layer=trials_per_layer,
+    ):
+        with MatmulEngine(cfg) as engine:
+            runner = ModelRunner(engine, registry=reg)
+            campaign = ModelCampaign(
+                runner,
+                trials_per_layer=trials_per_layer,
+                clean_trials=clean_trials,
+                seed=seed,
+            )
+            plan32 = planner.plan(model32)
+            plan16 = planner.plan(model16)
+            res32 = campaign.run(model32, plan32)
+            res16 = campaign.run(model16, plan16)
+
+            # Latency: planner-mixed vs all-full on the same warm engine.
+            full32 = full_planner.plan(model32)
+            runner.run(model32, plan32)  # warm plan caches for both plans
+            runner.run(model32, full32)
+            mixed_times, full_times = [], []
+            for _ in range(latency_repeats):
+                mixed_times.append(runner.run(model32, plan32).seconds)
+                full_times.append(runner.run(model32, full32).seconds)
+            mixed_s = float(np.median(mixed_times))
+            full_s = float(np.median(full_times))
+
+    protected_trials = res32.protected_trials + res16.protected_trials
+    protected_detected = res32.protected_detected + res16.protected_detected
+    rate = protected_detected / protected_trials if protected_trials else 0.0
+    false_positives = res32.false_positives + res16.false_positives
+    clean_runs = res32.clean_trials + res16.clean_trials
+    latency_ratio = mixed_s / full_s if full_s else math.inf
+    mixed_faster = mixed_s < full_s and plan32.mixed
+
+    gauges = reg.gauge(
+        "abft_ci_gate_model_coverage",
+        "Model-coverage-gate measurements of the last ci-gate run",
+        ("quantity",),
+    )
+    gauges.labels(quantity="detection_rate").set(rate)
+    gauges.labels(quantity="protected_trials").set(protected_trials)
+    gauges.labels(quantity="floor").set(floor)
+    gauges.labels(quantity="false_positives").set(false_positives)
+    gauges.labels(quantity="clean_runs").set(clean_runs)
+    gauges.labels(quantity="latency_ratio").set(latency_ratio)
+    gauges.labels(quantity="mixed_seconds").set(mixed_s)
+    gauges.labels(quantity="full_seconds").set(full_s)
+    gauges.labels(quantity="plan_coverage").set(plan32.coverage)
+
+    passed = (
+        protected_trials > 0
+        and rate >= floor
+        and false_positives == 0
+        and clean_runs > 0
+        and mixed_faster
+    )
+    detail = (
+        f"protected layers detected {rate:.1%} of {protected_trials} "
+        f"injected faults (floor {floor:.1%}; fp32 MLP + fp16 attention), "
+        f"{false_positives} false positives over {clean_runs} clean passes, "
+        f"mixed/full latency {latency_ratio:.2f} "
+        f"({mixed_s * 1e3:.1f} vs {full_s * 1e3:.1f} ms"
+        f"{'' if plan32.mixed else ', plan NOT mixed'})"
+    )
+    return GateResult(
+        gate="model-coverage", passed=passed, measured=rate,
+        threshold=floor, detail=detail,
+    )
+
+
 def throughput_gate(
     *,
     tolerance: float = DEFAULT_THROUGHPUT_TOLERANCE,
@@ -693,6 +828,14 @@ def run_ci_gate(
     )
     results.append(
         fused_coverage_gate(
+            floor=coverage_floor,
+            quick=quick,
+            seed=seed,
+            registry=reg,
+        )
+    )
+    results.append(
+        model_coverage_gate(
             floor=coverage_floor,
             quick=quick,
             seed=seed,

@@ -15,6 +15,9 @@ Commands
                             (``--cluster`` drives a worker-process cluster)
 ``aabft chaos run``       — chaos recipes against a live server, SLO verdict
 ``aabft bench``           — serve/engine throughput benchmarks
+``aabft model plan``      — per-layer protection plan for a model workload
+``aabft model run``       — execute a model through the protected engine
+``aabft model bench``     — mixed-vs-full-vs-unchecked model benchmark
 ``aabft backends``        — registered compute backends + availability
 ``aabft autotune``        — time backend/tile candidates, cache the winners
 
@@ -341,6 +344,149 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="serve bench: measure only this execution policy (default: "
         "fused AND pipelined, pipelined primary)",
+    )
+
+    model = sub.add_parser(
+        "model",
+        help="chained-GEMM model workloads with adaptive per-layer ABFT",
+    )
+    model_sub = model.add_subparsers(dest="model_command", required=True)
+
+    def _add_model_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--spec",
+            metavar="PATH",
+            default=None,
+            help="ModelSpec JSON file; overrides the builder flags below",
+        )
+        p.add_argument(
+            "--model",
+            choices=("mlp", "attention"),
+            default="mlp",
+            help="built-in model shape (default: mlp)",
+        )
+        p.add_argument("--batch", type=int, default=64, help="batch size")
+        p.add_argument(
+            "--d-in", type=int, default=256, help="mlp: input feature width"
+        )
+        p.add_argument(
+            "--hidden", type=int, default=512, help="mlp: hidden width"
+        )
+        p.add_argument(
+            "--depth", type=int, default=4, help="mlp: number of layers"
+        )
+        p.add_argument(
+            "--d-out",
+            type=int,
+            default=None,
+            help="mlp: output width (default: hidden)",
+        )
+        p.add_argument(
+            "--d-model", type=int, default=256, help="attention: model width"
+        )
+        p.add_argument(
+            "--d-ff",
+            type=int,
+            default=None,
+            help="attention: feed-forward width (default: 4*d_model)",
+        )
+        p.add_argument(
+            "--dtype",
+            choices=("float64", "float32", "float16", "bfloat16"),
+            default="float32",
+            help="per-layer storage dtype (fp16/bf16 use the adaptive bound)",
+        )
+        p.add_argument(
+            "--activation",
+            choices=("none", "relu", "gelu"),
+            default="relu",
+            help="mlp: hidden-layer activation stub (default: relu)",
+        )
+        p.add_argument(
+            "--block-size", type=int, default=32, help="checksum block size"
+        )
+        p.add_argument("--p", type=int, default=2, help="top-p parameter")
+        p.add_argument(
+            "--coverage-target",
+            type=float,
+            default=0.85,
+            help="minimum protected-flops fraction the plan must reach",
+        )
+        p.add_argument(
+            "--full-intensity",
+            type=float,
+            default=48.0,
+            help="flops/byte at or above which a layer gets full A-ABFT",
+        )
+        p.add_argument(
+            "--sea-intensity",
+            type=float,
+            default=16.0,
+            help="flops/byte at or above which a layer gets the SEA check",
+        )
+
+    mplan = model_sub.add_parser(
+        "plan", help="print the planner's per-layer protection decisions"
+    )
+    _add_model_args(mplan)
+    mplan.add_argument(
+        "--json", action="store_true", help="emit the plan as JSON"
+    )
+
+    mrun = model_sub.add_parser(
+        "run", help="execute the model through the protected engine"
+    )
+    _add_model_args(mrun)
+    mrun.add_argument(
+        "--verify-results",
+        action="store_true",
+        help="compare the output against an unprotected reference pass; "
+        "exits 1 on mismatch",
+    )
+    mrun.add_argument(
+        "--inject-layer",
+        metavar="NAME",
+        default=None,
+        help="flip one bit in the named layer's result (fault campaign); "
+        "exits 1 when the fault lands on a protected layer undetected",
+    )
+    mrun.add_argument(
+        "--inject-row", type=int, default=0, help="injected element row"
+    )
+    mrun.add_argument(
+        "--inject-col", type=int, default=0, help="injected element column"
+    )
+    mrun.add_argument(
+        "--inject-field",
+        choices=("mantissa", "exponent", "sign"),
+        default="exponent",
+        help="bit field to flip (default: exponent)",
+    )
+
+    mbench = model_sub.add_parser(
+        "bench",
+        help="mixed-vs-full-vs-unchecked benchmark (BENCH_models.json)",
+    )
+    mbench.add_argument(
+        "--quick", action="store_true", help="reduced repeat count"
+    )
+    mbench.add_argument(
+        "--compare",
+        action="store_true",
+        help="smoke mode: compare against the committed baseline instead of "
+        "rewriting it; exits 1 on a regression past --tolerance",
+    )
+    mbench.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help="baseline JSON for --compare (default: repo BENCH_models.json)",
+    )
+    mbench.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.50,
+        help="allowed mixed-plan slowdown vs the baseline (default 0.50)",
     )
 
     backends = sub.add_parser(
@@ -879,6 +1025,162 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return code
 
 
+def _model_from_args(args: argparse.Namespace):
+    from pathlib import Path
+
+    from .models import ModelSpec, attention, mlp
+
+    if args.spec is not None:
+        return ModelSpec.from_json(Path(args.spec).read_text())
+    if args.model == "attention":
+        return attention(
+            batch=args.batch,
+            d_model=args.d_model,
+            d_ff=args.d_ff,
+            dtype=args.dtype,
+        )
+    return mlp(
+        batch=args.batch,
+        d_in=args.d_in,
+        hidden=args.hidden,
+        depth=args.depth,
+        d_out=args.d_out,
+        dtype=args.dtype,
+        activation=args.activation,
+    )
+
+
+def _model_planner_from_args(args: argparse.Namespace):
+    from .engine import AbftConfig
+    from .models import ProtectionPlanner
+
+    config = AbftConfig(block_size=args.block_size, p=args.p)
+    planner = ProtectionPlanner(
+        config,
+        coverage_target=args.coverage_target,
+        full_intensity=args.full_intensity,
+        sea_intensity=args.sea_intensity,
+    )
+    return config, planner
+
+
+def _cmd_model(args: argparse.Namespace) -> int:
+    import json
+
+    if args.model_command == "bench":
+        from pathlib import Path
+
+        from .models.bench import (
+            QUICK_REPEATS,
+            REPEATS,
+            compare_to_baseline,
+            default_baseline_path,
+            run_model_benchmark,
+        )
+
+        payload = run_model_benchmark(
+            repeats=QUICK_REPEATS if args.quick else REPEATS, seed=args.seed
+        )
+        print(
+            f"model bench: {payload['model']['name']} "
+            f"({len(payload['model']['layers'])} layers, "
+            f"batch={payload['model']['batch']}, "
+            f"{payload['repeats']} repeats)"
+        )
+        print(f"  mixed plan    : {payload['mixed_seconds'] * 1e3:8.2f} ms/pass "
+              f"(coverage {payload['coverage']['mixed']:.2%})")
+        print(f"  all-full plan : {payload['full_seconds'] * 1e3:8.2f} ms/pass")
+        print(f"  unchecked     : "
+              f"{payload['unchecked_seconds'] * 1e3:8.2f} ms/pass")
+        print(f"  mixed/full latency ratio: "
+              f"{payload['mixed_vs_full_ratio']:.2f}")
+        if args.compare:
+            path = (
+                Path(args.baseline)
+                if args.baseline is not None
+                else default_baseline_path()
+            )
+            if not path.exists():
+                print(f"FAIL: baseline {path} not found", file=sys.stderr)
+                return 1
+            passed, detail = compare_to_baseline(
+                payload, json.loads(path.read_text()), args.tolerance
+            )
+            print(f"  {detail}")
+            if not passed:
+                print("FAIL: model benchmark regressed", file=sys.stderr)
+                return 1
+            return 0
+        out = Path.cwd() / "BENCH_models.json"
+        out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"  baseline written -> {out}")
+        return 0
+
+    model = _model_from_args(args)
+    config, planner = _model_planner_from_args(args)
+    plan = planner.plan(model)
+
+    if args.model_command == "plan":
+        if args.json:
+            print(json.dumps(plan.to_dict(), indent=2))
+        else:
+            print(plan.describe())
+        if not plan.meets_target:
+            print(
+                f"FAIL: coverage {plan.coverage:.2%} below the "
+                f"{plan.coverage_target:.2%} target",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+
+    # model run
+    from .engine import MatmulEngine
+    from .models import ModelInjection, ModelRunner
+    from .telemetry import get_registry
+
+    inject = None
+    if args.inject_layer is not None:
+        inject = ModelInjection(
+            layer=args.inject_layer,
+            row=args.inject_row,
+            col=args.inject_col,
+            fault_field=args.inject_field,
+        )
+    registry = get_registry()
+    with MatmulEngine(config, registry=registry) as engine:
+        runner = ModelRunner(engine, registry=registry)
+        result = runner.run(
+            model,
+            plan,
+            seed=args.seed,
+            inject=inject,
+            verify=args.verify_results,
+        )
+
+    code = 0
+    summary = result.to_dict()
+    summary["plan_coverage"] = round(plan.coverage, 6)
+    print(json.dumps(summary, indent=2))
+    if args.verify_results and not result.verified:
+        print(
+            f"FAIL: output diverged from the reference pass "
+            f"(max |diff| = {result.max_abs_diff:.3e})",
+            file=sys.stderr,
+        )
+        code = 1
+    if inject is not None:
+        run = result.layer_run(inject.layer)
+        if run.protected and not run.detected:
+            print(
+                f"FAIL: injected fault in protected layer "
+                f"{inject.layer!r} went undetected",
+                file=sys.stderr,
+            )
+            code = 1
+    return code
+
+
 def _cmd_backends(args: argparse.Namespace) -> int:
     from .backends import default_registry
 
@@ -1000,6 +1302,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_chaos(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "model":
+        return _cmd_model(args)
     if args.command == "backends":
         return _cmd_backends(args)
     if args.command == "autotune":

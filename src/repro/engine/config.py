@@ -14,11 +14,22 @@ from dataclasses import dataclass, replace
 
 from ..bounds.fixed import FixedBound
 from ..errors import ConfigurationError
+from ..fp.constants import (
+    LOW_PRECISION_NAMES,
+    format_for_name,
+    supported_storage_dtypes,
+)
 
-__all__ = ["AbftConfig", "SCHEMES"]
+__all__ = ["AbftConfig", "SCHEMES", "DTYPE_NAMES"]
 
-#: The bound schemes a config may select (paper Table I rows).
-SCHEMES = ("aabft", "sea", "fixed")
+#: The bound schemes a config may select (paper Table I rows, plus the
+#: V-ABFT-style variance-adaptive scheme for low-precision storage).
+SCHEMES = ("aabft", "sea", "fixed", "adaptive")
+
+#: Operand storage dtypes a config may name.  ``bfloat16`` is listed so
+#: the error for a build without ``ml_dtypes`` names the real problem
+#: (missing optional dependency) rather than "unknown dtype".
+DTYPE_NAMES = ("float16", "bfloat16", "float32", "float64")
 
 
 @dataclass(frozen=True)
@@ -40,10 +51,21 @@ class AbftConfig:
         Absolute tolerance floor for inputs whose checksum vectors cancel
         to (near) zero; the default 0 is paper-faithful (see docs/THEORY.md).
     scheme:
-        ``"aabft"`` (autonomous), ``"sea"`` (norm-based baseline) or
-        ``"fixed"`` (manual tolerance).
+        ``"aabft"`` (autonomous), ``"sea"`` (norm-based baseline),
+        ``"fixed"`` (manual tolerance) or ``"adaptive"`` (variance-based
+        adaptive tolerance for low-precision storage; see
+        :mod:`repro.bounds.adaptive`).
     fixed_epsilon:
         The manual tolerance; required when ``scheme="fixed"``.
+    dtype:
+        Operand *storage* dtype name (``"float16"``, ``"bfloat16"``,
+        ``"float32"``, ``"float64"``), or ``None`` (default) to infer it
+        from the operands.  Low-precision operands (float16/bfloat16)
+        **require** naming it — together with an adaptive-capable scheme —
+        instead of being silently upcast; the GEMM and checksums then
+        accumulate in float32 while results quantise back to the storage
+        dtype.  ``"bfloat16"`` additionally requires the optional
+        ``ml_dtypes`` package (numpy has no native bfloat16).
     backend:
         Compute backend for the GEMM stage: a registered backend name to
         pin it, or ``"auto"`` (default) to let capability negotiation
@@ -89,6 +111,7 @@ class AbftConfig:
     epsilon_floor: float = 0.0
     scheme: str = "aabft"
     fixed_epsilon: float | None = None
+    dtype: str | None = None
     backend: str = "auto"
     gemm_tile: int | None = None
     exclude_backends: tuple[str, ...] = ()
@@ -114,6 +137,26 @@ class AbftConfig:
             if self.fixed_epsilon is None:
                 raise ConfigurationError("scheme='fixed' requires fixed_epsilon")
             FixedBound(float(self.fixed_epsilon))  # validate eagerly
+        if self.dtype is not None:
+            if self.dtype not in DTYPE_NAMES:
+                raise ConfigurationError(
+                    f"unknown dtype {self.dtype!r}; expected one of "
+                    f"{DTYPE_NAMES}"
+                )
+            try:
+                format_for_name(self.dtype)  # bfloat16 gates on ml_dtypes
+            except KeyError as exc:
+                raise ConfigurationError(str(exc)) from None
+        if self.dtype in LOW_PRECISION_NAMES and self.scheme not in (
+            "adaptive",
+            "fixed",
+        ):
+            raise ConfigurationError(
+                f"storage dtype {self.dtype!r} carries quantisation noise "
+                f"the {self.scheme!r} bound does not model; use "
+                "scheme='adaptive' (variance-adaptive tolerance) or "
+                "scheme='fixed' with an explicit tolerance"
+            )
         if not self.backend or not isinstance(self.backend, str):
             raise ConfigurationError(
                 f"backend must be a non-empty str, got {self.backend!r}"
@@ -160,6 +203,8 @@ class AbftConfig:
                 parts.append(f"floor={self.epsilon_floor:g}")
         if self.scheme == "fixed":
             parts.append(f"epsilon={self.fixed_epsilon:g}")
+        if self.dtype is not None:
+            parts.append(f"dtype={self.dtype}")
         if self.backend != "auto":
             parts.append(f"backend={self.backend}")
         if self.gemm_tile is not None:

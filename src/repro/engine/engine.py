@@ -51,6 +51,7 @@ from ..kernels.encode_fused import fused_encode
 from ..kernels.online_fused import OnlineFusedOutcome, online_fused_matmul
 from ..abft.providers import (
     AABFTEpsilonProvider,
+    AdaptiveEpsilonProvider,
     ConstantEpsilonProvider,
     SEAEpsilonProvider,
 )
@@ -64,6 +65,7 @@ from ..backends.registry import (
 )
 from ..bounds.upper_bound import TopP
 from ..errors import ConfigurationError, ShapeError
+from ..fp.constants import LOW_PRECISION_NAMES, format_for_name
 from ..telemetry import MetricsRegistry
 from .config import AbftConfig
 from .plan import ExecutionPlan, PlanCache
@@ -150,6 +152,49 @@ def _resolve_dtype(*dtypes: np.dtype) -> np.dtype:
     if all(np.dtype(d) == np.float32 for d in dtypes):
         return np.dtype(np.float32)
     return np.dtype(np.float64)
+
+
+def _is_low_precision(dtype: np.dtype) -> bool:
+    """Whether ``dtype`` is a sub-float32 storage format (fp16/bf16)."""
+    return np.dtype(dtype).name in LOW_PRECISION_NAMES
+
+
+def _resolve_storage_compute(
+    cfg: AbftConfig, *dtypes: np.dtype
+) -> tuple[np.dtype, np.dtype]:
+    """Resolve one call's ``(storage, compute)`` dtype pair.
+
+    With ``cfg.dtype`` set it is authoritative: low-precision storage
+    computes (GEMM + checksum accumulation) in float32, everything else
+    computes in the storage dtype itself.  Without it the historical
+    promotion rule applies — float32 only when every operand is float32,
+    float64 otherwise — **except** that low-precision operands are
+    refused with a :class:`~repro.errors.ConfigurationError` naming the
+    fix, rather than silently upcast.
+    """
+    if cfg.dtype is not None:
+        storage = format_for_name(cfg.dtype).dtype
+        for d in dtypes:
+            if _is_low_precision(d) and np.dtype(d) != storage:
+                raise ConfigurationError(
+                    f"operand dtype {np.dtype(d).name} conflicts with the "
+                    f"config's storage dtype {cfg.dtype!r}; cast the "
+                    "operand explicitly or change AbftConfig.dtype"
+                )
+        if _is_low_precision(storage):
+            return storage, np.dtype(np.float32)
+        return storage, storage
+    for d in dtypes:
+        if _is_low_precision(d):
+            name = np.dtype(d).name
+            raise ConfigurationError(
+                f"operands of dtype {name} require an explicit "
+                f"AbftConfig(dtype={name!r}, scheme='adaptive') so the "
+                "check models low-precision quantisation noise; refusing "
+                "to silently upcast"
+            )
+    compute = _resolve_dtype(*dtypes)
+    return compute, compute
 
 
 class MatmulEngine:
@@ -386,7 +431,7 @@ class MatmulEngine:
             raise ConfigurationError(f"side must be 'a' or 'b', got {side!r}")
         arr = _as_matrix(operand)
         if dtype is None:
-            dtype = _resolve_dtype(arr.dtype)
+            _storage, dtype = _resolve_storage_compute(cfg, arr.dtype)
         arr = arr.astype(np.dtype(dtype), copy=False)
         t0 = time.perf_counter()
         encoded = self._encode_array(arr, side, cfg)
@@ -714,10 +759,16 @@ class MatmulEngine:
         """
         a_items = [a for a, _b in pairs]
         b_items = [b for _a, b in pairs]
-        for side, items, others in (
-            ("a", a_items, b_items),
-            ("b", b_items, a_items),
-        ):
+        # The id-dedup below predicts each pair's computation dtype with
+        # the historical promotion rule; configs carrying an explicit
+        # storage dtype resolve through _resolve_storage_compute instead,
+        # so their operands encode inside _run (still once per call).
+        sides = (
+            ()
+            if cfg.dtype is not None
+            else (("a", a_items, b_items), ("b", b_items, a_items))
+        )
+        for side, items, others in sides:
             by_id: dict[int, list[int]] = {}
             for i, item in enumerate(items):
                 if not isinstance(item, EncodedOperand):
@@ -776,7 +827,7 @@ class MatmulEngine:
             side,
             bs,
             p=cfg.p if cfg.scheme == "aabft" else None,
-            norms=cfg.scheme == "sea",
+            norms=cfg.scheme in ("sea", "adaptive"),
         )
         return EncodedOperand(
             side=side,
@@ -823,7 +874,10 @@ class MatmulEngine:
         # --- resolve operands and the computation dtype -----------------
         a_raw = a if isinstance(a, EncodedOperand) else _as_matrix(a)
         b_raw = b if isinstance(b, EncodedOperand) else _as_matrix(b)
-        dtype = _resolve_dtype(_operand_dtype(a_raw), _operand_dtype(b_raw))
+        storage_dtype, dtype = _resolve_storage_compute(
+            cfg, _operand_dtype(a_raw), _operand_dtype(b_raw)
+        )
+        quantize = storage_dtype != dtype
         a_shape = a_raw.shape if isinstance(a_raw, EncodedOperand) else a_raw.shape
         b_shape = b_raw.shape if isinstance(b_raw, EncodedOperand) else b_raw.shape
         if a_shape[1] != b_shape[0]:
@@ -835,6 +889,16 @@ class MatmulEngine:
         cfg, selection_fallback, fused_fallback = self._negotiate(
             cfg, m, n, q, dtype
         )
+        if quantize and cfg.fusion == "fused":
+            # The low-precision path quantises the stored result between
+            # multiply and check, which the in-loop tile checks would miss.
+            self._m_fused_fallbacks.labels(reason="low_precision").inc()
+            fused_fallback = (
+                "fused online fell back to separate: low-precision storage "
+                "quantises the result after the multiply, so checks must "
+                "run on the stored bytes"
+            )
+            cfg = cfg.replace(fusion="separate", fused_tile_blocks=None)
         plan, _hit = self._plans.get(m, n, q, dtype, cfg)
 
         # --- encode (or reuse) ------------------------------------------
@@ -913,6 +977,13 @@ class MatmulEngine:
             c_fc, used_backend, dispatch_fallback = self._dispatch_gemm(
                 plan, enc_a.array, enc_b.array
             )
+            if quantize:
+                # Simulate low-precision result storage: the data region
+                # round-trips through the storage dtype (checksum rows and
+                # columns stay in the compute dtype — they accumulate in
+                # float32, per the mixed-precision discipline), so the
+                # check below sees genuine storage quantisation noise.
+                _quantize_data_region(c_fc, plan, storage_dtype)
             self._add_seconds("multiply", time.perf_counter() - t0)
             # Internally encoded buffers are fully consumed by the multiply
             # and never referenced by the result (the provider keeps only
@@ -933,6 +1004,10 @@ class MatmulEngine:
         c = strip_encoding(
             c_fc, plan.row_layout, plan.col_layout, enc_a.padding, enc_b.padding
         )
+        if quantize:
+            # Lossless: the data region already round-tripped through the
+            # storage dtype, so this cast only changes the container.
+            c = c.astype(storage_dtype)
         self._m_calls.inc()
         if report.error_detected:
             self._m_detections.inc()
@@ -1064,7 +1139,7 @@ class MatmulEngine:
             side,
             cfg.block_size,
             p=cfg.p if cfg.scheme == "aabft" else None,
-            norms=cfg.scheme == "sea",
+            norms=cfg.scheme in ("sea", "adaptive"),
             pool=plan.pool,
         )
         plan.release(workspace, side)
@@ -1102,8 +1177,13 @@ class MatmulEngine:
                 inner_dim=plan.n,
                 epsilon_floor=cfg.epsilon_floor,
             )
-        if cfg.scheme == "sea":
-            return SEAEpsilonProvider(
+        if cfg.scheme in ("sea", "adaptive"):
+            provider_cls = (
+                SEAEpsilonProvider
+                if cfg.scheme == "sea"
+                else AdaptiveEpsilonProvider
+            )
+            return provider_cls(
                 scheme=plan.scheme,
                 a_row_norms=enc_a.norms,
                 b_col_norms=enc_b.norms,
@@ -1289,6 +1369,22 @@ class MatmulEngine:
         report = CheckReport(column_disc=col_disc, row_disc=row_disc)
         report.num_checks = col_disc.size + row_disc.size
         return report
+
+
+def _quantize_data_region(
+    c_fc: np.ndarray, plan: ExecutionPlan, storage_dtype: np.dtype
+) -> None:
+    """Round-trip the result's data region through the storage dtype.
+
+    Only elements at (data row, data column) positions quantise — they are
+    what low-precision hardware would write back; checksum rows/columns
+    are the float32-accumulated ABFT side values and keep full compute
+    precision.  Mutates ``c_fc`` in place.
+    """
+    rows = plan.row_layout.all_data_indices()
+    cols = plan.col_layout.all_data_indices()
+    region = c_fc[np.ix_(rows, cols)]
+    c_fc[np.ix_(rows, cols)] = region.astype(storage_dtype).astype(c_fc.dtype)
 
 
 def _operand_dtype(operand) -> np.dtype:

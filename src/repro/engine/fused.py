@@ -64,6 +64,10 @@ def fused_supported(a_items, b_items, cfg) -> bool:
 
     if cfg.scheme != "aabft" or len(a_items) < 2:
         return False
+    # Explicit storage dtypes resolve through _resolve_storage_compute
+    # (and may quantise results); the serial path owns that logic.
+    if cfg.dtype is not None:
+        return False
 
     def shape_of(item):
         if isinstance(item, EncodedOperand):

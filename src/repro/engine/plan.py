@@ -16,11 +16,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..abft.encoding import PartitionedLayout
+from ..bounds.adaptive import AdaptiveBound
 from ..bounds.base import BoundScheme
 from ..bounds.fixed import FixedBound
 from ..bounds.probabilistic import ProbabilisticBound
 from ..bounds.sea import SEABound
-from ..fp.constants import FloatFormat, format_for_dtype
+from ..fp.constants import FloatFormat, format_for_dtype, format_for_name
 from .config import AbftConfig
 
 __all__ = ["PlanKey", "ExecutionPlan", "PlanCache", "WorkspacePool", "build_plan"]
@@ -203,6 +204,12 @@ def build_plan(
         )
     elif config.scheme == "sea":
         scheme = SEABound(fmt=fmt)
+    elif config.scheme == "adaptive":
+        # ``dtype`` names the *storage* format; ``fmt`` stays the compute
+        # format the checksums accumulate in.  AbftConfig already gated
+        # bfloat16 on availability, so format_for_name cannot fail here.
+        storage_fmt = format_for_name(config.dtype) if config.dtype else fmt
+        scheme = AdaptiveBound(fmt=fmt, storage_fmt=storage_fmt)
     else:  # fixed — validated by AbftConfig.__post_init__
         scheme = FixedBound(float(config.fixed_epsilon))
     plan = ExecutionPlan(

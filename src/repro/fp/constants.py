@@ -19,7 +19,18 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["FloatFormat", "BINARY32", "BINARY64", "format_for_dtype"]
+__all__ = [
+    "FloatFormat",
+    "BINARY16",
+    "BFLOAT16",
+    "BINARY32",
+    "BINARY64",
+    "LOW_PRECISION_NAMES",
+    "bfloat16_dtype",
+    "format_for_dtype",
+    "format_for_name",
+    "supported_storage_dtypes",
+]
 
 
 @dataclass(frozen=True)
@@ -91,6 +102,15 @@ class FloatFormat:
         return float(np.finfo(self.dtype).max)
 
 
+BINARY16 = FloatFormat(
+    name="binary16",
+    total_bits=16,
+    mantissa_bits=10,
+    exponent_bits=5,
+    dtype=np.dtype(np.float16),
+    uint_dtype=np.dtype(np.uint16),
+)
+
 BINARY32 = FloatFormat(
     name="binary32",
     total_bits=32,
@@ -110,9 +130,70 @@ BINARY64 = FloatFormat(
 )
 
 _BY_DTYPE = {
+    np.dtype(np.float16): BINARY16,
     np.dtype(np.float32): BINARY32,
     np.dtype(np.float64): BINARY64,
 }
+
+
+def bfloat16_dtype() -> np.dtype | None:
+    """The bfloat16 numpy dtype, or ``None`` when unavailable.
+
+    numpy has no native bfloat16; the ``ml_dtypes`` extension registers
+    one.  Everything bfloat16-specific in the library gates on this
+    returning a dtype, with explicit errors (never a silent upcast) when
+    it does not.
+    """
+    try:
+        import ml_dtypes  # noqa: PLC0415 — optional dependency probe
+    except ImportError:
+        return None
+    return np.dtype(ml_dtypes.bfloat16)
+
+
+def _make_bfloat16_format() -> FloatFormat | None:
+    dtype = bfloat16_dtype()
+    if dtype is None:
+        return None
+    return FloatFormat(
+        name="bfloat16",
+        total_bits=16,
+        mantissa_bits=7,
+        exponent_bits=8,
+        dtype=dtype,
+        uint_dtype=np.dtype(np.uint16),
+    )
+
+
+#: ``None`` when the optional ``ml_dtypes`` package is absent — callers
+#: must treat bfloat16 as an unsupported storage dtype then.
+BFLOAT16 = _make_bfloat16_format()
+
+if BFLOAT16 is not None:
+    _BY_DTYPE[BFLOAT16.dtype] = BFLOAT16
+
+#: Storage dtypes narrower than any compute dtype the GEMM stage uses;
+#: their results carry extra quantisation noise the adaptive bound models.
+LOW_PRECISION_NAMES = ("float16", "bfloat16")
+
+_BY_NAME = {
+    "float16": BINARY16,
+    "binary16": BINARY16,
+    "float32": BINARY32,
+    "binary32": BINARY32,
+    "float64": BINARY64,
+    "binary64": BINARY64,
+}
+if BFLOAT16 is not None:
+    _BY_NAME["bfloat16"] = BFLOAT16
+
+
+def supported_storage_dtypes() -> tuple[str, ...]:
+    """Names of every operand storage dtype this build supports."""
+    names = ["float16", "float32", "float64"]
+    if BFLOAT16 is not None:
+        names.insert(1, "bfloat16")
+    return tuple(names)
 
 
 def format_for_dtype(dtype: np.dtype | type) -> FloatFormat:
@@ -121,7 +202,8 @@ def format_for_dtype(dtype: np.dtype | type) -> FloatFormat:
     Raises
     ------
     KeyError
-        If ``dtype`` is not binary32 or binary64.
+        If ``dtype`` is not a registered binary format (float16, float32,
+        float64, plus bfloat16 when ``ml_dtypes`` is installed).
     """
     key = np.dtype(dtype)
     try:
@@ -129,5 +211,29 @@ def format_for_dtype(dtype: np.dtype | type) -> FloatFormat:
     except KeyError:
         raise KeyError(
             f"no IEEE-754 format registered for dtype {key!r}; "
-            "supported: float32, float64"
+            f"supported: {', '.join(supported_storage_dtypes())}"
         ) from None
+
+
+def format_for_name(name: str) -> FloatFormat:
+    """Return the :class:`FloatFormat` for a dtype *name* (``"float16"``…).
+
+    Raises
+    ------
+    KeyError
+        For unknown names, and for ``"bfloat16"`` when the optional
+        ``ml_dtypes`` package is not installed — the message says which.
+    """
+    fmt = _BY_NAME.get(name)
+    if fmt is None:
+        if name == "bfloat16":
+            raise KeyError(
+                "bfloat16 storage requires the optional 'ml_dtypes' "
+                "package (numpy has no native bfloat16 dtype); install it "
+                "or use float16"
+            )
+        raise KeyError(
+            f"unknown float format name {name!r}; "
+            f"supported: {', '.join(supported_storage_dtypes())}"
+        )
+    return fmt

@@ -1,0 +1,61 @@
+"""Model-inference workloads: chained GEMMs with adaptive per-layer ABFT.
+
+The subsystem the serving/CLI layers drive for "model" (multi-layer)
+workloads:
+
+* :mod:`repro.models.spec` — declarative :class:`ModelSpec` /
+  :class:`LayerSpec` stacks (MLP- and attention-shaped builders,
+  per-layer shapes, storage dtypes and activation stubs).
+* :mod:`repro.models.planner` — :class:`ProtectionPlanner`, assigning
+  each layer full / SEA / unchecked protection from arithmetic intensity
+  under an end-to-end coverage-target constraint.
+* :mod:`repro.models.runner` — :class:`ModelRunner`, executing plans
+  through the protected engine with cross-layer encoding reuse,
+  ``abft_model_*`` telemetry and named-layer fault injection.
+* :mod:`repro.models.campaign` — :class:`ModelCampaign`, injection
+  sweeps with per-layer coverage accounting for the ``model-coverage``
+  ci-gate.
+* :mod:`repro.models.bench` — the ``BENCH_models.json`` benchmark
+  (planner-mixed vs all-full vs unchecked latency, behind
+  ``aabft model bench``).
+"""
+
+from .bench import compare_to_baseline, default_baseline_path, run_model_benchmark
+from .campaign import CampaignResult, LayerCoverage, ModelCampaign
+from .planner import (
+    PROTECTION_RUNGS,
+    LayerAssignment,
+    ModelPlan,
+    ProtectionPlanner,
+)
+from .runner import (
+    LayerRun,
+    ModelInjection,
+    ModelInputs,
+    ModelRunResult,
+    ModelRunner,
+)
+from .spec import ACTIVATIONS, LayerSpec, ModelSpec, attention, mlp
+
+__all__ = [
+    "ACTIVATIONS",
+    "PROTECTION_RUNGS",
+    "CampaignResult",
+    "LayerAssignment",
+    "LayerCoverage",
+    "LayerRun",
+    "LayerSpec",
+    "ModelCampaign",
+    "ModelInjection",
+    "ModelInputs",
+    "ModelPlan",
+    "ModelRunResult",
+    "ModelRunner",
+    "ModelSpec",
+    "ProtectionPlanner",
+    "attention",
+    "compare_to_baseline",
+    "default_baseline_path",
+    "mlp",
+    "run_model_benchmark",
+]

@@ -1,0 +1,158 @@
+"""The ``BENCH_models.json`` benchmark: planner-mixed vs all-full vs unchecked.
+
+Runs one 6-layer MLP three times — under the
+:class:`~repro.models.planner.ProtectionPlanner`'s intensity-mixed plan,
+under an all-full-A-ABFT plan, and fully unchecked — on one warm engine,
+and records median end-to-end pass latencies plus the per-layer protection
+assignments.  The committed ``BENCH_models.json`` baseline is the
+acceptance record that per-layer planning actually buys latency
+(``mixed_vs_full_ratio < 1``) without giving up the coverage target; the
+``bench-smoke`` CI job re-measures at quick scale and compares.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+import numpy as np
+
+from ..engine.config import AbftConfig
+from ..engine.engine import MatmulEngine
+from .planner import ProtectionPlanner
+from .runner import ModelInputs, ModelRunner
+from .spec import mlp
+
+__all__ = [
+    "BENCH_MODEL_KWARGS",
+    "REPEATS",
+    "QUICK_REPEATS",
+    "run_model_benchmark",
+    "compare_to_baseline",
+    "default_baseline_path",
+]
+
+#: The benchmark workload: a 6-layer MLP whose layer mix straddles the
+#: planner's intensity thresholds — the hidden layers sit in the SEA band
+#: (cheap column-sum check), the skinny head is memory-bound enough to
+#: run unchecked within the coverage target, so the mixed plan is
+#: structurally cheaper than forcing full A-ABFT everywhere.
+BENCH_MODEL_KWARGS = dict(
+    name="bench-mlp", batch=128, d_in=256, hidden=512, depth=6, d_out=16
+)
+REPEATS = 21
+QUICK_REPEATS = 7
+
+
+def default_baseline_path() -> Path:
+    """``BENCH_models.json`` from the cwd, else next to the package."""
+    cwd_candidate = Path.cwd() / "BENCH_models.json"
+    if cwd_candidate.exists():
+        return cwd_candidate
+    return Path(__file__).resolve().parents[3] / "BENCH_models.json"
+
+
+def _median_pass_seconds(runner, model, plan, inputs, repeats: int) -> float:
+    runner.run(model, plan, inputs)  # warm plan caches
+    times = []
+    for _ in range(repeats):
+        times.append(runner.run(model, plan, inputs).seconds)
+    return float(np.median(times))
+
+
+def run_model_benchmark(
+    *, repeats: int = REPEATS, seed: int = 2014, block_size: int = 32
+) -> dict:
+    """Measure the three protection variants; returns the JSON payload."""
+    model = mlp(**BENCH_MODEL_KWARGS)
+    cfg = AbftConfig(block_size=block_size, p=2)
+    mixed_planner = ProtectionPlanner(cfg, coverage_target=0.85)
+    full_planner = ProtectionPlanner(
+        cfg, coverage_target=1.0, full_intensity=0.0, sea_intensity=0.0
+    )
+    unchecked_planner = ProtectionPlanner(
+        cfg,
+        coverage_target=0.0,
+        full_intensity=float("inf"),
+        sea_intensity=float("inf"),
+    )
+    inputs = ModelInputs.generate(model, seed=seed)
+
+    with MatmulEngine(cfg) as engine:
+        runner = ModelRunner(engine, registry=engine.registry)
+        mixed_plan = mixed_planner.plan(model)
+        full_plan = full_planner.plan(model)
+        unchecked_plan = unchecked_planner.plan(model)
+        t0 = time.perf_counter()
+        mixed_s = _median_pass_seconds(runner, model, mixed_plan, inputs, repeats)
+        full_s = _median_pass_seconds(runner, model, full_plan, inputs, repeats)
+        unchecked_s = _median_pass_seconds(
+            runner, model, unchecked_plan, inputs, repeats
+        )
+        wall_s = time.perf_counter() - t0
+
+    return {
+        "benchmark": "models",
+        "model": model.to_dict(),
+        "repeats": repeats,
+        "block_size": block_size,
+        "seed": seed,
+        "mixed_seconds": mixed_s,
+        "full_seconds": full_s,
+        "unchecked_seconds": unchecked_s,
+        "mixed_vs_full_ratio": mixed_s / full_s,
+        "full_vs_unchecked_ratio": full_s / unchecked_s,
+        "mixed_overhead_vs_unchecked": mixed_s / unchecked_s - 1.0,
+        "full_overhead_vs_unchecked": full_s / unchecked_s - 1.0,
+        "coverage": {
+            "target": mixed_plan.coverage_target,
+            "mixed": mixed_plan.coverage,
+            "full": full_plan.coverage,
+            "unchecked": unchecked_plan.coverage,
+        },
+        "mixed_plan": [a.to_dict() for a in mixed_plan.assignments],
+        "wall_seconds": wall_s,
+    }
+
+
+def compare_to_baseline(
+    payload: dict, baseline: dict, tolerance: float
+) -> tuple[bool, str]:
+    """CI smoke comparison against the committed ``BENCH_models.json``.
+
+    Three conditions, all required (the baseline is never rewritten here):
+
+    * the measured mixed-plan pass time must not exceed the baseline's by
+      more than ``tolerance`` (absolute latency regression);
+    * the live mixed/full latency ratio must not exceed the baseline's
+      ratio by more than ``tolerance`` — the planner's "mixed is cheaper
+      than all-full" claim, with slack for shared-runner noise (the hard
+      ``ratio < 1`` acceptance is enforced when the baseline is written
+      and by the ``model-coverage`` ci-gate);
+    * the mixed plan must still meet its coverage target.
+    """
+    baseline_mixed = float(baseline["mixed_seconds"])
+    measured_mixed = float(payload["mixed_seconds"])
+    limit = baseline_mixed * (1.0 + tolerance)
+    regressed = measured_mixed > limit
+    ratio = float(payload["mixed_vs_full_ratio"])
+    baseline_ratio = float(baseline["mixed_vs_full_ratio"])
+    ratio_limit = baseline_ratio * (1.0 + tolerance)
+    coverage_ok = payload["coverage"]["mixed"] >= payload["coverage"]["target"]
+    ratio_ok = ratio <= ratio_limit
+    passed = not regressed and ratio_ok and coverage_ok
+    detail = (
+        f"mixed pass {measured_mixed * 1e3:.2f} ms vs baseline "
+        f"{baseline_mixed * 1e3:.2f} ms (limit {limit * 1e3:.2f} ms = "
+        f"+{tolerance:.0%}); mixed/full ratio {ratio:.2f} "
+        f"(baseline {baseline_ratio:.2f}, limit {ratio_limit:.2f}), "
+        f"coverage {payload['coverage']['mixed']:.2%} "
+        f"(target {payload['coverage']['target']:.2%})"
+    )
+    if regressed:
+        detail += "; mixed-plan latency regressed"
+    if not ratio_ok:
+        detail += "; mixed/full ratio regressed"
+    if not coverage_ok:
+        detail += "; coverage target NOT met"
+    return passed, detail

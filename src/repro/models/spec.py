@@ -1,0 +1,293 @@
+"""Declarative model specifications: chained-GEMM layer stacks.
+
+A :class:`ModelSpec` describes an inference "model" as a chain of GEMM
+layers — activations of shape ``(batch, d_in)`` times a weight of shape
+``(d_in, d_out)``, followed by an activation stub.  The two builders
+cover the workload shapes the roadmap names: :func:`mlp` (uniform hidden
+stack) and :func:`attention` (projection + feed-forward block, the
+chained-GEMM skeleton of a transformer layer).
+
+Specs are frozen, hashable and JSON round-trippable, so they key plan
+registries and travel through the CLI and serving layers unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..fp.constants import format_for_name
+
+__all__ = ["ACTIVATIONS", "LayerSpec", "ModelSpec", "mlp", "attention"]
+
+#: Supported activation stubs.  ``"none"`` is the identity — the only
+#: activation under which layer ``k``'s output encoding can legally serve
+#: as layer ``k+1``'s A-side encoding (checksums are linear maps).
+ACTIVATIONS = ("none", "relu", "gelu", "tanh")
+
+#: Storage dtypes a layer may declare.
+LAYER_DTYPES = ("float16", "bfloat16", "float32", "float64")
+
+
+def apply_activation(name: str, x: np.ndarray) -> np.ndarray:
+    """Apply an activation stub (float32/float64 math, dtype-preserving)."""
+    if name == "none":
+        return x
+    if name == "relu":
+        return np.maximum(x, 0)
+    if name == "tanh":
+        return np.tanh(x)
+    if name == "gelu":
+        # The tanh approximation, standard for inference stacks.
+        c = np.sqrt(2.0 / np.pi).astype(x.dtype) if x.dtype.kind == "f" else 1.0
+        inner = c * (x + 0.044715 * x * x * x)
+        return 0.5 * x * (1.0 + np.tanh(inner))
+    raise ConfigurationError(
+        f"unknown activation {name!r}; expected one of {ACTIVATIONS}"
+    )
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """One GEMM layer: ``(batch, d_in) @ (d_in, d_out)`` + activation.
+
+    Attributes
+    ----------
+    name:
+        Unique (within the model) layer name; campaign injection and
+        telemetry labels address layers by it.
+    d_in / d_out:
+        Weight shape.
+    dtype:
+        Storage dtype of this layer's activations and weight
+        (``"float16"``/``"bfloat16"`` layers compute in float32 with
+        variance-adaptive checking; see :mod:`repro.bounds.adaptive`).
+    activation:
+        Activation stub applied to the layer output (one of
+        :data:`ACTIVATIONS`).
+    """
+
+    name: str
+    d_in: int
+    d_out: int
+    dtype: str = "float32"
+    activation: str = "none"
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ConfigurationError(
+                f"layer name must be a non-empty str, got {self.name!r}"
+            )
+        for dim_name, value in (("d_in", self.d_in), ("d_out", self.d_out)):
+            if not isinstance(value, int) or value < 1:
+                raise ConfigurationError(
+                    f"layer {self.name!r}: {dim_name} must be a positive "
+                    f"int, got {value!r}"
+                )
+        if self.dtype not in LAYER_DTYPES:
+            raise ConfigurationError(
+                f"layer {self.name!r}: unknown dtype {self.dtype!r}; "
+                f"expected one of {LAYER_DTYPES}"
+            )
+        try:
+            format_for_name(self.dtype)  # gates bfloat16 on ml_dtypes
+        except KeyError as exc:
+            raise ConfigurationError(
+                f"layer {self.name!r}: {exc.args[0]}"
+            ) from None
+        if self.activation not in ACTIVATIONS:
+            raise ConfigurationError(
+                f"layer {self.name!r}: unknown activation "
+                f"{self.activation!r}; expected one of {ACTIVATIONS}"
+            )
+
+    @property
+    def is_low_precision(self) -> bool:
+        return self.dtype in ("float16", "bfloat16")
+
+    def flops(self, batch: int) -> float:
+        """GEMM flops of this layer at the given batch size."""
+        return 2.0 * batch * self.d_in * self.d_out
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "d_in": self.d_in,
+            "d_out": self.d_out,
+            "dtype": self.dtype,
+            "activation": self.activation,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LayerSpec":
+        return cls(
+            name=data["name"],
+            d_in=int(data["d_in"]),
+            d_out=int(data["d_out"]),
+            dtype=data.get("dtype", "float32"),
+            activation=data.get("activation", "none"),
+        )
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """A chained-GEMM model: ``x_{k+1} = act_k(x_k @ W_k)``.
+
+    Layers chain — each layer's ``d_in`` must equal its predecessor's
+    ``d_out`` — and names must be unique so per-layer accounting is
+    unambiguous.
+    """
+
+    name: str
+    batch: int
+    layers: tuple[LayerSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ConfigurationError(
+                f"model name must be a non-empty str, got {self.name!r}"
+            )
+        if not isinstance(self.batch, int) or self.batch < 1:
+            raise ConfigurationError(
+                f"batch must be a positive int, got {self.batch!r}"
+            )
+        layers = tuple(self.layers)
+        object.__setattr__(self, "layers", layers)
+        if not layers:
+            raise ConfigurationError(f"model {self.name!r} has no layers")
+        names = [layer.name for layer in layers]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(
+                f"model {self.name!r} has duplicate layer names: {names}"
+            )
+        for prev, layer in zip(layers, layers[1:]):
+            if prev.d_out != layer.d_in:
+                raise ConfigurationError(
+                    f"model {self.name!r}: layer {layer.name!r} expects "
+                    f"d_in={layer.d_in} but {prev.name!r} produces "
+                    f"d_out={prev.d_out}"
+                )
+
+    @property
+    def depth(self) -> int:
+        return len(self.layers)
+
+    @property
+    def d_in(self) -> int:
+        """Input feature width of the model."""
+        return self.layers[0].d_in
+
+    @property
+    def d_out(self) -> int:
+        """Output feature width of the model."""
+        return self.layers[-1].d_out
+
+    def layer(self, name: str) -> LayerSpec:
+        """The layer with the given name (raises for unknown names)."""
+        for layer in self.layers:
+            if layer.name == name:
+                return layer
+        raise ConfigurationError(
+            f"model {self.name!r} has no layer {name!r}; layers: "
+            f"{[layer.name for layer in self.layers]}"
+        )
+
+    def total_flops(self) -> float:
+        """Summed GEMM flops of one forward pass."""
+        return sum(layer.flops(self.batch) for layer in self.layers)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "batch": self.batch,
+            "layers": [layer.to_dict() for layer in self.layers],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ModelSpec":
+        return cls(
+            name=data["name"],
+            batch=int(data["batch"]),
+            layers=tuple(
+                LayerSpec.from_dict(layer) for layer in data["layers"]
+            ),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ModelSpec":
+        return cls.from_dict(json.loads(text))
+
+
+def mlp(
+    name: str = "mlp",
+    *,
+    batch: int = 64,
+    d_in: int = 256,
+    hidden: int = 512,
+    depth: int = 4,
+    d_out: int | None = None,
+    dtype: str = "float32",
+    activation: str = "relu",
+) -> ModelSpec:
+    """A uniform MLP stack: ``d_in -> hidden * (depth-1) -> d_out``.
+
+    The final layer is a linear head (activation ``"none"``), matching
+    the usual classifier/regressor shape.
+    """
+    if depth < 1:
+        raise ConfigurationError(f"depth must be >= 1, got {depth}")
+    if d_out is None:
+        d_out = hidden
+    layers = []
+    prev = d_in
+    for i in range(depth - 1):
+        layers.append(
+            LayerSpec(
+                name=f"fc{i + 1}",
+                d_in=prev,
+                d_out=hidden,
+                dtype=dtype,
+                activation=activation,
+            )
+        )
+        prev = hidden
+    layers.append(
+        LayerSpec(
+            name="head", d_in=prev, d_out=d_out, dtype=dtype, activation="none"
+        )
+    )
+    return ModelSpec(name=name, batch=batch, layers=tuple(layers))
+
+
+def attention(
+    name: str = "attention",
+    *,
+    batch: int = 64,
+    d_model: int = 256,
+    d_ff: int | None = None,
+    dtype: str = "float32",
+) -> ModelSpec:
+    """An attention-shaped block as a chained-GEMM stack.
+
+    Query/key/value/output projections (square, linear) followed by the
+    feed-forward expansion and contraction — the GEMM skeleton of one
+    transformer layer, with the score softmax stubbed out (it is not a
+    GEMM and carries no checksum).
+    """
+    if d_ff is None:
+        d_ff = 4 * d_model
+    layers = (
+        LayerSpec("wq", d_model, d_model, dtype=dtype, activation="none"),
+        LayerSpec("wk", d_model, d_model, dtype=dtype, activation="none"),
+        LayerSpec("wv", d_model, d_model, dtype=dtype, activation="none"),
+        LayerSpec("wo", d_model, d_model, dtype=dtype, activation="none"),
+        LayerSpec("ffn_up", d_model, d_ff, dtype=dtype, activation="gelu"),
+        LayerSpec("ffn_down", d_ff, d_model, dtype=dtype, activation="none"),
+    )
+    return ModelSpec(name=name, batch=batch, layers=layers)

@@ -1,5 +1,6 @@
 """Analytic K20c performance model for the Table I reproduction."""
 
+from .intensity import arithmetic_intensity, gemm_bytes, gemm_flops
 from .k20c import LAUNCH_OVERHEAD_S, matmul_efficiency
 from .model import KernelCost, SchemeTiming, roofline_seconds
 from .schemes import (
@@ -20,6 +21,9 @@ __all__ = [
     "SchemeTiming",
     "aabft_timing",
     "abft_fixed_timing",
+    "arithmetic_intensity",
+    "gemm_bytes",
+    "gemm_flops",
     "matmul_efficiency",
     "roofline_seconds",
     "scheme_gflops",

@@ -1,0 +1,56 @@
+"""Arithmetic intensity (op/byte ratio) of GEMM workloads.
+
+Kosaian & Rashmi's arithmetic-intensity-guided fault tolerance picks each
+layer's protection scheme from its op/byte ratio: compute-bound GEMMs
+(high intensity) hide a full checksum pass behind the arithmetic they
+already do, while memory-bound GEMMs (low intensity) pay for every extra
+byte the encoding touches.  This module exposes that ratio as a public
+helper the :class:`~repro.models.planner.ProtectionPlanner` (and anyone
+reasoning about roofline position) consumes.
+
+The convention is ``C (m x n) = A (m x k) @ B (k x n)``: ``2*m*n*k``
+flops (multiply + add per inner-product step) over one read of each
+operand and one write of the result, ``(m*k + k*n + m*n) * itemsize``
+bytes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["gemm_flops", "gemm_bytes", "arithmetic_intensity"]
+
+
+def _validate_dims(m: int, n: int, k: int) -> None:
+    for name, value in (("m", m), ("n", n), ("k", k)):
+        if int(value) != value or value < 1:
+            raise ValueError(f"{name} must be a positive integer, got {value}")
+
+
+def gemm_flops(m: int, n: int, k: int) -> float:
+    """Floating-point operations of one ``(m x k) @ (k x n)`` GEMM."""
+    _validate_dims(m, n, k)
+    return 2.0 * m * n * k
+
+
+def gemm_bytes(m: int, n: int, k: int, dtype=np.float32) -> float:
+    """Minimum bytes moved: read ``A`` and ``B`` once, write ``C`` once.
+
+    ``dtype`` is the *storage* dtype of operands and result — a float16
+    model layer moves half the bytes of a float32 one at identical flops,
+    doubling its arithmetic intensity.
+    """
+    _validate_dims(m, n, k)
+    itemsize = np.dtype(dtype).itemsize
+    return float(m * k + k * n + m * n) * itemsize
+
+
+def arithmetic_intensity(m: int, n: int, k: int, dtype=np.float32) -> float:
+    """The GEMM's op/byte ratio ``2mnk / ((mk + kn + mn) * itemsize)``.
+
+    Square GEMMs grow linearly in intensity with their edge (``~ s / (1.5
+    * itemsize)`` for edge ``s``); skinny GEMMs (one dimension small) stay
+    memory-bound no matter how large the other dimensions get — which is
+    exactly why per-layer scheme selection beats one global choice.
+    """
+    return gemm_flops(m, n, k) / gemm_bytes(m, n, k, dtype)

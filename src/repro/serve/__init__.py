@@ -16,7 +16,13 @@ Entry points: :class:`MatmulServer` (in-process API, also behind
 from .bench import run_serve_benchmark
 from .config import DEGRADATION_RUNGS, ServeConfig, rung_for_fraction
 from .loadgen import LoadgenResult, percentile, run_loadgen
-from .request import MatmulRequest, MatmulResponse, VerificationStatus
+from .request import (
+    MatmulRequest,
+    MatmulResponse,
+    ModelRequest,
+    ModelResponse,
+    VerificationStatus,
+)
 from .server import MatmulServer
 
 __all__ = [
@@ -25,6 +31,8 @@ __all__ = [
     "MatmulRequest",
     "MatmulResponse",
     "MatmulServer",
+    "ModelRequest",
+    "ModelResponse",
     "ServeConfig",
     "VerificationStatus",
     "percentile",

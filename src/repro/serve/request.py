@@ -26,7 +26,13 @@ import numpy as np
 from ..abft.checking import CheckReport
 from ..engine.config import AbftConfig
 
-__all__ = ["VerificationStatus", "MatmulRequest", "MatmulResponse"]
+__all__ = [
+    "VerificationStatus",
+    "MatmulRequest",
+    "MatmulResponse",
+    "ModelRequest",
+    "ModelResponse",
+]
 
 
 class VerificationStatus(str, enum.Enum):
@@ -173,6 +179,98 @@ class MatmulResponse:
     @property
     def verified(self) -> bool:
         """Whether the result went through checksum verification at all."""
+        return self.status in (
+            VerificationStatus.FULL,
+            VerificationStatus.DEGRADED,
+        )
+
+
+@dataclass
+class ModelRequest:
+    """One model-inference request: a chained-GEMM forward pass.
+
+    Attributes
+    ----------
+    model:
+        The :class:`~repro.models.spec.ModelSpec` to execute.
+    plan:
+        Per-layer protection plan; the server plans with its default
+        :class:`~repro.models.planner.ProtectionPlanner` when ``None``.
+    inputs:
+        :class:`~repro.models.runner.ModelInputs` (input activation +
+        weights); generated deterministically from ``seed`` when ``None``.
+    seed:
+        Input/weight generation seed used when ``inputs`` is ``None``.
+    deadline_s:
+        Relative deadline from submission.  The server re-evaluates the
+        degradation ladder *per layer*: layers dispatched with plenty of
+        budget keep their planned rung, layers dispatched under pressure
+        walk down (full → SEA → unchecked), and every downgrade is
+        recorded on the response — never silent.
+    request_id:
+        Client-chosen identifier; server-assigned ``m<seq>`` when ``None``.
+    """
+
+    model: object
+    plan: object = None
+    inputs: object = None
+    seed: int = 0
+    deadline_s: float | None = None
+    request_id: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError(
+                f"deadline_s must be positive, got {self.deadline_s}"
+            )
+
+
+@dataclass
+class ModelResponse:
+    """The server's answer to one :class:`ModelRequest`.
+
+    Attributes
+    ----------
+    request_id:
+        Identifier of the request this answers.
+    status:
+        Aggregate verification coverage over the whole forward pass:
+        ``FULL`` when every layer ran at its planned rung, ``DEGRADED``
+        when any layer was served below plan (the per-layer record is in
+        ``result.layers``), ``UNCHECKED`` when *no* layer received any
+        verification, ``REJECTED`` when the request was not executed.
+    output:
+        The model output activation, or ``None`` for rejected requests.
+    result:
+        The full :class:`~repro.models.runner.ModelRunResult` (per-layer
+        rungs, schemes, detections, reuse and timing records).
+    detected:
+        Whether any layer's check flagged a fault during the final pass.
+    degraded_layers:
+        Names of layers served below their planned protection rung.
+    rejected_reason:
+        Why the request was rejected — ``None`` for served responses.
+    queue_wait_s / service_s:
+        Seconds spent waiting for admission / executing the pass.
+    """
+
+    request_id: str
+    status: VerificationStatus
+    output: np.ndarray | None = None
+    result: object = None
+    detected: bool = False
+    degraded_layers: tuple[str, ...] = ()
+    rejected_reason: str | None = None
+    queue_wait_s: float = 0.0
+    service_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status is not VerificationStatus.REJECTED
+
+    @property
+    def verified(self) -> bool:
+        """Whether any layer of the pass received checksum verification."""
         return self.status in (
             VerificationStatus.FULL,
             VerificationStatus.DEGRADED,

@@ -48,7 +48,13 @@ from ..engine.engine import EncodedOperand, MatmulEngine, _operand_dtype
 from ..errors import ConfigurationError, CorrectionError
 from ..telemetry import MetricsRegistry, get_registry, span
 from .config import ServeConfig, rung_for_fraction
-from .request import MatmulRequest, MatmulResponse, VerificationStatus
+from .request import (
+    MatmulRequest,
+    MatmulResponse,
+    ModelRequest,
+    ModelResponse,
+    VerificationStatus,
+)
 
 __all__ = ["MatmulServer"]
 
@@ -276,6 +282,47 @@ class MatmulServer:
                 self._cond.notify_all()
         if reject_reason is not None:
             self._resolve_rejection(fut, request_id, reject_reason)
+        return fut
+
+    def submit_model(self, request: ModelRequest) -> Future:
+        """Submit a model-inference request; returns a future of the response.
+
+        The pass executes on a dedicated thread (model runs are multi-layer
+        and would head-of-line-block the matmul micro-batcher), through a
+        :class:`~repro.models.runner.ModelRunner` sharing this server's
+        engine and registry — so ``abft_model_*`` metrics land in the same
+        scrape as ``abft_serve_*``.
+
+        Deadline handling is **per layer**: before each layer dispatches,
+        the remaining-deadline fraction walks the server's degradation
+        ladder, capping that layer's planned protection rung.  A pass that
+        outlives its deadline finishes at the ``unchecked`` rung rather
+        than dying mid-model; every below-plan layer is named on
+        :attr:`~repro.serve.request.ModelResponse.degraded_layers` and the
+        response status reflects it — never silent.
+        """
+        if not isinstance(request, ModelRequest):
+            raise TypeError(
+                f"request must be a ModelRequest, got "
+                f"{type(request).__name__}"
+            )
+        fut: Future = Future()
+        with self._cond:
+            self._seq += 1
+            if request.request_id is None:
+                request.request_id = f"m{self._seq}"
+            accepting = self._accepting
+        if not accepting:
+            self._resolve_model_rejection(fut, request.request_id, "shutdown")
+            return fut
+        enqueue_t = self._clock()
+        thread = threading.Thread(
+            target=self._run_model,
+            args=(request, fut, enqueue_t),
+            name=f"abft-serve-model-{request.request_id}",
+            daemon=True,
+        )
+        thread.start()
         return fut
 
     def start(self) -> None:
@@ -627,6 +674,100 @@ class MatmulServer:
             if not final.detected:
                 return final, False, True, retries
         return final, False, False, retries
+
+    def _model_runner(self):
+        """The lazily-built model runner sharing engine and registry."""
+        from ..models.runner import ModelRunner
+
+        with self._cond:
+            runner = getattr(self, "_model_runner_obj", None)
+            if runner is None:
+                runner = ModelRunner(self.engine, registry=self.registry)
+                self._model_runner_obj = runner
+        return runner
+
+    def _run_model(self, request: ModelRequest, fut: Future, enqueue_t: float):
+        from ..models.planner import ProtectionPlanner
+
+        cfg = self.config
+        try:
+            plan = request.plan
+            if plan is None:
+                plan = ProtectionPlanner(cfg.abft).plan(request.model)
+            deadline_total = request.deadline_s
+            deadline_at = (
+                None
+                if deadline_total is None
+                else enqueue_t + deadline_total
+            )
+
+            def rung_cap(index, assignment):
+                """Per-layer ladder walk from remaining deadline budget."""
+                if deadline_at is None:
+                    return "full"
+                remaining = deadline_at - self._clock()
+                if remaining <= 0:
+                    return "unchecked"
+                rung = rung_for_fraction(
+                    remaining / deadline_total, cfg.degrade_fractions
+                )
+                return cfg.rung_name(rung)
+
+            t0 = self._clock()
+            result = self._model_runner().run(
+                request.model,
+                plan,
+                request.inputs,
+                seed=request.seed,
+                rung_cap=rung_cap,
+            )
+            service_s = self._clock() - t0
+            degraded = tuple(
+                layer.layer for layer in result.layers if layer.degraded
+            )
+            for layer in result.layers:
+                if layer.degraded:
+                    self._m_degradations.labels(rung=layer.rung).inc()
+            if any(layer.protected for layer in result.layers):
+                status = (
+                    VerificationStatus.DEGRADED
+                    if degraded
+                    else VerificationStatus.FULL
+                )
+            else:
+                status = VerificationStatus.UNCHECKED
+            self._m_requests.labels(outcome="completed").inc()
+            self._h_latency.observe((t0 - enqueue_t) + service_s)
+            fut.set_result(
+                ModelResponse(
+                    request_id=request.request_id or "m?",
+                    status=status,
+                    output=result.output,
+                    result=result,
+                    detected=result.detected,
+                    degraded_layers=degraded,
+                    queue_wait_s=t0 - enqueue_t,
+                    service_s=service_s,
+                )
+            )
+        except Exception as exc:
+            # A runner bug must never strand the caller.
+            if not fut.done():
+                self._m_dropped.inc()
+                fut.set_exception(exc)
+
+    def _resolve_model_rejection(
+        self, fut: Future, request_id: str, reason: str
+    ) -> None:
+        self._m_rejections.labels(reason=reason).inc()
+        self._m_requests.labels(outcome="rejected").inc()
+        fut.set_result(
+            ModelResponse(
+                request_id=request_id,
+                status=VerificationStatus.REJECTED,
+                rejected_reason=reason,
+            )
+        )
 
     def _resolve_rejection(
         self,

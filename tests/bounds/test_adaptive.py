@@ -1,0 +1,189 @@
+"""Variance-adaptive low-precision bound: calibration table, scalar/array
+agreement, and the AdaptiveBound scheme's context contract."""
+
+import numpy as np
+import pytest
+
+from repro.bounds.adaptive import (
+    ADAPTIVE_K,
+    AdaptiveBound,
+    adaptive_epsilon,
+    adaptive_epsilon_array,
+    adaptive_k_for,
+    quantization_epsilon,
+    quantization_epsilon_array,
+)
+from repro.bounds.base import BoundContext
+from repro.bounds.sea import sea_epsilon
+from repro.errors import BoundSchemeError
+from repro.fp.constants import BINARY16, BINARY32, BINARY64, FloatFormat
+
+
+class TestCalibrationTable:
+    def test_table_values(self):
+        assert ADAPTIVE_K == {
+            "binary16": 1.25,
+            "bfloat16": 1.25,
+            "binary32": 1.0,
+            "binary64": 1.0,
+        }
+
+    def test_k_for_known_formats(self):
+        assert adaptive_k_for(BINARY16) == 1.25
+        assert adaptive_k_for(BINARY32) == 1.0
+        assert adaptive_k_for(BINARY64) == 1.0
+
+    def test_k_for_unknown_format_defaults_to_one(self):
+        weird = FloatFormat(
+            name="binary128-ish",
+            total_bits=32,
+            mantissa_bits=23,
+            exponent_bits=8,
+            dtype=np.dtype(np.float32),
+            uint_dtype=np.dtype(np.uint32),
+        )
+        assert adaptive_k_for(weird) == 1.0
+
+
+class TestQuantizationEpsilon:
+    def test_is_the_cauchy_schwarz_product(self):
+        # k * u_s * sum_i ||a_i|| * ||b_j||, all factors explicit.
+        assert quantization_epsilon(3.0, 2.0, 0.5, 1.25) == 1.25 * 0.5 * 3.0 * 2.0
+
+    def test_array_form_matches_scalar_per_column(self):
+        b_norms = np.array([0.5, 1.0, 2.0, 7.25])
+        vec = quantization_epsilon_array(3.0, b_norms, 2.0**-11, 1.25)
+        for j, b_norm in enumerate(b_norms):
+            assert vec[j] == quantization_epsilon(3.0, b_norm, 2.0**-11, 1.25)
+
+    @pytest.mark.parametrize("kwargs", [{"u_storage": -1e-3}, {"k": -0.5}])
+    def test_negative_inputs_rejected(self, kwargs):
+        base = {"u_storage": 2.0**-11, "k": 1.25}
+        base.update(kwargs)
+        with pytest.raises(ValueError):
+            quantization_epsilon(3.0, 2.0, base["u_storage"], base["k"])
+        with pytest.raises(ValueError):
+            quantization_epsilon_array(
+                3.0, np.ones(4), base["u_storage"], base["k"]
+            )
+
+
+class TestScalarArrayAgreement:
+    def test_adaptive_epsilon_array_mirrors_scalar_bitwise(self):
+        rng = np.random.default_rng(7)
+        norms = rng.uniform(0.5, 4.0, 8)
+        checksum_norm = float(np.linalg.norm(norms))
+        b_norms = rng.uniform(0.5, 4.0, 16)
+        u_s = BINARY16.unit_roundoff
+        vec = adaptive_epsilon_array(
+            n=32,
+            m=norms.size,
+            data_norm_sum=float(norms.sum()),
+            checksum_row_norm=checksum_norm,
+            b_norms=b_norms,
+            t_compute=BINARY32.t,
+            u_storage=u_s,
+            k=1.25,
+        )
+        for j, b_norm in enumerate(b_norms):
+            scalar = adaptive_epsilon(
+                n=32,
+                data_row_norms=norms,
+                checksum_row_norm=checksum_norm,
+                b_norm=float(b_norm),
+                t_compute=BINARY32.t,
+                u_storage=u_s,
+                k=1.25,
+            )
+            assert vec[j] == scalar  # bitwise, not approx
+
+    def test_exceeds_sea_by_exactly_the_quantisation_term(self):
+        norms = np.array([1.0, 2.0, 3.0])
+        sea = sea_epsilon(
+            n=16,
+            data_row_norms=norms,
+            checksum_row_norm=4.0,
+            b_norm=2.0,
+            t=BINARY32.t,
+        )
+        adaptive = adaptive_epsilon(
+            n=16,
+            data_row_norms=norms,
+            checksum_row_norm=4.0,
+            b_norm=2.0,
+            t_compute=BINARY32.t,
+            u_storage=BINARY16.unit_roundoff,
+            k=1.25,
+        )
+        extra = quantization_epsilon(6.0, 2.0, BINARY16.unit_roundoff, 1.25)
+        assert adaptive == sea + extra
+        assert adaptive > sea
+
+    def test_zero_u_storage_degenerates_to_sea(self):
+        norms = np.array([1.0, 2.0, 3.0])
+        sea = sea_epsilon(
+            n=16,
+            data_row_norms=norms,
+            checksum_row_norm=4.0,
+            b_norm=2.0,
+            t=BINARY32.t,
+        )
+        adaptive = adaptive_epsilon(
+            n=16,
+            data_row_norms=norms,
+            checksum_row_norm=4.0,
+            b_norm=2.0,
+            t_compute=BINARY32.t,
+            u_storage=0.0,
+            k=1.25,
+        )
+        assert adaptive == sea
+
+
+class TestAdaptiveBound:
+    def _ctx(self):
+        a_norms = np.array([1.0, 2.0, 3.0, 4.0])  # data rows + checksum row
+        return BoundContext(n=32, m=3, a_norms=a_norms, b_norm=2.0)
+
+    def test_default_k_resolves_from_table(self):
+        bound = AdaptiveBound(fmt=BINARY32, storage_fmt=BINARY16)
+        assert bound.effective_k == 1.25
+
+    def test_explicit_k_overrides_table(self):
+        bound = AdaptiveBound(fmt=BINARY32, storage_fmt=BINARY16, k=2.5)
+        assert bound.effective_k == 2.5
+
+    @pytest.mark.parametrize("k", [-1.0, float("inf"), float("nan")])
+    def test_invalid_k_rejected(self, k):
+        with pytest.raises(ValueError, match="k must be"):
+            AdaptiveBound(fmt=BINARY32, storage_fmt=BINARY16, k=k)
+
+    def test_epsilon_matches_the_free_function(self):
+        bound = AdaptiveBound(fmt=BINARY32, storage_fmt=BINARY16)
+        ctx = self._ctx()
+        expected = adaptive_epsilon(
+            n=32,
+            data_row_norms=np.array([1.0, 2.0, 3.0]),
+            checksum_row_norm=4.0,
+            b_norm=2.0,
+            t_compute=BINARY32.t,
+            u_storage=BINARY16.unit_roundoff,
+            k=1.25,
+        )
+        assert bound.epsilon(ctx) == expected
+
+    def test_requires_norms_in_context(self):
+        bound = AdaptiveBound(fmt=BINARY32, storage_fmt=BINARY16)
+        with pytest.raises(BoundSchemeError, match="requires row norms"):
+            bound.epsilon(BoundContext(n=32, m=3))
+
+    def test_requires_at_least_data_plus_checksum_row(self):
+        bound = AdaptiveBound(fmt=BINARY32, storage_fmt=BINARY16)
+        ctx = BoundContext(n=32, m=1, a_norms=np.array([1.0]), b_norm=2.0)
+        with pytest.raises(BoundSchemeError, match="at least one data row"):
+            bound.epsilon(ctx)
+
+    def test_describe_names_storage_and_k(self):
+        text = AdaptiveBound(fmt=BINARY32, storage_fmt=BINARY16).describe()
+        assert "binary16" in text
+        assert "k=1.25" in text

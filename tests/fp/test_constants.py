@@ -1,9 +1,18 @@
-"""Format constants: IEEE-754 binary32/binary64 invariants."""
+"""Format constants: IEEE-754 binary16/32/64 (+ gated bfloat16) invariants."""
 
 import numpy as np
 import pytest
 
-from repro.fp.constants import BINARY32, BINARY64, format_for_dtype
+from repro.fp.constants import (
+    BFLOAT16,
+    BINARY16,
+    BINARY32,
+    BINARY64,
+    bfloat16_dtype,
+    format_for_dtype,
+    format_for_name,
+    supported_storage_dtypes,
+)
 
 
 class TestFormats:
@@ -55,6 +64,40 @@ class TestFormatForDtype:
     def test_lookup_float32(self):
         assert format_for_dtype(np.float32) is BINARY32
 
+    def test_lookup_float16(self):
+        assert format_for_dtype(np.float16) is BINARY16
+
     def test_unsupported_dtype_raises(self):
-        with pytest.raises(KeyError, match="float16"):
-            format_for_dtype(np.float16)
+        with pytest.raises(KeyError, match="int32"):
+            format_for_dtype(np.int32)
+
+
+class TestLowPrecisionFormats:
+    def test_binary16_precision(self):
+        assert BINARY16.t == 11
+        assert BINARY16.mantissa_bits == 10
+        assert BINARY16.exponent_bits == 5
+        assert BINARY16.total_bits == 16
+        assert BINARY16.exponent_bias == 15
+        assert BINARY16.machine_epsilon == np.finfo(np.float16).eps
+        assert BINARY16.unit_roundoff == np.finfo(np.float16).eps / 2
+
+    def test_bfloat16_gated_on_ml_dtypes(self):
+        if bfloat16_dtype() is None:
+            assert BFLOAT16 is None
+            with pytest.raises(KeyError, match="ml_dtypes"):
+                format_for_name("bfloat16")
+            assert "bfloat16" not in supported_storage_dtypes()
+        else:
+            assert BFLOAT16 is not None
+            assert BFLOAT16.t == 8
+            assert BFLOAT16.exponent_bits == 8
+            assert format_for_name("bfloat16") is BFLOAT16
+            assert "bfloat16" in supported_storage_dtypes()
+
+    def test_format_for_name_roundtrip(self):
+        assert format_for_name("float16") is BINARY16
+        assert format_for_name("float32") is BINARY32
+        assert format_for_name("float64") is BINARY64
+        with pytest.raises(KeyError, match="unknown"):
+            format_for_name("float128")

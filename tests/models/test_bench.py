@@ -1,0 +1,67 @@
+"""Model benchmark: baseline comparison logic and the committed baseline."""
+
+import json
+from pathlib import Path
+
+from repro.models import compare_to_baseline, default_baseline_path
+from repro.models.bench import BENCH_MODEL_KWARGS
+
+
+def payload(mixed=0.010, full=0.018, coverage=0.99, target=0.85):
+    return {
+        "mixed_seconds": mixed,
+        "full_seconds": full,
+        "mixed_vs_full_ratio": mixed / full,
+        "coverage": {"target": target, "mixed": coverage},
+    }
+
+
+class TestCompareToBaseline:
+    def test_within_tolerance_passes(self):
+        base = payload()
+        passed, detail = compare_to_baseline(
+            payload(mixed=0.011), base, tolerance=0.5
+        )
+        assert passed
+        assert "regressed" not in detail
+
+    def test_slower_mixed_pass_fails(self):
+        base = payload()
+        passed, detail = compare_to_baseline(
+            payload(mixed=0.016), base, tolerance=0.5
+        )
+        assert not passed
+
+    def test_regressed_ratio_fails(self):
+        base = payload()
+        # Mixed absolute time still cheap, but the planner advantage
+        # relative to all-full collapsed.
+        slow = payload(mixed=0.012, full=0.0121)
+        passed, detail = compare_to_baseline(slow, base, tolerance=0.1)
+        assert not passed
+
+    def test_missed_coverage_fails(self):
+        base = payload()
+        passed, detail = compare_to_baseline(
+            payload(coverage=0.5), base, tolerance=0.5
+        )
+        assert not passed
+
+
+class TestCommittedBaseline:
+    def test_baseline_is_committed_and_coherent(self):
+        path = default_baseline_path()
+        assert path.name == "BENCH_models.json"
+        data = json.loads(Path(path).read_text())
+        # The hard acceptance claim is enforced at baseline-write time:
+        # the planner-mixed plan must beat all-full outright.
+        assert data["mixed_vs_full_ratio"] < 1.0
+        assert data["mixed_seconds"] < data["full_seconds"]
+        assert data["unchecked_seconds"] < data["mixed_seconds"]
+        assert data["coverage"]["mixed"] >= data["coverage"]["target"]
+        assert data["model"]["name"] == BENCH_MODEL_KWARGS["name"]
+
+    def test_committed_plan_is_a_real_mix(self):
+        data = json.loads(Path(default_baseline_path()).read_text())
+        rungs = {a["rung"] for a in data["mixed_plan"]}
+        assert len(rungs) > 1

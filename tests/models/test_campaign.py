@@ -1,0 +1,89 @@
+"""ModelCampaign: per-layer coverage accounting, protected vs unchecked."""
+
+import pytest
+
+from repro.engine import AbftConfig, MatmulEngine
+from repro.errors import ConfigurationError
+from repro.models import (
+    ModelCampaign,
+    ModelRunner,
+    ProtectionPlanner,
+    mlp,
+)
+from repro.telemetry import MetricsRegistry
+
+CFG = AbftConfig(block_size=16, p=2)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    with MatmulEngine(CFG, registry=MetricsRegistry()) as engine:
+        yield ModelRunner(engine, registry=MetricsRegistry())
+
+
+def small_model():
+    return mlp(name="cm", batch=16, d_in=32, hidden=32, depth=3, d_out=8)
+
+
+class TestAccounting:
+    def test_protected_layers_detect_unchecked_counted_separately(self, runner):
+        model = small_model()
+        plan = ProtectionPlanner(
+            CFG, coverage_target=1.0, full_intensity=0.0, sea_intensity=0.0
+        ).plan(model)
+        campaign = ModelCampaign(
+            runner, trials_per_layer=2, clean_trials=1, seed=3
+        )
+        result = campaign.run(model, plan)
+        assert result.protected_trials == 2 * model.depth
+        assert result.unchecked_trials == 0
+        assert result.protected_coverage == 1.0
+        assert result.false_positives == 0
+        assert result.clean_trials == 1
+
+    def test_unchecked_layers_are_an_explicit_hole(self, runner):
+        model = small_model()
+        plan = ProtectionPlanner(
+            CFG,
+            coverage_target=0.0,
+            full_intensity=float("inf"),
+            sea_intensity=float("inf"),
+        ).plan(model)
+        campaign = ModelCampaign(
+            runner, trials_per_layer=2, clean_trials=0, seed=3
+        )
+        result = campaign.run(model, plan)
+        assert result.protected_trials == 0
+        assert result.unchecked_trials == 2 * model.depth
+        # Nothing protected ran, and the hole is never averaged in.
+        assert result.protected_coverage == 0.0
+        for cov in result.layers:
+            assert cov.detected == 0
+            assert cov.coverage == 0.0
+
+    def test_layer_lookup_and_to_dict(self, runner):
+        model = small_model()
+        campaign = ModelCampaign(
+            runner, trials_per_layer=1, clean_trials=0, seed=3
+        )
+        result = campaign.run(model)
+        cov = result.layer_coverage("fc1")
+        assert cov.trials == 1
+        with pytest.raises(ConfigurationError, match="no layer"):
+            result.layer_coverage("missing")
+        data = result.to_dict()
+        assert data["model"] == "cm"
+        assert len(data["layers"]) == model.depth
+        assert {"protected_coverage", "false_positives", "clean_trials"} <= (
+            set(data)
+        )
+
+
+class TestValidation:
+    def test_zero_trials_rejected(self):
+        with pytest.raises(ConfigurationError, match="trials_per_layer"):
+            ModelCampaign(trials_per_layer=0)
+
+    def test_negative_clean_trials_rejected(self):
+        with pytest.raises(ConfigurationError, match="clean_trials"):
+            ModelCampaign(clean_trials=-1)

@@ -1,0 +1,120 @@
+"""Property-based mixed-precision fault suite (satellite of the A-ABFT
+low-precision work): across hundreds of random fp16 GEMM shapes the
+variance-adaptive threshold must (a) stay silent on fault-free runs —
+the V-ABFT zero-false-positive calibration — and (b) flag a critical
+mantissa/exponent bit flip injected into the stored result."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.abft.checking import check_partitioned
+from repro.engine import AbftConfig, MatmulEngine
+from repro.fp.bits import flip_bit
+from repro.fp.constants import bfloat16_dtype, format_for_dtype
+from repro.telemetry import MetricsRegistry
+
+#: Small block so tiny shapes still partition into several blocks.
+CFG = AbftConfig(block_size=8, p=2, scheme="adaptive", dtype="float16")
+
+_ENGINE = None
+
+
+def engine() -> MatmulEngine:
+    # Module-level warm engine: plan caches persist across hypothesis
+    # examples, keeping 200+ engine round-trips fast.
+    global _ENGINE
+    if _ENGINE is None:
+        _ENGINE = MatmulEngine(CFG, registry=MetricsRegistry())
+    return _ENGINE
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _shutdown_engine():
+    yield
+    global _ENGINE
+    if _ENGINE is not None:
+        _ENGINE.close()
+        _ENGINE = None
+
+
+shapes = st.tuples(
+    st.integers(min_value=4, max_value=40),   # m
+    st.integers(min_value=4, max_value=40),   # k
+    st.integers(min_value=4, max_value=24),   # n
+)
+
+
+def make_operands(m, k, n, seed):
+    rng = np.random.default_rng(seed)
+    a = (rng.standard_normal((m, k)) / np.sqrt(k)).astype(np.float16)
+    b = (rng.standard_normal((k, n)) / np.sqrt(k)).astype(np.float16)
+    return a, b
+
+
+@settings(max_examples=220, deadline=None)
+@given(shape=shapes, seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_fp16_fault_free_runs_are_clean_and_critical_flips_detected(
+    shape, seed
+):
+    m, k, n = shape
+    a, b = make_operands(m, k, n, seed)
+    result = engine().matmul(a, b)
+
+    # (a) Fault-free: the adaptive tolerance absorbs the storage
+    # quantisation noise — any detection here is a calibration bug.
+    assert not result.report.error_detected, (
+        f"false positive on clean fp16 run, shape {shape}"
+    )
+
+    # (b) Critical flip: corrupt the largest-magnitude data element of the
+    # stored result by an exponent bit (x16 or /16 — decisively outside
+    # the adaptive tolerance for the block maximum) and re-check.
+    c_fc = result.c_fc.copy()
+    flat = int(np.argmax(np.abs(result.c)))
+    row, col = divmod(flat, result.c.shape[1])
+    r = result.row_layout.to_encoded_index(row)
+    c = result.col_layout.to_encoded_index(col)
+    fmt = format_for_dtype(c_fc.dtype)
+    c_fc[r, c] = flip_bit(c_fc[r, c], fmt.mantissa_bits + 2)
+    report = check_partitioned(
+        c_fc, result.row_layout, result.col_layout, result.provider
+    )
+    assert report.error_detected, (
+        f"undetected exponent flip at {(row, col)}, shape {shape}"
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(shape=shapes, seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_fp16_top_mantissa_flip_detected(shape, seed):
+    # A top-mantissa flip perturbs the value by up to 50% — weaker than an
+    # exponent flip but still far outside the quantisation band at the
+    # block maximum.
+    m, k, n = shape
+    a, b = make_operands(m, k, n, seed)
+    result = engine().matmul(a, b)
+    c_fc = result.c_fc.copy()
+    flat = int(np.argmax(np.abs(result.c)))
+    row, col = divmod(flat, result.c.shape[1])
+    r = result.row_layout.to_encoded_index(row)
+    c = result.col_layout.to_encoded_index(col)
+    fmt = format_for_dtype(c_fc.dtype)
+    c_fc[r, c] = flip_bit(c_fc[r, c], fmt.mantissa_bits - 1)
+    report = check_partitioned(
+        c_fc, result.row_layout, result.col_layout, result.provider
+    )
+    assert report.error_detected
+
+
+@pytest.mark.skipif(bfloat16_dtype() is None, reason="ml_dtypes not installed")
+def test_bfloat16_fault_free_runs_are_clean():
+    cfg = AbftConfig(block_size=8, p=2, scheme="adaptive", dtype="bfloat16")
+    bf16 = bfloat16_dtype()
+    rng = np.random.default_rng(5)
+    a = (rng.standard_normal((24, 16)) / 4.0).astype(bf16)
+    b = (rng.standard_normal((16, 12)) / 4.0).astype(bf16)
+    with MatmulEngine(cfg, registry=MetricsRegistry()) as eng:
+        result = eng.matmul(a, b)
+    assert not result.report.error_detected

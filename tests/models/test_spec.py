@@ -1,0 +1,136 @@
+"""ModelSpec / LayerSpec: validation, chaining, JSON round-trip, builders."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fp.constants import bfloat16_dtype
+from repro.models import ACTIVATIONS, LayerSpec, ModelSpec, attention, mlp
+
+
+class TestLayerSpec:
+    def test_defaults(self):
+        layer = LayerSpec("fc", 8, 16)
+        assert layer.dtype == "float32"
+        assert layer.activation == "none"
+        assert not layer.is_low_precision
+
+    def test_flops(self):
+        assert LayerSpec("fc", 8, 16).flops(4) == 2.0 * 4 * 8 * 16
+
+    def test_low_precision_flag(self):
+        assert LayerSpec("fc", 8, 16, dtype="float16").is_low_precision
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError, match="non-empty"):
+            LayerSpec("", 8, 16)
+
+    @pytest.mark.parametrize("dims", [(0, 16), (8, -2), (8, 2.5)])
+    def test_bad_dims_rejected(self, dims):
+        d_in, d_out = dims
+        with pytest.raises(ConfigurationError, match="positive"):
+            LayerSpec("fc", d_in, d_out)
+
+    def test_unknown_dtype_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown dtype"):
+            LayerSpec("fc", 8, 16, dtype="float8")
+
+    @pytest.mark.skipif(
+        bfloat16_dtype() is not None, reason="ml_dtypes installed"
+    )
+    def test_bfloat16_gated_on_ml_dtypes(self):
+        with pytest.raises(ConfigurationError, match="ml_dtypes"):
+            LayerSpec("fc", 8, 16, dtype="bfloat16")
+
+    def test_unknown_activation_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown activation"):
+            LayerSpec("fc", 8, 16, activation="swish")
+
+    def test_activation_inventory_locked(self):
+        assert ACTIVATIONS == ("none", "relu", "gelu", "tanh")
+
+
+class TestModelSpec:
+    def _layers(self):
+        return (
+            LayerSpec("fc1", 8, 16, activation="relu"),
+            LayerSpec("head", 16, 4),
+        )
+
+    def test_valid_chain(self):
+        model = ModelSpec("m", 4, self._layers())
+        assert model.depth == 2
+        assert model.d_in == 8
+        assert model.d_out == 4
+        assert model.total_flops() == 2.0 * 4 * 8 * 16 + 2.0 * 4 * 16 * 4
+
+    def test_layer_lookup(self):
+        model = ModelSpec("m", 4, self._layers())
+        assert model.layer("head").d_out == 4
+        with pytest.raises(ConfigurationError, match="no layer"):
+            model.layer("missing")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError, match="non-empty"):
+            ModelSpec("", 4, self._layers())
+
+    @pytest.mark.parametrize("batch", [0, -1, 2.5])
+    def test_bad_batch_rejected(self, batch):
+        with pytest.raises(ConfigurationError, match="batch"):
+            ModelSpec("m", batch, self._layers())
+
+    def test_no_layers_rejected(self):
+        with pytest.raises(ConfigurationError, match="no layers"):
+            ModelSpec("m", 4, ())
+
+    def test_duplicate_layer_names_rejected(self):
+        layers = (LayerSpec("fc", 8, 8), LayerSpec("fc", 8, 8))
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            ModelSpec("m", 4, layers)
+
+    def test_broken_chaining_rejected(self):
+        layers = (LayerSpec("fc1", 8, 16), LayerSpec("fc2", 12, 4))
+        with pytest.raises(ConfigurationError, match="d_in=12"):
+            ModelSpec("m", 4, layers)
+
+    def test_json_round_trip(self):
+        model = mlp(
+            name="rt", batch=8, d_in=16, hidden=32, depth=3, dtype="float16"
+        )
+        assert ModelSpec.from_json(model.to_json()) == model
+
+    def test_specs_are_hashable(self):
+        assert len({mlp(name="a"), mlp(name="a"), mlp(name="b")}) == 2
+
+
+class TestBuilders:
+    def test_mlp_shape(self):
+        model = mlp(name="m", batch=8, d_in=16, hidden=32, depth=4, d_out=2)
+        assert [layer.name for layer in model.layers] == [
+            "fc1", "fc2", "fc3", "head",
+        ]
+        assert model.d_in == 16
+        assert model.d_out == 2
+        assert all(
+            layer.activation == "relu" for layer in model.layers[:-1]
+        )
+        assert model.layers[-1].activation == "none"
+
+    def test_mlp_defaults_head_to_hidden_width(self):
+        assert mlp(hidden=96).d_out == 96
+
+    def test_mlp_rejects_zero_depth(self):
+        with pytest.raises(ConfigurationError, match="depth"):
+            mlp(depth=0)
+
+    def test_attention_shape(self):
+        model = attention(name="attn", batch=8, d_model=32)
+        assert [layer.name for layer in model.layers] == [
+            "wq", "wk", "wv", "wo", "ffn_up", "ffn_down",
+        ]
+        assert model.layer("ffn_up").d_out == 4 * 32  # default expansion
+        assert model.layer("ffn_up").activation == "gelu"
+        assert model.d_in == model.d_out == 32
+
+    def test_attention_dtype_propagates_to_every_layer(self):
+        model = attention(d_model=32, dtype="float16")
+        assert all(layer.dtype == "float16" for layer in model.layers)

@@ -1,0 +1,69 @@
+"""Arithmetic intensity: hand-computed pins, dtype scaling, validation."""
+
+import numpy as np
+import pytest
+
+from repro.perfmodel import arithmetic_intensity, gemm_bytes, gemm_flops
+
+
+class TestHandComputedPins:
+    def test_square_fp32_gemm(self):
+        # m = n = k = 256, float32: 2 * 256^3 = 33_554_432 flops over
+        # 3 * 256^2 * 4 = 786_432 bytes -> exactly 128/3 flops per byte.
+        assert gemm_flops(256, 256, 256) == 33_554_432.0
+        assert gemm_bytes(256, 256, 256, dtype="float32") == 786_432.0
+        assert arithmetic_intensity(256, 256, 256, dtype="float32") == (
+            pytest.approx(128.0 / 3.0, rel=1e-12)
+        )
+
+    def test_skinny_fp64_gemm(self):
+        # m=1024, n=16, k=512, float64: 2*1024*16*512 = 16_777_216 flops,
+        # (1024*512 + 512*16 + 1024*16) * 8 = 4_390_912 bytes -> 256/67.
+        # Skinny GEMMs stay memory-bound: ai ~ 3.82 despite m = 1024.
+        assert gemm_flops(1024, 16, 512) == 16_777_216.0
+        assert gemm_bytes(1024, 16, 512, dtype="float64") == 4_390_912.0
+        assert arithmetic_intensity(1024, 16, 512, dtype="float64") == (
+            pytest.approx(256.0 / 67.0, rel=1e-12)
+        )
+
+    def test_flops_do_not_depend_on_dtype(self):
+        assert gemm_flops(3, 5, 7) == 2.0 * 3 * 5 * 7
+
+
+class TestDtypeScaling:
+    def test_fp16_doubles_fp32_intensity(self):
+        fp32 = arithmetic_intensity(128, 128, 128, dtype="float32")
+        fp16 = arithmetic_intensity(128, 128, 128, dtype="float16")
+        assert fp16 == pytest.approx(2.0 * fp32, rel=1e-12)
+
+    def test_fp64_halves_fp32_intensity(self):
+        fp32 = arithmetic_intensity(96, 64, 32, dtype="float32")
+        fp64 = arithmetic_intensity(96, 64, 32, dtype="float64")
+        assert fp64 == pytest.approx(0.5 * fp32, rel=1e-12)
+
+    @pytest.mark.parametrize(
+        "dtype", ["float32", np.float32, np.dtype(np.float32)]
+    )
+    def test_dtype_accepted_in_any_spelling(self, dtype):
+        assert arithmetic_intensity(64, 64, 64, dtype=dtype) == (
+            arithmetic_intensity(64, 64, 64, dtype="float32")
+        )
+
+    def test_default_dtype_is_float32(self):
+        assert gemm_bytes(8, 8, 8) == gemm_bytes(8, 8, 8, dtype="float32")
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", [(0, 8, 8), (8, -1, 8), (8, 8, 2.5)])
+    def test_bad_dims_rejected(self, bad):
+        m, n, k = bad
+        with pytest.raises(ValueError, match="positive integer"):
+            gemm_flops(m, n, k)
+        with pytest.raises(ValueError, match="positive integer"):
+            gemm_bytes(m, n, k)
+        with pytest.raises(ValueError, match="positive integer"):
+            arithmetic_intensity(m, n, k)
+
+    def test_integer_valued_floats_accepted(self):
+        # 8.0 is integer-valued; only true non-integers are rejected.
+        assert gemm_flops(8.0, 8, 8) == gemm_flops(8, 8, 8)

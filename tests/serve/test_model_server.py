@@ -1,0 +1,146 @@
+"""submit_model: per-layer deadline ladder, never-silent degradation."""
+
+import numpy as np
+import pytest
+
+from repro.models import ProtectionPlanner, attention, mlp
+from repro.serve import (
+    MatmulServer,
+    ModelRequest,
+    ServeConfig,
+    VerificationStatus,
+)
+from repro.telemetry import MetricsRegistry
+
+
+class SteppingClock:
+    """A fake monotonic clock advancing a fixed step per reading."""
+
+    def __init__(self, step=0.0):
+        self.t = 0.0
+        self.step = step
+
+    def __call__(self):
+        self.t += self.step
+        return self.t
+
+
+def make_server(step=0.0):
+    return MatmulServer(
+        ServeConfig(batch_window_s=0.0),
+        registry=MetricsRegistry(),
+        auto_start=False,
+        clock=SteppingClock(step),
+    )
+
+
+def small_model():
+    return mlp(name="sm", batch=16, d_in=32, hidden=32, depth=3, d_out=8)
+
+
+class TestSubmitModel:
+    def test_no_deadline_serves_full(self):
+        server = make_server()
+        response = server.submit_model(
+            ModelRequest(model=small_model())
+        ).result(timeout=30)
+        assert response.status is VerificationStatus.FULL
+        assert response.ok and response.verified
+        assert response.degraded_layers == ()
+        assert response.output.shape == (16, 8)
+        assert not response.detected
+        server.stop()
+
+    def test_result_carries_per_layer_record(self):
+        server = make_server()
+        response = server.submit_model(
+            ModelRequest(model=small_model())
+        ).result(timeout=30)
+        assert len(response.result.layers) == 3
+        # The default planner upgrades the two hidden layers to SEA to hit
+        # its coverage target; the skinny head stays an explicit hole.
+        assert response.result.layer_run("fc1").protected
+        assert response.result.layer_run("fc2").protected
+        assert not response.result.layer_run("head").protected
+        server.stop()
+
+    def test_fp16_model_serves_full(self):
+        server = make_server()
+        model = attention(name="a16", batch=16, d_model=32, dtype="float16")
+        response = server.submit_model(ModelRequest(model=model)).result(
+            timeout=30
+        )
+        assert response.status is VerificationStatus.FULL
+        assert response.output.dtype == np.float16
+        server.stop()
+
+    def test_explicit_plan_is_honoured(self):
+        server = make_server()
+        model = small_model()
+        plan = ProtectionPlanner(
+            coverage_target=0.0,
+            full_intensity=float("inf"),
+            sea_intensity=float("inf"),
+        ).plan(model)
+        response = server.submit_model(
+            ModelRequest(model=model, plan=plan)
+        ).result(timeout=30)
+        # Nothing protected ran and the response says so — never silent.
+        assert response.status is VerificationStatus.UNCHECKED
+        assert not response.verified
+        # Unchecked was the *plan*, not a deadline downgrade.
+        assert response.degraded_layers == ()
+        server.stop()
+
+    def test_expired_deadline_degrades_to_unchecked_never_silent(self):
+        # Every clock reading advances 1s against a 0.5s deadline: by the
+        # first layer dispatch the budget is gone, so the whole pass walks
+        # to the unchecked rung — and names every degraded layer.
+        server = make_server(step=1.0)
+        response = server.submit_model(
+            ModelRequest(model=small_model(), deadline_s=0.5)
+        ).result(timeout=30)
+        assert response.status is VerificationStatus.UNCHECKED
+        # head was *planned* unchecked — only below-plan layers are named.
+        assert set(response.degraded_layers) == {"fc1", "fc2"}
+        assert response.output is not None  # finished, not killed mid-model
+        for run in response.result.layers:
+            assert run.rung == "unchecked"
+        assert response.result.layer_run("fc1").degraded
+        assert not response.result.layer_run("head").degraded
+        server.stop()
+
+    def test_rejected_after_stop(self):
+        server = make_server()
+        server.stop()
+        response = server.submit_model(
+            ModelRequest(model=small_model())
+        ).result(timeout=30)
+        assert response.status is VerificationStatus.REJECTED
+        assert response.rejected_reason == "shutdown"
+        assert not response.ok
+        assert response.output is None
+
+    def test_request_ids_assigned(self):
+        server = make_server()
+        request = ModelRequest(model=small_model())
+        response = server.submit_model(request).result(timeout=30)
+        assert response.request_id == request.request_id
+        assert response.request_id.startswith("m")
+        server.stop()
+
+    def test_wrong_request_type_rejected(self):
+        server = make_server()
+        with pytest.raises(TypeError, match="ModelRequest"):
+            server.submit_model(small_model())
+        server.stop()
+
+
+class TestModelRequestValidation:
+    @pytest.mark.parametrize("deadline", [0.0, -1.0])
+    def test_non_positive_deadline_rejected(self, deadline):
+        with pytest.raises(ValueError, match="deadline_s"):
+            ModelRequest(model=small_model(), deadline_s=deadline)
+
+    def test_none_deadline_accepted(self):
+        assert ModelRequest(model=small_model()).deadline_s is None

@@ -11,6 +11,7 @@ from repro.cigate import (
     coverage_gate,
     default_gate_backends,
     fused_coverage_gate,
+    model_coverage_gate,
     pipeline_coverage_gate,
     run_ci_gate,
     throughput_gate,
@@ -172,6 +173,55 @@ class TestFusedCoverageGate:
         )
 
 
+class TestModelCoverageGate:
+    def test_passes_at_default_floor(self):
+        reg = MetricsRegistry()
+        result = model_coverage_gate(
+            trials_per_layer=2,
+            clean_trials=1,
+            latency_repeats=3,
+            registry=reg,
+        )
+        assert result.passed
+        assert result.gate == "model-coverage"
+        assert result.measured >= DEFAULT_COVERAGE_FLOOR
+        assert "false positives" in result.detail
+        assert result.describe().startswith("[PASS] model-coverage:")
+
+    def test_fails_when_floor_is_unreachable(self):
+        result = model_coverage_gate(
+            floor=1.01,
+            trials_per_layer=2,
+            clean_trials=1,
+            latency_repeats=3,
+            registry=MetricsRegistry(),
+        )
+        assert not result.passed
+        assert result.threshold == 1.01
+
+    def test_publishes_gauges(self):
+        reg = MetricsRegistry()
+        result = model_coverage_gate(
+            trials_per_layer=2,
+            clean_trials=1,
+            latency_repeats=3,
+            registry=reg,
+        )
+        gauges = reg.gauge(
+            "abft_ci_gate_model_coverage", labelnames=("quantity",)
+        )
+        assert gauges.labels(quantity="detection_rate").get() == result.measured
+        assert gauges.labels(quantity="false_positives").get() == 0.0
+        assert gauges.labels(quantity="clean_runs").get() == 2.0
+        # fp32 MLP + fp16 attention, both swept at every layer.
+        assert gauges.labels(quantity="protected_trials").get() > 0
+        assert gauges.labels(quantity="plan_coverage").get() >= (
+            DEFAULT_COVERAGE_FLOOR
+        )
+        # The roofline claim: the mixed plan must beat all-full outright.
+        assert gauges.labels(quantity="latency_ratio").get() < 1.0
+
+
 class TestThroughputGate:
     def test_passes_against_committed_baseline(self):
         # BENCH_engine.json at the repo root is the real CI contract.
@@ -218,7 +268,7 @@ class TestRunCiGate:
         expected = [
             "coverage" if b == "numpy" else f"coverage[{b}]"
             for b in default_gate_backends()
-        ] + ["pipeline-coverage", "fused-coverage", "throughput"]
+        ] + ["pipeline-coverage", "fused-coverage", "model-coverage", "throughput"]
         assert [r.gate for r in results] == expected
         assert "chaos-slo" not in [r.gate for r in results]
         assert all(r.passed for r in results)
@@ -241,6 +291,7 @@ class TestRunCiGate:
             "coverage[blocked]",
             "pipeline-coverage",
             "fused-coverage",
+            "model-coverage",
             "throughput",
         ]
 
@@ -303,6 +354,7 @@ class TestCliCommand:
         assert "ci_gate.coverage" in span_paths
         assert "ci_gate.pipeline_coverage" in span_paths
         assert "ci_gate.fused_coverage" in span_paths
+        assert "ci_gate.model_coverage" in span_paths
         assert "ci_gate.throughput" in span_paths
         snapshots = [ev for ev in lines if ev["type"] == "snapshot"]
         assert len(snapshots) == 1

@@ -207,6 +207,152 @@ class TestParser:
         assert args.force and args.expect_cached
 
 
+class TestModelParser:
+    def test_model_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["model"])
+
+    def test_model_plan_options(self):
+        args = build_parser().parse_args(
+            [
+                "model", "plan",
+                "--model", "attention",
+                "--batch", "32",
+                "--d-model", "128",
+                "--dtype", "float16",
+                "--coverage-target", "0.9",
+                "--full-intensity", "40",
+                "--sea-intensity", "12",
+                "--json",
+            ]
+        )
+        assert args.command == "model"
+        assert args.model_command == "plan"
+        assert args.model == "attention"
+        assert args.batch == 32
+        assert args.d_model == 128
+        assert args.dtype == "float16"
+        assert args.coverage_target == 0.9
+        assert (args.full_intensity, args.sea_intensity) == (40.0, 12.0)
+        assert args.json is True
+
+    def test_model_run_options(self):
+        args = build_parser().parse_args(
+            [
+                "model", "run",
+                "--depth", "3",
+                "--verify-results",
+                "--inject-layer", "fc2",
+                "--inject-row", "3",
+                "--inject-col", "5",
+                "--inject-field", "mantissa",
+            ]
+        )
+        assert args.model_command == "run"
+        assert args.verify_results is True
+        assert args.inject_layer == "fc2"
+        assert (args.inject_row, args.inject_col) == (3, 5)
+        assert args.inject_field == "mantissa"
+
+    def test_model_run_defaults(self):
+        args = build_parser().parse_args(["model", "run"])
+        assert args.model == "mlp"
+        assert args.inject_layer is None
+        assert args.inject_field == "exponent"
+        assert args.coverage_target == 0.85
+
+    def test_model_bench_options(self):
+        args = build_parser().parse_args(
+            [
+                "model", "bench",
+                "--quick",
+                "--compare",
+                "--baseline", "custom.json",
+                "--tolerance", "0.4",
+            ]
+        )
+        assert args.model_command == "bench"
+        assert args.quick and args.compare
+        assert args.baseline == "custom.json"
+        assert args.tolerance == 0.4
+
+    def test_model_rejects_unknown_dtype(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["model", "plan", "--dtype", "float8"])
+
+
+class TestModelExecution:
+    def test_plan_prints_decision_table(self, capsys):
+        assert main(
+            [
+                "model", "plan",
+                "--batch", "64", "--d-in", "64", "--hidden", "64",
+                "--depth", "3", "--d-out", "8",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "coverage" in out
+        assert "fc1" in out and "head" in out
+
+    def test_plan_json_mode(self, capsys):
+        assert main(
+            [
+                "model", "plan", "--json",
+                "--batch", "64", "--d-in", "64", "--hidden", "64",
+                "--depth", "2",
+            ]
+        ) == 0
+        plan = json.loads(capsys.readouterr().out)
+        assert plan["coverage"] >= plan["coverage_target"]
+        assert {a["layer"] for a in plan["assignments"]} == {"fc1", "head"}
+
+    def test_run_verified_with_telemetry(self, capsys, tmp_path):
+        telemetry = tmp_path / "model.jsonl"
+        assert main(
+            [
+                "--telemetry-out", str(telemetry),
+                "model", "run",
+                "--batch", "32", "--d-in", "32", "--hidden", "32",
+                "--depth", "2", "--block-size", "16",
+                "--verify-results",
+            ]
+        ) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["verified"] is True
+        assert summary["detected"] is False
+        events = [
+            json.loads(line) for line in telemetry.read_text().splitlines()
+        ]
+        snapshot = events[-1]
+        assert snapshot["type"] == "snapshot"
+        assert "abft_model_runs_total" in snapshot["metrics"]
+        assert "abft_model_layers_total" in snapshot["metrics"]
+
+    def test_run_spec_file(self, capsys, tmp_path):
+        from repro.models import mlp
+
+        spec = tmp_path / "model.json"
+        spec.write_text(
+            mlp(name="from-file", batch=16, d_in=32, hidden=32, depth=2)
+            .to_json()
+        )
+        assert main(["model", "run", "--spec", str(spec)]) == 0
+        assert json.loads(capsys.readouterr().out)["model"] == "from-file"
+
+    def test_injected_fault_on_protected_layer_is_detected(self, capsys):
+        assert main(
+            [
+                "model", "run",
+                "--batch", "32", "--d-in", "32", "--hidden", "32",
+                "--depth", "2", "--block-size", "16",
+                "--coverage-target", "1.0",
+                "--inject-layer", "fc1",
+            ]
+        ) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["detected"] is True
+
+
 class TestExecution:
     def test_table1(self, capsys):
         assert main(["table1"]) == 0

@@ -20,6 +20,7 @@ SUBPACKAGES = [
     "repro.fp",
     "repro.gpusim",
     "repro.kernels",
+    "repro.models",
     "repro.perfmodel",
     "repro.serve",
     "repro.telemetry",
@@ -116,12 +117,55 @@ class TestImports:
             "MatmulRequest",
             "MatmulResponse",
             "MatmulServer",
+            "ModelRequest",
+            "ModelResponse",
             "ServeConfig",
             "VerificationStatus",
             "percentile",
             "rung_for_fraction",
             "run_loadgen",
             "run_serve_benchmark",
+        }
+
+    def test_top_level_exports_model_api(self):
+        for symbol in (
+            "ModelSpec",
+            "LayerSpec",
+            "ProtectionPlanner",
+            "ModelPlan",
+            "ModelRunner",
+            "ModelCampaign",
+            "ModelRequest",
+            "ModelResponse",
+            "mlp",
+            "attention",
+        ):
+            assert symbol in repro.__all__
+
+    def test_models_exports_locked(self):
+        from repro import models
+
+        assert set(models.__all__) == {
+            "ACTIVATIONS",
+            "PROTECTION_RUNGS",
+            "CampaignResult",
+            "LayerAssignment",
+            "LayerCoverage",
+            "LayerRun",
+            "LayerSpec",
+            "ModelCampaign",
+            "ModelInjection",
+            "ModelInputs",
+            "ModelPlan",
+            "ModelRunResult",
+            "ModelRunner",
+            "ModelSpec",
+            "ProtectionPlanner",
+            "attention",
+            "mlp",
+            "compare_to_baseline",
+            "default_baseline_path",
+            "run_model_benchmark",
         }
 
     def test_cluster_exports_locked(self):
